@@ -1,0 +1,55 @@
+#![allow(missing_docs)] // criterion_group! expands to undocumented items
+//! Figure 10(b) as a Criterion benchmark: one exact interval query vs
+//! the Discrete Time model at each discretization step.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fpbench::{Scale, Scenario};
+
+use allfp::baseline::discrete_time;
+use allfp::{Engine, EngineConfig, NaiveLb, QuerySpec};
+use pwl::time::hm;
+use pwl::Interval;
+use roadnet::workload::sample_pairs;
+use traffic::DayCategory;
+
+fn bench_models(c: &mut Criterion) {
+    let scenario = Scenario::new(Scale::Small, 0x5EED);
+    let net = &scenario.net;
+    let pair = sample_pairs(net, 1, 2.0, 3.0, 13).expect("sampling succeeds")[0];
+    let interval = Interval::of(hm(8, 15), hm(10, 10));
+    let q = QuerySpec::new(pair.source, pair.target, interval, DayCategory::WORKDAY);
+    let engine = Engine::new(net, EngineConfig::default());
+    let lb = NaiveLb::new(net.max_speed());
+
+    let mut group = c.benchmark_group("fig10b query time");
+    group.sample_size(10);
+    group.bench_function("CapeCod exact (singleFP)", |b| {
+        b.iter(|| black_box(engine.single_fastest_path(&q).unwrap()))
+    });
+    for step in [60.0f64, 10.0, 1.0] {
+        group.bench_with_input(
+            BenchmarkId::new("discrete", format!("{step}m")),
+            &step,
+            |b, &step| {
+                b.iter(|| {
+                    black_box(
+                        discrete_time(
+                            net,
+                            q.source,
+                            q.target,
+                            &q.interval,
+                            step,
+                            q.category,
+                            &lb,
+                        )
+                        .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+#![allow(missing_docs)] // criterion_group! expands to undocumented items
+//! Microbenchmarks of the function algebra: the per-expansion cost of
+//! the engine's inner loop (travel-time construction, compound
+//! expansion, lower-border maintenance).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pwl::time::hm;
+use pwl::{compose_travel, Envelope, Interval, Pwl};
+use traffic::travel::travel_time_fn;
+use traffic::SpeedProfile;
+
+fn rush_profile() -> SpeedProfile {
+    SpeedProfile::with_rush_window(1.0, 1.0 / 3.0, hm(7, 0), hm(10, 0)).expect("valid")
+}
+
+fn bench_travel_time_fn(c: &mut Criterion) {
+    let profile = rush_profile();
+    let leaving = Interval::of(hm(6, 0), hm(11, 0));
+    c.bench_function("travel_time_fn 5h window", |b| {
+        b.iter(|| travel_time_fn(black_box(&profile), black_box(3.5), black_box(&leaving)))
+    });
+}
+
+fn bench_compose(c: &mut Criterion) {
+    let profile = rush_profile();
+    let leaving = Interval::of(hm(6, 0), hm(9, 0));
+    let t1 = travel_time_fn(&profile, 2.0, &leaving).unwrap();
+    let arrivals = pwl::compose::arrival_interval(&t1).unwrap();
+    let t2 = travel_time_fn(&profile, 3.0, &arrivals).unwrap();
+    c.bench_function("compose_travel (path expansion)", |b| {
+        b.iter(|| compose_travel(black_box(&t1), black_box(&t2)).unwrap())
+    });
+}
+
+fn bench_envelope_merge(c: &mut Criterion) {
+    let domain = Interval::of(0.0, 180.0);
+    // 16 crossing piecewise functions
+    let fns: Vec<Pwl> = (0..16)
+        .map(|i| {
+            let phase = i as f64 * 11.0;
+            Pwl::from_points(&[
+                (0.0, 30.0 + phase % 17.0),
+                (60.0 + (phase % 29.0), 20.0 + (phase % 7.0)),
+                (120.0 + (phase % 13.0), 35.0 - (phase % 11.0)),
+                (180.0, 28.0 + (phase % 5.0)),
+            ])
+            .expect("valid points")
+        })
+        .collect();
+    c.bench_function("lower border: merge 16 functions", |b| {
+        b.iter(|| {
+            let mut env = Envelope::new(fns[0].clone(), 0usize);
+            for (i, f) in fns.iter().enumerate().skip(1) {
+                env.merge_min(f, i).unwrap();
+            }
+            black_box(env.max_value());
+        })
+    });
+    let mut env = Envelope::new(fns[0].clone(), 0usize);
+    for (i, f) in fns.iter().enumerate().skip(1) {
+        env.merge_min(f, i).unwrap();
+    }
+    c.bench_function("lower border: partition read-off", |b| {
+        b.iter(|| black_box(env.partition().len()))
+    });
+    let _ = domain;
+}
+
+fn bench_minimum(c: &mut Criterion) {
+    let profile = rush_profile();
+    let t = travel_time_fn(&profile, 6.0, &Interval::of(hm(5, 0), hm(12, 0))).unwrap();
+    c.bench_function("pwl minimum + argmin interval", |b| {
+        b.iter(|| black_box(t.minimum()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_travel_time_fn,
+    bench_compose,
+    bench_envelope_merge,
+    bench_minimum
+);
+criterion_main!(benches);

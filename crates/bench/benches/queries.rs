@@ -1,0 +1,66 @@
+#![allow(missing_docs)] // criterion_group! expands to undocumented items
+//! End-to-end query benchmarks: singleFP and allFP on the metro
+//! scenario, under both estimators (the wall-clock companion to the
+//! Figure 9 expanded-node counts).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fpbench::{Scale, Scenario};
+
+use allfp::{Engine, EngineConfig, EstimatorKind, QuerySpec};
+use pwl::time::hm;
+use pwl::Interval;
+use roadnet::workload::sample_pairs;
+use traffic::DayCategory;
+
+fn bench_queries(c: &mut Criterion) {
+    let scenario = Scenario::new(Scale::Small, 0x5EED);
+    let net = &scenario.net;
+    let pairs = sample_pairs(net, 8, 1.5, 2.5, 7).expect("sampling succeeds");
+    let interval = Interval::of(hm(7, 0), hm(10, 0));
+    let queries: Vec<QuerySpec> = pairs
+        .iter()
+        .map(|p| QuerySpec::new(p.source, p.target, interval, DayCategory::WORKDAY))
+        .collect();
+
+    let naive = Engine::for_network(net, EngineConfig::default()).expect("builds");
+    let bd = Engine::for_network(
+        net,
+        EngineConfig { estimator: EstimatorKind::Boundary { grid: 8 }, ..Default::default() },
+    )
+    .expect("builds");
+
+    let mut group = c.benchmark_group("metro-small 3h rush");
+    group.sample_size(20);
+    group.bench_function("singleFP naiveLB x8", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(naive.single_fastest_path(q).ok());
+            }
+        })
+    });
+    group.bench_function("singleFP bdLB x8", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(bd.single_fastest_path(q).ok());
+            }
+        })
+    });
+    group.bench_function("allFP naiveLB x8", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(naive.all_fastest_paths(q).ok());
+            }
+        })
+    });
+    group.bench_function("allFP bdLB x8", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(bd.all_fastest_paths(q).ok());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+#![allow(missing_docs)] // criterion_group! expands to undocumented items
+//! Storage-layer benchmarks: record fetches through the buffer pool
+//! per placement policy, and raw B+-tree lookups.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fpbench::{Scale, Scenario};
+
+use ccam::{BTree, BufferPool, CcamStore, MemStore, PlacementPolicy, DEFAULT_PAGE_SIZE};
+use roadnet::NodeId;
+
+fn bench_record_scan(c: &mut Criterion) {
+    let scenario = Scenario::new(Scale::Small, 0x5EED);
+    let net = &scenario.net;
+    let policies = [
+        ("ccam", PlacementPolicy::ConnectivityClustered),
+        ("hilbert", PlacementPolicy::HilbertPacked),
+        ("random", PlacementPolicy::Random { seed: 1 }),
+    ];
+    let mut group = c.benchmark_group("full scan via 16-frame pool");
+    group.sample_size(20);
+    for (name, policy) in policies {
+        let store = Arc::new(MemStore::new(DEFAULT_PAGE_SIZE));
+        let disk = CcamStore::build(net, store, policy, 16).expect("builds");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &disk, |b, disk| {
+            b.iter(|| {
+                for n in net.node_ids() {
+                    black_box(disk.node_record(n).unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_btree_get(c: &mut Criterion) {
+    let pool = Arc::new(BufferPool::new(Arc::new(MemStore::new(DEFAULT_PAGE_SIZE)), 256));
+    let pairs: Vec<(u64, u64)> = (0..100_000u64).map(|i| (i * 2, i)).collect();
+    let tree = BTree::bulk_load(Arc::clone(&pool), &pairs).expect("bulk load");
+    let mut k = 0u64;
+    c.bench_function("btree get (100k keys)", |b| {
+        b.iter(|| {
+            k = (k + 77_777) % 200_000;
+            black_box(tree.get(k).unwrap());
+        })
+    });
+}
+
+fn bench_find_node(c: &mut Criterion) {
+    let scenario = Scenario::new(Scale::Small, 0x5EED);
+    let net = &scenario.net;
+    let store = Arc::new(MemStore::new(DEFAULT_PAGE_SIZE));
+    let disk = CcamStore::build(net, store, PlacementPolicy::ConnectivityClustered, 256)
+        .expect("builds");
+    let mut i = 0u32;
+    let n = net.n_nodes() as u32;
+    c.bench_function("ccam node_record (warm pool)", |b| {
+        b.iter(|| {
+            i = (i + 131) % n;
+            black_box(disk.node_record(NodeId(i)).unwrap());
+        })
+    });
+}
+
+criterion_group!(benches, bench_record_scan, bench_btree_get, bench_find_node);
+criterion_main!(benches);

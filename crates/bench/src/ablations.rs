@@ -1,0 +1,186 @@
+//! Ablations called out in DESIGN.md: bdLB grid granularity (A-1),
+//! dominance pruning (A-2), and CCAM placement / buffer sizing (A-3).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use allfp::{Engine, EngineConfig, EstimatorKind, QuerySpec};
+use ccam::{CcamStore, MemStore, PlacementPolicy, DEFAULT_PAGE_SIZE};
+use pwl::time::hm;
+use pwl::Interval;
+use roadnet::workload::sample_pairs;
+use roadnet::RoadNetwork;
+use traffic::DayCategory;
+
+use crate::report::{fnum, Table};
+
+/// A-1: sweep the boundary estimator's grid granularity.
+///
+/// Finer grids pay more precomputation for tighter bounds — up to a
+/// point: past it, cells are so small that most of a route's length
+/// lies in the *entry/exit* legs the table cannot see.
+pub fn grid_sweep(net: &RoadNetwork, grids: &[usize], n_queries: usize, seed: u64) -> Table {
+    let pairs = sample_pairs(net, n_queries, 1.5, 4.0, seed).expect("sampling succeeds");
+    let interval = Interval::of(hm(7, 0), hm(10, 0));
+
+    let mut t = Table::new(
+        "Ablation A-1 - bdLB grid granularity (allFP, morning rush)",
+        &["grid", "precompute ms", "mean expanded nodes", "mean query ms"],
+    );
+    for &grid in grids {
+        let t0 = Instant::now();
+        let engine = Engine::for_network(
+            net,
+            EngineConfig {
+                estimator: if grid == 0 {
+                    EstimatorKind::Naive
+                } else {
+                    EstimatorKind::BoundaryTime { grid }
+                },
+                ..Default::default()
+            },
+        )
+        .expect("estimator builds");
+        let pre_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let mut expanded = 0usize;
+        let mut elapsed_ms = 0.0f64;
+        let mut done = 0usize;
+        for p in &pairs {
+            let q = QuerySpec::new(p.source, p.target, interval, DayCategory::WORKDAY);
+            let t0 = Instant::now();
+            let Ok(ans) = engine.all_fastest_paths(&q) else { continue };
+            elapsed_ms += t0.elapsed().as_secs_f64() * 1e3;
+            expanded += ans.stats.expanded_nodes;
+            done += 1;
+        }
+        let n = done.max(1) as f64;
+        t.push_row(vec![
+            if grid == 0 { "naive".into() } else { grid.to_string() },
+            fnum(pre_ms, 1),
+            fnum(expanded as f64 / n, 1),
+            fnum(elapsed_ms / n, 2),
+        ]);
+    }
+    t
+}
+
+/// A-2: the paper's basic path expansion vs per-node dominance
+/// pruning, on workloads small enough for the basic mode to finish.
+pub fn pruning(net: &RoadNetwork, n_queries: usize, seed: u64) -> Table {
+    let pairs = sample_pairs(net, n_queries, 1.0, 2.0, seed).expect("sampling succeeds");
+    let interval = Interval::of(hm(7, 0), hm(8, 0));
+
+    let mut t = Table::new(
+        "Ablation A-2 - basic path expansion vs dominance pruning (allFP, 1h rush window)",
+        &["engine", "queries", "mean expanded paths", "mean pushed", "mean query ms"],
+    );
+    for (name, prune) in [("basic (paper)", false), ("pruned (default)", true)] {
+        let engine = Engine::new(
+            net,
+            EngineConfig {
+                prune_dominated: prune,
+                max_expansions: 500_000,
+                ..Default::default()
+            },
+        );
+        let mut expanded = 0usize;
+        let mut pushed = 0usize;
+        let mut elapsed_ms = 0.0;
+        let mut done = 0usize;
+        for p in &pairs {
+            let q = QuerySpec::new(p.source, p.target, interval, DayCategory::WORKDAY);
+            let t0 = Instant::now();
+            let Ok(ans) = engine.all_fastest_paths(&q) else { continue };
+            elapsed_ms += t0.elapsed().as_secs_f64() * 1e3;
+            expanded += ans.stats.expanded_paths;
+            pushed += ans.stats.pushed;
+            done += 1;
+        }
+        let n = done.max(1) as f64;
+        t.push_row(vec![
+            name.into(),
+            done.to_string(),
+            fnum(expanded as f64 / n, 1),
+            fnum(pushed as f64 / n, 1),
+            fnum(elapsed_ms / n, 2),
+        ]);
+    }
+    t
+}
+
+/// A-3: CCAM placement policies under varying buffer-pool sizes —
+/// page faults for the same logical access stream.
+pub fn ccam_placement(net: &RoadNetwork, pool_frames: &[usize], seed: u64) -> Table {
+    let pairs = sample_pairs(net, 8, 1.0, 2.5, seed).expect("sampling succeeds");
+    let interval = Interval::of(hm(7, 0), hm(8, 0));
+
+    let mut t = Table::new(
+        "Ablation A-3 - CCAM placement vs buffer size (8 allFP queries, page 2048B)",
+        &["placement", "pool frames", "logical reads", "page faults", "hit %"],
+    );
+    for (name, policy) in [
+        ("ccam", PlacementPolicy::ConnectivityClustered),
+        ("hilbert", PlacementPolicy::HilbertPacked),
+        ("random", PlacementPolicy::Random { seed: 1 }),
+    ] {
+        for &frames in pool_frames {
+            let store = Arc::new(MemStore::new(DEFAULT_PAGE_SIZE));
+            let disk = CcamStore::build(net, store, policy, frames).expect("build succeeds");
+            disk.clear_cache().expect("cache clears");
+            let engine = Engine::new(&disk, EngineConfig::default());
+            let before = disk.stats();
+            for p in &pairs {
+                let q = QuerySpec::new(p.source, p.target, interval, DayCategory::WORKDAY);
+                if let Ok(ans) = engine.all_fastest_paths(&q) {
+                    std::hint::black_box(&ans);
+                }
+            }
+            let d = disk.stats().since(&before);
+            let logical = d.hits + d.misses;
+            t.push_row(vec![
+                name.into(),
+                frames.to_string(),
+                logical.to_string(),
+                d.misses.to_string(),
+                fnum(100.0 * d.hits as f64 / logical.max(1) as f64, 1),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Scale, Scenario};
+
+    #[test]
+    fn grid_sweep_produces_rows() {
+        let s = Scenario::new(Scale::Small, 3);
+        let t = grid_sweep(&s.net, &[0, 4, 8], 3, 2);
+        assert_eq!(t.rows.len(), 3);
+        assert_eq!(t.rows[0][0], "naive");
+    }
+
+    #[test]
+    fn pruning_rows_show_reduction() {
+        let s = Scenario::new(Scale::Small, 3);
+        let t = pruning(&s.net, 3, 2);
+        assert_eq!(t.rows.len(), 2);
+        let basic: f64 = t.rows[0][2].parse().unwrap();
+        let pruned: f64 = t.rows[1][2].parse().unwrap();
+        assert!(pruned <= basic + 1e-9, "basic {basic} pruned {pruned}");
+    }
+
+    #[test]
+    fn ccam_placement_rows() {
+        let s = Scenario::new(Scale::Small, 3);
+        let t = ccam_placement(&s.net, &[8, 64], 2);
+        assert_eq!(t.rows.len(), 6);
+        // same logical reads across placements at equal pool size
+        let logical_at = |row: usize| t.rows[row][2].clone();
+        assert_eq!(logical_at(0), logical_at(2));
+        assert_eq!(logical_at(0), logical_at(4));
+    }
+}

@@ -1,0 +1,155 @@
+//! CLI regenerating every table and figure of the paper's §6.
+//!
+//! ```text
+//! experiments <subcommand> [--scale small|medium|full] [--seed N]
+//!             [--queries N] [--csv DIR]
+//!
+//! subcommands:
+//!   table1            the CapeCod pattern schema (Table 1)
+//!   fig9              expanded nodes vs distance, naiveLB vs bdLB
+//!   fig10             Discrete Time vs CapeCod ratios
+//!   const-speed       the constant-speed (speed-limit) comparison
+//!   ablation-grid     bdLB grid granularity sweep (A-1)
+//!   ablation-pruning  basic vs dominance-pruned expansion (A-2)
+//!   ablation-ccam     CCAM placement vs buffer size (A-3)
+//!   all               everything above, in order
+//! ```
+//!
+//! Defaults: medium scale (≈3–4k nodes, full 8-mile extent), seed
+//! 0x5EED, 20 queries per cell. `--scale full --queries 100` matches
+//! the paper's setup (14.5k nodes, 100 queries) at several minutes of
+//! runtime.
+
+use std::process::ExitCode;
+
+use fpbench::{ablations, const_speed, fig10, fig9, table1, Scale, Scenario, Table};
+
+struct Options {
+    scale: Scale,
+    seed: u64,
+    queries: usize,
+    csv_dir: Option<std::path::PathBuf>,
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        eprintln!("usage: experiments <table1|fig9|fig10|const-speed|ablation-grid|ablation-pruning|ablation-ccam|all> [--scale small|medium|full] [--seed N] [--queries N] [--csv DIR]");
+        return ExitCode::FAILURE;
+    };
+    let mut opts = Options { scale: Scale::Medium, seed: 0x5EED, queries: 20, csv_dir: None };
+    let rest: Vec<String> = args.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        let flag = rest[i].clone();
+        let value = || -> Option<&String> { rest.get(i + 1) };
+        match flag.as_str() {
+            "--scale" => {
+                let Some(v) = value() else {
+                    eprintln!("--scale needs a value");
+                    return ExitCode::FAILURE;
+                };
+                match v.parse() {
+                    Ok(s) => opts.scale = s,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                i += 2;
+            }
+            "--seed" => {
+                opts.seed = value().and_then(|v| v.parse().ok()).unwrap_or(opts.seed);
+                i += 2;
+            }
+            "--queries" => {
+                opts.queries = value().and_then(|v| v.parse().ok()).unwrap_or(opts.queries);
+                i += 2;
+            }
+            "--csv" => {
+                opts.csv_dir = value().map(|v| v.into());
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let run_all = cmd == "all";
+    let wants = |name: &str| run_all || cmd == name;
+    let mut matched = false;
+
+    // Table 1 needs no network.
+    if wants("table1") {
+        matched = true;
+        emit(&opts, "table1", table1::render());
+    }
+
+    if ["fig9", "fig10", "const-speed", "ablation-grid", "ablation-pruning", "ablation-ccam"]
+        .iter()
+        .any(|n| wants(n))
+    {
+        let scenario = Scenario::new(opts.scale, opts.seed);
+        println!("{}", scenario.describe());
+
+        if wants("fig9") {
+            matched = true;
+            let rows =
+                fig9::run(&scenario.net, opts.queries, scenario.max_query_miles(), 8, opts.seed);
+            emit(&opts, "fig9", fig9::render(&rows));
+        }
+        if wants("fig10") {
+            matched = true;
+            // paper: distance 7-8 miles; scale down with the scenario
+            let (lo, hi) = match opts.scale {
+                Scale::Small => (2.0, 3.0),
+                Scale::Medium | Scale::Full => (7.0, 8.0),
+            };
+            let result = fig10::run(&scenario.net, opts.queries, lo, hi, opts.seed);
+            emit(&opts, "fig10", fig10::render(&result));
+        }
+        if wants("const-speed") {
+            matched = true;
+            let rows = const_speed::run(&scenario.net, opts.queries.max(30), opts.seed);
+            emit(&opts, "const_speed", const_speed::render(&rows));
+        }
+        if wants("ablation-grid") {
+            matched = true;
+            let t = ablations::grid_sweep(
+                &scenario.net,
+                &[0, 2, 4, 8, 16, 24],
+                opts.queries,
+                opts.seed,
+            );
+            emit(&opts, "ablation_grid", t);
+        }
+        if wants("ablation-pruning") {
+            matched = true;
+            let t = ablations::pruning(&scenario.net, opts.queries.min(10), opts.seed);
+            emit(&opts, "ablation_pruning", t);
+        }
+        if wants("ablation-ccam") {
+            matched = true;
+            let t = ablations::ccam_placement(&scenario.net, &[8, 32, 128, 512], opts.seed);
+            emit(&opts, "ablation_ccam", t);
+        }
+    }
+
+    if !matched {
+        eprintln!("unknown subcommand '{cmd}'");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn emit(opts: &Options, name: &str, table: Table) {
+    println!("{table}");
+    if let Some(dir) = &opts.csv_dir {
+        std::fs::create_dir_all(dir).expect("csv dir");
+        let path = dir.join(format!("{name}.csv"));
+        std::fs::write(&path, table.to_csv()).expect("csv write");
+        println!("(csv written to {})\n", path.display());
+    }
+}

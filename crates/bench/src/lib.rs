@@ -1,0 +1,28 @@
+//! Experiment harness regenerating every table and figure of the
+//! paper's evaluation (§6), plus the ablations called out in
+//! DESIGN.md.
+//!
+//! The library half holds the runners; the `experiments` binary is the
+//! CLI around them; the Criterion benches under `benches/` wrap the
+//! same runners for statistically careful micro-timings.
+//!
+//! | artifact | runner | binary subcommand |
+//! |---|---|---|
+//! | Table 1 (pattern schema) | [`table1::render`] | `table1` |
+//! | Figure 9(a)/(b) (expanded nodes, naiveLB vs bdLB) | [`fig9::run`] | `fig9` |
+//! | Figure 10(a)/(b) (discrete vs CapeCod ratios) | [`fig10::run`] | `fig10` |
+//! | §6 constant-speed comparison (≈50% claim) | [`const_speed::run`] | `const-speed` |
+//! | A-1 grid granularity | [`ablations::grid_sweep`] | `ablation-grid` |
+//! | A-2 dominance pruning | [`ablations::pruning`] | `ablation-pruning` |
+//! | A-3 CCAM placement / buffer pool | [`ablations::ccam_placement`] | `ablation-ccam` |
+
+pub mod ablations;
+pub mod const_speed;
+pub mod fig10;
+pub mod fig9;
+pub mod report;
+pub mod scenario;
+pub mod table1;
+
+pub use report::Table;
+pub use scenario::{Scale, Scenario};

@@ -1,0 +1,92 @@
+//! Experiment scenarios: the network under test.
+
+use roadnet::generators::{suffolk_like, MetroConfig};
+use roadnet::{NetworkStats, RoadNetwork};
+
+/// How large a network to run the experiments on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// ≈0.5k nodes — smoke-test scale.
+    Small,
+    /// ≈3–4k nodes over the full 8×8-mile extent — the default; same
+    /// trip distances as the paper with shorter runtimes.
+    Medium,
+    /// ≈14–15k nodes — the paper's dataset magnitude (Suffolk County:
+    /// 14,456 nodes).
+    Full,
+}
+
+impl std::str::FromStr for Scale {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "small" => Ok(Scale::Small),
+            "medium" => Ok(Scale::Medium),
+            "full" => Ok(Scale::Full),
+            other => Err(format!("unknown scale '{other}' (small|medium|full)")),
+        }
+    }
+}
+
+/// A generated network plus its provenance, shared by all runners.
+pub struct Scenario {
+    /// The network under test.
+    pub net: RoadNetwork,
+    /// Scale used.
+    pub scale: Scale,
+    /// Seed used.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// Generate the scenario network.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        let cfg = match scale {
+            Scale::Small => MetroConfig::small(seed),
+            Scale::Medium => MetroConfig::medium(seed),
+            Scale::Full => MetroConfig { seed, ..MetroConfig::default() },
+        };
+        let net = suffolk_like(&cfg).expect("generator succeeds");
+        Scenario { net, scale, seed }
+    }
+
+    /// Human-readable description, printed at the top of every run.
+    pub fn describe(&self) -> String {
+        format!(
+            "scenario: {:?} scale, seed {}\n{}",
+            self.scale,
+            self.seed,
+            NetworkStats::of(&self.net)
+        )
+    }
+
+    /// Maximum query distance (miles) that the scenario's extent can
+    /// support with a healthy sample population.
+    pub fn max_query_miles(&self) -> usize {
+        match self.scale {
+            Scale::Small => 3,
+            Scale::Medium | Scale::Full => 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_parse() {
+        assert_eq!("small".parse::<Scale>().unwrap(), Scale::Small);
+        assert_eq!("full".parse::<Scale>().unwrap(), Scale::Full);
+        assert!("big".parse::<Scale>().is_err());
+    }
+
+    #[test]
+    fn small_scenario_generates() {
+        let s = Scenario::new(Scale::Small, 9);
+        assert!(s.net.n_nodes() > 300);
+        assert!(s.describe().contains("Small"));
+        assert_eq!(s.max_query_miles(), 3);
+    }
+}

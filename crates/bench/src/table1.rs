@@ -1,0 +1,56 @@
+//! Table 1: the CapeCod pattern schema used by every experiment.
+
+use pwl::time::hm;
+use traffic::{DayCategory, PatternSchema, RoadClass};
+
+use crate::report::Table;
+
+/// Render Table 1 by *querying the implementation* (not by quoting
+/// constants): for each class and category, the speed at probe
+/// instants across the day, converted back to MPH.
+pub fn render() -> Table {
+    let schema = PatternSchema::table1().expect("schema builds");
+    let mut t = Table::new(
+        "Table 1 - CapeCod pattern schema (speeds in MPH, probed from the implementation)",
+        &["class", "non-workday", "workday 8am", "workday noon", "workday 5pm"],
+    );
+    let probes = [
+        (DayCategory::NON_WORKDAY, hm(8, 0)),
+        (DayCategory::WORKDAY, hm(8, 0)),
+        (DayCategory::WORKDAY, hm(12, 0)),
+        (DayCategory::WORKDAY, hm(17, 0)),
+    ];
+    for class in RoadClass::ALL {
+        let mut row = vec![class.to_string()];
+        for (cat, instant) in probes {
+            let mpm = schema
+                .profile(class, cat)
+                .expect("profile exists")
+                .speed_at(instant);
+            row.push(format!("{:.0}", mpm * 60.0));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_paper_verbatim() {
+        let t = render();
+        let text = t.to_string();
+        // inbound highways: 65 / 20 / 65 / 65
+        assert!(text.contains("inbound-highway"));
+        let row: Vec<&str> = t.rows[0].iter().map(String::as_str).collect();
+        assert_eq!(row, vec!["inbound-highway", "65", "20", "65", "65"]);
+        let row: Vec<&str> = t.rows[1].iter().map(String::as_str).collect();
+        assert_eq!(row, vec!["outbound-highway", "65", "65", "65", "30"]);
+        let row: Vec<&str> = t.rows[2].iter().map(String::as_str).collect();
+        assert_eq!(row, vec!["local-boston", "40", "20", "40", "20"]);
+        let row: Vec<&str> = t.rows[3].iter().map(String::as_str).collect();
+        assert_eq!(row, vec!["local-outside", "40", "40", "40", "40"]);
+    }
+}

@@ -1,0 +1,579 @@
+//! A disk-resident B+-tree mapping `u64` keys to `u64` values.
+//!
+//! CCAM keeps a B+-tree over node ids (the ids themselves are assigned
+//! in Hilbert order) so any node's record address can be found in
+//! `O(log n)` page reads (§2.2). The tree here is **bulk-loaded
+//! bottom-up** from sorted pairs — the natural fit for CCAM's
+//! build-once workload — and searched page-by-page through the buffer
+//! pool, so index I/O shows up in the experiment counters.
+//!
+//! Page layouts (little-endian):
+//!
+//! ```text
+//! leaf:     kind=1: u8 | n: u16 | next_leaf: u64 | n × (key: u64, value: u64)
+//! internal: kind=2: u8 | n: u16 | n × key: u64 | (n+1) × child: u64
+//! ```
+//!
+//! In an internal node, `key[i]` is the smallest key in the subtree of
+//! `child[i+1]`; descent takes `child[partition_point(key ≤ k)]`.
+
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut};
+
+use crate::buffer::BufferPool;
+use crate::{CcamError, Result};
+
+const KIND_LEAF: u8 = 1;
+const KIND_INTERNAL: u8 = 2;
+const LEAF_HEADER: usize = 1 + 2 + 8;
+const INTERNAL_HEADER: usize = 1 + 2;
+/// Sentinel "no next leaf".
+const NO_LEAF: u64 = u64::MAX;
+
+/// A read-mostly disk B+-tree over a buffer pool.
+pub struct BTree {
+    pool: Arc<BufferPool>,
+    root: u64,
+    height: u32,
+}
+
+impl BTree {
+    /// Max entries per leaf for the pool's page size.
+    fn leaf_cap(page_size: usize) -> usize {
+        (page_size - LEAF_HEADER) / 16
+    }
+
+    /// Max keys per internal node for the pool's page size.
+    fn internal_cap(page_size: usize) -> usize {
+        (page_size - INTERNAL_HEADER - 8) / 16
+    }
+
+    /// Bulk-load a tree from `pairs`, which must be sorted by key with
+    /// no duplicates. Returns the tree; its root page id and height can
+    /// be persisted and the tree reopened with [`BTree::open`].
+    pub fn bulk_load(pool: Arc<BufferPool>, pairs: &[(u64, u64)]) -> Result<BTree> {
+        let page_size = pool.store().page_size();
+        let leaf_cap = Self::leaf_cap(page_size).max(1);
+        let internal_cap = Self::internal_cap(page_size).max(1);
+
+        debug_assert!(
+            pairs.windows(2).all(|w| w[0].0 < w[1].0),
+            "bulk_load requires strictly sorted keys"
+        );
+
+        // --- leaves ---
+        let mut level: Vec<(u64, u64)> = Vec::new(); // (first_key, page_id)
+        let mut leaf_pages: Vec<(u64, Vec<(u64, u64)>)> = Vec::new();
+        if pairs.is_empty() {
+            // one empty leaf keeps lookups trivially correct
+            let id = pool.store().allocate()?;
+            leaf_pages.push((id, Vec::new()));
+            level.push((0, id));
+        } else {
+            for chunk in pairs.chunks(leaf_cap) {
+                let id = pool.store().allocate()?;
+                level.push((chunk[0].0, id));
+                leaf_pages.push((id, chunk.to_vec()));
+            }
+        }
+        // write leaves with next pointers
+        for i in 0..leaf_pages.len() {
+            let next = leaf_pages.get(i + 1).map_or(NO_LEAF, |(id, _)| *id);
+            let (id, entries) = &leaf_pages[i];
+            let mut buf = Vec::with_capacity(page_size);
+            buf.put_u8(KIND_LEAF);
+            buf.put_u16_le(entries.len() as u16);
+            buf.put_u64_le(next);
+            for (k, v) in entries {
+                buf.put_u64_le(*k);
+                buf.put_u64_le(*v);
+            }
+            buf.resize(page_size, 0);
+            pool.write_page(*id, &buf)?;
+        }
+
+        // --- internal levels ---
+        let mut height = 1u32;
+        while level.len() > 1 {
+            let mut next_level = Vec::with_capacity(level.len() / internal_cap + 1);
+            for group in level.chunks(internal_cap + 1) {
+                let id = pool.store().allocate()?;
+                let mut buf = Vec::with_capacity(page_size);
+                buf.put_u8(KIND_INTERNAL);
+                buf.put_u16_le((group.len() - 1) as u16);
+                for (k, _) in &group[1..] {
+                    buf.put_u64_le(*k);
+                }
+                for (_, child) in group {
+                    buf.put_u64_le(*child);
+                }
+                buf.resize(page_size, 0);
+                pool.write_page(id, &buf)?;
+                next_level.push((group[0].0, id));
+            }
+            level = next_level;
+            height += 1;
+        }
+        pool.flush()?;
+
+        Ok(BTree { pool, root: level[0].1, height })
+    }
+
+    /// Reopen a tree whose root/height were persisted elsewhere.
+    pub fn open(pool: Arc<BufferPool>, root: u64, height: u32) -> BTree {
+        BTree { pool, root, height }
+    }
+
+    /// Root page id.
+    pub fn root(&self) -> u64 {
+        self.root
+    }
+
+    /// Number of levels (1 = a single leaf).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Look up `key`.
+    pub fn get(&self, key: u64) -> Result<Option<u64>> {
+        let leaf = self.descend_to_leaf(key)?;
+        self.pool.with_page(leaf, |page| {
+            let (entries, _) = parse_leaf(page)?;
+            Ok(entries
+                .binary_search_by_key(&key, |&(k, _)| k)
+                .ok()
+                .map(|i| entries[i].1))
+        })?
+    }
+
+    /// All pairs with `lo ≤ key ≤ hi`, in key order (walks the leaf
+    /// chain).
+    pub fn range(&self, lo: u64, hi: u64) -> Result<Vec<(u64, u64)>> {
+        let mut out = Vec::new();
+        if lo > hi {
+            return Ok(out);
+        }
+        let mut leaf = self.descend_to_leaf(lo)?;
+        loop {
+            let (done, next) = self.pool.with_page(leaf, |page| {
+                let (entries, next) = parse_leaf(page)?;
+                for &(k, v) in &entries {
+                    if k > hi {
+                        return Ok((true, next));
+                    }
+                    if k >= lo {
+                        out.push((k, v));
+                    }
+                }
+                Ok::<(bool, u64), CcamError>((false, next))
+            })??;
+            if done || next == NO_LEAF {
+                break;
+            }
+            leaf = next;
+        }
+        Ok(out)
+    }
+
+    /// Overwrite the value of an existing `key` in place (no
+    /// structural change). Errors with [`CcamError::NotFound`] if the
+    /// key is absent.
+    pub fn update(&self, key: u64, value: u64) -> Result<()> {
+        let leaf = self.descend_to_leaf(key)?;
+        let page_size = self.pool.store().page_size();
+        let mut image = self.pool.with_page(leaf, |page| page.to_vec())?;
+        let (mut entries, next) = parse_leaf(&image)?;
+        let idx = entries
+            .binary_search_by_key(&key, |&(k, _)| k)
+            .map_err(|_| CcamError::NotFound(key))?;
+        entries[idx].1 = value;
+        image.clear();
+        write_leaf(&mut image, &entries, next, page_size);
+        self.pool.write_page(leaf, &image)
+    }
+
+    /// Insert `key → value`; replaces the value if the key exists.
+    ///
+    /// Splits full leaves and internal nodes bottom-up, growing a new
+    /// root when needed (so `root()`/`height()` can change — persist
+    /// them again after inserting).
+    pub fn insert(&mut self, key: u64, value: u64) -> Result<()> {
+        let page_size = self.pool.store().page_size();
+        let leaf_cap = Self::leaf_cap(page_size).max(2);
+        let internal_cap = Self::internal_cap(page_size).max(2);
+
+        // Descend, recording the path of (page, child-index) pairs.
+        let mut path: Vec<(u64, usize)> = Vec::with_capacity(self.height as usize);
+        let mut page_id = self.root;
+        for _ in 1..self.height {
+            let (keys, children) = self.read_internal(page_id)?;
+            let idx = keys.partition_point(|&k| k <= key);
+            path.push((page_id, idx));
+            page_id = children[idx];
+        }
+
+        // Leaf insert.
+        let mut image = self.pool.with_page(page_id, |page| page.to_vec())?;
+        let (mut entries, next) = parse_leaf(&image)?;
+        match entries.binary_search_by_key(&key, |&(k, _)| k) {
+            Ok(i) => {
+                entries[i].1 = value;
+                image.clear();
+                write_leaf(&mut image, &entries, next, page_size);
+                return self.pool.write_page(page_id, &image);
+            }
+            Err(i) => entries.insert(i, (key, value)),
+        }
+
+        if entries.len() <= leaf_cap {
+            image.clear();
+            write_leaf(&mut image, &entries, next, page_size);
+            return self.pool.write_page(page_id, &image);
+        }
+
+        // Split the leaf.
+        let mid = entries.len() / 2;
+        let right_entries = entries.split_off(mid);
+        let right_id = self.pool.store().allocate()?;
+        let mut right_image = Vec::with_capacity(page_size);
+        write_leaf(&mut right_image, &right_entries, next, page_size);
+        self.pool.write_page(right_id, &right_image)?;
+        image.clear();
+        write_leaf(&mut image, &entries, right_id, page_size);
+        self.pool.write_page(page_id, &image)?;
+
+        // Propagate the separator up.
+        let mut sep_key = right_entries[0].0;
+        let mut sep_child = right_id;
+        while let Some((parent, idx)) = path.pop() {
+            let (mut keys, mut children) = self.read_internal(parent)?;
+            keys.insert(idx, sep_key);
+            children.insert(idx + 1, sep_child);
+            if keys.len() <= internal_cap {
+                self.write_internal_page(parent, &keys, &children)?;
+                return Ok(());
+            }
+            // Split the internal node; the middle key moves up.
+            let mid = keys.len() / 2;
+            let up_key = keys[mid];
+            let right_keys: Vec<u64> = keys[mid + 1..].to_vec();
+            let right_children: Vec<u64> = children[mid + 1..].to_vec();
+            keys.truncate(mid);
+            children.truncate(mid + 1);
+            let right_id = self.pool.store().allocate()?;
+            self.write_internal_page(parent, &keys, &children)?;
+            self.write_internal_page(right_id, &right_keys, &right_children)?;
+            sep_key = up_key;
+            sep_child = right_id;
+        }
+
+        // Root split: grow the tree.
+        let new_root = self.pool.store().allocate()?;
+        self.write_internal_page(new_root, &[sep_key], &[self.root, sep_child])?;
+        self.root = new_root;
+        self.height += 1;
+        Ok(())
+    }
+
+    /// Remove `key`, returning its value if present.
+    ///
+    /// Deletion is *lazy*: entries are removed from their leaf but
+    /// underfull pages are not rebalanced (the classic
+    /// vacuum-compacts-later design); lookups and scans remain correct.
+    pub fn delete(&self, key: u64) -> Result<Option<u64>> {
+        let leaf = self.descend_to_leaf(key)?;
+        let page_size = self.pool.store().page_size();
+        let mut image = self.pool.with_page(leaf, |page| page.to_vec())?;
+        let (mut entries, next) = parse_leaf(&image)?;
+        let Ok(idx) = entries.binary_search_by_key(&key, |&(k, _)| k) else {
+            return Ok(None);
+        };
+        let (_, value) = entries.remove(idx);
+        image.clear();
+        write_leaf(&mut image, &entries, next, page_size);
+        self.pool.write_page(leaf, &image)?;
+        Ok(Some(value))
+    }
+
+    /// Read an internal node's keys and children.
+    fn read_internal(&self, page_id: u64) -> Result<(Vec<u64>, Vec<u64>)> {
+        self.pool.with_page(page_id, |page| {
+            let mut buf = page;
+            let kind = buf.get_u8();
+            if kind != KIND_INTERNAL {
+                return Err(CcamError::Corrupt(format!(
+                    "expected internal node, found kind {kind}"
+                )));
+            }
+            let n = buf.get_u16_le() as usize;
+            let mut keys = Vec::with_capacity(n);
+            for _ in 0..n {
+                keys.push(buf.get_u64_le());
+            }
+            let mut children = Vec::with_capacity(n + 1);
+            for _ in 0..=n {
+                children.push(buf.get_u64_le());
+            }
+            Ok((keys, children))
+        })?
+    }
+
+    /// Write an internal node page.
+    fn write_internal_page(&self, page_id: u64, keys: &[u64], children: &[u64]) -> Result<()> {
+        let page_size = self.pool.store().page_size();
+        let mut buf = Vec::with_capacity(page_size);
+        buf.put_u8(KIND_INTERNAL);
+        buf.put_u16_le(keys.len() as u16);
+        for k in keys {
+            buf.put_u64_le(*k);
+        }
+        for c in children {
+            buf.put_u64_le(*c);
+        }
+        buf.resize(page_size, 0);
+        self.pool.write_page(page_id, &buf)
+    }
+
+    fn descend_to_leaf(&self, key: u64) -> Result<u64> {
+        let mut page_id = self.root;
+        for _ in 1..self.height {
+            page_id = self.pool.with_page(page_id, |page| {
+                let mut buf = page;
+                let kind = buf.get_u8();
+                if kind != KIND_INTERNAL {
+                    return Err(CcamError::Corrupt(format!(
+                        "expected internal node, found kind {kind}"
+                    )));
+                }
+                let n = buf.get_u16_le() as usize;
+                let mut keys = Vec::with_capacity(n);
+                for _ in 0..n {
+                    keys.push(buf.get_u64_le());
+                }
+                let idx = keys.partition_point(|&k| k <= key);
+                // skip idx children
+                buf.advance(idx * 8);
+                Ok(buf.get_u64_le())
+            })??;
+        }
+        Ok(page_id)
+    }
+}
+
+/// Serialize a leaf page image into `buf` (cleared by the caller).
+fn write_leaf(buf: &mut Vec<u8>, entries: &[(u64, u64)], next: u64, page_size: usize) {
+    buf.reserve(page_size);
+    buf.put_u8(KIND_LEAF);
+    buf.put_u16_le(entries.len() as u16);
+    buf.put_u64_le(next);
+    for (k, v) in entries {
+        buf.put_u64_le(*k);
+        buf.put_u64_le(*v);
+    }
+    buf.resize(page_size, 0);
+}
+
+/// Parse a leaf page into its entries and next pointer.
+fn parse_leaf(page: &[u8]) -> Result<(Vec<(u64, u64)>, u64)> {
+    let mut buf = page;
+    let kind = buf.get_u8();
+    if kind != KIND_LEAF {
+        return Err(CcamError::Corrupt(format!("expected leaf, found kind {kind}")));
+    }
+    let n = buf.get_u16_le() as usize;
+    let next = buf.get_u64_le();
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let k = buf.get_u64_le();
+        let v = buf.get_u64_le();
+        entries.push((k, v));
+    }
+    Ok((entries, next))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+
+    fn pool(page_size: usize, frames: usize) -> Arc<BufferPool> {
+        Arc::new(BufferPool::new(Arc::new(MemStore::new(page_size)), frames))
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = BTree::bulk_load(pool(256, 8), &[]).unwrap();
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.get(0).unwrap(), None);
+        assert!(t.range(0, 100).unwrap().is_empty());
+    }
+
+    #[test]
+    fn single_leaf() {
+        let pairs: Vec<(u64, u64)> = (0..10).map(|i| (i * 2, i * 100)).collect();
+        let t = BTree::bulk_load(pool(2048, 8), &pairs).unwrap();
+        assert_eq!(t.height(), 1);
+        for (k, v) in &pairs {
+            assert_eq!(t.get(*k).unwrap(), Some(*v));
+        }
+        assert_eq!(t.get(1).unwrap(), None);
+        assert_eq!(t.get(999).unwrap(), None);
+    }
+
+    #[test]
+    fn multi_level_lookup() {
+        // page 256 → leaf cap 15, internal cap 15 → 10k keys = 4 levels
+        let pairs: Vec<(u64, u64)> = (0..10_000).map(|i| (i * 3 + 1, i)).collect();
+        let t = BTree::bulk_load(pool(256, 64), &pairs).unwrap();
+        assert!(t.height() >= 3, "height {}", t.height());
+        for probe in [0usize, 1, 2, 17, 4999, 9998, 9999] {
+            let (k, v) = pairs[probe];
+            assert_eq!(t.get(k).unwrap(), Some(v), "key {k}");
+        }
+        // misses on either side and between keys
+        assert_eq!(t.get(0).unwrap(), None);
+        assert_eq!(t.get(2).unwrap(), None);
+        assert_eq!(t.get(pairs.last().unwrap().0 + 1).unwrap(), None);
+    }
+
+    #[test]
+    fn range_scans_leaf_chain() {
+        let pairs: Vec<(u64, u64)> = (0..1000).map(|i| (i * 2, i)).collect();
+        let t = BTree::bulk_load(pool(256, 64), &pairs).unwrap();
+        let got = t.range(100, 121).unwrap();
+        let want: Vec<(u64, u64)> =
+            pairs.iter().copied().filter(|&(k, _)| (100..=121).contains(&k)).collect();
+        assert_eq!(got, want);
+        // full scan
+        assert_eq!(t.range(0, u64::MAX - 1).unwrap(), pairs);
+        // empty and inverted ranges
+        assert!(t.range(1999, 1999).unwrap().is_empty());
+        assert!(t.range(50, 10).unwrap().is_empty());
+    }
+
+    #[test]
+    fn reopen_from_root() {
+        let p = pool(256, 64);
+        let pairs: Vec<(u64, u64)> = (0..500).map(|i| (i, i + 7)).collect();
+        let t = BTree::bulk_load(Arc::clone(&p), &pairs).unwrap();
+        let (root, height) = (t.root(), t.height());
+        drop(t);
+        let t2 = BTree::open(p, root, height);
+        assert_eq!(t2.get(300).unwrap(), Some(307));
+    }
+
+    #[test]
+    fn lookups_touch_few_pages() {
+        let p = pool(256, 4096);
+        let pairs: Vec<(u64, u64)> = (0..10_000).map(|i| (i, i)).collect();
+        let t = BTree::bulk_load(Arc::clone(&p), &pairs).unwrap();
+        p.clear().unwrap();
+        let before = p.stats().logical_reads();
+        t.get(7777).unwrap();
+        let after = p.stats().logical_reads();
+        assert_eq!(after - before, u64::from(t.height()));
+    }
+
+    #[test]
+    fn insert_grows_from_empty() {
+        let p = pool(128, 64); // leaf cap 7, internal cap 7 → quick splits
+        let mut t = BTree::bulk_load(Arc::clone(&p), &[]).unwrap();
+        // deterministic pseudo-shuffle of 0..500
+        let keys: Vec<u64> = (0..500u64).map(|i| (i * 311) % 500).collect();
+        for &k in &keys {
+            t.insert(k, k * 10).unwrap();
+        }
+        assert!(t.height() >= 3, "height {}", t.height());
+        for k in 0..500u64 {
+            assert_eq!(t.get(k).unwrap(), Some(k * 10), "key {k}");
+        }
+        assert_eq!(t.get(500).unwrap(), None);
+        // leaf chain survives the splits
+        let all = t.range(0, 499).unwrap();
+        assert_eq!(all.len(), 500);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn insert_replaces_existing() {
+        let p = pool(256, 16);
+        let mut t = BTree::bulk_load(Arc::clone(&p), &[(5, 50), (9, 90)]).unwrap();
+        t.insert(5, 55).unwrap();
+        assert_eq!(t.get(5).unwrap(), Some(55));
+        assert_eq!(t.get(9).unwrap(), Some(90));
+    }
+
+    #[test]
+    fn insert_into_bulk_loaded_tree() {
+        let p = pool(256, 64);
+        let pairs: Vec<(u64, u64)> = (0..300).map(|i| (i * 2, i)).collect();
+        let mut t = BTree::bulk_load(Arc::clone(&p), &pairs).unwrap();
+        for i in 0..300u64 {
+            t.insert(i * 2 + 1, i + 1000).unwrap(); // fill the odd keys
+        }
+        for i in 0..300u64 {
+            assert_eq!(t.get(i * 2).unwrap(), Some(i));
+            assert_eq!(t.get(i * 2 + 1).unwrap(), Some(i + 1000));
+        }
+        assert_eq!(t.range(0, 10_000).unwrap().len(), 600);
+    }
+
+    #[test]
+    fn update_in_place() {
+        let p = pool(256, 16);
+        let pairs: Vec<(u64, u64)> = (0..100).map(|i| (i, i)).collect();
+        let t = BTree::bulk_load(Arc::clone(&p), &pairs).unwrap();
+        t.update(42, 777).unwrap();
+        assert_eq!(t.get(42).unwrap(), Some(777));
+        assert!(matches!(t.update(1000, 1), Err(CcamError::NotFound(1000))));
+        // structure untouched
+        assert_eq!(t.range(0, 99).unwrap().len(), 100);
+    }
+
+    #[test]
+    fn delete_is_lazy_but_correct() {
+        let p = pool(256, 64);
+        let pairs: Vec<(u64, u64)> = (0..200).map(|i| (i, i)).collect();
+        let t = BTree::bulk_load(Arc::clone(&p), &pairs).unwrap();
+        assert_eq!(t.delete(50).unwrap(), Some(50));
+        assert_eq!(t.delete(50).unwrap(), None);
+        assert_eq!(t.get(50).unwrap(), None);
+        assert_eq!(t.get(49).unwrap(), Some(49));
+        assert_eq!(t.range(0, 199).unwrap().len(), 199);
+        // delete everything; scans stay consistent
+        for k in 0..200u64 {
+            t.delete(k).unwrap();
+        }
+        assert!(t.range(0, 199).unwrap().is_empty());
+    }
+
+    #[test]
+    fn mixed_insert_delete_roundtrip() {
+        let p = pool(128, 64);
+        let mut t = BTree::bulk_load(Arc::clone(&p), &[]).unwrap();
+        for k in 0..200u64 {
+            t.insert(k, k).unwrap();
+        }
+        for k in (0..200u64).step_by(2) {
+            t.delete(k).unwrap();
+        }
+        for k in (0..200u64).step_by(2) {
+            t.insert(k, k + 1).unwrap(); // reinsert with new values
+        }
+        for k in 0..200u64 {
+            let want = if k % 2 == 0 { k + 1 } else { k };
+            assert_eq!(t.get(k).unwrap(), Some(want), "key {k}");
+        }
+    }
+
+    #[test]
+    fn store_pages_match_tree_size() {
+        let p = pool(256, 8);
+        let pairs: Vec<(u64, u64)> = (0..100).map(|i| (i, i)).collect();
+        let t = BTree::bulk_load(Arc::clone(&p), &pairs).unwrap();
+        // leaves: ceil(100/15) = 7; internal: 1 → 8 pages
+        assert_eq!(p.store().n_pages(), 8);
+        assert_eq!(t.height(), 2);
+    }
+}

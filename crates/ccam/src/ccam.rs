@@ -1,0 +1,749 @@
+//! The assembled Connectivity-Clustered Access Method.
+//!
+//! On-disk layout:
+//!
+//! ```text
+//! page 0            superblock
+//! pages 1..=P       pattern table (byte stream across pages)
+//! pages P+1..       data pages (slotted node records), then B+-tree pages
+//! ```
+//!
+//! The superblock records the B+-tree root so a store can be reopened
+//! without the original in-memory network. The pattern table is small
+//! (one CapeCod pattern per road class plus any bespoke patterns) and
+//! is decoded into memory at open time, exactly as the paper treats
+//! speed patterns as schema-level data.
+
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut};
+use roadnet::{Edge, NetworkSource, NodeId, PatternId, Point, RoadNetwork};
+use traffic::{CapeCodPattern, ProfilePiece, SpeedProfile};
+
+use crate::btree::BTree;
+use crate::buffer::BufferPool;
+use crate::page::SlottedPage;
+use crate::partition::{partition_nodes, PlacementPolicy};
+use crate::record::{EdgeRecord, NodeRecord};
+use crate::store::BlockStore;
+use crate::{CcamError, Result};
+
+const MAGIC: u32 = 0x4343_414D; // "CCAM"
+const VERSION: u16 = 1;
+
+/// A snapshot of access statistics: buffer behaviour plus physical
+/// store I/O.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Buffer pool hits.
+    pub hits: u64,
+    /// Buffer pool misses (page faults).
+    pub misses: u64,
+    /// Frames evicted.
+    pub evictions: u64,
+    /// Pages physically read from the store.
+    pub physical_reads: u64,
+    /// Pages physically written to the store.
+    pub physical_writes: u64,
+}
+
+impl StoreStats {
+    /// Difference since an earlier snapshot.
+    pub fn since(&self, earlier: &StoreStats) -> StoreStats {
+        StoreStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            evictions: self.evictions - earlier.evictions,
+            physical_reads: self.physical_reads - earlier.physical_reads,
+            physical_writes: self.physical_writes - earlier.physical_writes,
+        }
+    }
+}
+
+/// A disk-resident CapeCod network behind CCAM, implementing
+/// [`NetworkSource`] so queries run unmodified over it.
+pub struct CcamStore {
+    pool: Arc<BufferPool>,
+    btree: BTree,
+    patterns: Vec<CapeCodPattern>,
+    max_speed: f64,
+    n_nodes: usize,
+    /// First pattern page and page count (for in-place pattern updates).
+    pattern_region: (u64, usize),
+    /// Page currently accepting relocated/new records, if any.
+    overflow_page: Option<u64>,
+}
+
+impl CcamStore {
+    /// Build a store from an in-memory network.
+    ///
+    /// `store` must be empty; `policy` selects the page placement;
+    /// `pool_frames` sizes the buffer pool used for subsequent reads.
+    pub fn build(
+        net: &RoadNetwork,
+        store: Arc<dyn BlockStore>,
+        policy: PlacementPolicy,
+        pool_frames: usize,
+    ) -> Result<CcamStore> {
+        if store.n_pages() != 0 {
+            return Err(CcamError::Corrupt("store not empty".into()));
+        }
+        let page_size = store.page_size();
+        let pool = Arc::new(BufferPool::new(store, pool_frames));
+
+        // page 0: superblock placeholder (rewritten at the end)
+        let sb_page = pool.store().allocate()?;
+        debug_assert_eq!(sb_page, 0);
+
+        // pattern table
+        let pattern_bytes = encode_patterns(net.patterns());
+        let pattern_start = pool.store().n_pages();
+        let n_pattern_pages = pattern_bytes.len().div_ceil(page_size).max(1);
+        for chunk_idx in 0..n_pattern_pages {
+            let id = pool.store().allocate()?;
+            let mut page = vec![0u8; page_size];
+            let lo = chunk_idx * page_size;
+            let hi = (lo + page_size).min(pattern_bytes.len());
+            if lo < pattern_bytes.len() {
+                page[..hi - lo].copy_from_slice(&pattern_bytes[lo..hi]);
+            }
+            pool.write_page(id, &page)?;
+        }
+
+        // data pages
+        let partitioning = partition_nodes(net, policy, page_size)?;
+        let mut addresses: Vec<(u64, u64)> = Vec::with_capacity(net.n_nodes());
+        for nodes in &partitioning.pages {
+            let page_id = pool.store().allocate()?;
+            let mut page = SlottedPage::new(page_size);
+            for &n in nodes {
+                let rec = NodeRecord {
+                    id: n,
+                    loc: *net.point(n)?,
+                    edges: net.neighbors(n)?.iter().map(EdgeRecord::from).collect(),
+                };
+                let mut buf = Vec::with_capacity(rec.encoded_len());
+                rec.encode(&mut buf);
+                let slot = page.insert(&buf)?;
+                addresses.push((u64::from(n.0), (page_id << 16) | u64::from(slot)));
+            }
+            pool.write_page(page_id, page.as_bytes())?;
+        }
+
+        // index
+        addresses.sort_unstable_by_key(|&(k, _)| k);
+        let btree = BTree::bulk_load(Arc::clone(&pool), &addresses)?;
+
+        // superblock
+        write_superblock(
+            &pool,
+            net.n_nodes() as u64,
+            btree.root(),
+            btree.height(),
+            pattern_start,
+            n_pattern_pages,
+            pattern_bytes.len(),
+        )?;
+        pool.flush()?;
+
+        Ok(CcamStore {
+            pool,
+            btree,
+            patterns: net.patterns().to_vec(),
+            max_speed: net.max_speed(),
+            n_nodes: net.n_nodes(),
+            pattern_region: (pattern_start, n_pattern_pages),
+            overflow_page: None,
+        })
+    }
+
+    /// Reopen a previously built store.
+    pub fn open(store: Arc<dyn BlockStore>, pool_frames: usize) -> Result<CcamStore> {
+        let page_size = store.page_size();
+        let pool = Arc::new(BufferPool::new(store, pool_frames));
+
+        let (n_nodes, root, height, pattern_start, n_pattern_pages, pattern_len) =
+            pool.with_page(0, |page| {
+                let mut buf = page;
+                if buf.get_u32_le() != MAGIC {
+                    return Err(CcamError::Corrupt("bad magic".into()));
+                }
+                let version = buf.get_u16_le();
+                if version != VERSION {
+                    return Err(CcamError::Corrupt(format!("unsupported version {version}")));
+                }
+                let stored_page_size = buf.get_u32_le() as usize;
+                if stored_page_size != page_size {
+                    return Err(CcamError::Corrupt(format!(
+                        "page size mismatch: stored {stored_page_size}, store {page_size}"
+                    )));
+                }
+                let n_nodes = buf.get_u64_le() as usize;
+                let root = buf.get_u64_le();
+                let height = buf.get_u32_le();
+                let pattern_start = buf.get_u64_le();
+                let n_pattern_pages = buf.get_u32_le() as usize;
+                let pattern_len = buf.get_u32_le() as usize;
+                Ok((n_nodes, root, height, pattern_start, n_pattern_pages, pattern_len))
+            })??;
+
+        let mut pattern_bytes = Vec::with_capacity(pattern_len);
+        for i in 0..n_pattern_pages {
+            pool.with_page(pattern_start + i as u64, |page| {
+                pattern_bytes.extend_from_slice(page);
+            })?;
+        }
+        pattern_bytes.truncate(pattern_len);
+        let patterns = decode_patterns(&pattern_bytes)?;
+        let max_speed = patterns
+            .iter()
+            .map(CapeCodPattern::max_speed)
+            .fold(f64::NEG_INFINITY, f64::max);
+
+        let btree = BTree::open(Arc::clone(&pool), root, height);
+        Ok(CcamStore {
+            pool,
+            btree,
+            patterns,
+            max_speed,
+            n_nodes,
+            pattern_region: (pattern_start, n_pattern_pages),
+            overflow_page: None,
+        })
+    }
+
+    /// Full node record (`FindNode` + adjacency, one logical access).
+    pub fn node_record(&self, node: NodeId) -> Result<NodeRecord> {
+        let addr = self
+            .btree
+            .get(u64::from(node.0))?
+            .ok_or(CcamError::NotFound(u64::from(node.0)))?;
+        let (page_id, slot) = (addr >> 16, (addr & 0xFFFF) as u16);
+        self.pool.with_page(page_id, |bytes| {
+            let page = SlottedPage::from_bytes(bytes.to_vec())?;
+            NodeRecord::decode(page.get(slot)?)
+        })?
+    }
+
+    /// Current access statistics.
+    pub fn stats(&self) -> StoreStats {
+        let b = self.pool.stats();
+        let (r, w) = self.pool.store().io_stats().snapshot();
+        StoreStats {
+            hits: b.hits(),
+            misses: b.misses(),
+            evictions: b.evictions(),
+            physical_reads: r,
+            physical_writes: w,
+        }
+    }
+
+    /// Drop all cached pages (cold-cache experiments).
+    pub fn clear_cache(&self) -> Result<()> {
+        self.pool.clear()
+    }
+
+    /// The buffer pool (for capacity introspection in experiments).
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+}
+
+impl NetworkSource for CcamStore {
+    fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    fn find_node(&self, node: NodeId) -> roadnet::Result<Point> {
+        self.node_record(node)
+            .map(|r| r.loc)
+            .map_err(|_| roadnet::NetworkError::UnknownNode(node))
+    }
+
+    fn successors(&self, node: NodeId) -> roadnet::Result<Vec<Edge>> {
+        self.node_record(node)
+            .map(|r| r.edges.iter().map(Edge::from).collect())
+            .map_err(|_| roadnet::NetworkError::UnknownNode(node))
+    }
+
+    fn pattern(&self, id: PatternId) -> roadnet::Result<&CapeCodPattern> {
+        self.patterns
+            .get(usize::from(id.0))
+            .ok_or(roadnet::NetworkError::UnknownPattern(id))
+    }
+
+    fn max_speed(&self) -> f64 {
+        self.max_speed
+    }
+}
+
+/// Network-update operations (§2.2: CCAM supports "the appropriate
+/// operations to update the network").
+///
+/// Records that grow past their slot are *relocated* to an overflow
+/// page and the B+-tree entry is repointed; shrinking records are
+/// rewritten in place. Stale heap bytes are reclaimed only by a full
+/// rebuild (the classic vacuum trade-off).
+impl CcamStore {
+    /// Replace the stored record for `rec.id` (must already exist).
+    pub fn update_node_record(&mut self, rec: &NodeRecord) -> Result<()> {
+        let key = u64::from(rec.id.0);
+        let addr = self.btree.get(key)?.ok_or(CcamError::NotFound(key))?;
+        let (page_id, slot) = (addr >> 16, (addr & 0xFFFF) as u16);
+        let mut bytes = Vec::with_capacity(rec.encoded_len());
+        rec.encode(&mut bytes);
+
+        // Try in place.
+        let mut image = self.pool.with_page(page_id, |p| p.to_vec())?;
+        let mut page = SlottedPage::from_bytes(std::mem::take(&mut image))?;
+        let existing_len = page.get(slot)?.len();
+        if bytes.len() <= existing_len {
+            page.overwrite(slot, &bytes)?;
+            return self.pool.write_page(page_id, page.as_bytes());
+        }
+
+        // Relocate.
+        let new_addr = self.append_record(&bytes)?;
+        self.btree.update(key, new_addr)?;
+        self.persist_meta()
+    }
+
+    /// Insert a brand-new node record (id must be unused).
+    pub fn insert_node_record(&mut self, rec: &NodeRecord) -> Result<()> {
+        let key = u64::from(rec.id.0);
+        if self.btree.get(key)?.is_some() {
+            return Err(CcamError::Corrupt(format!("node {key} already exists")));
+        }
+        let mut bytes = Vec::with_capacity(rec.encoded_len());
+        rec.encode(&mut bytes);
+        let addr = self.append_record(&bytes)?;
+        self.btree.insert(key, addr)?;
+        self.n_nodes += 1;
+        for e in &rec.edges {
+            self.note_pattern_speed(e.pattern)?;
+        }
+        self.persist_meta()
+    }
+
+    /// Add a directed edge `from → to` to the stored network.
+    pub fn add_edge(&mut self, from: NodeId, edge: EdgeRecord) -> Result<()> {
+        let mut rec = self.node_record(from)?;
+        if rec.edges.iter().any(|e| e.to == edge.to) {
+            return Err(CcamError::Corrupt(format!(
+                "edge {from} -> {} already exists",
+                edge.to
+            )));
+        }
+        self.note_pattern_speed(edge.pattern)?;
+        rec.edges.push(edge);
+        self.update_node_record(&rec)
+    }
+
+    /// Remove the directed edge `from → to`; returns `true` if it
+    /// existed.
+    pub fn remove_edge(&mut self, from: NodeId, to: NodeId) -> Result<bool> {
+        let mut rec = self.node_record(from)?;
+        let before = rec.edges.len();
+        rec.edges.retain(|e| e.to != to);
+        if rec.edges.len() == before {
+            return Ok(false);
+        }
+        self.update_node_record(&rec)?;
+        Ok(true)
+    }
+
+    /// Replace a speed pattern (e.g. a re-measured rush-hour profile).
+    ///
+    /// The new pattern table must fit in the originally allocated
+    /// pattern pages; otherwise a fresh region is appended and the
+    /// superblock repointed.
+    pub fn set_pattern(&mut self, id: PatternId, pattern: CapeCodPattern) -> Result<()> {
+        let idx = usize::from(id.0);
+        if idx >= self.patterns.len() {
+            return Err(CcamError::NotFound(u64::from(id.0)));
+        }
+        self.max_speed = self.max_speed.max(pattern.max_speed());
+        self.patterns[idx] = pattern;
+        let bytes = encode_patterns(&self.patterns);
+        let page_size = self.pool.store().page_size();
+        let needed = bytes.len().div_ceil(page_size).max(1);
+        let (mut start, capacity) = self.pattern_region;
+        if needed > capacity {
+            start = self.pool.store().n_pages();
+            for _ in 0..needed {
+                self.pool.store().allocate()?;
+            }
+            self.pattern_region = (start, needed);
+        }
+        for chunk_idx in 0..self.pattern_region.1 {
+            let mut page = vec![0u8; page_size];
+            let lo = chunk_idx * page_size;
+            if lo < bytes.len() {
+                let hi = (lo + page_size).min(bytes.len());
+                page[..hi - lo].copy_from_slice(&bytes[lo..hi]);
+            }
+            self.pool.write_page(start + chunk_idx as u64, &page)?;
+        }
+        self.persist_meta_with_pattern_len(bytes.len())
+    }
+
+    /// Append an encoded record to the current overflow page,
+    /// allocating one as needed; returns the packed address.
+    fn append_record(&mut self, bytes: &[u8]) -> Result<u64> {
+        let page_size = self.pool.store().page_size();
+        if bytes.len() + 8 > page_size {
+            return Err(CcamError::RecordTooLarge { need: bytes.len(), page: page_size });
+        }
+        loop {
+            let page_id = match self.overflow_page {
+                Some(id) => id,
+                None => {
+                    let id = self.pool.store().allocate()?;
+                    self.pool.write_page(id, SlottedPage::new(page_size).as_bytes())?;
+                    self.overflow_page = Some(id);
+                    id
+                }
+            };
+            let image = self.pool.with_page(page_id, |p| p.to_vec())?;
+            let mut page = SlottedPage::from_bytes(image)?;
+            if page.fits(bytes.len()) {
+                let slot = page.insert(bytes)?;
+                self.pool.write_page(page_id, page.as_bytes())?;
+                return Ok((page_id << 16) | u64::from(slot));
+            }
+            self.overflow_page = None; // page full; allocate a fresh one
+        }
+    }
+
+    /// Track the pattern table's max speed when new edges reference
+    /// patterns (keeps the naive estimator's `v_max` sound).
+    fn note_pattern_speed(&mut self, id: PatternId) -> Result<()> {
+        let pat = self
+            .patterns
+            .get(usize::from(id.0))
+            .ok_or(CcamError::NotFound(u64::from(id.0)))?;
+        self.max_speed = self.max_speed.max(pat.max_speed());
+        Ok(())
+    }
+
+    fn persist_meta(&self) -> Result<()> {
+        let bytes_len = encode_patterns(&self.patterns).len();
+        self.persist_meta_with_pattern_len(bytes_len)
+    }
+
+    fn persist_meta_with_pattern_len(&self, pattern_len: usize) -> Result<()> {
+        write_superblock(
+            &self.pool,
+            self.n_nodes as u64,
+            self.btree.root(),
+            self.btree.height(),
+            self.pattern_region.0,
+            self.pattern_region.1,
+            pattern_len,
+        )?;
+        self.pool.flush()
+    }
+}
+
+/// Write the superblock to page 0.
+fn write_superblock(
+    pool: &Arc<BufferPool>,
+    n_nodes: u64,
+    root: u64,
+    height: u32,
+    pattern_start: u64,
+    n_pattern_pages: usize,
+    pattern_len: usize,
+) -> Result<()> {
+    let page_size = pool.store().page_size();
+    let mut sb = Vec::with_capacity(page_size);
+    sb.put_u32_le(MAGIC);
+    sb.put_u16_le(VERSION);
+    sb.put_u32_le(page_size as u32);
+    sb.put_u64_le(n_nodes);
+    sb.put_u64_le(root);
+    sb.put_u32_le(height);
+    sb.put_u64_le(pattern_start);
+    sb.put_u32_le(n_pattern_pages as u32);
+    sb.put_u32_le(pattern_len as u32);
+    sb.resize(page_size, 0);
+    pool.write_page(0, &sb)
+}
+
+/// Serialize the pattern table.
+fn encode_patterns(patterns: &[CapeCodPattern]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.put_u16_le(patterns.len() as u16);
+    for pat in patterns {
+        let n = pat.n_categories();
+        out.put_u8(n as u8);
+        for c in 0..n {
+            let profile = pat
+                .profile(traffic::DayCategory(c as u8))
+                .expect("category < n_categories");
+            out.put_u16_le(profile.pieces().len() as u16);
+            for p in profile.pieces() {
+                out.put_f64_le(p.start);
+                out.put_f64_le(p.speed);
+            }
+        }
+    }
+    out
+}
+
+/// Inverse of [`encode_patterns`].
+fn decode_patterns(mut buf: &[u8]) -> Result<Vec<CapeCodPattern>> {
+    let corrupt = |msg: &str| CcamError::Corrupt(format!("pattern table: {msg}"));
+    if buf.remaining() < 2 {
+        return Err(corrupt("truncated count"));
+    }
+    let n_patterns = buf.get_u16_le() as usize;
+    let mut patterns = Vec::with_capacity(n_patterns);
+    for _ in 0..n_patterns {
+        if buf.remaining() < 1 {
+            return Err(corrupt("truncated profile count"));
+        }
+        let n_profiles = buf.get_u8() as usize;
+        let mut profiles = Vec::with_capacity(n_profiles);
+        for _ in 0..n_profiles {
+            if buf.remaining() < 2 {
+                return Err(corrupt("truncated piece count"));
+            }
+            let n_pieces = buf.get_u16_le() as usize;
+            if buf.remaining() < n_pieces * 16 {
+                return Err(corrupt("truncated pieces"));
+            }
+            let mut pieces = Vec::with_capacity(n_pieces);
+            for _ in 0..n_pieces {
+                let start = buf.get_f64_le();
+                let speed = buf.get_f64_le();
+                pieces.push(ProfilePiece { start, speed });
+            }
+            profiles.push(
+                SpeedProfile::new(pieces).map_err(|e| corrupt(&format!("bad profile: {e}")))?,
+            );
+        }
+        patterns.push(
+            CapeCodPattern::new(profiles).map_err(|e| corrupt(&format!("bad pattern: {e}")))?,
+        );
+    }
+    Ok(patterns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+    use crate::DEFAULT_PAGE_SIZE;
+    use roadnet::generators::grid;
+    use traffic::RoadClass;
+
+    fn build_grid_store(policy: PlacementPolicy) -> (RoadNetwork, CcamStore) {
+        let net = grid(10, 10, 0.2, RoadClass::LocalBoston).unwrap();
+        let store = Arc::new(MemStore::new(DEFAULT_PAGE_SIZE));
+        let ccam = CcamStore::build(&net, store, policy, 64).unwrap();
+        (net, ccam)
+    }
+
+    #[test]
+    fn every_node_readable_and_identical() {
+        let (net, ccam) = build_grid_store(PlacementPolicy::ConnectivityClustered);
+        assert_eq!(NetworkSource::n_nodes(&ccam), net.n_nodes());
+        for n in net.node_ids() {
+            let rec = ccam.node_record(n).unwrap();
+            assert_eq!(rec.id, n);
+            assert_eq!(&rec.loc, net.point(n).unwrap());
+            let disk_edges: Vec<Edge> = rec.edges.iter().map(Edge::from).collect();
+            assert_eq!(disk_edges.as_slice(), net.neighbors(n).unwrap());
+        }
+    }
+
+    #[test]
+    fn implements_network_source() {
+        let (net, ccam) = build_grid_store(PlacementPolicy::HilbertPacked);
+        let src: &dyn NetworkSource = &ccam;
+        assert_eq!(src.find_node(NodeId(5)).unwrap(), *net.point(NodeId(5)).unwrap());
+        assert_eq!(
+            src.successors(NodeId(0)).unwrap(),
+            net.neighbors(NodeId(0)).unwrap().to_vec()
+        );
+        assert!((src.max_speed() - net.max_speed()).abs() < 1e-12);
+        assert!(src.find_node(NodeId(10_000)).is_err());
+        assert!(src.pattern(PatternId(2)).is_ok());
+        assert!(src.pattern(PatternId(99)).is_err());
+    }
+
+    #[test]
+    fn reopen_from_store() {
+        let net = grid(6, 6, 0.3, RoadClass::LocalOutside).unwrap();
+        let store: Arc<dyn BlockStore> = Arc::new(MemStore::new(DEFAULT_PAGE_SIZE));
+        {
+            CcamStore::build(&net, Arc::clone(&store), PlacementPolicy::ConnectivityClustered, 16)
+                .unwrap();
+        }
+        let reopened = CcamStore::open(store, 16).unwrap();
+        assert_eq!(NetworkSource::n_nodes(&reopened), 36);
+        for n in net.node_ids() {
+            assert_eq!(reopened.find_node(n).unwrap(), *net.point(n).unwrap());
+        }
+        // pattern table round-tripped
+        assert!((reopened.max_speed() - net.max_speed()).abs() < 1e-12);
+        let p = NetworkSource::pattern(&reopened, PatternId(0)).unwrap();
+        assert_eq!(p.n_categories(), 2);
+    }
+
+    #[test]
+    fn build_rejects_dirty_store() {
+        let net = grid(2, 2, 0.5, RoadClass::LocalOutside).unwrap();
+        let store: Arc<dyn BlockStore> = Arc::new(MemStore::new(DEFAULT_PAGE_SIZE));
+        store.allocate().unwrap();
+        assert!(CcamStore::build(&net, store, PlacementPolicy::HilbertPacked, 4).is_err());
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        let store: Arc<dyn BlockStore> = Arc::new(MemStore::new(DEFAULT_PAGE_SIZE));
+        store.allocate().unwrap();
+        assert!(matches!(CcamStore::open(store, 4), Err(CcamError::Corrupt(_))));
+    }
+
+    #[test]
+    fn clustering_reduces_misses_on_bfs_scan() {
+        // walk the grid row by row (spatial locality): clustered layout
+        // should fault fewer pages than random with a small pool
+        let miss_count = |policy: PlacementPolicy| {
+            let net = grid(16, 16, 0.2, RoadClass::LocalBoston).unwrap();
+            let store = Arc::new(MemStore::new(DEFAULT_PAGE_SIZE));
+            let ccam = CcamStore::build(&net, store, policy, 4).unwrap();
+            ccam.clear_cache().unwrap();
+            let before = ccam.stats();
+            for n in net.node_ids() {
+                ccam.node_record(n).unwrap();
+            }
+            ccam.stats().since(&before).misses
+        };
+        let clustered = miss_count(PlacementPolicy::ConnectivityClustered);
+        let random = miss_count(PlacementPolicy::Random { seed: 1 });
+        assert!(
+            clustered < random,
+            "clustered misses {clustered} not below random {random}"
+        );
+    }
+
+    #[test]
+    fn update_operations_round_trip() {
+        let net = grid(6, 6, 0.3, RoadClass::LocalOutside).unwrap();
+        let store: Arc<dyn BlockStore> = Arc::new(MemStore::new(DEFAULT_PAGE_SIZE));
+        let mut ccam = CcamStore::build(
+            &net,
+            Arc::clone(&store),
+            PlacementPolicy::ConnectivityClustered,
+            32,
+        )
+        .unwrap();
+
+        // remove an edge: record shrinks in place
+        let victim = net.neighbors(NodeId(0)).unwrap()[0].to;
+        assert!(ccam.remove_edge(NodeId(0), victim).unwrap());
+        assert!(!ccam.remove_edge(NodeId(0), victim).unwrap());
+        assert_eq!(
+            ccam.node_record(NodeId(0)).unwrap().edges.len(),
+            net.neighbors(NodeId(0)).unwrap().len() - 1
+        );
+
+        // add edges until the record must relocate
+        for k in 10..22u32 {
+            ccam.add_edge(
+                NodeId(0),
+                crate::record::EdgeRecord {
+                    to: NodeId(k),
+                    distance: 9.0,
+                    class: RoadClass::LocalOutside,
+                    pattern: roadnet::PatternId(3),
+                },
+            )
+            .unwrap();
+        }
+        let rec = ccam.node_record(NodeId(0)).unwrap();
+        assert_eq!(rec.edges.len(), net.neighbors(NodeId(0)).unwrap().len() - 1 + 12);
+
+        // duplicate edge rejected
+        assert!(ccam
+            .add_edge(
+                NodeId(0),
+                crate::record::EdgeRecord {
+                    to: NodeId(10),
+                    distance: 9.0,
+                    class: RoadClass::LocalOutside,
+                    pattern: roadnet::PatternId(3),
+                },
+            )
+            .is_err());
+
+        // insert a brand-new node and wire it in
+        let new_id = NodeId(net.n_nodes() as u32);
+        ccam.insert_node_record(&NodeRecord {
+            id: new_id,
+            loc: Point { x: 99.0, y: 99.0 },
+            edges: vec![],
+        })
+        .unwrap();
+        assert_eq!(NetworkSource::n_nodes(&ccam), net.n_nodes() + 1);
+        assert!(ccam
+            .insert_node_record(&NodeRecord {
+                id: new_id,
+                loc: Point { x: 0.0, y: 0.0 },
+                edges: vec![],
+            })
+            .is_err());
+
+        // everything persists across close/reopen
+        let reopened = CcamStore::open(store, 32).unwrap();
+        assert_eq!(NetworkSource::n_nodes(&reopened), net.n_nodes() + 1);
+        assert_eq!(reopened.find_node(new_id).unwrap(), Point { x: 99.0, y: 99.0 });
+        let rec2 = reopened.node_record(NodeId(0)).unwrap();
+        assert_eq!(rec2.edges.len(), rec.edges.len());
+        // untouched nodes unchanged
+        assert_eq!(
+            reopened.node_record(NodeId(17)).unwrap().edges.len(),
+            net.neighbors(NodeId(17)).unwrap().len()
+        );
+    }
+
+    #[test]
+    fn set_pattern_persists() {
+        let net = grid(4, 4, 0.3, RoadClass::LocalBoston).unwrap();
+        let store: Arc<dyn BlockStore> = Arc::new(MemStore::new(DEFAULT_PAGE_SIZE));
+        let mut ccam = CcamStore::build(
+            &net,
+            Arc::clone(&store),
+            PlacementPolicy::HilbertPacked,
+            32,
+        )
+        .unwrap();
+        let fast = CapeCodPattern::uniform(2.0, 2).unwrap(); // 120 MPH repave
+        ccam.set_pattern(roadnet::PatternId(2), fast.clone()).unwrap();
+        assert!((NetworkSource::max_speed(&ccam) - 2.0).abs() < 1e-12);
+
+        let reopened = CcamStore::open(store, 32).unwrap();
+        let p = NetworkSource::pattern(&reopened, roadnet::PatternId(2)).unwrap();
+        assert_eq!(p, &fast);
+        assert!((NetworkSource::max_speed(&reopened) - 2.0).abs() < 1e-12);
+        // other patterns untouched
+        let q = NetworkSource::pattern(&reopened, roadnet::PatternId(0)).unwrap();
+        assert_eq!(q.n_categories(), 2);
+    }
+
+    #[test]
+    fn pattern_codec_round_trips() {
+        let pats = vec![
+            CapeCodPattern::paper_example(),
+            CapeCodPattern::uniform(0.75, 3).unwrap(),
+        ];
+        let bytes = encode_patterns(&pats);
+        let back = decode_patterns(&bytes).unwrap();
+        assert_eq!(back, pats);
+        assert!(decode_patterns(&bytes[..bytes.len() - 3]).is_err());
+        assert!(decode_patterns(&[]).is_err());
+    }
+}

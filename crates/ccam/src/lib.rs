@@ -1,0 +1,112 @@
+//! CCAM — the Connectivity-Clustered Access Method storage substrate.
+//!
+//! The paper stores the road network on disk using CCAM (Shekhar &
+//! Liu, TKDE 1997; §2.2 of the ICDE 2006 paper): node records —
+//! location plus adjacency list with per-edge distance and speed
+//! pattern — are packed into disk pages so that *connected nodes tend
+//! to share a page*, and a B+-tree over node ids (ordered by the
+//! Hilbert values of node locations) locates any record.
+//!
+//! This crate is a small but real storage engine:
+//!
+//! * [`store`] — the block layer: fixed-size pages over a file or
+//!   memory, with physical I/O counters;
+//! * [`page`] — slotted 2048-byte data pages;
+//! * [`record`] — binary encoding of node records
+//!   (`bytes`-based, round-trip tested);
+//! * [`hilbert`] — Hilbert curve ordering of node locations (the
+//!   one-dimensional ordering CCAM clusters by);
+//! * [`partition`] — page-packing policies: connectivity-clustered
+//!   (CCAM proper), plain Hilbert packing, and random packing (the
+//!   ablation baseline);
+//! * [`btree`] — a disk-resident B+-tree mapping node id → record
+//!   address, bulk-loaded bottom-up and searchable page-by-page;
+//! * [`buffer`] — an LRU buffer pool with pin counts and hit/miss
+//!   statistics;
+//! * [`CcamStore`] — the assembled access method implementing
+//!   [`roadnet::NetworkSource`] (`FindNode` / `GetSuccessor`), so the
+//!   query engine runs unchanged over disk-resident networks.
+
+mod btree;
+mod buffer;
+mod ccam;
+mod hilbert;
+mod page;
+mod partition;
+mod record;
+mod store;
+
+pub use btree::BTree;
+pub use buffer::{BufferPool, BufferStats};
+pub use ccam::{CcamStore, StoreStats};
+pub use hilbert::{hilbert_d2xy, hilbert_order, hilbert_xy2d};
+pub use page::SlottedPage;
+pub use partition::{partition_nodes, Partitioning, PlacementPolicy};
+pub use record::{EdgeRecord, NodeRecord};
+pub use store::{BlockStore, FileStore, IoStats, MemStore};
+
+/// Default page size, matching the paper's experiments ("we set the
+/// page size to 2048 bytes", §6.1).
+pub const DEFAULT_PAGE_SIZE: usize = 2048;
+
+/// Errors from the storage layer.
+#[derive(Debug)]
+pub enum CcamError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A page id beyond the end of the store.
+    BadPage(u64),
+    /// A record failed to decode (corruption or version mismatch).
+    Corrupt(String),
+    /// A record was too large for a page.
+    RecordTooLarge {
+        /// Encoded record size in bytes.
+        need: usize,
+        /// Page capacity in bytes.
+        page: usize,
+    },
+    /// Key not found in the index.
+    NotFound(u64),
+    /// Propagated network-layer error.
+    Network(roadnet::NetworkError),
+}
+
+impl std::fmt::Display for CcamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CcamError::Io(e) => write!(f, "io error: {e}"),
+            CcamError::BadPage(p) => write!(f, "bad page id {p}"),
+            CcamError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            CcamError::RecordTooLarge { need, page } => {
+                write!(f, "record of {need} bytes exceeds page capacity {page}")
+            }
+            CcamError::NotFound(k) => write!(f, "key {k} not found"),
+            CcamError::Network(e) => write!(f, "network error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CcamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CcamError::Io(e) => Some(e),
+            CcamError::Network(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CcamError {
+    fn from(e: std::io::Error) -> Self {
+        CcamError::Io(e)
+    }
+}
+
+impl From<roadnet::NetworkError> for CcamError {
+    fn from(e: roadnet::NetworkError) -> Self {
+        CcamError::Network(e)
+    }
+}
+
+/// Convenient `Result` alias for this crate.
+pub type Result<T> = std::result::Result<T, CcamError>;

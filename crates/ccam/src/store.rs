@@ -1,0 +1,271 @@
+//! The block layer: fixed-size pages over memory or a file, with
+//! physical I/O counters.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::{CcamError, Result};
+
+/// Physical I/O counters for a [`BlockStore`] (monotonic; snapshot with
+/// [`IoStats::snapshot`]).
+#[derive(Debug, Default)]
+pub struct IoStats {
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl IoStats {
+    /// Pages physically read so far.
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    /// Pages physically written so far.
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// `(reads, writes)` snapshot.
+    pub fn snapshot(&self) -> (u64, u64) {
+        (self.reads(), self.writes())
+    }
+
+    fn bump_read(&self) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn bump_write(&self) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A store of fixed-size pages addressed by dense `u64` ids.
+pub trait BlockStore: Send + Sync {
+    /// Page size in bytes (constant for the life of the store).
+    fn page_size(&self) -> usize;
+
+    /// Number of allocated pages.
+    fn n_pages(&self) -> u64;
+
+    /// Allocate a zeroed page at the end, returning its id.
+    fn allocate(&self) -> Result<u64>;
+
+    /// Read page `id` into `buf` (`buf.len() == page_size`).
+    fn read_page(&self, id: u64, buf: &mut [u8]) -> Result<()>;
+
+    /// Write `buf` to page `id`.
+    fn write_page(&self, id: u64, buf: &[u8]) -> Result<()>;
+
+    /// Physical I/O counters.
+    fn io_stats(&self) -> &IoStats;
+}
+
+/// An in-memory block store (tests, benchmarks, and buffer-pool-miss
+/// accounting without a filesystem).
+pub struct MemStore {
+    page_size: usize,
+    pages: Mutex<Vec<Box<[u8]>>>,
+    stats: IoStats,
+}
+
+impl MemStore {
+    /// New empty store with the given page size.
+    pub fn new(page_size: usize) -> Self {
+        MemStore { page_size, pages: Mutex::new(Vec::new()), stats: IoStats::default() }
+    }
+}
+
+impl BlockStore for MemStore {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn n_pages(&self) -> u64 {
+        self.pages.lock().len() as u64
+    }
+
+    fn allocate(&self) -> Result<u64> {
+        let mut pages = self.pages.lock();
+        pages.push(vec![0u8; self.page_size].into_boxed_slice());
+        Ok(pages.len() as u64 - 1)
+    }
+
+    fn read_page(&self, id: u64, buf: &mut [u8]) -> Result<()> {
+        let pages = self.pages.lock();
+        let page = pages.get(id as usize).ok_or(CcamError::BadPage(id))?;
+        buf.copy_from_slice(page);
+        self.stats.bump_read();
+        Ok(())
+    }
+
+    fn write_page(&self, id: u64, buf: &[u8]) -> Result<()> {
+        let mut pages = self.pages.lock();
+        let page = pages.get_mut(id as usize).ok_or(CcamError::BadPage(id))?;
+        page.copy_from_slice(buf);
+        self.stats.bump_write();
+        Ok(())
+    }
+
+    fn io_stats(&self) -> &IoStats {
+        &self.stats
+    }
+}
+
+/// A file-backed block store.
+pub struct FileStore {
+    page_size: usize,
+    file: Mutex<File>,
+    n_pages: AtomicU64,
+    stats: IoStats,
+}
+
+impl FileStore {
+    /// Create (truncating) a store at `path`.
+    pub fn create(path: &Path, page_size: usize) -> Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(FileStore {
+            page_size,
+            file: Mutex::new(file),
+            n_pages: AtomicU64::new(0),
+            stats: IoStats::default(),
+        })
+    }
+
+    /// Open an existing store at `path`.
+    pub fn open(path: &Path, page_size: usize) -> Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len % page_size as u64 != 0 {
+            return Err(CcamError::Corrupt(format!(
+                "file length {len} not a multiple of page size {page_size}"
+            )));
+        }
+        Ok(FileStore {
+            page_size,
+            file: Mutex::new(file),
+            n_pages: AtomicU64::new(len / page_size as u64),
+            stats: IoStats::default(),
+        })
+    }
+}
+
+impl BlockStore for FileStore {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn n_pages(&self) -> u64 {
+        self.n_pages.load(Ordering::Relaxed)
+    }
+
+    fn allocate(&self) -> Result<u64> {
+        let mut file = self.file.lock();
+        let id = self.n_pages.fetch_add(1, Ordering::Relaxed);
+        file.seek(SeekFrom::Start(id * self.page_size as u64))?;
+        file.write_all(&vec![0u8; self.page_size])?;
+        Ok(id)
+    }
+
+    fn read_page(&self, id: u64, buf: &mut [u8]) -> Result<()> {
+        if id >= self.n_pages() {
+            return Err(CcamError::BadPage(id));
+        }
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(id * self.page_size as u64))?;
+        file.read_exact(buf)?;
+        self.stats.bump_read();
+        Ok(())
+    }
+
+    fn write_page(&self, id: u64, buf: &[u8]) -> Result<()> {
+        if id >= self.n_pages() {
+            return Err(CcamError::BadPage(id));
+        }
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(id * self.page_size as u64))?;
+        file.write_all(buf)?;
+        self.stats.bump_write();
+        Ok(())
+    }
+
+    fn io_stats(&self) -> &IoStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &dyn BlockStore) {
+        assert_eq!(store.n_pages(), 0);
+        let p0 = store.allocate().unwrap();
+        let p1 = store.allocate().unwrap();
+        assert_eq!((p0, p1), (0, 1));
+        assert_eq!(store.n_pages(), 2);
+
+        let mut buf = vec![0u8; store.page_size()];
+        buf[0] = 0xAB;
+        buf[store.page_size() - 1] = 0xCD;
+        store.write_page(1, &buf).unwrap();
+
+        let mut out = vec![0u8; store.page_size()];
+        store.read_page(1, &mut out).unwrap();
+        assert_eq!(out, buf);
+        store.read_page(0, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0));
+
+        assert!(matches!(store.read_page(7, &mut out), Err(CcamError::BadPage(7))));
+        assert!(matches!(store.write_page(7, &buf), Err(CcamError::BadPage(7))));
+
+        let (r, w) = store.io_stats().snapshot();
+        assert_eq!((r, w), (2, 1));
+    }
+
+    #[test]
+    fn mem_store() {
+        exercise(&MemStore::new(512));
+    }
+
+    #[test]
+    fn file_store() {
+        let dir = std::env::temp_dir().join(format!("ccam-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.db");
+        exercise(&FileStore::create(&path, 512).unwrap());
+
+        // persistence across close/open
+        {
+            let s = FileStore::create(&path, 512).unwrap();
+            s.allocate().unwrap();
+            let mut buf = vec![9u8; 512];
+            buf[3] = 42;
+            s.write_page(0, &buf).unwrap();
+        }
+        let s = FileStore::open(&path, 512).unwrap();
+        assert_eq!(s.n_pages(), 1);
+        let mut out = vec![0u8; 512];
+        s.read_page(0, &mut out).unwrap();
+        assert_eq!(out[3], 42);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_rejects_ragged_file() {
+        let dir = std::env::temp_dir().join(format!("ccam-test-rag-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ragged.db");
+        std::fs::write(&path, [0u8; 100]).unwrap();
+        assert!(matches!(FileStore::open(&path, 512), Err(CcamError::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

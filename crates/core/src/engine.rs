@@ -1,0 +1,597 @@
+//! The `IntAllFastestPaths` engine (§4).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use pwl::{compose_travel, Envelope, Interval, Pwl};
+use roadnet::{NetworkSource, NodeId, Point};
+use traffic::travel::travel_time_fn;
+
+use crate::baseline::astar_at;
+use crate::estimator::{EstimatorKind, LowerBoundEstimator, NaiveLb};
+use crate::query::{AllFpAnswer, FastestPath, QuerySpec, QueryStats, SingleFpAnswer};
+use crate::{AllFpError, BoundaryLb, Result, WeightMode};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Which lower-bound estimator to use. Boundary variants are
+    /// combined with the naive bound (`max` of both), so they are
+    /// never looser.
+    pub estimator: EstimatorKind,
+    /// Per-node dominance pruning: drop a candidate path whose travel
+    /// function is pointwise ≥ that of an already-known path to the
+    /// same node (any common suffix then preserves the order, by
+    /// FIFO). **On by default** — without it, synthetic grid-like
+    /// networks with many near-equal parallel routes make the paper's
+    /// basic path-expansion scheme enumerate exponentially many
+    /// near-optimal paths before the lower-border rule can terminate.
+    /// Set to `false` for the paper-faithful basic algorithm (fine on
+    /// small networks; measured by ablation A-2). Answers are
+    /// identical either way.
+    pub prune_dominated: bool,
+    /// Safety valve: abort after this many path expansions.
+    pub max_expansions: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            estimator: EstimatorKind::Naive,
+            prune_dominated: true,
+            max_expansions: 2_000_000,
+        }
+    }
+}
+
+/// A path under consideration: its node sequence and exact travel-time
+/// function `T(l)` over the query interval. The prioritized minimum of
+/// `T + T_est` lives on the queue entry.
+struct PathState {
+    nodes: Vec<NodeId>,
+    travel: Pwl,
+}
+
+/// Max-heap adapter (min by `f_min`, FIFO on ties for determinism).
+struct QueueEntry {
+    f_min: f64,
+    seq: u64,
+    path: usize,
+}
+
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.f_min == other.f_min && self.seq == other.seq
+    }
+}
+impl Eq for QueueEntry {}
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .f_min
+            .partial_cmp(&self.f_min)
+            .expect("no NaN priorities")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The query engine: owns a reference to the network source and an
+/// estimator, and answers allFP / singleFP queries.
+pub struct Engine<'a, S: NetworkSource> {
+    source: &'a S,
+    estimator: Box<dyn LowerBoundEstimator + 'a>,
+    config: EngineConfig,
+}
+
+impl<'a, S: NetworkSource> Engine<'a, S> {
+    /// Build an engine with the configured estimator.
+    ///
+    /// Boundary estimators need precomputation over the full in-memory
+    /// network; use [`Engine::with_estimator`] to run them against a
+    /// disk-resident [`NetworkSource`] after building them from the
+    /// in-memory copy.
+    pub fn new(source: &'a S, config: EngineConfig) -> Self {
+        let naive = NaiveLb::new(source.max_speed());
+        Engine { source, estimator: Box::new(naive), config }
+    }
+
+    /// Build an engine over any source with an explicit estimator
+    /// (e.g. a [`BoundaryLb`] precomputed from the in-memory network,
+    /// used against the CCAM store).
+    pub fn with_estimator(
+        source: &'a S,
+        estimator: Box<dyn LowerBoundEstimator + 'a>,
+        config: EngineConfig,
+    ) -> Self {
+        Engine { source, estimator, config }
+    }
+
+    /// Name of the active estimator.
+    pub fn estimator_name(&self) -> &'static str {
+        self.estimator.name()
+    }
+
+    /// Answer the **allFP query**: the full partitioning of the query
+    /// interval into sub-intervals with their fastest paths.
+    pub fn all_fastest_paths(&self, query: &QuerySpec) -> Result<AllFpAnswer> {
+        self.run(query, false).map(|(all, _)| all)
+    }
+
+    /// Answer the **singleFP query**: the best leaving instant(s) in
+    /// the interval and the corresponding fastest path. Terminates as
+    /// soon as the first path reaching the target is popped (§4.5) —
+    /// no lower-border computation beyond that point.
+    pub fn single_fastest_path(&self, query: &QuerySpec) -> Result<SingleFpAnswer> {
+        self.run(query, true).map(|(_, single)| single.expect("single answer on success"))
+    }
+
+    /// Shared search. When `single_only`, stops at the first popped
+    /// target path. Otherwise runs to the paper's termination rule and
+    /// assembles the partitioning.
+    fn run(&self, query: &QuerySpec, single_only: bool) -> Result<(AllFpAnswer, Option<SingleFpAnswer>)> {
+        let interval = query.interval;
+        let target_loc = self.source.find_node(query.target)?;
+
+        // Degenerate interval → the classic special case.
+        if interval.is_degenerate() {
+            return self.degenerate_instant(query, target_loc);
+        }
+
+        let mut stats = QueryStats::default();
+        let mut paths: Vec<PathState> = Vec::new();
+        let mut heap: BinaryHeap<QueueEntry> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut expanded_nodes: Vec<bool> = vec![false; self.source.n_nodes()];
+        let mut expanded_node_count = 0usize;
+        // per-node travel functions for optional dominance pruning
+        let mut node_fns: Vec<Vec<usize>> = if self.config.prune_dominated {
+            vec![Vec::new(); self.source.n_nodes()]
+        } else {
+            Vec::new()
+        };
+
+        // Lower border over identified target paths.
+        let mut border: Option<Envelope<usize>> = None;
+        let mut single: Option<SingleFpAnswer> = None;
+
+        // Seed: the zero-length path at the source.
+        {
+            let travel = Pwl::constant(interval, 0.0)?;
+            let s_loc = self.source.find_node(query.source)?;
+            let est = self.estimator.travel_lower_bound(
+                query.source,
+                s_loc,
+                query.target,
+                target_loc,
+            );
+            let f_min = travel.add_scalar(est).minimum().value;
+            paths.push(PathState { nodes: vec![query.source], travel });
+            heap.push(QueueEntry { f_min, seq, path: 0 });
+            seq += 1;
+            stats.pushed += 1;
+        }
+
+        while let Some(entry) = heap.pop() {
+            // Termination (§4.6): the next candidate can no longer beat
+            // the border anywhere.
+            if let Some(b) = &border {
+                if pwl::approx_le(b.max_value(), entry.f_min) {
+                    break;
+                }
+            }
+
+            if stats.expanded_paths >= self.config.max_expansions {
+                return Err(AllFpError::BudgetExhausted { expansions: stats.expanded_paths });
+            }
+
+            let head = *paths[entry.path].nodes.last().expect("paths are non-empty");
+
+            if head == query.target {
+                // Identified a target path.
+                let travel = paths[entry.path].travel.clone();
+                if single.is_none() {
+                    let m = travel.minimum();
+                    single = Some(SingleFpAnswer {
+                        path: FastestPath {
+                            nodes: paths[entry.path].nodes.clone(),
+                            travel: travel.clone(),
+                        },
+                        travel_minutes: m.value,
+                        best_leaving: m.at,
+                        stats, // snapshot; finalized below
+                    });
+                    if single_only {
+                        break;
+                    }
+                }
+                stats.border_merges += 1;
+                match &mut border {
+                    None => border = Some(Envelope::new(travel, entry.path)),
+                    Some(b) => b.merge_min(&travel, entry.path)?,
+                }
+                continue;
+            }
+
+            // Expand.
+            stats.expanded_paths += 1;
+            if !expanded_nodes[head.index()] {
+                expanded_nodes[head.index()] = true;
+                expanded_node_count += 1;
+            }
+
+            // The leaving-time interval at `head` (the paper's Figure 4
+            // step) is a property of the path, not the edge.
+            let arrivals = pwl::compose::arrival_interval(&paths[entry.path].travel)?;
+            for edge in self.source.successors(head)? {
+                // Cycles can never help under FIFO (positive travel times).
+                if paths[entry.path].nodes.contains(&edge.to) {
+                    continue;
+                }
+                let profile = self.source.pattern(edge.pattern)?.profile(query.category)?;
+                let t_edge = travel_time_fn(profile, edge.distance, &arrivals)?;
+                let travel = compose_travel(&paths[entry.path].travel, &t_edge)?.simplify();
+
+                let v_loc = self.source.find_node(edge.to)?;
+                let est =
+                    self.estimator.travel_lower_bound(edge.to, v_loc, query.target, target_loc);
+                let f_min = travel.minimum().value + est;
+
+                // Border bound: a path whose best possible outcome cannot
+                // beat the border anywhere is dead.
+                if let Some(b) = &border {
+                    if pwl::approx_le(b.max_value(), f_min) {
+                        stats.pruned_by_border += 1;
+                        continue;
+                    }
+                }
+
+                // Optional per-node dominance pruning (extension).
+                if self.config.prune_dominated {
+                    let dominated = node_fns[edge.to.index()]
+                        .iter()
+                        .any(|&p| travel.dominated_by(&paths[p].travel));
+                    if dominated {
+                        stats.pruned_dominated += 1;
+                        continue;
+                    }
+                }
+
+                let mut nodes = paths[entry.path].nodes.clone();
+                nodes.push(edge.to);
+                let idx = paths.len();
+                paths.push(PathState { nodes, travel });
+                if self.config.prune_dominated {
+                    node_fns[edge.to.index()].push(idx);
+                }
+                heap.push(QueueEntry { f_min, seq, path: idx });
+                seq += 1;
+                stats.pushed += 1;
+            }
+        }
+
+        stats.expanded_nodes = expanded_node_count;
+
+        if single_only {
+            let mut s = single.ok_or(AllFpError::Unreachable {
+                source: query.source,
+                target: query.target,
+            })?;
+            s.stats = stats;
+            // fabricate a minimal answer shell for the shared return type
+            let border = Envelope::new(s.path.travel.clone(), 0usize);
+            let all = AllFpAnswer {
+                paths: vec![s.path.clone()],
+                partition: vec![(interval, 0)],
+                lower_border: border,
+                stats,
+            };
+            return Ok((all, Some(s)));
+        }
+
+        let border = border.ok_or(AllFpError::Unreachable {
+            source: query.source,
+            target: query.target,
+        })?;
+
+        // Read the partitioning off the lower border; compact path ids.
+        let raw_partition = border.partition();
+        let mut path_index: Vec<usize> = Vec::new(); // engine path id → answer index
+        let mut answer_paths: Vec<FastestPath> = Vec::new();
+        let mut partition = Vec::with_capacity(raw_partition.len());
+        for (iv, engine_id) in raw_partition {
+            let idx = match path_index.iter().position(|&p| p == engine_id) {
+                Some(i) => i,
+                None => {
+                    path_index.push(engine_id);
+                    answer_paths.push(FastestPath {
+                        nodes: paths[engine_id].nodes.clone(),
+                        travel: paths[engine_id].travel.clone(),
+                    });
+                    answer_paths.len() - 1
+                }
+            };
+            partition.push((iv, idx));
+        }
+
+        // Rebuild the border with answer indices as tags by re-merging
+        // the answer paths in identification order (same tie-break
+        // semantics as the search itself).
+        let mut final_border: Option<Envelope<usize>> = None;
+        for (i, fp) in answer_paths.iter().enumerate() {
+            match &mut final_border {
+                None => final_border = Some(Envelope::new(fp.travel.clone(), i)),
+                Some(b) => b.merge_min(&fp.travel, i)?,
+            }
+        }
+        let lower_border = final_border.expect("at least one answer path");
+
+        if let Some(s) = &mut single {
+            s.stats = stats;
+        }
+        Ok((
+            AllFpAnswer { paths: answer_paths, partition, lower_border, stats },
+            single,
+        ))
+    }
+
+    /// A degenerate (single-instant) interval: the classic special
+    /// case, delegated to fixed-instant A\*.
+    fn degenerate_instant(
+        &self,
+        query: &QuerySpec,
+        _target_loc: Point,
+    ) -> Result<(AllFpAnswer, Option<SingleFpAnswer>)> {
+        let l = query.interval.lo();
+        let ans = astar_at(
+            self.source,
+            query.source,
+            query.target,
+            l,
+            query.category,
+            self.estimator.as_ref(),
+        )?;
+        let stats = QueryStats {
+            expanded_paths: ans.expanded_nodes,
+            expanded_nodes: ans.expanded_nodes,
+            ..QueryStats::default()
+        };
+        let shown = Interval::of(l, l + 1e-3);
+        let travel = Pwl::constant(shown, ans.travel_minutes)?;
+        let fp = FastestPath { nodes: ans.nodes, travel: travel.clone() };
+        let single = SingleFpAnswer {
+            path: fp.clone(),
+            travel_minutes: ans.travel_minutes,
+            best_leaving: Interval::of(l, l),
+            stats,
+        };
+        let all = AllFpAnswer {
+            paths: vec![fp],
+            partition: vec![(query.interval, 0)],
+            lower_border: Envelope::new(travel, 0),
+            stats,
+        };
+        Ok((all, Some(single)))
+    }
+}
+
+impl<'a> Engine<'a, roadnet::RoadNetwork> {
+    /// Build an engine from an in-memory network, performing boundary
+    /// precomputation if the config asks for it.
+    pub fn for_network(net: &'a roadnet::RoadNetwork, config: EngineConfig) -> Result<Self> {
+        let estimator = build_estimator(net, &config)?;
+        Ok(Engine { source: net, estimator, config })
+    }
+}
+
+/// Build the configured estimator for a network (boundary variants
+/// need the in-memory graph for precomputation). The result can be
+/// handed to [`Engine::with_estimator`] over any [`NetworkSource`]
+/// that exposes the same node ids (e.g. a CCAM store of this network).
+pub fn build_estimator(
+    net: &roadnet::RoadNetwork,
+    config: &EngineConfig,
+) -> Result<Box<dyn LowerBoundEstimator>> {
+    let naive = NaiveLb::new(net.max_speed());
+    Ok(match config.estimator {
+        EstimatorKind::Naive => Box::new(naive),
+        EstimatorKind::Boundary { grid } => {
+            let bd = BoundaryLb::build(net, grid, WeightMode::Distance)?;
+            Box::new(crate::estimator::MaxEstimator::new(naive, bd, "bdLB"))
+        }
+        EstimatorKind::BoundaryTime { grid } => {
+            let bd = BoundaryLb::build(net, grid, WeightMode::BestTime)?;
+            Box::new(crate::estimator::MaxEstimator::new(naive, bd, "bdLB-time"))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwl::time::{hm, hms};
+    use roadnet::examples::paper_running_example;
+    use traffic::DayCategory;
+
+    fn paper_query() -> QuerySpec {
+        let (_, ids) = paper_running_example();
+        QuerySpec::new(
+            ids.s,
+            ids.e,
+            Interval::of(hm(6, 50), hm(7, 5)),
+            DayCategory::WORKDAY,
+        )
+    }
+
+    #[test]
+    fn single_fp_matches_section_4_5() {
+        let (net, ids) = paper_running_example();
+        let engine = Engine::new(&net, EngineConfig::default());
+        let ans = engine.single_fastest_path(&paper_query()).unwrap();
+        // "s ⇒ n → e is the result for singleFP. At 7:00 it has the
+        // least travel time (5 min)" — optimal leaving [7:00, 7:03].
+        assert_eq!(ans.path.nodes, vec![ids.s, ids.n, ids.e]);
+        assert!((ans.travel_minutes - 5.0).abs() < 1e-9);
+        assert!(pwl::approx_eq(ans.best_leaving.lo(), hm(7, 0)));
+        assert!(pwl::approx_eq(ans.best_leaving.hi(), hm(7, 3)));
+    }
+
+    #[test]
+    fn all_fp_matches_section_4_6() {
+        let (net, ids) = paper_running_example();
+        let engine = Engine::new(&net, EngineConfig::default());
+        let ans = engine.all_fastest_paths(&paper_query()).unwrap();
+        // Paper §4.6:
+        //   s → e        on [6:50, 6:58:30)
+        //   s → n → e    on [6:58:30, 7:03:26)
+        //   s → e        on [7:03:26, 7:05]
+        assert_eq!(ans.partition.len(), 3, "{}", ans.describe());
+        let p0 = &ans.paths[ans.partition[0].1];
+        let p1 = &ans.paths[ans.partition[1].1];
+        let p2 = &ans.paths[ans.partition[2].1];
+        assert_eq!(p0.nodes, vec![ids.s, ids.e]);
+        assert_eq!(p1.nodes, vec![ids.s, ids.n, ids.e]);
+        assert_eq!(p2.nodes, vec![ids.s, ids.e]);
+        assert!(pwl::approx_eq(ans.partition[0].0.hi(), hms(6, 58, 30)));
+        assert!(pwl::approx_eq(ans.partition[1].0.hi(), hm(7, 6) - 18.0 / 7.0));
+        assert!(pwl::approx_eq(ans.partition[2].0.hi(), hm(7, 5)));
+        // border covers I exactly
+        assert!(ans.lower_border.domain().approx_eq(&paper_query().interval));
+        // travel at 7:01 is the 5-minute via-n window
+        assert!((ans.travel_at(hm(7, 1)).unwrap() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unreachable_target_errors() {
+        let (net, ids) = paper_running_example();
+        let engine = Engine::new(&net, EngineConfig::default());
+        let q = QuerySpec::new(
+            ids.e,
+            ids.s,
+            Interval::of(hm(6, 50), hm(7, 5)),
+            DayCategory::WORKDAY,
+        );
+        assert!(matches!(
+            engine.all_fastest_paths(&q),
+            Err(AllFpError::Unreachable { .. })
+        ));
+        assert!(matches!(
+            engine.single_fastest_path(&q),
+            Err(AllFpError::Unreachable { .. })
+        ));
+    }
+
+    #[test]
+    fn degenerate_interval_degrades_to_astar() {
+        let (net, ids) = paper_running_example();
+        let engine = Engine::new(&net, EngineConfig::default());
+        let q = QuerySpec::new(
+            ids.s,
+            ids.e,
+            Interval::of(hm(7, 0), hm(7, 0)),
+            DayCategory::WORKDAY,
+        );
+        let single = engine.single_fastest_path(&q).unwrap();
+        assert_eq!(single.path.nodes, vec![ids.s, ids.n, ids.e]);
+        assert!((single.travel_minutes - 5.0).abs() < 1e-9);
+        let all = engine.all_fastest_paths(&q).unwrap();
+        assert_eq!(all.partition.len(), 1);
+    }
+
+    #[test]
+    fn nonworkday_has_single_constant_answer() {
+        let (net, ids) = paper_running_example();
+        let engine = Engine::new(&net, EngineConfig::default());
+        let q = QuerySpec::new(
+            ids.s,
+            ids.e,
+            Interval::of(hm(6, 50), hm(7, 5)),
+            DayCategory::NON_WORKDAY,
+        );
+        // On a non-workday every edge moves at 1 mpm: via-n = 5 miles =
+        // 5 minutes beats the 6-mile direct road everywhere.
+        let ans = engine.all_fastest_paths(&q).unwrap();
+        assert_eq!(ans.partition.len(), 1);
+        assert_eq!(ans.paths[ans.partition[0].1].nodes, vec![ids.s, ids.n, ids.e]);
+        assert!((ans.travel_at(hm(7, 0)).unwrap() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pruning_preserves_answers() {
+        let (net, _) = paper_running_example();
+        let plain = Engine::new(
+            &net,
+            EngineConfig { prune_dominated: false, ..EngineConfig::default() },
+        );
+        let pruned = Engine::new(
+            &net,
+            EngineConfig { prune_dominated: true, ..EngineConfig::default() },
+        );
+        let q = paper_query();
+        let a = plain.all_fastest_paths(&q).unwrap();
+        let b = pruned.all_fastest_paths(&q).unwrap();
+        assert_eq!(a.partition.len(), b.partition.len());
+        for (x, y) in a.partition.iter().zip(b.partition.iter()) {
+            assert!(x.0.approx_eq(&y.0));
+            assert_eq!(a.paths[x.1].nodes, b.paths[y.1].nodes);
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_reports() {
+        let (net, _) = paper_running_example();
+        let engine = Engine::new(
+            &net,
+            EngineConfig { max_expansions: 0, ..EngineConfig::default() },
+        );
+        assert!(matches!(
+            engine.all_fastest_paths(&paper_query()),
+            Err(AllFpError::BudgetExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn estimator_names_reported() {
+        let (net, _) = paper_running_example();
+        let engine = Engine::new(&net, EngineConfig::default());
+        assert_eq!(engine.estimator_name(), "naiveLB");
+        let bd = Engine::for_network(
+            &net,
+            EngineConfig { estimator: EstimatorKind::Boundary { grid: 2 }, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(bd.estimator_name(), "bdLB");
+        let bdt = Engine::for_network(
+            &net,
+            EngineConfig {
+                estimator: EstimatorKind::BoundaryTime { grid: 2 },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(bdt.estimator_name(), "bdLB-time");
+    }
+
+    #[test]
+    fn error_displays_are_informative() {
+        let e = AllFpError::Unreachable { source: NodeId(1), target: NodeId(2) };
+        assert!(e.to_string().contains("no path"));
+        let e = AllFpError::BudgetExhausted { expansions: 42 };
+        assert!(e.to_string().contains("42"));
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let (net, _) = paper_running_example();
+        let engine = Engine::new(&net, EngineConfig::default());
+        let ans = engine.all_fastest_paths(&paper_query()).unwrap();
+        assert!(ans.stats.expanded_paths >= 2);
+        assert!(ans.stats.expanded_nodes >= 2);
+        assert!(ans.stats.pushed >= 3);
+        assert_eq!(ans.stats.border_merges, 2);
+    }
+}

@@ -1,0 +1,168 @@
+//! Lower-bound travel-time estimators.
+//!
+//! A\*-style search is correct as long as the heuristic never
+//! overestimates (§1, citing \[15\]); the closer the estimate, the
+//! smaller the expanded search space. The engine adds
+//! `T_est(n ⇒ e)` — a *constant* per node — to every path function in
+//! the queue.
+
+use roadnet::{NodeId, Point};
+
+/// A lower bound on the travel time (minutes) from a node to the query
+/// target, for every leaving instant.
+pub trait LowerBoundEstimator: Send + Sync {
+    /// Lower-bound travel time from `from` (at `from_loc`) to `to`
+    /// (at `to_loc`), minutes. Must never exceed the true fastest
+    /// travel time at any leaving instant.
+    fn travel_lower_bound(&self, from: NodeId, from_loc: Point, to: NodeId, to_loc: Point)
+        -> f64;
+
+    /// Short display name (used by the experiment harness).
+    fn name(&self) -> &'static str;
+}
+
+impl<T: LowerBoundEstimator + ?Sized> LowerBoundEstimator for &T {
+    fn travel_lower_bound(&self, from: NodeId, from_loc: Point, to: NodeId, to_loc: Point)
+        -> f64 {
+        (**self).travel_lower_bound(from, from_loc, to, to_loc)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// Which estimator an [`crate::EngineConfig`] selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimatorKind {
+    /// Euclidean distance over the network maximum speed ("naiveLB").
+    Naive,
+    /// Boundary-node estimator over distances ("bdLB", §5), with the
+    /// given grid granularity (cells per axis).
+    Boundary {
+        /// Cells per axis of the space partitioning.
+        grid: usize,
+    },
+    /// Boundary-node estimator precomputed over best-case travel times
+    /// (extension; tighter than `Boundary`).
+    BoundaryTime {
+        /// Cells per axis of the space partitioning.
+        grid: usize,
+    },
+}
+
+/// The naive estimator: `d_euc(n, e) / v_max` (§4.2 step 1).
+#[derive(Debug, Clone, Copy)]
+pub struct NaiveLb {
+    v_max: f64,
+}
+
+impl NaiveLb {
+    /// Build from the network's maximum speed (miles per minute).
+    pub fn new(v_max: f64) -> Self {
+        assert!(v_max > 0.0, "maximum speed must be positive");
+        NaiveLb { v_max }
+    }
+}
+
+impl LowerBoundEstimator for NaiveLb {
+    fn travel_lower_bound(
+        &self,
+        _from: NodeId,
+        from_loc: Point,
+        _to: NodeId,
+        to_loc: Point,
+    ) -> f64 {
+        from_loc.distance(&to_loc) / self.v_max
+    }
+
+    fn name(&self) -> &'static str {
+        "naiveLB"
+    }
+}
+
+/// The trivial estimator (always zero) — turns the engine into plain
+/// Dijkstra-style expansion; useful as an experimental floor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ZeroLb;
+
+impl LowerBoundEstimator for ZeroLb {
+    fn travel_lower_bound(&self, _: NodeId, _: Point, _: NodeId, _: Point) -> f64 {
+        0.0
+    }
+
+    fn name(&self) -> &'static str {
+        "zeroLB"
+    }
+}
+
+/// The pointwise maximum of two lower bounds — still a lower bound,
+/// never looser than either. The engine wraps the boundary-node
+/// estimator with the naive one this way, so enabling bdLB can only
+/// shrink the search space.
+pub struct MaxEstimator<A, B> {
+    a: A,
+    b: B,
+    name: &'static str,
+}
+
+impl<A: LowerBoundEstimator, B: LowerBoundEstimator> MaxEstimator<A, B> {
+    /// Combine two estimators under a display name.
+    pub fn new(a: A, b: B, name: &'static str) -> Self {
+        MaxEstimator { a, b, name }
+    }
+}
+
+impl<A: LowerBoundEstimator, B: LowerBoundEstimator> LowerBoundEstimator for MaxEstimator<A, B> {
+    fn travel_lower_bound(&self, from: NodeId, from_loc: Point, to: NodeId, to_loc: Point) -> f64 {
+        self.a
+            .travel_lower_bound(from, from_loc, to, to_loc)
+            .max(self.b.travel_lower_bound(from, from_loc, to, to_loc))
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_is_distance_over_vmax() {
+        let lb = NaiveLb::new(0.5);
+        let a = Point { x: 0.0, y: 0.0 };
+        let b = Point { x: 3.0, y: 4.0 };
+        let t = lb.travel_lower_bound(NodeId(0), a, NodeId(1), b);
+        assert!((t - 10.0).abs() < 1e-12);
+        assert_eq!(lb.name(), "naiveLB");
+        // matches the paper's Figure 3 example: 1 mile at v_max 1 mpm
+        let lb1 = NaiveLb::new(1.0);
+        let n = Point { x: 0.8, y: 0.6 };
+        let e = Point { x: 1.8, y: 0.6 };
+        assert!((lb1.travel_lower_bound(NodeId(1), n, NodeId(2), e) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "maximum speed must be positive")]
+    fn naive_rejects_zero_speed() {
+        NaiveLb::new(0.0);
+    }
+
+    #[test]
+    fn zero_estimator() {
+        let z = ZeroLb;
+        let p = Point { x: 0.0, y: 0.0 };
+        assert_eq!(z.travel_lower_bound(NodeId(0), p, NodeId(1), p), 0.0);
+    }
+
+    #[test]
+    fn max_combines() {
+        let m = MaxEstimator::new(NaiveLb::new(1.0), ZeroLb, "combo");
+        let a = Point { x: 0.0, y: 0.0 };
+        let b = Point { x: 6.0, y: 8.0 };
+        assert!((m.travel_lower_bound(NodeId(0), a, NodeId(1), b) - 10.0).abs() < 1e-12);
+        assert_eq!(m.name(), "combo");
+    }
+}

@@ -1,0 +1,127 @@
+//! `IntAllFastestPaths` — time-interval fastest-path queries on
+//! CapeCod road networks (the core contribution of the ICDE 2006
+//! paper).
+//!
+//! Given a source `s`, an end node `e`, a **leaving-time interval**
+//! `I`, and a day category, the engine answers:
+//!
+//! * the **allFP query** (Definition 4): a full partitioning of `I`
+//!   into sub-intervals, each associated with the fastest path for
+//!   every leaving instant in it — adjacent sub-intervals have
+//!   *different* fastest paths;
+//! * the **singleFP query**: the single best leaving instant (in fact,
+//!   interval of instants) in `I` and its fastest path.
+//!
+//! # Algorithm (§4)
+//!
+//! The engine extends A\*: the priority queue holds *paths*, each
+//! carrying its full travel-time function `T(l) + T_est` as a
+//! piecewise-linear function of the leaving time `l ∈ I`, prioritized
+//! by the function's minimum. Expanding a path `s ⇒ n` by an edge
+//! `n → n_j` uses the compound operation of `fp-pwl`
+//! ([`pwl::compose_travel`]); paths reaching `e` fold into the **lower
+//! border** ([`pwl::Envelope`]); the search stops when the smallest
+//! queue minimum is no less than the border's maximum. The first path
+//! to reach `e` answers singleFP.
+//!
+//! # Estimators (§4–5)
+//!
+//! * [`NaiveLb`]: Euclidean distance over the network's maximum speed;
+//! * [`BoundaryLb`]: the boundary-node estimator — space is cut into
+//!   grid cells, cell-to-cell boundary distances and per-node
+//!   nearest-boundary distances are precomputed, and Theorem 1 gives a
+//!   (usually much tighter) lower bound. A `BestTime` weight mode
+//!   tightens it further by precomputing over best-case travel times
+//!   instead of distances (an extension measured in the ablations).
+//!
+//! # Baselines (§3, §6.3)
+//!
+//! [`baseline`] implements the classic fixed-instant A\* (the
+//! "degraded" special case), the **discrete-time model** (one A\* per
+//! time instant), and the **constant-speed** commercial-navigation
+//! model, all used by the experiment harness.
+
+mod boundary;
+mod engine;
+mod estimator;
+mod query;
+
+pub mod arrival;
+pub mod baseline;
+
+pub use arrival::{ArrivalAllFpAnswer, ArrivalPlanner, ArrivalQuerySpec, ArrivalSingleFpAnswer};
+pub use boundary::{BoundaryLb, WeightMode};
+pub use engine::{build_estimator, Engine, EngineConfig};
+pub use estimator::{EstimatorKind, LowerBoundEstimator, MaxEstimator, NaiveLb, ZeroLb};
+pub use query::{AllFpAnswer, FastestPath, QuerySpec, QueryStats, SingleFpAnswer};
+
+/// Errors from query evaluation.
+#[derive(Debug)]
+pub enum AllFpError {
+    /// No path exists from source to target (for any leaving time).
+    Unreachable {
+        /// The query source.
+        source: roadnet::NodeId,
+        /// The query target.
+        target: roadnet::NodeId,
+    },
+    /// The expansion budget was exhausted before termination.
+    BudgetExhausted {
+        /// Paths expanded before giving up.
+        expansions: usize,
+    },
+    /// Propagated network error.
+    Network(roadnet::NetworkError),
+    /// Propagated traffic error.
+    Traffic(traffic::TrafficError),
+    /// Propagated function-algebra error.
+    Pwl(pwl::PwlError),
+}
+
+impl std::fmt::Display for AllFpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllFpError::Unreachable { source, target } => {
+                write!(f, "no path from {source} to {target}")
+            }
+            AllFpError::BudgetExhausted { expansions } => {
+                write!(f, "expansion budget exhausted after {expansions} paths")
+            }
+            AllFpError::Network(e) => write!(f, "network error: {e}"),
+            AllFpError::Traffic(e) => write!(f, "traffic error: {e}"),
+            AllFpError::Pwl(e) => write!(f, "pwl error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AllFpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AllFpError::Network(e) => Some(e),
+            AllFpError::Traffic(e) => Some(e),
+            AllFpError::Pwl(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<roadnet::NetworkError> for AllFpError {
+    fn from(e: roadnet::NetworkError) -> Self {
+        AllFpError::Network(e)
+    }
+}
+
+impl From<traffic::TrafficError> for AllFpError {
+    fn from(e: traffic::TrafficError) -> Self {
+        AllFpError::Traffic(e)
+    }
+}
+
+impl From<pwl::PwlError> for AllFpError {
+    fn from(e: pwl::PwlError) -> Self {
+        AllFpError::Pwl(e)
+    }
+}
+
+/// Convenient `Result` alias for this crate.
+pub type Result<T> = std::result::Result<T, AllFpError>;

@@ -1,0 +1,186 @@
+//! Query specifications, answers, and search statistics.
+
+use pwl::{Envelope, Interval, Pwl};
+use roadnet::NodeId;
+use traffic::DayCategory;
+
+/// A time-interval fastest-path query: source, end node, leaving-time
+/// interval, and the day category the trip happens on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpec {
+    /// The source node `s`.
+    pub source: NodeId,
+    /// The end node `e`.
+    pub target: NodeId,
+    /// The leaving-time interval `I` (minutes since midnight).
+    pub interval: Interval,
+    /// The day category (e.g. workday).
+    pub category: DayCategory,
+}
+
+impl QuerySpec {
+    /// Convenience constructor.
+    pub fn new(source: NodeId, target: NodeId, interval: Interval, category: DayCategory) -> Self {
+        QuerySpec { source, target, interval, category }
+    }
+}
+
+/// One concrete path with its exact travel-time function over (a
+/// sub-interval of) the query interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FastestPath {
+    /// The node sequence, starting at the source and ending at the
+    /// target.
+    pub nodes: Vec<NodeId>,
+    /// The travel-time function `T(l)` of this path over the query
+    /// interval (minutes of travel as a function of leaving minute).
+    pub travel: Pwl,
+}
+
+impl FastestPath {
+    /// Number of edges on the path.
+    pub fn n_edges(&self) -> usize {
+        self.nodes.len().saturating_sub(1)
+    }
+}
+
+/// Search-effort counters (the paper reports *expanded nodes* as its
+/// machine-independent cost metric, §6.2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Paths popped from the priority queue and expanded.
+    pub expanded_paths: usize,
+    /// Distinct nodes that appeared at the head of an expanded path.
+    pub expanded_nodes: usize,
+    /// Paths pushed into the priority queue.
+    pub pushed: usize,
+    /// Candidate paths discarded by the lower-border bound.
+    pub pruned_by_border: usize,
+    /// Candidate paths discarded by per-node dominance (only when the
+    /// optional pruning extension is enabled).
+    pub pruned_dominated: usize,
+    /// Paths that reached the target and were merged into the lower
+    /// border.
+    pub border_merges: usize,
+}
+
+/// Answer to a singleFP query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SingleFpAnswer {
+    /// The fastest path.
+    pub path: FastestPath,
+    /// The minimal travel time, minutes.
+    pub travel_minutes: f64,
+    /// The (first maximal) interval of optimal leaving instants.
+    pub best_leaving: Interval,
+    /// Search statistics.
+    pub stats: QueryStats,
+}
+
+/// Answer to an allFP query: the partitioning of the query interval
+/// plus the distinct fastest paths it references.
+#[derive(Debug, Clone)]
+pub struct AllFpAnswer {
+    /// The distinct fastest paths discovered, indexed by the partition.
+    pub paths: Vec<FastestPath>,
+    /// The partitioning of `I`: consecutive sub-intervals, each with an
+    /// index into [`AllFpAnswer::paths`]; adjacent entries reference
+    /// different paths.
+    pub partition: Vec<(Interval, usize)>,
+    /// The lower-border function (travel time of the best path at every
+    /// leaving instant), tagged with path indices.
+    pub lower_border: Envelope<usize>,
+    /// Search statistics.
+    pub stats: QueryStats,
+}
+
+impl AllFpAnswer {
+    /// The fastest path for leaving instant `l`.
+    pub fn path_at(&self, l: f64) -> Option<&FastestPath> {
+        let (_, idx) = self
+            .partition
+            .iter()
+            .find(|(iv, _)| iv.contains_approx(l))?;
+        self.paths.get(*idx)
+    }
+
+    /// Travel time when leaving at `l` (on the best path).
+    pub fn travel_at(&self, l: f64) -> Option<f64> {
+        self.lower_border.as_pwl().try_eval(l)
+    }
+
+    /// Render the partitioning like the paper's §4.6 result listing.
+    pub fn describe(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (iv, idx) in &self.partition {
+            let path = &self.paths[*idx];
+            let names: Vec<String> = path.nodes.iter().map(|n| n.to_string()).collect();
+            let _ = writeln!(
+                out,
+                "[{} - {}]  {}",
+                pwl::time::fmt_minutes(iv.lo()),
+                pwl::time::fmt_minutes(iv.hi()),
+                names.join(" -> ")
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwl::Linear;
+
+    fn dummy_answer() -> AllFpAnswer {
+        let i1 = Interval::of(0.0, 5.0);
+        let i2 = Interval::of(5.0, 10.0);
+        let p0 = FastestPath {
+            nodes: vec![NodeId(0), NodeId(2)],
+            travel: Pwl::constant(Interval::of(0.0, 10.0), 6.0).unwrap(),
+        };
+        let p1 = FastestPath {
+            nodes: vec![NodeId(0), NodeId(1), NodeId(2)],
+            travel: Pwl::constant(Interval::of(0.0, 10.0), 5.0).unwrap(),
+        };
+        let mut env = Envelope::new(
+            Pwl::linear(Interval::of(0.0, 10.0), Linear { a: 0.2, b: 4.0 }).unwrap(),
+            0usize,
+        );
+        env.merge_min(&Pwl::constant(Interval::of(0.0, 10.0), 5.0).unwrap(), 1).unwrap();
+        AllFpAnswer {
+            paths: vec![p0, p1],
+            partition: vec![(i1, 0), (i2, 1)],
+            lower_border: env,
+            stats: QueryStats::default(),
+        }
+    }
+
+    #[test]
+    fn path_lookup_by_instant() {
+        let a = dummy_answer();
+        assert_eq!(a.path_at(2.0).unwrap().nodes.len(), 2);
+        assert_eq!(a.path_at(7.0).unwrap().nodes.len(), 3);
+        assert!(a.path_at(11.0).is_none());
+        assert!((a.travel_at(0.0).unwrap() - 4.0).abs() < 1e-9);
+        assert!((a.travel_at(9.0).unwrap() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn describe_lists_partitions() {
+        let text = dummy_answer().describe();
+        assert!(text.contains("n0 -> n2"));
+        assert!(text.contains("n0 -> n1 -> n2"));
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn fastest_path_edge_count() {
+        let p = FastestPath {
+            nodes: vec![NodeId(0)],
+            travel: Pwl::constant(Interval::of(0.0, 1.0), 0.0).unwrap(),
+        };
+        assert_eq!(p.n_edges(), 0);
+    }
+}

@@ -1,0 +1,235 @@
+//! Cross-validation: the interval engine against the fixed-instant
+//! oracle, memory against disk, and pruning/estimator configurations
+//! against each other.
+//!
+//! The strongest check here: for any leaving instant `l`, the allFP
+//! lower border evaluated at `l` must equal the travel time found by
+//! the classic fixed-instant A\* at `l` — both are exact under FIFO,
+//! so they must agree to numerical precision.
+
+use std::sync::Arc;
+
+use allfp::baseline::astar_at;
+use allfp::{Engine, EngineConfig, EstimatorKind, NaiveLb, QuerySpec};
+use ccam::{CcamStore, MemStore, PlacementPolicy, DEFAULT_PAGE_SIZE};
+use pwl::time::hm;
+use pwl::Interval;
+use roadnet::generators::{random_geometric, suffolk_like, MetroConfig};
+use roadnet::{NodeId, RoadNetwork};
+use traffic::DayCategory;
+
+fn probe_instants(i: &Interval, n: usize) -> Vec<f64> {
+    (0..=n).map(|k| i.lo() + i.len() * (k as f64) / (n as f64)).collect()
+}
+
+/// allFP's lower border must match the fixed-instant oracle everywhere.
+fn check_against_oracle(net: &RoadNetwork, q: &QuerySpec) {
+    let engine = Engine::new(net, EngineConfig::default());
+    let ans = match engine.all_fastest_paths(q) {
+        Ok(a) => a,
+        Err(allfp::AllFpError::Unreachable { .. }) => {
+            // then the oracle must agree at every instant
+            let lb = NaiveLb::new(net.max_speed());
+            assert!(astar_at(net, q.source, q.target, q.interval.lo(), q.category, &lb).is_err());
+            return;
+        }
+        Err(e) => panic!("allFP failed: {e}"),
+    };
+    let lb = NaiveLb::new(net.max_speed());
+    for l in probe_instants(&q.interval, 24) {
+        let oracle = astar_at(net, q.source, q.target, l, q.category, &lb)
+            .expect("reachable per allFP")
+            .travel_minutes;
+        let border = ans.travel_at(l).expect("border covers I");
+        assert!(
+            (border - oracle).abs() <= 1e-6 * (1.0 + oracle),
+            "query {:?}->{:?} at l={l}: border {border} vs oracle {oracle}",
+            q.source,
+            q.target
+        );
+        // and the tagged path, driven directly, matches the border
+        let path = ans.path_at(l).expect("partition covers I");
+        let driven = allfp::baseline::evaluate_path(net, &path.nodes, l, q.category).unwrap();
+        assert!(
+            (driven - border).abs() <= 1e-6 * (1.0 + driven),
+            "driven {driven} vs border {border} at l={l}"
+        );
+    }
+    // structural invariants of the partition
+    assert!(pwl::approx_eq(ans.partition[0].0.lo(), q.interval.lo()));
+    assert!(pwl::approx_eq(
+        ans.partition.last().unwrap().0.hi(),
+        q.interval.hi()
+    ));
+    for w in ans.partition.windows(2) {
+        assert!(pwl::approx_eq(w[0].0.hi(), w[1].0.lo()), "gap in partition");
+        assert_ne!(w[0].1, w[1].1, "adjacent sub-intervals share a path");
+    }
+}
+
+#[test]
+fn engine_matches_oracle_on_random_networks() {
+    for seed in [1u64, 7, 23] {
+        let net = random_geometric(60, 3.0, 3, seed);
+        let net = net.unwrap();
+        // rush-hour interval so Table 1 patterns actually vary
+        let q = QuerySpec::new(
+            NodeId(0),
+            NodeId(37),
+            Interval::of(hm(6, 30), hm(8, 0)),
+            DayCategory::WORKDAY,
+        );
+        check_against_oracle(&net, &q);
+    }
+}
+
+#[test]
+fn engine_matches_oracle_on_metro() {
+    let net = suffolk_like(&MetroConfig::small(42)).unwrap();
+    let pairs = roadnet::workload::sample_pairs(&net, 4, 1.0, 2.5, 9).unwrap();
+    for p in pairs {
+        let q = QuerySpec::new(
+            p.source,
+            p.target,
+            Interval::of(hm(7, 0), hm(8, 0)),
+            DayCategory::WORKDAY,
+        );
+        check_against_oracle(&net, &q);
+    }
+}
+
+#[test]
+fn boundary_estimator_preserves_answers_and_prunes() {
+    let net = suffolk_like(&MetroConfig::small(5)).unwrap();
+    let pairs = roadnet::workload::sample_pairs(&net, 3, 1.5, 2.5, 4).unwrap();
+    assert!(!pairs.is_empty());
+    let naive = Engine::for_network(&net, EngineConfig::default()).unwrap();
+    let boundary = Engine::for_network(
+        &net,
+        EngineConfig { estimator: EstimatorKind::Boundary { grid: 8 }, ..Default::default() },
+    )
+    .unwrap();
+    let mut naive_total = 0usize;
+    let mut bd_total = 0usize;
+    for p in &pairs {
+        let q = QuerySpec::new(
+            p.source,
+            p.target,
+            Interval::of(hm(7, 0), hm(8, 30)),
+            DayCategory::WORKDAY,
+        );
+        let a = naive.all_fastest_paths(&q).unwrap();
+        let b = boundary.all_fastest_paths(&q).unwrap();
+        // identical partitioning and paths
+        assert_eq!(a.partition.len(), b.partition.len());
+        for (x, y) in a.partition.iter().zip(b.partition.iter()) {
+            assert!(x.0.approx_eq(&y.0));
+            assert_eq!(a.paths[x.1].nodes, b.paths[y.1].nodes);
+        }
+        naive_total += a.stats.expanded_paths;
+        bd_total += b.stats.expanded_paths;
+    }
+    assert!(
+        bd_total <= naive_total,
+        "bdLB expanded more ({bd_total}) than naiveLB ({naive_total})"
+    );
+}
+
+#[test]
+fn ccam_store_gives_identical_answers() {
+    let net = suffolk_like(&MetroConfig::small(11)).unwrap();
+    let store = Arc::new(MemStore::new(DEFAULT_PAGE_SIZE));
+    let disk = CcamStore::build(&net, store, PlacementPolicy::ConnectivityClustered, 256).unwrap();
+
+    let pairs = roadnet::workload::sample_pairs(&net, 3, 1.0, 2.0, 77).unwrap();
+    let mem_engine = Engine::new(&net, EngineConfig::default());
+    let disk_engine = Engine::new(&disk, EngineConfig::default());
+    for p in pairs {
+        let q = QuerySpec::new(
+            p.source,
+            p.target,
+            Interval::of(hm(7, 30), hm(8, 30)),
+            DayCategory::WORKDAY,
+        );
+        let a = mem_engine.all_fastest_paths(&q).unwrap();
+        let b = disk_engine.all_fastest_paths(&q).unwrap();
+        assert_eq!(a.partition.len(), b.partition.len());
+        for (x, y) in a.partition.iter().zip(b.partition.iter()) {
+            assert!(x.0.approx_eq(&y.0));
+            assert_eq!(a.paths[x.1].nodes, b.paths[y.1].nodes);
+        }
+        assert_eq!(a.stats.expanded_paths, b.stats.expanded_paths);
+    }
+    // the disk engine actually did I/O
+    let s = disk.stats();
+    assert!(s.hits + s.misses > 0);
+}
+
+#[test]
+fn dominance_pruning_preserves_answers_on_metro() {
+    let net = suffolk_like(&MetroConfig::small(3)).unwrap();
+    let pairs = roadnet::workload::sample_pairs(&net, 3, 1.0, 2.0, 5).unwrap();
+    // basic = the paper's unpruned path expansion; default = pruned
+    let plain = Engine::new(
+        &net,
+        EngineConfig { prune_dominated: false, ..EngineConfig::default() },
+    );
+    let pruned = Engine::new(&net, EngineConfig::default());
+    for p in pairs {
+        let q = QuerySpec::new(
+            p.source,
+            p.target,
+            Interval::of(hm(7, 0), hm(8, 0)),
+            DayCategory::WORKDAY,
+        );
+        let a = plain.all_fastest_paths(&q).unwrap();
+        let b = pruned.all_fastest_paths(&q).unwrap();
+        assert_eq!(a.partition.len(), b.partition.len());
+        for (x, y) in a.partition.iter().zip(b.partition.iter()) {
+            assert!(x.0.approx_eq(&y.0));
+            assert_eq!(a.paths[x.1].nodes, b.paths[y.1].nodes);
+        }
+        assert!(b.stats.pushed <= a.stats.pushed);
+    }
+}
+
+#[test]
+fn midnight_crossing_window_agrees_with_oracle() {
+    // Leaving late at night and arriving after midnight: the periodic
+    // profile extension must behave identically in the interval engine
+    // and the fixed-instant oracle.
+    let net = random_geometric(50, 2.5, 3, 321).unwrap();
+    let q = QuerySpec::new(
+        NodeId(2),
+        NodeId(47),
+        Interval::of(hm(23, 30), hm(24, 0) + 45.0),
+        DayCategory::WORKDAY,
+    );
+    check_against_oracle(&net, &q);
+}
+
+#[test]
+fn single_fp_agrees_with_all_fp_minimum() {
+    let net = suffolk_like(&MetroConfig::small(8)).unwrap();
+    let pairs = roadnet::workload::sample_pairs(&net, 4, 1.0, 2.0, 13).unwrap();
+    let engine = Engine::new(&net, EngineConfig::default());
+    for p in pairs {
+        let q = QuerySpec::new(
+            p.source,
+            p.target,
+            Interval::of(hm(7, 0), hm(8, 30)),
+            DayCategory::WORKDAY,
+        );
+        let single = engine.single_fastest_path(&q).unwrap();
+        let all = engine.all_fastest_paths(&q).unwrap();
+        let border_min = all.lower_border.min_value();
+        assert!(
+            (single.travel_minutes - border_min).abs() <= 1e-6 * (1.0 + border_min),
+            "singleFP {} vs border min {}",
+            single.travel_minutes,
+            border_min
+        );
+        // singleFP must stop no later than allFP
+        assert!(single.stats.expanded_paths <= all.stats.expanded_paths);
+    }
+}

@@ -1,0 +1,57 @@
+//! Regular grid networks for unit tests and micro-experiments.
+
+use traffic::{PatternSchema, RoadClass};
+
+use crate::{NodeId, Result, RoadNetwork};
+
+/// An `nx × ny` grid with `spacing` miles between neighbors, all edges
+/// bidirectional with class `class`, patterns from Table 1.
+///
+/// Node `(i, j)` (column `i`, row `j`) has id `j * nx + i`.
+pub fn grid(nx: usize, ny: usize, spacing: f64, class: RoadClass) -> Result<RoadNetwork> {
+    let schema = PatternSchema::table1()?;
+    let mut net = RoadNetwork::with_schema(&schema);
+    for j in 0..ny {
+        for i in 0..nx {
+            net.add_node(i as f64 * spacing, j as f64 * spacing)?;
+        }
+    }
+    let id = |i: usize, j: usize| NodeId((j * nx + i) as u32);
+    for j in 0..ny {
+        for i in 0..nx {
+            if i + 1 < nx {
+                net.add_bidirectional(id(i, j), id(i + 1, j), spacing, class)?;
+            }
+            if j + 1 < ny {
+                net.add_bidirectional(id(i, j), id(i, j + 1), spacing, class)?;
+            }
+        }
+    }
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::is_connected_undirected;
+
+    #[test]
+    fn grid_shape() {
+        let net = grid(4, 3, 0.5, RoadClass::LocalOutside).unwrap();
+        assert_eq!(net.n_nodes(), 12);
+        // undirected edges: 3*3 horizontal + 4*2 vertical = 17 → 34 directed
+        assert_eq!(net.n_edges(), 34);
+        assert!(is_connected_undirected(&net));
+        let (min, max) = net.bounding_box().unwrap();
+        assert_eq!((min.x, min.y), (0.0, 0.0));
+        assert_eq!((max.x, max.y), (1.5, 1.0));
+    }
+
+    #[test]
+    fn single_row_grid() {
+        let net = grid(5, 1, 1.0, RoadClass::LocalBoston).unwrap();
+        assert_eq!(net.n_nodes(), 5);
+        assert_eq!(net.n_edges(), 8);
+        assert!(is_connected_undirected(&net));
+    }
+}

@@ -1,0 +1,389 @@
+//! The CapeCod road network: nodes with coordinates, directed edges
+//! with lengths and speed patterns.
+
+use traffic::{CapeCodPattern, DayCategory, PatternSchema, RoadClass, SpeedProfile};
+
+use crate::{NetworkError, Result};
+
+/// A node identifier — a dense index into the network's node table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A pattern identifier — an index into the network's pattern table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PatternId(pub u16);
+
+/// A point in the plane, in miles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// East–west coordinate, miles.
+    pub x: f64,
+    /// North–south coordinate, miles.
+    pub y: f64,
+}
+
+impl Point {
+    /// Euclidean distance to `other`, miles.
+    #[inline]
+    pub fn distance(&self, other: &Point) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+}
+
+/// A directed edge `u → v` with its length, road class, and speed
+/// pattern.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// Head node `v`.
+    pub to: NodeId,
+    /// Length in miles (≥ the Euclidean distance between endpoints).
+    pub distance: f64,
+    /// Road class (drives the Table 1 schema and the constant-speed
+    /// baseline's speed limit).
+    pub class: RoadClass,
+    /// Speed pattern of the segment.
+    pub pattern: PatternId,
+}
+
+/// A CapeCod road network (Definition 3): a directed spatial graph
+/// whose edges carry CapeCod speed patterns.
+///
+/// Patterns live in a small *pattern table*; edges reference patterns
+/// by [`PatternId`]. Networks built from a [`PatternSchema`] install
+/// one pattern per [`RoadClass`] (ids `0..4` in `RoadClass::ALL`
+/// order); bespoke networks (like the paper's running example) append
+/// additional patterns with [`RoadNetwork::add_pattern`].
+#[derive(Debug, Clone)]
+pub struct RoadNetwork {
+    points: Vec<Point>,
+    adj: Vec<Vec<Edge>>,
+    patterns: Vec<CapeCodPattern>,
+    max_speed: f64,
+}
+
+impl RoadNetwork {
+    /// An empty network seeded with the four class patterns of
+    /// `schema` (pattern id = `RoadClass::index`).
+    pub fn with_schema(schema: &PatternSchema) -> Self {
+        let patterns: Vec<CapeCodPattern> =
+            RoadClass::ALL.iter().map(|&c| schema.pattern(c).clone()).collect();
+        let max_speed =
+            patterns.iter().map(CapeCodPattern::max_speed).fold(f64::NEG_INFINITY, f64::max);
+        RoadNetwork { points: Vec::new(), adj: Vec::new(), patterns, max_speed }
+    }
+
+    /// An empty network with an empty pattern table.
+    pub fn empty() -> Self {
+        RoadNetwork {
+            points: Vec::new(),
+            adj: Vec::new(),
+            patterns: Vec::new(),
+            max_speed: 0.0,
+        }
+    }
+
+    /// Append a pattern to the pattern table, returning its id.
+    pub fn add_pattern(&mut self, pattern: CapeCodPattern) -> PatternId {
+        let id = PatternId(self.patterns.len() as u16);
+        self.max_speed = self.max_speed.max(pattern.max_speed());
+        self.patterns.push(pattern);
+        id
+    }
+
+    /// Add a node at `(x, y)` miles, returning its id.
+    pub fn add_node(&mut self, x: f64, y: f64) -> Result<NodeId> {
+        if !x.is_finite() || !y.is_finite() {
+            return Err(NetworkError::BadCoordinate(x, y));
+        }
+        let id = NodeId(self.points.len() as u32);
+        self.points.push(Point { x, y });
+        self.adj.push(Vec::new());
+        Ok(id)
+    }
+
+    /// Add a directed edge `from → to` with explicit pattern.
+    ///
+    /// `distance` must be positive and at least the Euclidean distance
+    /// between the endpoints (within a small slack) — the invariant the
+    /// lower-bound estimators rely on.
+    pub fn add_edge(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        distance: f64,
+        class: RoadClass,
+        pattern: PatternId,
+    ) -> Result<()> {
+        let pf = *self.point(from)?;
+        let pt = *self.point(to)?;
+        if usize::from(pattern.0) >= self.patterns.len() {
+            return Err(NetworkError::UnknownPattern(pattern));
+        }
+        let euclidean = pf.distance(&pt);
+        if !distance.is_finite() || distance <= 0.0 || distance < euclidean - 1e-9 {
+            return Err(NetworkError::BadEdgeLength { length: distance, euclidean });
+        }
+        self.adj[from.index()].push(Edge { to, distance, class, pattern });
+        Ok(())
+    }
+
+    /// Add a directed edge whose pattern is the class pattern installed
+    /// by [`RoadNetwork::with_schema`].
+    pub fn add_class_edge(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        distance: f64,
+        class: RoadClass,
+    ) -> Result<()> {
+        self.add_edge(from, to, distance, class, PatternId(class.index() as u16))
+    }
+
+    /// Add both directions of a segment with the same length and class.
+    pub fn add_bidirectional(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        distance: f64,
+        class: RoadClass,
+    ) -> Result<()> {
+        self.add_class_edge(a, b, distance, class)?;
+        self.add_class_edge(b, a, distance, class)
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n_nodes(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Number of directed edges.
+    pub fn n_edges(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+
+    /// Location of `node`.
+    pub fn point(&self, node: NodeId) -> Result<&Point> {
+        self.points.get(node.index()).ok_or(NetworkError::UnknownNode(node))
+    }
+
+    /// Outgoing edges of `node`.
+    pub fn neighbors(&self, node: NodeId) -> Result<&[Edge]> {
+        self.adj.get(node.index()).map(Vec::as_slice).ok_or(NetworkError::UnknownNode(node))
+    }
+
+    /// Euclidean distance between two nodes, miles.
+    pub fn euclidean(&self, a: NodeId, b: NodeId) -> Result<f64> {
+        Ok(self.point(a)?.distance(self.point(b)?))
+    }
+
+    /// The pattern table.
+    #[inline]
+    pub fn patterns(&self) -> &[CapeCodPattern] {
+        &self.patterns
+    }
+
+    /// Pattern by id.
+    pub fn pattern(&self, id: PatternId) -> Result<&CapeCodPattern> {
+        self.patterns.get(usize::from(id.0)).ok_or(NetworkError::UnknownPattern(id))
+    }
+
+    /// Speed profile of `edge` under `category`.
+    pub fn profile(&self, edge: &Edge, category: DayCategory) -> Result<&SpeedProfile> {
+        Ok(self.pattern(edge.pattern)?.profile(category)?)
+    }
+
+    /// The maximum speed appearing anywhere in the pattern table
+    /// (miles per minute) — the `v_max` of the naive estimator.
+    #[inline]
+    pub fn max_speed(&self) -> f64 {
+        self.max_speed
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.points.len() as u32).map(NodeId)
+    }
+
+    /// Reverse adjacency: for each node, the list of `(source, edge)`
+    /// pairs of its incoming edges. Built on demand (used by the
+    /// boundary-node precomputation's reverse Dijkstra).
+    pub fn reverse_adj(&self) -> Vec<Vec<(NodeId, Edge)>> {
+        let mut rev: Vec<Vec<(NodeId, Edge)>> = vec![Vec::new(); self.n_nodes()];
+        for (u, edges) in self.adj.iter().enumerate() {
+            for e in edges {
+                rev[e.to.index()].push((NodeId(u as u32), *e));
+            }
+        }
+        rev
+    }
+
+    /// The network with every edge reversed and every pattern
+    /// time-mirrored.
+    ///
+    /// This is the arrival-interval query reduction's substrate: a
+    /// trip `u → v` arriving at time `a` in this network corresponds
+    /// exactly to a trip `v → u` departing at `1440 − a` in the
+    /// original (`∫ v(τ) dτ` is preserved under `τ ↦ 1440 − τ`), so a
+    /// *leaving-interval* query here answers an *arrival-interval*
+    /// query there.
+    pub fn reversed_time_mirrored(&self) -> RoadNetwork {
+        let patterns: Vec<CapeCodPattern> =
+            self.patterns.iter().map(CapeCodPattern::time_mirrored).collect();
+        let mut adj: Vec<Vec<Edge>> = vec![Vec::new(); self.points.len()];
+        for (u, edges) in self.adj.iter().enumerate() {
+            for e in edges {
+                adj[e.to.index()].push(Edge {
+                    to: NodeId(u as u32),
+                    distance: e.distance,
+                    class: e.class,
+                    pattern: e.pattern,
+                });
+            }
+        }
+        RoadNetwork { points: self.points.clone(), adj, patterns, max_speed: self.max_speed }
+    }
+
+    /// Bounding box of all node locations as
+    /// `((min_x, min_y), (max_x, max_y))`; `None` for an empty network.
+    pub fn bounding_box(&self) -> Option<(Point, Point)> {
+        let first = self.points.first()?;
+        let mut min = *first;
+        let mut max = *first;
+        for p in &self.points {
+            min.x = min.x.min(p.x);
+            min.y = min.y.min(p.y);
+            max.x = max.x.max(p.x);
+            max.y = max.y.max(p.y);
+        }
+        Some((min, max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_node_net() -> (RoadNetwork, NodeId, NodeId) {
+        let schema = PatternSchema::table1().unwrap();
+        let mut net = RoadNetwork::with_schema(&schema);
+        let a = net.add_node(0.0, 0.0).unwrap();
+        let b = net.add_node(3.0, 4.0).unwrap(); // 5 miles apart
+        (net, a, b)
+    }
+
+    #[test]
+    fn schema_patterns_installed() {
+        let (net, _, _) = two_node_net();
+        assert_eq!(net.patterns().len(), 4);
+        assert!((net.max_speed() - 65.0 / 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_edge_validates_geometry() {
+        let (mut net, a, b) = two_node_net();
+        // shorter than euclidean: rejected
+        assert!(matches!(
+            net.add_class_edge(a, b, 4.9, RoadClass::LocalOutside),
+            Err(NetworkError::BadEdgeLength { .. })
+        ));
+        assert!(net.add_class_edge(a, b, 5.0, RoadClass::LocalOutside).is_ok());
+        assert!(net.add_class_edge(a, b, 6.2, RoadClass::LocalOutside).is_ok());
+        assert!(matches!(
+            net.add_class_edge(a, b, 0.0, RoadClass::LocalOutside),
+            Err(NetworkError::BadEdgeLength { .. })
+        ));
+        assert_eq!(net.n_edges(), 2);
+    }
+
+    #[test]
+    fn unknown_ids_rejected() {
+        let (mut net, a, _) = two_node_net();
+        let ghost = NodeId(99);
+        assert!(matches!(net.point(ghost), Err(NetworkError::UnknownNode(_))));
+        assert!(net.add_class_edge(a, ghost, 1.0, RoadClass::LocalOutside).is_err());
+        assert!(net
+            .add_edge(a, a, 1.0, RoadClass::LocalOutside, PatternId(77))
+            .is_err());
+    }
+
+    #[test]
+    fn neighbors_and_reverse() {
+        let (mut net, a, b) = two_node_net();
+        net.add_bidirectional(a, b, 5.5, RoadClass::LocalBoston).unwrap();
+        assert_eq!(net.neighbors(a).unwrap().len(), 1);
+        assert_eq!(net.neighbors(a).unwrap()[0].to, b);
+        let rev = net.reverse_adj();
+        assert_eq!(rev[a.index()].len(), 1);
+        assert_eq!(rev[a.index()][0].0, b);
+        assert_eq!(net.n_edges(), 2);
+    }
+
+    #[test]
+    fn custom_patterns() {
+        let mut net = RoadNetwork::empty();
+        let p = net.add_pattern(CapeCodPattern::paper_example());
+        assert_eq!(p, PatternId(0));
+        let a = net.add_node(0.0, 0.0).unwrap();
+        let b = net.add_node(1.0, 0.0).unwrap();
+        net.add_edge(a, b, 1.0, RoadClass::LocalOutside, p).unwrap();
+        assert_eq!(net.max_speed(), 1.0);
+        let prof = net.profile(&net.neighbors(a).unwrap()[0], DayCategory::WORKDAY).unwrap();
+        assert_eq!(prof.speed_at(pwl::time::hm(8, 0)), 0.5);
+    }
+
+    #[test]
+    fn reversed_time_mirrored_flips_edges_and_profiles() {
+        let schema = PatternSchema::table1().unwrap();
+        let mut net = RoadNetwork::with_schema(&schema);
+        let a = net.add_node(0.0, 0.0).unwrap();
+        let b = net.add_node(1.0, 0.0).unwrap();
+        net.add_class_edge(a, b, 1.2, RoadClass::InboundHighway).unwrap();
+
+        let rev = net.reversed_time_mirrored();
+        assert_eq!(rev.n_nodes(), 2);
+        assert_eq!(rev.n_edges(), 1);
+        assert!(rev.neighbors(a).unwrap().is_empty());
+        let e = &rev.neighbors(b).unwrap()[0];
+        assert_eq!(e.to, a);
+        assert_eq!(e.distance, 1.2);
+        assert_eq!(e.class, RoadClass::InboundHighway);
+        // inbound rush [7:00, 10:00) mirrors to (14:00, 17:00]
+        let prof = rev.profile(e, DayCategory::WORKDAY).unwrap();
+        assert!((prof.speed_at(pwl::time::hm(15, 0)) - 20.0 / 60.0).abs() < 1e-12);
+        assert!((prof.speed_at(pwl::time::hm(8, 0)) - 65.0 / 60.0).abs() < 1e-12);
+        // double mirror restores the original patterns
+        let back = rev.reversed_time_mirrored();
+        assert_eq!(back.patterns(), net.patterns());
+        assert_eq!(back.neighbors(a).unwrap(), net.neighbors(a).unwrap());
+    }
+
+    #[test]
+    fn bounding_box() {
+        let (net, _, _) = two_node_net();
+        let (min, max) = net.bounding_box().unwrap();
+        assert_eq!((min.x, min.y), (0.0, 0.0));
+        assert_eq!((max.x, max.y), (3.0, 4.0));
+        assert!(RoadNetwork::empty().bounding_box().is_none());
+    }
+
+    #[test]
+    fn euclidean_distance() {
+        let (net, a, b) = two_node_net();
+        assert!((net.euclidean(a, b).unwrap() - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,110 @@
+//! Road-network model and synthetic generators.
+//!
+//! A **CapeCod network** (Definition 3 of the ICDE 2006 paper) is a
+//! directed graph whose nodes carry spatial locations and whose edges
+//! carry a length and a CapeCod speed pattern. This crate provides:
+//!
+//! * [`RoadNetwork`] — the in-memory graph: node coordinates,
+//!   adjacency lists, a pattern table, and a [`RoadClass`] per edge;
+//! * [`generators`] — deterministic synthetic networks:
+//!   * [`generators::suffolk_like`] — the experiment substrate
+//!     standing in for the paper's 2003 TIGER/Line Suffolk County
+//!     extract (see DESIGN.md §3 for the substitution argument): a
+//!     dense urban core, radial inbound/outbound highway pairs, a
+//!     perimeter ring, and irregular local grids;
+//!   * [`generators::grid`] — regular grids for unit tests;
+//!   * [`generators::random_geometric`] — random geometric graphs
+//!     for property tests;
+//! * [`examples`] — the paper's §4.3 three-node running example,
+//!   reconstructed so that every worked number in the paper can be
+//!   asserted by tests;
+//! * [`workload`] — query-pair sampling by Euclidean distance, used
+//!   by every experiment in §6.
+//!
+//! # Geometry invariant
+//!
+//! `add_edge` rejects edges shorter than the Euclidean distance
+//! between their endpoints. This is what makes
+//! `d_euc(n, e) / v_max` (and the boundary-node estimator built on
+//! network distances) a genuine lower bound on travel time.
+
+mod graph;
+mod source;
+mod stats;
+
+pub mod examples;
+pub mod generators;
+pub mod io;
+pub mod workload;
+
+pub use graph::{Edge, NodeId, PatternId, Point, RoadNetwork};
+pub use source::NetworkSource;
+pub use stats::NetworkStats;
+
+/// Errors from network construction and lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetworkError {
+    /// Node id out of range.
+    UnknownNode(NodeId),
+    /// Pattern id out of range.
+    UnknownPattern(PatternId),
+    /// Edge length shorter than the straight-line distance between its
+    /// endpoints (would break lower-bound estimators), or non-positive.
+    BadEdgeLength {
+        /// Offending length (miles).
+        length: f64,
+        /// Straight-line distance between the endpoints (miles).
+        euclidean: f64,
+    },
+    /// A coordinate was not finite.
+    BadCoordinate(f64, f64),
+    /// Text-format parse failure (see [`crate::io`]).
+    Parse {
+        /// 1-based line number (0 for I/O-level failures).
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Propagated traffic-layer error.
+    Traffic(traffic::TrafficError),
+}
+
+impl std::fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetworkError::UnknownNode(n) => write!(f, "unknown node {n:?}"),
+            NetworkError::UnknownPattern(p) => write!(f, "unknown pattern {p:?}"),
+            NetworkError::BadEdgeLength { length, euclidean } => write!(
+                f,
+                "edge length {length} shorter than euclidean distance {euclidean} (or non-positive)"
+            ),
+            NetworkError::BadCoordinate(x, y) => write!(f, "bad coordinate ({x}, {y})"),
+            NetworkError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            NetworkError::Traffic(e) => write!(f, "traffic error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetworkError::Traffic(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<traffic::TrafficError> for NetworkError {
+    fn from(e: traffic::TrafficError) -> Self {
+        NetworkError::Traffic(e)
+    }
+}
+
+/// Convenient `Result` alias for this crate.
+pub type Result<T> = std::result::Result<T, NetworkError>;
+
+/// Re-export: road classes live in the traffic crate (they index the
+/// pattern schema) but are a core part of the network vocabulary.
+pub use traffic::RoadClass;

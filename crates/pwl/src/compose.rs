@@ -1,0 +1,180 @@
+//! The *compound* operation of §4.4: expanding a path by one edge.
+//!
+//! Given the travel-time function `T₁(l)` of a path `s ⇒ n` (defined on
+//! the query interval `I`) and the travel-time function `T₂(l′)` of the
+//! next edge `n → n_j` (defined on leaving times `l′` at `n`, which must
+//! cover the arrival interval `A₁(I)`), the expanded path's travel-time
+//! function is
+//!
+//! ```text
+//! T(l) = T₁(l) + T₂(l + T₁(l))      for l ∈ I.
+//! ```
+//!
+//! The breakpoints of `T` are (paper §4.4):
+//!
+//! 1. the breakpoints of `T₁` (the "simple case"), and
+//! 2. the preimages `A₁⁻¹(t)` of each breakpoint `t` of `T₂`
+//!    (the "trickier case" — found in the paper by intersecting
+//!    `T₁` with a 135° line through `(t, 0)`; the exact inverse of the
+//!    monotone arrival function computes the same instant).
+
+use crate::{Interval, MonotonePwl, Pwl, PwlError, Result};
+
+/// Compute the leaving-time interval at the head of an edge (the
+/// arrival interval at the intermediate node), `A₁(I) = [lo + T₁(lo),
+/// hi + T₁(hi)]` — paper §4.4, Figure 4.
+pub fn arrival_interval(t1: &Pwl) -> Result<Interval> {
+    let a1 = MonotonePwl::arrival_from_travel(t1)?;
+    Ok(a1.range())
+}
+
+/// The compound `T(l) = T₁(l) + T₂(l + T₁(l))`.
+///
+/// `t2`'s domain must cover the arrival interval `A₁(domain(t1))`
+/// within [`crate::EPS`]; otherwise a [`PwlError::DomainMismatch`] is
+/// returned. Fails with [`PwlError::NotIncreasing`] if `t1` violates
+/// FIFO (slope ≤ −1).
+pub fn compose_travel(t1: &Pwl, t2: &Pwl) -> Result<Pwl> {
+    let a1 = MonotonePwl::arrival_from_travel(t1)?;
+    let arrivals = a1.range();
+    if !t2.domain().covers(&arrivals) {
+        return Err(PwlError::DomainMismatch { left: t2.domain(), right: arrivals });
+    }
+    let domain = t1.domain();
+
+    // Breakpoint set: T₁'s own, plus A₁⁻¹ of T₂'s interior breakpoints
+    // that land strictly inside the domain.
+    let mut xs: Vec<f64> = t1.breakpoints().to_vec();
+    for &t in t2.breakpoints() {
+        if let Some(l) = a1.inverse_at(t) {
+            if crate::definitely_lt(domain.lo(), l) && crate::definitely_lt(l, domain.hi()) {
+                xs.push(l);
+            }
+        }
+    }
+    crate::pwl::sort_dedupe(&mut xs);
+
+    let t2dom = t2.domain();
+    crate::pwl::build_from_breakpoints(xs, |mid| {
+        let p1 = t1.linears()[t1.piece_index_at(mid).expect("mid in t1 domain")];
+        let arrive = t2dom.clamp(a1.eval(mid));
+        let p2 = t2.linears()[t2.piece_index_at(arrive).expect("arrival in t2 domain")];
+        p1.compound(&p2)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::hm;
+    use crate::{approx_eq, Linear};
+
+    /// T₁ of the paper's running example (path s → n, §4.3):
+    /// 6 on [6:50, 6:54), (2/3)(7:00 − l) + 2 on [6:54, 7:00), 2 after.
+    fn paper_t1() -> Pwl {
+        Pwl::from_points(&[
+            (hm(6, 50), 6.0),
+            (hm(6, 54), 6.0),
+            (hm(7, 0), 2.0),
+            (hm(7, 5), 2.0),
+        ])
+        .unwrap()
+    }
+
+    /// T₂ of the running example (edge n → e on the arrival interval
+    /// [6:56, 7:07]): 3 until 7:05, then 10 − (7/3)(7:08 − l).
+    fn paper_t2() -> Pwl {
+        let ramp_end = 10.0 - (7.0 / 3.0) * (hm(7, 8) - hm(7, 7));
+        Pwl::from_points(&[
+            (hm(6, 56), 3.0),
+            (hm(7, 5), 3.0),
+            (hm(7, 7), ramp_end),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn arrival_interval_matches_figure_4() {
+        // Paper: leaving interval for n→e is [6:56, 7:07].
+        let iv = arrival_interval(&paper_t1()).unwrap();
+        assert!(approx_eq(iv.lo(), hm(6, 56)));
+        assert!(approx_eq(iv.hi(), hm(7, 7)));
+    }
+
+    #[test]
+    fn compound_reproduces_figure_5() {
+        // Paper §4.4: the combined T(l, s ⇒ n → e) has breakpoints at
+        // 6:50, 6:54, 7:00 and 7:03, with pieces 9, (2/3)(7:00−l)+5, 5,
+        // and 12 − (7/3)(7:06 − l).
+        let t = compose_travel(&paper_t1(), &paper_t2()).unwrap().simplify();
+        let bps = t.breakpoints();
+        assert_eq!(bps.len(), 5, "breakpoints {bps:?}");
+        assert!(approx_eq(bps[0], hm(6, 50)));
+        assert!(approx_eq(bps[1], hm(6, 54)));
+        assert!(approx_eq(bps[2], hm(7, 0)));
+        assert!(approx_eq(bps[3], hm(7, 3)));
+        assert!(approx_eq(bps[4], hm(7, 5)));
+
+        assert!(approx_eq(t.eval(hm(6, 50)), 9.0));
+        assert!(approx_eq(t.eval(hm(6, 52)), 9.0));
+        // middle ramp: (2/3)(7:00 − l) + 5
+        assert!(approx_eq(t.eval(hm(6, 57)), (2.0 / 3.0) * 3.0 + 5.0));
+        assert!(approx_eq(t.eval(hm(7, 0)), 5.0));
+        assert!(approx_eq(t.eval(hm(7, 2)), 5.0));
+        assert!(approx_eq(t.eval(hm(7, 3)), 5.0));
+        // final ramp: 12 − (7/3)(7:06 − l)
+        assert!(approx_eq(t.eval(hm(7, 4)), 12.0 - (7.0 / 3.0) * 2.0));
+        assert!(approx_eq(t.eval(hm(7, 5)), 12.0 - (7.0 / 3.0) * 1.0));
+    }
+
+    #[test]
+    fn compound_equals_pointwise_definition() {
+        let t1 = paper_t1();
+        let t2 = paper_t2();
+        let t = compose_travel(&t1, &t2).unwrap();
+        let d = t1.domain();
+        let steps = 200;
+        for k in 0..=steps {
+            let l = d.lo() + d.len() * (k as f64) / (steps as f64);
+            let direct = t1.eval(l) + t2.eval(l + t1.eval(l));
+            assert!(
+                approx_eq(t.eval(l), direct),
+                "mismatch at l={l}: {} vs {direct}",
+                t.eval(l)
+            );
+        }
+        assert!(t.is_continuous());
+    }
+
+    #[test]
+    fn compound_requires_t2_to_cover_arrivals() {
+        let t1 = paper_t1();
+        let short = Pwl::constant(Interval::of(hm(6, 56), hm(7, 0)), 3.0).unwrap();
+        assert!(matches!(
+            compose_travel(&t1, &short),
+            Err(PwlError::DomainMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn compound_rejects_fifo_violation() {
+        let bad =
+            Pwl::linear(Interval::of(0.0, 10.0), Linear { a: -2.0, b: 30.0 }).unwrap();
+        let t2 = Pwl::constant(Interval::of(0.0, 100.0), 1.0).unwrap();
+        assert!(matches!(
+            compose_travel(&bad, &t2),
+            Err(PwlError::NotIncreasing { .. })
+        ));
+    }
+
+    #[test]
+    fn compound_with_constant_edge_adds_constant() {
+        let t1 = paper_t1();
+        let t2 = Pwl::constant(Interval::of(hm(6, 0), hm(9, 0)), 4.0).unwrap();
+        let t = compose_travel(&t1, &t2).unwrap().simplify();
+        for l in [hm(6, 50), hm(6, 57), hm(7, 5)] {
+            assert!(approx_eq(t.eval(l), t1.eval(l) + 4.0));
+        }
+        assert_eq!(t.n_pieces(), t1.simplify().n_pieces());
+    }
+}

@@ -1,0 +1,296 @@
+//! Tagged lower envelopes — the paper's *lower border function* (§4.6).
+//!
+//! As `IntAllFastestPaths` identifies paths that reach the end node, it
+//! folds each path's travel-time function into a running lower
+//! envelope. Every envelope piece remembers *which* path produced it,
+//! so the allFP answer — a partitioning of the query interval into
+//! sub-intervals, each with its fastest path — is read off the envelope
+//! directly.
+
+use crate::{approx_le, definitely_lt, Interval, Linear, Pwl, PwlError, Result};
+
+/// One piece of an [`Envelope`]: a sub-interval, the linear function on
+/// it, and the tag (path) that owns it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvelopePiece<T> {
+    /// Sub-interval of the envelope domain.
+    pub interval: Interval,
+    /// The linear function on this sub-interval.
+    pub linear: Linear,
+    /// Tag of the function contributing this piece.
+    pub tag: T,
+}
+
+/// The lower envelope of a set of piecewise-linear functions over a
+/// common domain, with per-piece provenance tags.
+///
+/// Ties are broken in favour of the **earlier-inserted** function,
+/// matching the paper's semantics where the first identified path keeps
+/// its sub-interval unless a strictly faster path appears.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope<T> {
+    pwl: Pwl,
+    tags: Vec<T>, // one per piece of `pwl`
+}
+
+impl<T: Clone + PartialEq> Envelope<T> {
+    /// Start an envelope from a single function.
+    pub fn new(f: Pwl, tag: T) -> Self {
+        let n = f.n_pieces();
+        Envelope { pwl: f, tags: vec![tag; n] }
+    }
+
+    /// The envelope as a plain [`Pwl`].
+    #[inline]
+    pub fn as_pwl(&self) -> &Pwl {
+        &self.pwl
+    }
+
+    /// Domain of the envelope.
+    #[inline]
+    pub fn domain(&self) -> Interval {
+        self.pwl.domain()
+    }
+
+    /// Envelope value at `x`.
+    #[inline]
+    pub fn eval(&self, x: f64) -> f64 {
+        self.pwl.eval(x)
+    }
+
+    /// Maximum value of the envelope over its domain — the paper's
+    /// termination threshold: expansion stops when the smallest
+    /// priority-queue minimum reaches this.
+    pub fn max_value(&self) -> f64 {
+        self.pwl.maximum()
+    }
+
+    /// Minimum value of the envelope over its domain.
+    pub fn min_value(&self) -> f64 {
+        self.pwl.minimum().value
+    }
+
+    /// Tag owning the envelope at `x`.
+    pub fn tag_at(&self, x: f64) -> Result<&T> {
+        Ok(&self.tags[self.pwl.piece_index_at(x)?])
+    }
+
+    /// Iterate the envelope pieces in order.
+    pub fn pieces(&self) -> impl Iterator<Item = EnvelopePiece<&T>> + '_ {
+        self.pwl
+            .pieces()
+            .zip(self.tags.iter())
+            .map(|((interval, linear), tag)| EnvelopePiece { interval, linear: *linear, tag })
+    }
+
+    /// The partitioning of the domain into maximal runs of equal tag —
+    /// the shape of an allFP answer: consecutive sub-intervals, each
+    /// owned by one function, adjacent sub-intervals owned by different
+    /// functions.
+    pub fn partition(&self) -> Vec<(Interval, T)> {
+        let mut out: Vec<(Interval, T)> = Vec::new();
+        for p in self.pieces() {
+            match out.last_mut() {
+                Some((iv, tag)) if tag == p.tag => *iv = iv.hull(&p.interval),
+                _ => out.push((p.interval, p.tag.clone())),
+            }
+        }
+        out
+    }
+
+    /// Fold another function into the envelope, keeping the pointwise
+    /// minimum. `f` must cover the envelope's domain.
+    pub fn merge_min(&mut self, f: &Pwl, tag: T) -> Result<()> {
+        let domain = self.domain();
+        if !f.domain().covers(&domain) {
+            return Err(PwlError::DomainMismatch { left: f.domain(), right: domain });
+        }
+
+        // Elementary subdivision: both current envelope and `f` are
+        // single lines on each cell; a cell splits at most once where
+        // the two lines cross.
+        let xs = crate::pwl::merged_breakpoints(&[&self.pwl, f], &domain);
+        let mut new_xs: Vec<f64> = Vec::with_capacity(xs.len() * 2);
+        let mut new_fs: Vec<Linear> = Vec::with_capacity(xs.len() * 2);
+        let mut new_tags: Vec<T> = Vec::with_capacity(xs.len() * 2);
+        new_xs.push(domain.lo());
+
+        let push = |hi: f64, lin: Linear, t: T, new_xs: &mut Vec<f64>,
+                        new_fs: &mut Vec<Linear>, new_tags: &mut Vec<T>| {
+            new_xs.push(hi);
+            new_fs.push(lin);
+            new_tags.push(t);
+        };
+
+        for w in xs.windows(2) {
+            let cell = Interval::of(w[0], w[1]);
+            let mid = cell.mid();
+            let ei = self.pwl.piece_index_at(mid).expect("mid in envelope domain");
+            let (e_lin, e_tag) = (self.pwl.linears()[ei], self.tags[ei].clone());
+            let f_lin = f.linears()[f.piece_index_at(mid).expect("mid in f domain")];
+
+            match e_lin.intersection_within(&f_lin, &cell) {
+                Some(x) => {
+                    // Lines cross strictly inside the cell: the lower one
+                    // flips at x.
+                    let e_lower_left =
+                        definitely_lt(e_lin.eval(cell.lo()), f_lin.eval(cell.lo()))
+                            || approx_le(e_lin.eval(cell.lo()), f_lin.eval(cell.lo()));
+                    if e_lower_left {
+                        push(x, e_lin, e_tag.clone(), &mut new_xs, &mut new_fs, &mut new_tags);
+                        push(cell.hi(), f_lin, tag.clone(), &mut new_xs, &mut new_fs, &mut new_tags);
+                    } else {
+                        push(x, f_lin, tag.clone(), &mut new_xs, &mut new_fs, &mut new_tags);
+                        push(cell.hi(), e_lin, e_tag, &mut new_xs, &mut new_fs, &mut new_tags);
+                    }
+                }
+                None => {
+                    // No interior crossing: one line is ≤ the other on the
+                    // whole cell (compare at the midpoint). Ties keep the
+                    // existing envelope piece.
+                    if approx_le(e_lin.eval(mid), f_lin.eval(mid)) {
+                        push(cell.hi(), e_lin, e_tag, &mut new_xs, &mut new_fs, &mut new_tags);
+                    } else {
+                        push(cell.hi(), f_lin, tag.clone(), &mut new_xs, &mut new_fs, &mut new_tags);
+                    }
+                }
+            }
+        }
+
+        // Coalesce adjacent pieces with the same tag and the same line.
+        let (xs, fs, tags) = coalesce(new_xs, new_fs, new_tags);
+        self.pwl = Pwl::new(xs, fs)?;
+        self.tags = tags;
+        Ok(())
+    }
+}
+
+/// Merge adjacent pieces that share both tag and (approximately) line.
+fn coalesce<T: Clone + PartialEq>(
+    xs: Vec<f64>,
+    fs: Vec<Linear>,
+    tags: Vec<T>,
+) -> (Vec<f64>, Vec<Linear>, Vec<T>) {
+    debug_assert_eq!(xs.len(), fs.len() + 1);
+    debug_assert_eq!(fs.len(), tags.len());
+    let mut out_xs = vec![xs[0]];
+    let mut out_fs: Vec<Linear> = Vec::with_capacity(fs.len());
+    let mut out_tags: Vec<T> = Vec::with_capacity(tags.len());
+    for i in 0..fs.len() {
+        let span = Interval::of(xs[i], xs[i + 1]);
+        let mergeable = match (out_fs.last(), out_tags.last()) {
+            (Some(pf), Some(pt)) => *pt == tags[i] && pf.approx_same_over(&fs[i], &span),
+            _ => false,
+        };
+        if mergeable {
+            continue;
+        }
+        if !out_fs.is_empty() {
+            out_xs.push(xs[i]);
+        }
+        out_fs.push(fs[i]);
+        out_tags.push(tags[i].clone());
+    }
+    out_xs.push(xs[xs.len() - 1]);
+    (out_xs, out_fs, out_tags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use crate::time::{hm, hms};
+
+    #[test]
+    fn single_function_envelope() {
+        let f = Pwl::constant(Interval::of(0.0, 10.0), 5.0).unwrap();
+        let env = Envelope::new(f, "a");
+        assert!(approx_eq(env.max_value(), 5.0));
+        assert!(approx_eq(env.min_value(), 5.0));
+        assert_eq!(env.tag_at(3.0).unwrap(), &"a");
+        assert_eq!(env.partition(), vec![(Interval::of(0.0, 10.0), "a")]);
+    }
+
+    #[test]
+    fn merge_constant_below_takes_over() {
+        let f = Pwl::constant(Interval::of(0.0, 10.0), 5.0).unwrap();
+        let mut env = Envelope::new(f, "a");
+        let g = Pwl::constant(Interval::of(0.0, 10.0), 3.0).unwrap();
+        env.merge_min(&g, "b").unwrap();
+        assert!(approx_eq(env.max_value(), 3.0));
+        assert_eq!(env.partition(), vec![(Interval::of(0.0, 10.0), "b")]);
+    }
+
+    #[test]
+    fn merge_ties_keep_existing() {
+        let f = Pwl::constant(Interval::of(0.0, 10.0), 5.0).unwrap();
+        let mut env = Envelope::new(f.clone(), "a");
+        env.merge_min(&f, "b").unwrap();
+        assert_eq!(env.partition(), vec![(Interval::of(0.0, 10.0), "a")]);
+    }
+
+    #[test]
+    fn merge_crossing_splits_cell() {
+        // envelope: x on [0,10]; merge 10 − x → crossing at 5
+        let f = Pwl::identity(Interval::of(0.0, 10.0)).unwrap();
+        let mut env = Envelope::new(f, "up");
+        let g = Pwl::from_points(&[(0.0, 10.0), (10.0, 0.0)]).unwrap();
+        env.merge_min(&g, "down").unwrap();
+        let parts = env.partition();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].1, "up");
+        assert!(parts[0].0.approx_eq(&Interval::of(0.0, 5.0)));
+        assert_eq!(parts[1].1, "down");
+        assert!(parts[1].0.approx_eq(&Interval::of(5.0, 10.0)));
+        assert!(approx_eq(env.eval(0.0), 0.0));
+        assert!(approx_eq(env.eval(5.0), 5.0));
+        assert!(approx_eq(env.eval(10.0), 0.0));
+        assert!(approx_eq(env.max_value(), 5.0));
+    }
+
+    #[test]
+    fn merge_requires_domain_cover() {
+        let f = Pwl::constant(Interval::of(0.0, 10.0), 5.0).unwrap();
+        let mut env = Envelope::new(f, 0u32);
+        let g = Pwl::constant(Interval::of(2.0, 8.0), 1.0).unwrap();
+        assert!(env.merge_min(&g, 1).is_err());
+        // wider is fine
+        let h = Pwl::constant(Interval::of(-5.0, 15.0), 1.0).unwrap();
+        env.merge_min(&h, 2).unwrap();
+        assert!(env.domain().approx_eq(&Interval::of(0.0, 10.0)));
+    }
+
+    #[test]
+    fn reproduces_paper_figure_7() {
+        // Envelope of T(s ⇒ n → e) (Figure 5's 4-piece function) and
+        // T(s → e) = 6, over I = [6:50, 7:05]. The paper's allFP answer:
+        //   s → e       on [6:50, 6:58:30)
+        //   s → n → e   on [6:58:30, 7:03:26)
+        //   s → e       on [7:03:26, 7:05]
+        let via_n = Pwl::from_points(&[
+            (hm(6, 50), 9.0),
+            (hm(6, 54), 9.0),
+            (hm(7, 0), 5.0),
+            (hm(7, 3), 5.0),
+            (hm(7, 5), 12.0 - (7.0 / 3.0) * 1.0),
+        ])
+        .unwrap();
+        let direct = Pwl::constant(Interval::of(hm(6, 50), hm(7, 5)), 6.0).unwrap();
+
+        // Identification order as in the paper: s ⇒ n → e first.
+        let mut env = Envelope::new(via_n, "s->n->e");
+        env.merge_min(&direct, "s->e").unwrap();
+
+        let parts = env.partition();
+        assert_eq!(parts.len(), 3, "{parts:?}");
+        assert_eq!(parts[0].1, "s->e");
+        assert_eq!(parts[1].1, "s->n->e");
+        assert_eq!(parts[2].1, "s->e");
+        assert!(approx_eq(parts[0].0.lo(), hm(6, 50)));
+        assert!(approx_eq(parts[0].0.hi(), hms(6, 58, 30)));
+        assert!(approx_eq(parts[1].0.hi(), hm(7, 6) - 18.0 / 7.0)); // 7:03:25.7
+        assert!(approx_eq(parts[2].0.hi(), hm(7, 5)));
+        // termination threshold after both paths identified
+        assert!(approx_eq(env.max_value(), 6.0));
+    }
+}

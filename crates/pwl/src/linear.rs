@@ -1,0 +1,211 @@
+//! Single linear pieces `y = a·x + b`.
+
+use crate::{approx_eq, Interval, PwlError, Result};
+
+/// A linear function `y = a·x + b` in absolute coordinates.
+///
+/// Pieces of a [`crate::Pwl`] store their coefficients in absolute `x`
+/// (not relative to the piece start), so evaluation never needs the
+/// breakpoint that introduced the piece.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Linear {
+    /// Slope `a`.
+    pub a: f64,
+    /// Intercept `b` (value at `x = 0`).
+    pub b: f64,
+}
+
+impl Linear {
+    /// Create `y = a·x + b`; fails on non-finite coefficients.
+    pub fn new(a: f64, b: f64) -> Result<Self> {
+        if !a.is_finite() || !b.is_finite() {
+            return Err(PwlError::NonFinite(format!("linear a={a} b={b}")));
+        }
+        Ok(Linear { a, b })
+    }
+
+    /// The constant function `y = c`.
+    pub fn constant(c: f64) -> Result<Self> {
+        Self::new(0.0, c)
+    }
+
+    /// The identity function `y = x`.
+    pub fn identity() -> Self {
+        Linear { a: 1.0, b: 0.0 }
+    }
+
+    /// The line through `(x0, y0)` and `(x1, y1)`; fails if `x0 == x1`
+    /// or any coordinate is non-finite.
+    pub fn through(x0: f64, y0: f64, x1: f64, y1: f64) -> Result<Self> {
+        if approx_eq(x0, x1) {
+            return Err(PwlError::BadBreakpoints(format!(
+                "cannot interpolate through x0={x0} x1={x1}"
+            )));
+        }
+        let a = (y1 - y0) / (x1 - x0);
+        Self::new(a, y0 - a * x0)
+    }
+
+    /// Evaluate at `x`.
+    #[inline]
+    pub fn eval(&self, x: f64) -> f64 {
+        self.a * x + self.b
+    }
+
+    /// Pointwise sum.
+    #[inline]
+    pub fn add(&self, other: &Linear) -> Linear {
+        Linear { a: self.a + other.a, b: self.b + other.b }
+    }
+
+    /// Add a constant.
+    #[inline]
+    pub fn add_scalar(&self, c: f64) -> Linear {
+        Linear { a: self.a, b: self.b + c }
+    }
+
+    /// Compose with the inner function: `self ∘ inner`, i.e.
+    /// `x ↦ self(inner(x))`.
+    #[inline]
+    pub fn compose(&self, inner: &Linear) -> Linear {
+        Linear { a: self.a * inner.a, b: self.a * inner.b + self.b }
+    }
+
+    /// The *compound* of two travel-time pieces (paper §4.4).
+    ///
+    /// If `self = T₁`-piece `α·l + β` (travel time of the prefix path)
+    /// and `next = T₂`-piece `γ·l' + δ` (travel time of the next edge,
+    /// as a function of the leaving time `l' = l + T₁(l)` at the
+    /// intermediate node), the combined travel time of the expanded
+    /// path is
+    ///
+    /// ```text
+    /// (α·l + β) + (γ·(l + α·l + β) + δ)
+    ///   = (α + γ + α·γ)·l + (β + β·γ + δ)
+    /// ```
+    #[inline]
+    pub fn compound(&self, next: &Linear) -> Linear {
+        let (alpha, beta) = (self.a, self.b);
+        let (gamma, delta) = (next.a, next.b);
+        Linear {
+            a: alpha + gamma + alpha * gamma,
+            b: beta + beta * gamma + delta,
+        }
+    }
+
+    /// Intersection with `other` strictly inside the open interval
+    /// `(within.lo, within.hi)`, if the lines cross there.
+    ///
+    /// Parallel (or numerically parallel) lines yield `None`.
+    pub fn intersection_within(&self, other: &Linear, within: &Interval) -> Option<f64> {
+        let da = self.a - other.a;
+        if da.abs() <= crate::EPS {
+            return None;
+        }
+        let x = (other.b - self.b) / da;
+        // Strictly inside, with EPS guard so we never emit a breakpoint
+        // indistinguishable from an endpoint.
+        if crate::definitely_lt(within.lo(), x) && crate::definitely_lt(x, within.hi()) {
+            Some(x)
+        } else {
+            None
+        }
+    }
+
+    /// `true` if the two lines are the same within [`crate::EPS`]
+    /// when compared over the interval `within` (endpoint values).
+    pub fn approx_same_over(&self, other: &Linear, within: &Interval) -> bool {
+        approx_eq(self.eval(within.lo()), other.eval(within.lo()))
+            && approx_eq(self.eval(within.hi()), other.eval(within.hi()))
+    }
+}
+
+impl std::fmt::Display for Linear {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.a == 0.0 {
+            write!(f, "{}", self.b)
+        } else {
+            write!(f, "{}*x + {}", self.a, self.b)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_eval() {
+        let l = Linear::new(2.0, 1.0).unwrap();
+        assert_eq!(l.eval(3.0), 7.0);
+        assert!(Linear::new(f64::NAN, 0.0).is_err());
+        assert_eq!(Linear::constant(5.0).unwrap().eval(100.0), 5.0);
+        assert_eq!(Linear::identity().eval(42.0), 42.0);
+    }
+
+    #[test]
+    fn through_two_points() {
+        let l = Linear::through(1.0, 2.0, 3.0, 6.0).unwrap();
+        assert!(approx_eq(l.a, 2.0));
+        assert!(approx_eq(l.eval(1.0), 2.0));
+        assert!(approx_eq(l.eval(3.0), 6.0));
+        assert!(Linear::through(1.0, 0.0, 1.0, 5.0).is_err());
+    }
+
+    #[test]
+    fn algebra() {
+        let f = Linear::new(2.0, 1.0).unwrap();
+        let g = Linear::new(-1.0, 3.0).unwrap();
+        assert_eq!(f.add(&g), Linear::new(1.0, 4.0).unwrap());
+        assert_eq!(f.add_scalar(10.0), Linear::new(2.0, 11.0).unwrap());
+        // f(g(x)) = 2(-x+3)+1 = -2x + 7
+        assert_eq!(f.compose(&g), Linear::new(-2.0, 7.0).unwrap());
+    }
+
+    #[test]
+    fn compound_matches_paper_formula() {
+        // Paper §4.4 worked step: T1 = (2/3)(7:00 − l) + 2 around
+        // l = 6:54 (minutes: -2/3·l + 282 with l in minutes-of-day),
+        // T2 = constant 3. Compound should be T1 + 3.
+        let t1 = Linear::new(-2.0 / 3.0, 2.0 + (2.0 / 3.0) * 420.0).unwrap();
+        let t2 = Linear::constant(3.0).unwrap();
+        let c = t1.compound(&t2);
+        assert!(approx_eq(c.a, t1.a));
+        assert!(approx_eq(c.b, t1.b + 3.0));
+
+        // Generic algebraic identity: compound(l) == T1(l) + T2(l + T1(l)).
+        let t1 = Linear::new(0.25, -3.0).unwrap();
+        let t2 = Linear::new(-0.5, 40.0).unwrap();
+        let c = t1.compound(&t2);
+        for l in [0.0, 10.0, 123.456] {
+            let direct = t1.eval(l) + t2.eval(l + t1.eval(l));
+            assert!(approx_eq(c.eval(l), direct));
+        }
+    }
+
+    #[test]
+    fn intersection_within_interval() {
+        let f = Linear::new(1.0, 0.0).unwrap();
+        let g = Linear::new(-1.0, 10.0).unwrap();
+        let i = Interval::of(0.0, 10.0);
+        assert!(approx_eq(f.intersection_within(&g, &i).unwrap(), 5.0));
+        // crossing outside
+        let j = Interval::of(6.0, 10.0);
+        assert_eq!(f.intersection_within(&g, &j), None);
+        // parallel
+        let h = Linear::new(1.0, 1.0).unwrap();
+        assert_eq!(f.intersection_within(&h, &i), None);
+        // crossing exactly at an endpoint is suppressed
+        let k = Interval::of(5.0, 10.0);
+        assert_eq!(f.intersection_within(&g, &k), None);
+    }
+
+    #[test]
+    fn approx_same_over() {
+        let f = Linear::new(1.0, 0.0).unwrap();
+        let g = Linear::new(1.0 + 1e-12, -1e-12).unwrap();
+        assert!(f.approx_same_over(&g, &Interval::of(0.0, 100.0)));
+        let h = Linear::new(1.0, 0.1).unwrap();
+        assert!(!f.approx_same_over(&h, &Interval::of(0.0, 100.0)));
+    }
+}

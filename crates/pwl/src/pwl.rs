@@ -1,0 +1,665 @@
+//! Piecewise-linear functions over a closed interval.
+
+use crate::{approx_eq, approx_le, definitely_lt, Interval, Linear, PwlError, Result, EPS};
+
+/// A piecewise-linear function defined on a closed interval.
+///
+/// Stored as `n + 1` strictly increasing breakpoints `x₀ < … < xₙ` and
+/// `n` linear pieces; piece `i` applies on `[xᵢ, xᵢ₊₁)` (the last piece
+/// also covers `xₙ`). Pieces are in absolute coordinates, so the type
+/// can represent discontinuous functions (e.g. step functions); the
+/// operations that require continuity ([`MonotonePwl`](crate::MonotonePwl),
+/// composition) check for it explicitly.
+///
+/// Travel-time functions in the paper are continuous piecewise-linear
+/// functions of the leaving time (§4.1); this type is how every
+/// priority-queue entry of `IntAllFastestPaths` carries its
+/// `T(l) + T_est` function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pwl {
+    xs: Vec<f64>,
+    fs: Vec<Linear>,
+}
+
+/// The minimum of a [`Pwl`] over an interval, together with the first
+/// maximal sub-interval on which it is attained.
+///
+/// For the singleFP query the paper reports "any time instant in
+/// \[7:00–7:03\] is an optimal leaving time" — that interval is `at`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MinResult {
+    /// The minimum value.
+    pub value: f64,
+    /// First maximal interval on which the minimum is attained.
+    pub at: Interval,
+}
+
+impl Pwl {
+    /// Build from breakpoints and pieces.
+    ///
+    /// Requires `xs.len() == fs.len() + 1 ≥ 2`, strictly increasing
+    /// finite breakpoints, and finite coefficients.
+    pub fn new(xs: Vec<f64>, fs: Vec<Linear>) -> Result<Self> {
+        if xs.len() < 2 {
+            return Err(PwlError::BadBreakpoints(format!(
+                "need at least 2 breakpoints, got {}",
+                xs.len()
+            )));
+        }
+        if xs.len() != fs.len() + 1 {
+            return Err(PwlError::PieceCountMismatch { breakpoints: xs.len(), pieces: fs.len() });
+        }
+        for &x in &xs {
+            if !x.is_finite() {
+                return Err(PwlError::NonFinite(format!("breakpoint {x}")));
+            }
+        }
+        for w in xs.windows(2) {
+            if w[1] <= w[0] {
+                return Err(PwlError::BadBreakpoints(format!(
+                    "breakpoints not strictly increasing: {} then {}",
+                    w[0], w[1]
+                )));
+            }
+        }
+        for f in &fs {
+            if !f.a.is_finite() || !f.b.is_finite() {
+                return Err(PwlError::NonFinite(format!("piece {f}")));
+            }
+        }
+        Ok(Pwl { xs, fs })
+    }
+
+    /// The constant function `y = c` on `domain`.
+    pub fn constant(domain: Interval, c: f64) -> Result<Self> {
+        Self::linear(domain, Linear::constant(c)?)
+    }
+
+    /// A single linear piece on `domain`.
+    pub fn linear(domain: Interval, lin: Linear) -> Result<Self> {
+        if domain.is_degenerate() {
+            return Err(PwlError::BadInterval { lo: domain.lo(), hi: domain.hi() });
+        }
+        Self::new(vec![domain.lo(), domain.hi()], vec![lin])
+    }
+
+    /// Continuous interpolation through the given points
+    /// (`xs` strictly increasing, at least two points).
+    pub fn from_points(points: &[(f64, f64)]) -> Result<Self> {
+        if points.len() < 2 {
+            return Err(PwlError::BadBreakpoints(format!(
+                "need at least 2 points, got {}",
+                points.len()
+            )));
+        }
+        let mut xs = Vec::with_capacity(points.len());
+        let mut fs = Vec::with_capacity(points.len() - 1);
+        for w in points.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            fs.push(Linear::through(x0, y0, x1, y1)?);
+            xs.push(x0);
+        }
+        xs.push(points[points.len() - 1].0);
+        Self::new(xs, fs)
+    }
+
+    /// The identity function `y = x` on `domain`.
+    pub fn identity(domain: Interval) -> Result<Self> {
+        Self::linear(domain, Linear::identity())
+    }
+
+    /// Domain `[x₀, xₙ]`.
+    #[inline]
+    pub fn domain(&self) -> Interval {
+        Interval::of(self.xs[0], self.xs[self.xs.len() - 1])
+    }
+
+    /// Number of linear pieces.
+    #[inline]
+    pub fn n_pieces(&self) -> usize {
+        self.fs.len()
+    }
+
+    /// The breakpoints `x₀ … xₙ`.
+    #[inline]
+    pub fn breakpoints(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The linear pieces, in order.
+    #[inline]
+    pub fn linears(&self) -> &[Linear] {
+        &self.fs
+    }
+
+    /// Iterate `(sub-interval, piece)` pairs in order.
+    pub fn pieces(&self) -> impl Iterator<Item = (Interval, &Linear)> + '_ {
+        self.fs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (Interval::of(self.xs[i], self.xs[i + 1]), f))
+    }
+
+    /// Index of the piece covering `x`; `x` must lie in the domain.
+    ///
+    /// `x == xₙ` maps to the last piece.
+    pub fn piece_index_at(&self, x: f64) -> Result<usize> {
+        if !self.domain().contains_approx(x) {
+            return Err(PwlError::OutOfDomain { x, domain: self.domain() });
+        }
+        // First breakpoint strictly greater than x, minus one.
+        let idx = self.xs.partition_point(|&bx| bx <= x);
+        Ok(idx.saturating_sub(1).min(self.fs.len() - 1))
+    }
+
+    /// Evaluate at `x`; returns `None` outside the domain (with [`EPS`]
+    /// slack at the endpoints, where the value is clamped).
+    pub fn try_eval(&self, x: f64) -> Option<f64> {
+        let idx = self.piece_index_at(x).ok()?;
+        Some(self.fs[idx].eval(x))
+    }
+
+    /// Evaluate at `x`.
+    ///
+    /// # Panics
+    /// Panics if `x` lies outside the domain (beyond [`EPS`] slack).
+    #[track_caller]
+    pub fn eval(&self, x: f64) -> f64 {
+        match self.try_eval(x) {
+            Some(v) => v,
+            None => panic!("pwl eval at {x} outside domain {}", self.domain()),
+        }
+    }
+
+    /// Evaluate at `x` clamped into the domain.
+    pub fn eval_clamped(&self, x: f64) -> f64 {
+        self.eval(self.domain().clamp(x))
+    }
+
+    /// Value just left of breakpoint `i` (using piece `i − 1`);
+    /// for `i == 0` this is the right value.
+    pub fn left_value(&self, i: usize) -> f64 {
+        let p = if i == 0 { 0 } else { i - 1 };
+        self.fs[p].eval(self.xs[i])
+    }
+
+    /// Value just right of breakpoint `i` (using piece `i`);
+    /// for `i == n` this is the left value.
+    pub fn right_value(&self, i: usize) -> f64 {
+        let p = i.min(self.fs.len() - 1);
+        self.fs[p].eval(self.xs[i])
+    }
+
+    /// `true` if the function is continuous (left and right values agree
+    /// within [`EPS`] at every interior breakpoint).
+    pub fn is_continuous(&self) -> bool {
+        self.check_continuous().is_ok()
+    }
+
+    /// Verify continuity; returns the first offending breakpoint on
+    /// failure.
+    pub fn check_continuous(&self) -> Result<()> {
+        for i in 1..self.xs.len() - 1 {
+            let l = self.left_value(i);
+            let r = self.right_value(i);
+            if !approx_eq(l, r) {
+                return Err(PwlError::Discontinuous { at: self.xs[i], left: l, right: r });
+            }
+        }
+        Ok(())
+    }
+
+    /// The graph of a continuous function as breakpoint/value pairs.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let mut pts = Vec::with_capacity(self.xs.len());
+        pts.push((self.xs[0], self.right_value(0)));
+        for i in 1..self.xs.len() {
+            pts.push((self.xs[i], self.left_value(i)));
+        }
+        pts
+    }
+
+    /// Minimum and first argmin interval over the whole domain.
+    pub fn minimum(&self) -> MinResult {
+        self.min_over(&self.domain()).expect("domain is always valid")
+    }
+
+    /// Maximum value over the whole domain.
+    pub fn maximum(&self) -> f64 {
+        self.max_over(&self.domain()).expect("domain is always valid")
+    }
+
+    /// Minimum and first argmin interval over `over ∩ domain`.
+    pub fn min_over(&self, over: &Interval) -> Result<MinResult> {
+        let within = self
+            .domain()
+            .intersect(over)
+            .ok_or(PwlError::DomainMismatch { left: self.domain(), right: *over })?;
+
+        // Pass 1: minimum value.
+        let mut min = f64::INFINITY;
+        for (iv, f) in self.pieces() {
+            let Some(c) = iv.intersect(&within) else { continue };
+            min = min.min(f.eval(c.lo())).min(f.eval(c.hi()));
+        }
+
+        // Pass 2: first maximal run of x with f(x) ≈ min.
+        let mut run: Option<Interval> = None;
+        for (iv, f) in self.pieces() {
+            let Some(c) = iv.intersect(&within) else { continue };
+            // Sub-interval of c on which f ≤ min (within tolerance).
+            let lo_ok = approx_le(f.eval(c.lo()), min);
+            let hi_ok = approx_le(f.eval(c.hi()), min);
+            let seg = match (lo_ok, hi_ok) {
+                (true, true) => Some(c),
+                (true, false) => Some(Interval::of(c.lo(), c.lo())),
+                (false, true) => Some(Interval::of(c.hi(), c.hi())),
+                (false, false) => None,
+            };
+            match (run.as_mut(), seg) {
+                (None, Some(s)) => run = Some(s),
+                (Some(r), Some(s)) if approx_eq(r.hi(), s.lo()) => {
+                    *r = Interval::of(r.lo(), s.hi());
+                }
+                (Some(_), Some(_)) | (Some(_), None) => break, // first run complete
+                (None, None) => {}
+            }
+        }
+        Ok(MinResult { value: min, at: run.expect("minimum is attained") })
+    }
+
+    /// Maximum value over `over ∩ domain`.
+    pub fn max_over(&self, over: &Interval) -> Result<f64> {
+        let within = self
+            .domain()
+            .intersect(over)
+            .ok_or(PwlError::DomainMismatch { left: self.domain(), right: *over })?;
+        let mut max = f64::NEG_INFINITY;
+        for (iv, f) in self.pieces() {
+            let Some(c) = iv.intersect(&within) else { continue };
+            max = max.max(f.eval(c.lo())).max(f.eval(c.hi()));
+        }
+        Ok(max)
+    }
+
+    /// Pointwise `self + c`.
+    pub fn add_scalar(&self, c: f64) -> Pwl {
+        Pwl { xs: self.xs.clone(), fs: self.fs.iter().map(|f| f.add_scalar(c)).collect() }
+    }
+
+    /// Pointwise `self + lin` (a full linear function, e.g. the
+    /// identity to turn a travel-time function into an arrival
+    /// function).
+    pub fn add_linear(&self, lin: &Linear) -> Pwl {
+        Pwl { xs: self.xs.clone(), fs: self.fs.iter().map(|f| f.add(lin)).collect() }
+    }
+
+    /// Arrival function `A(l) = l + T(l)` of a travel-time function.
+    pub fn add_identity(&self) -> Pwl {
+        self.add_linear(&Linear::identity())
+    }
+
+    /// `T(l) = A(l) − l`: recover a travel-time function from an
+    /// arrival function.
+    pub fn sub_identity(&self) -> Pwl {
+        self.add_linear(&Linear { a: -1.0, b: 0.0 })
+    }
+
+    /// Pointwise sum over the intersection of the two domains.
+    pub fn add(&self, other: &Pwl) -> Result<Pwl> {
+        let domain = self
+            .domain()
+            .intersect(&other.domain())
+            .filter(|d| !d.is_degenerate())
+            .ok_or(PwlError::DomainMismatch { left: self.domain(), right: other.domain() })?;
+        let xs = merged_breakpoints(&[self, other], &domain);
+        build_from_breakpoints(xs, |mid| {
+            let i = self.piece_index_at(mid).expect("mid in domain");
+            let j = other.piece_index_at(mid).expect("mid in domain");
+            self.fs[i].add(&other.fs[j])
+        })
+    }
+
+    /// Restriction to `to ∩ domain` (must be non-degenerate).
+    pub fn restrict(&self, to: &Interval) -> Result<Pwl> {
+        let domain = self
+            .domain()
+            .intersect(to)
+            .filter(|d| !d.is_degenerate())
+            .ok_or(PwlError::DomainMismatch { left: self.domain(), right: *to })?;
+        let xs = merged_breakpoints(&[self], &domain);
+        build_from_breakpoints(xs, |mid| {
+            let i = self.piece_index_at(mid).expect("mid in domain");
+            self.fs[i]
+        })
+    }
+
+    /// Merge adjacent pieces that represent the same line (within
+    /// [`EPS`]) and are continuous at the joint. Idempotent.
+    pub fn simplify(&self) -> Pwl {
+        let mut xs = Vec::with_capacity(self.xs.len());
+        let mut fs: Vec<Linear> = Vec::with_capacity(self.fs.len());
+        xs.push(self.xs[0]);
+        for (i, f) in self.fs.iter().enumerate() {
+            let span = Interval::of(self.xs[i], self.xs[i + 1]);
+            if let Some(last) = fs.last() {
+                if last.approx_same_over(f, &span) {
+                    continue; // extend previous piece: skip breakpoint
+                }
+                xs.push(self.xs[i]);
+            }
+            fs.push(*f);
+        }
+        xs.push(self.xs[self.xs.len() - 1]);
+        Pwl { xs, fs }
+    }
+
+    /// Reflect the graph around the vertical line `x = c/2`, i.e.
+    /// produce `g(x) = f(c − x)`.
+    ///
+    /// Used by the arrival-interval query reduction: running time
+    /// "backwards" mirrors every function around a fixed instant.
+    pub fn reflect_x(&self, c: f64) -> Pwl {
+        let n = self.fs.len();
+        let mut xs = Vec::with_capacity(self.xs.len());
+        let mut fs = Vec::with_capacity(n);
+        for x in self.xs.iter().rev() {
+            xs.push(c - x);
+        }
+        for f in self.fs.iter().rev() {
+            // g(x) = f(c - x) = -a·x + (a·c + b)
+            fs.push(Linear { a: -f.a, b: f.a * c + f.b });
+        }
+        Pwl { xs, fs }
+    }
+
+    /// Shift the whole graph right by `dx` (i.e. `x ↦ f(x − dx)`).
+    pub fn shift_x(&self, dx: f64) -> Pwl {
+        Pwl {
+            xs: self.xs.iter().map(|x| x + dx).collect(),
+            fs: self
+                .fs
+                .iter()
+                .map(|f| Linear { a: f.a, b: f.b - f.a * dx })
+                .collect(),
+        }
+    }
+
+    /// `true` if `self(x) ≥ other(x) − EPS` for all `x` in the
+    /// intersection of the domains (i.e. `self` is dominated by
+    /// `other`: it can never offer a smaller value).
+    pub fn dominated_by(&self, other: &Pwl) -> bool {
+        let Some(domain) = self.domain().intersect(&other.domain()) else {
+            return false;
+        };
+        if domain.is_degenerate() {
+            let x = domain.lo();
+            return approx_le(other.eval_clamped(x), self.eval_clamped(x));
+        }
+        let xs = merged_breakpoints(&[self, other], &domain);
+        // On each elementary interval both functions are linear, so the
+        // comparison only needs the endpoints.
+        for &x in &xs {
+            let a = self.eval_clamped(x);
+            let b = other.eval_clamped(x);
+            if definitely_lt(a, b) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Collect, sort and dedupe ([`EPS`]-aware) the breakpoints of several
+/// functions clipped to `domain`, always including the domain
+/// endpoints.
+pub(crate) fn merged_breakpoints(fns: &[&Pwl], domain: &Interval) -> Vec<f64> {
+    let mut xs = Vec::with_capacity(fns.iter().map(|f| f.xs.len()).sum::<usize>() + 2);
+    xs.push(domain.lo());
+    xs.push(domain.hi());
+    for f in fns {
+        for &x in &f.xs {
+            if definitely_lt(domain.lo(), x) && definitely_lt(x, domain.hi()) {
+                xs.push(x);
+            }
+        }
+    }
+    sort_dedupe(&mut xs);
+    xs
+}
+
+/// Sort and remove near-duplicate breakpoints in place.
+pub(crate) fn sort_dedupe(xs: &mut Vec<f64>) {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
+    xs.dedup_by(|a, b| {
+        // `a` is removed when true; keep the earlier (smaller) value.
+        (*a - *b).abs() <= EPS * (1.0 + a.abs().max(b.abs()))
+    });
+}
+
+/// Build a [`Pwl`] from elementary breakpoints by asking `pick` for the
+/// linear piece at each sub-interval midpoint.
+pub(crate) fn build_from_breakpoints(
+    xs: Vec<f64>,
+    mut pick: impl FnMut(f64) -> Linear,
+) -> Result<Pwl> {
+    if xs.len() < 2 {
+        return Err(PwlError::BadBreakpoints("empty elementary subdivision".into()));
+    }
+    let mut fs = Vec::with_capacity(xs.len() - 1);
+    for w in xs.windows(2) {
+        fs.push(pick(0.5 * (w[0] + w[1])));
+    }
+    Pwl::new(xs, fs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vee() -> Pwl {
+        // V shape: 10 - x on [0,10], x - 10 on [10, 20]
+        Pwl::from_points(&[(0.0, 10.0), (10.0, 0.0), (20.0, 10.0)]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Pwl::new(vec![0.0], vec![]).is_err());
+        assert!(Pwl::new(vec![0.0, 1.0], vec![]).is_err());
+        assert!(Pwl::new(vec![1.0, 0.0], vec![Linear::identity()]).is_err());
+        assert!(Pwl::new(vec![0.0, 0.0], vec![Linear::identity()]).is_err());
+        assert!(Pwl::new(vec![0.0, 1.0], vec![Linear::identity()]).is_ok());
+    }
+
+    #[test]
+    fn eval_and_piece_lookup() {
+        let f = vee();
+        assert_eq!(f.n_pieces(), 2);
+        assert!(approx_eq(f.eval(0.0), 10.0));
+        assert!(approx_eq(f.eval(5.0), 5.0));
+        assert!(approx_eq(f.eval(10.0), 0.0));
+        assert!(approx_eq(f.eval(20.0), 10.0)); // right endpoint uses last piece
+        assert_eq!(f.try_eval(20.1), None);
+        assert_eq!(f.try_eval(-0.1), None);
+        // EPS slack at the endpoints
+        assert!(f.try_eval(20.0 + 1e-9).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn eval_panics_outside() {
+        vee().eval(25.0);
+    }
+
+    #[test]
+    fn from_points_roundtrip() {
+        let f = vee();
+        assert_eq!(
+            f.points(),
+            vec![(0.0, 10.0), (10.0, 0.0), (20.0, 10.0)]
+        );
+        assert!(f.is_continuous());
+    }
+
+    #[test]
+    fn minimum_at_kink() {
+        let f = vee();
+        let m = f.minimum();
+        assert!(approx_eq(m.value, 0.0));
+        assert!(m.at.approx_eq(&Interval::of(10.0, 10.0)));
+        assert!(approx_eq(f.maximum(), 10.0));
+    }
+
+    #[test]
+    fn minimum_on_flat_region() {
+        // plateau at 5 on [2, 6]
+        let f = Pwl::from_points(&[(0.0, 7.0), (2.0, 5.0), (6.0, 5.0), (8.0, 9.0)]).unwrap();
+        let m = f.minimum();
+        assert!(approx_eq(m.value, 5.0));
+        assert!(m.at.approx_eq(&Interval::of(2.0, 6.0)));
+    }
+
+    #[test]
+    fn minimum_first_of_two_runs() {
+        // two separate plateaus at the same minimum; the first is reported
+        let f = Pwl::from_points(&[
+            (0.0, 1.0),
+            (1.0, 0.0),
+            (2.0, 0.0),
+            (3.0, 1.0),
+            (4.0, 0.0),
+            (5.0, 0.0),
+            (6.0, 1.0),
+        ])
+        .unwrap();
+        let m = f.minimum();
+        assert!(approx_eq(m.value, 0.0));
+        assert!(m.at.approx_eq(&Interval::of(1.0, 2.0)));
+    }
+
+    #[test]
+    fn min_over_subinterval() {
+        let f = vee();
+        let m = f.min_over(&Interval::of(0.0, 4.0)).unwrap();
+        assert!(approx_eq(m.value, 6.0));
+        assert!(m.at.approx_eq(&Interval::of(4.0, 4.0)));
+        let m = f.min_over(&Interval::of(12.0, 30.0)).unwrap();
+        assert!(approx_eq(m.value, 2.0));
+        assert!(m.at.approx_eq(&Interval::of(12.0, 12.0)));
+        assert!(f.min_over(&Interval::of(30.0, 40.0)).is_err());
+        assert!(approx_eq(f.max_over(&Interval::of(5.0, 12.0)).unwrap(), 5.0));
+    }
+
+    #[test]
+    fn add_scalar_and_linear() {
+        let f = vee().add_scalar(3.0);
+        assert!(approx_eq(f.eval(10.0), 3.0));
+        let a = vee().add_identity();
+        assert!(approx_eq(a.eval(10.0), 10.0));
+        assert!(approx_eq(a.eval(0.0), 10.0));
+        let back = a.sub_identity();
+        assert!(approx_eq(back.eval(5.0), vee().eval(5.0)));
+    }
+
+    #[test]
+    fn add_merges_breakpoints() {
+        let f = vee(); // breaks at 10
+        let g = Pwl::from_points(&[(5.0, 0.0), (15.0, 20.0)]).unwrap();
+        let s = f.add(&g).unwrap();
+        assert!(s.domain().approx_eq(&Interval::of(5.0, 15.0)));
+        assert_eq!(s.n_pieces(), 2); // elementary: [5,10], [10,15]
+        for x in [5.0, 7.3, 10.0, 12.9, 15.0] {
+            assert!(approx_eq(s.eval(x), f.eval(x) + g.eval(x)));
+        }
+        // disjoint domains fail
+        let h = Pwl::constant(Interval::of(100.0, 200.0), 1.0).unwrap();
+        assert!(f.add(&h).is_err());
+    }
+
+    #[test]
+    fn restrict_clips() {
+        let f = vee();
+        let r = f.restrict(&Interval::of(5.0, 12.0)).unwrap();
+        assert!(r.domain().approx_eq(&Interval::of(5.0, 12.0)));
+        assert_eq!(r.n_pieces(), 2);
+        for x in [5.0, 9.9, 10.0, 12.0] {
+            assert!(approx_eq(r.eval(x), f.eval(x)));
+        }
+        assert!(f.restrict(&Interval::of(30.0, 40.0)).is_err());
+        // degenerate restriction fails
+        assert!(f.restrict(&Interval::of(20.0, 25.0)).is_err());
+    }
+
+    #[test]
+    fn simplify_merges_collinear() {
+        let f = Pwl::new(
+            vec![0.0, 5.0, 10.0, 20.0],
+            vec![
+                Linear::constant(3.0).unwrap(),
+                Linear::constant(3.0).unwrap(),
+                Linear::identity(),
+            ],
+        )
+        .unwrap();
+        let s = f.simplify();
+        assert_eq!(s.n_pieces(), 2);
+        assert_eq!(s.breakpoints(), &[0.0, 10.0, 20.0]);
+        for x in [0.0, 4.0, 9.0, 15.0, 20.0] {
+            assert!(approx_eq(s.eval(x), f.eval(x)));
+        }
+        assert_eq!(s.simplify(), s);
+    }
+
+    #[test]
+    fn reflect_x_mirrors_graph() {
+        let f = vee(); // min at x=10 on [0,20]
+        let g = f.reflect_x(30.0); // g(x) = f(30 − x), domain [10, 30]
+        assert!(g.domain().approx_eq(&Interval::of(10.0, 30.0)));
+        for x in [10.0, 14.5, 20.0, 25.0, 30.0] {
+            assert!(approx_eq(g.eval(x), f.eval(30.0 - x)), "x={x}");
+        }
+        assert!(g.is_continuous());
+        // minimum moves to the mirrored position
+        let m = g.minimum();
+        assert!(approx_eq(m.at.lo(), 20.0));
+        // involution up to domain arithmetic
+        let back = g.reflect_x(30.0);
+        assert!(back.domain().approx_eq(&f.domain()));
+        for x in [0.0, 7.0, 20.0] {
+            assert!(approx_eq(back.eval(x), f.eval(x)));
+        }
+    }
+
+    #[test]
+    fn shift_x_moves_graph() {
+        let f = vee().shift_x(100.0);
+        assert!(f.domain().approx_eq(&Interval::of(100.0, 120.0)));
+        assert!(approx_eq(f.eval(110.0), 0.0));
+        assert!(approx_eq(f.eval(100.0), 10.0));
+    }
+
+    #[test]
+    fn dominated_by_detects_pointwise_order() {
+        let low = Pwl::constant(Interval::of(0.0, 10.0), 1.0).unwrap();
+        let high = Pwl::constant(Interval::of(0.0, 10.0), 2.0).unwrap();
+        assert!(high.dominated_by(&low));
+        assert!(!low.dominated_by(&high));
+        // crossing functions dominate neither way
+        let up = Pwl::from_points(&[(0.0, 0.0), (10.0, 3.0)]).unwrap();
+        assert!(!up.dominated_by(&low));
+        assert!(!low.dominated_by(&up));
+        // equal functions dominate each other (ties allowed)
+        assert!(low.dominated_by(&low.clone()));
+    }
+
+    #[test]
+    fn sort_dedupe_merges_near_duplicates() {
+        let mut xs = vec![3.0, 1.0, 1.0 + 1e-12, 2.0, 3.0 - 1e-12];
+        sort_dedupe(&mut xs);
+        assert_eq!(xs.len(), 3);
+        assert!(approx_eq(xs[0], 1.0));
+        assert!(approx_eq(xs[1], 2.0));
+        assert!(approx_eq(xs[2], 3.0));
+    }
+}

@@ -1,0 +1,94 @@
+//! Time-of-day helpers: minutes since local midnight.
+//!
+//! The workspace measures time in `f64` **minutes since local
+//! midnight** (so 7:00 am is `420.0`), matching the paper's examples
+//! which are given in minutes (speeds in miles per minute). A day is
+//! [`MINUTES_PER_DAY`] long; speed patterns extend periodically past
+//! midnight for trips that run into the next day.
+
+/// Minutes in a 24-hour day.
+pub const MINUTES_PER_DAY: f64 = 24.0 * 60.0;
+
+/// Build a minutes-of-day value from hours and minutes (e.g.
+/// `hm(7, 30)` = 7:30 am = `450.0`).
+#[inline]
+pub fn hm(hours: u32, minutes: u32) -> f64 {
+    f64::from(hours) * 60.0 + f64::from(minutes)
+}
+
+/// Build a minutes-of-day value from hours, minutes, seconds.
+#[inline]
+pub fn hms(hours: u32, minutes: u32, seconds: u32) -> f64 {
+    hm(hours, minutes) + f64::from(seconds) / 60.0
+}
+
+/// Convert miles-per-hour to miles-per-minute.
+#[inline]
+pub fn mph_to_mpm(mph: f64) -> f64 {
+    mph / 60.0
+}
+
+/// Format a minutes value as `h:mm:ss` (rounded to the nearest
+/// second), wrapping past midnight with a `+Nd` suffix.
+pub fn fmt_minutes(minutes: f64) -> String {
+    let total_seconds = (minutes * 60.0).round() as i64;
+    let day_seconds = (MINUTES_PER_DAY * 60.0) as i64;
+    let days = total_seconds.div_euclid(day_seconds);
+    let within = total_seconds.rem_euclid(day_seconds);
+    let h = within / 3600;
+    let m = (within % 3600) / 60;
+    let s = within % 60;
+    let base = if s == 0 {
+        format!("{h}:{m:02}")
+    } else {
+        format!("{h}:{m:02}:{s:02}")
+    };
+    if days == 0 {
+        base
+    } else {
+        format!("{base}+{days}d")
+    }
+}
+
+/// Format a duration in minutes as `Xm Ys` (e.g. `5m 30s`).
+pub fn fmt_duration(minutes: f64) -> String {
+    let total_seconds = (minutes * 60.0).round() as i64;
+    let m = total_seconds / 60;
+    let s = total_seconds % 60;
+    if s == 0 {
+        format!("{m}m")
+    } else {
+        format!("{m}m {s}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hm_and_hms() {
+        assert_eq!(hm(7, 0), 420.0);
+        assert_eq!(hm(0, 0), 0.0);
+        assert_eq!(hms(6, 58, 30), 418.5);
+        assert_eq!(hms(24, 0, 0), MINUTES_PER_DAY);
+    }
+
+    #[test]
+    fn speed_conversion() {
+        assert!((mph_to_mpm(60.0) - 1.0).abs() < 1e-12);
+        assert!((mph_to_mpm(30.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_minutes(hm(7, 0)), "7:00");
+        assert_eq!(fmt_minutes(hms(6, 58, 30)), "6:58:30");
+        assert_eq!(fmt_minutes(hm(25, 30)), "1:30+1d");
+        assert_eq!(fmt_duration(5.0), "5m");
+        assert_eq!(fmt_duration(5.5), "5m 30s");
+        // paper's 7:03:26 instant (l = 7:06 − 18/7 min)
+        let l = hm(7, 6) - 18.0 / 7.0;
+        assert_eq!(fmt_minutes(l), "7:03:26");
+    }
+}

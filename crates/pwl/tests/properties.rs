@@ -1,0 +1,207 @@
+//! Property-based tests for the piecewise-linear algebra.
+//!
+//! Random continuous functions are generated from sorted breakpoints
+//! with bounded values; every algebraic operation is checked against
+//! its pointwise definition on a dense sample grid.
+
+use proptest::prelude::*;
+use pwl::{approx_eq, approx_le, compose_travel, Envelope, Interval, MonotonePwl, Pwl};
+
+/// Generate a continuous piecewise-linear function on a random domain:
+/// 2..=8 points, x-gaps in [0.5, 10], values in [0, 50].
+fn arb_pwl() -> impl Strategy<Value = Pwl> {
+    (
+        0.0f64..100.0,
+        prop::collection::vec((0.5f64..10.0, 0.0f64..50.0), 1..8),
+        0.0f64..50.0,
+    )
+        .prop_map(|(x0, steps, y0)| {
+            let mut pts = vec![(x0, y0)];
+            let mut x = x0;
+            for (dx, y) in steps {
+                x += dx;
+                pts.push((x, y));
+            }
+            Pwl::from_points(&pts).expect("generated points are valid")
+        })
+}
+
+/// Generate a FIFO-safe travel-time function (arrival slope > 0):
+/// build a strictly increasing arrival function, subtract the identity.
+fn arb_travel(x0: f64) -> impl Strategy<Value = Pwl> {
+    prop::collection::vec((0.5f64..10.0, 0.05f64..3.0), 1..8).prop_map(move |steps| {
+        // arrival pieces with slope = dy/dx in (0.005, 6): strictly increasing
+        let mut pts = vec![(x0, x0 + 5.0)];
+        let (mut x, mut y) = pts[0];
+        for (dx, slope) in steps {
+            x += dx;
+            y += dx * slope;
+            pts.push((x, y));
+        }
+        Pwl::from_points(&pts).expect("valid arrival").sub_identity()
+    })
+}
+
+fn sample_grid(domain: &Interval, n: usize) -> Vec<f64> {
+    (0..=n)
+        .map(|k| domain.lo() + domain.len() * (k as f64) / (n as f64))
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn eval_within_min_max(f in arb_pwl()) {
+        let min = f.minimum().value;
+        let max = f.maximum();
+        for x in sample_grid(&f.domain(), 64) {
+            let v = f.eval(x);
+            prop_assert!(approx_le(min, v) && approx_le(v, max));
+        }
+    }
+
+    #[test]
+    fn min_result_is_attained_and_tight(f in arb_pwl()) {
+        let m = f.minimum();
+        // the reported argmin interval actually achieves the minimum
+        prop_assert!(approx_eq(f.eval(m.at.lo()), m.value));
+        prop_assert!(approx_eq(f.eval(m.at.hi()), m.value));
+        prop_assert!(approx_eq(f.eval(m.at.mid()), m.value));
+        // no sampled point goes below it
+        for x in sample_grid(&f.domain(), 128) {
+            prop_assert!(approx_le(m.value, f.eval(x)));
+        }
+    }
+
+    #[test]
+    fn simplify_preserves_values(f in arb_pwl()) {
+        let s = f.simplify();
+        prop_assert!(s.n_pieces() <= f.n_pieces());
+        for x in sample_grid(&f.domain(), 64) {
+            prop_assert!(approx_eq(s.eval(x), f.eval(x)));
+        }
+        // idempotent
+        prop_assert_eq!(s.simplify().n_pieces(), s.n_pieces());
+    }
+
+    #[test]
+    fn restrict_preserves_values(f in arb_pwl(), t in 0.1f64..0.9, w in 0.05f64..0.8) {
+        let d = f.domain();
+        let lo = d.lo() + t * (1.0 - w) * d.len();
+        let hi = lo + w * d.len();
+        let r = f.restrict(&Interval::of(lo, hi)).unwrap();
+        prop_assert!(r.domain().approx_eq(&Interval::of(lo, hi)));
+        for x in sample_grid(&r.domain(), 32) {
+            prop_assert!(approx_eq(r.eval(x), f.eval(x)));
+        }
+    }
+
+    #[test]
+    fn add_is_pointwise(f in arb_pwl(), g in arb_pwl()) {
+        let Some(common) = f.domain().intersect(&g.domain()) else {
+            return Ok(());
+        };
+        if common.is_degenerate() || common.len() < 0.1 {
+            return Ok(());
+        }
+        let s = f.add(&g).unwrap();
+        for x in sample_grid(&s.domain(), 64) {
+            prop_assert!(approx_eq(s.eval(x), f.eval(x) + g.eval(x)));
+        }
+    }
+
+    #[test]
+    fn monotone_inverse_roundtrip(t in arb_travel(0.0)) {
+        let a = MonotonePwl::arrival_from_travel(&t).unwrap();
+        let inv = a.inverse();
+        for x in sample_grid(&a.domain(), 32) {
+            let y = a.eval(x);
+            prop_assert!(approx_eq(inv.eval(y), x), "x={x} y={y} inv={}", inv.eval(y));
+            prop_assert!(approx_eq(a.inverse_at(y).unwrap(), x));
+        }
+    }
+
+    #[test]
+    fn compose_travel_matches_pointwise(t1 in arb_travel(0.0)) {
+        // Build a t2 wide enough to cover all arrivals.
+        let arrivals = pwl::compose::arrival_interval(&t1).unwrap();
+        let t2_domain = Interval::of(arrivals.lo() - 1.0, arrivals.hi() + 1.0);
+        let t2 = Pwl::from_points(&[
+            (t2_domain.lo(), 7.0),
+            (t2_domain.lo() + t2_domain.len() * 0.4, 2.0),
+            (t2_domain.lo() + t2_domain.len() * 0.6, 2.0),
+            (t2_domain.hi(), 9.0),
+        ]).unwrap();
+        // clamp t2's FIFO: slopes are bounded by 5/(0.4*len); if the
+        // domain is tiny the slope may violate FIFO, which is fine for a
+        // pure composition check (t2 FIFO is not required by compose).
+        let t = compose_travel(&t1, &t2).unwrap();
+        prop_assert!(t.is_continuous());
+        for l in sample_grid(&t1.domain(), 96) {
+            let direct = t1.eval(l) + t2.eval_clamped(l + t1.eval(l));
+            prop_assert!(approx_eq(t.eval(l), direct), "l={l}: {} vs {direct}", t.eval(l));
+        }
+    }
+
+    #[test]
+    fn envelope_is_pointwise_min(fs in prop::collection::vec(arb_pwl(), 2..6)) {
+        // Re-root all functions on a common domain.
+        let domain = Interval::of(0.0, 20.0);
+        let rebased: Vec<Pwl> = fs
+            .iter()
+            .map(|f| {
+                let d = f.domain();
+                let scaled = f.shift_x(-d.lo());
+                // stretch domain to at least 20 by restricting sample
+                if scaled.domain().hi() >= 20.0 {
+                    scaled.restrict(&domain).unwrap()
+                } else {
+                    // extend with a flat tail to reach x=20
+                    let end = scaled.domain().hi();
+                    let v = scaled.eval(end);
+                    let mut pts = scaled.points();
+                    pts.push((20.0, v));
+                    Pwl::from_points(&pts).unwrap()
+                }
+            })
+            .collect();
+
+        let mut env = Envelope::new(rebased[0].clone(), 0usize);
+        for (i, f) in rebased.iter().enumerate().skip(1) {
+            env.merge_min(f, i).unwrap();
+        }
+        for x in sample_grid(&domain, 128) {
+            let want = rebased.iter().map(|f| f.eval(x)).fold(f64::INFINITY, f64::min);
+            prop_assert!(approx_eq(env.eval(x), want), "x={x}: {} vs {want}", env.eval(x));
+        }
+        // each piece's tag points at a function achieving the envelope
+        for p in env.pieces() {
+            let mid = p.interval.mid();
+            prop_assert!(approx_eq(rebased[*p.tag].eval(mid), env.eval(mid)));
+        }
+        // partition covers the domain with no gaps
+        let parts = env.partition();
+        prop_assert!(approx_eq(parts[0].0.lo(), domain.lo()));
+        prop_assert!(approx_eq(parts[parts.len() - 1].0.hi(), domain.hi()));
+        for w in parts.windows(2) {
+            prop_assert!(approx_eq(w[0].0.hi(), w[1].0.lo()));
+            prop_assert!(w[0].1 != w[1].1, "adjacent partitions share a tag");
+        }
+    }
+
+    #[test]
+    fn dominated_by_agrees_with_sampling(f in arb_pwl(), g in arb_pwl()) {
+        let Some(common) = f.domain().intersect(&g.domain()) else {
+            return Ok(());
+        };
+        if common.is_degenerate() || common.len() < 0.1 {
+            return Ok(());
+        }
+        let fr = f.restrict(&common).unwrap();
+        let gr = g.restrict(&common).unwrap();
+        if fr.dominated_by(&gr) {
+            for x in sample_grid(&common, 64) {
+                prop_assert!(approx_le(gr.eval(x), fr.eval(x)));
+            }
+        }
+    }
+}

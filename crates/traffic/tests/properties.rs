@@ -1,0 +1,104 @@
+//! Property tests: the exact speed→travel-time conversion agrees with
+//! direct integration and Equation (1), and always preserves FIFO.
+
+use proptest::prelude::*;
+use pwl::time::hm;
+use pwl::{approx_eq, Interval, MonotonePwl};
+use traffic::travel::{eq1_two_speed, travel_time_at, travel_time_fn};
+use traffic::SpeedProfile;
+
+/// Random daily profile: 1–5 pieces, speeds in [0.05, 1.2] mpm
+/// (3–72 MPH), boundaries spread over the day.
+fn arb_profile() -> impl Strategy<Value = SpeedProfile> {
+    (
+        prop::collection::vec((1.0f64..400.0, 0.05f64..1.2), 0..4),
+        0.05f64..1.2,
+    )
+        .prop_map(|(raw, v0)| {
+            let mut pairs = vec![(0.0, v0)];
+            let mut start = 0.0;
+            for (gap, v) in raw {
+                start += gap;
+                if start >= 1439.0 {
+                    break;
+                }
+                pairs.push((start, v));
+            }
+            SpeedProfile::from_pairs(&pairs).expect("generated profile valid")
+        })
+}
+
+proptest! {
+    #[test]
+    fn function_matches_integration(
+        profile in arb_profile(),
+        lo in 0.0f64..1400.0,
+        len in 10.0f64..400.0,
+        distance in 0.2f64..15.0,
+    ) {
+        let leaving = Interval::of(lo, lo + len);
+        let t = travel_time_fn(&profile, distance, &leaving).unwrap();
+        for k in 0..=64 {
+            let l = leaving.lo() + leaving.len() * (k as f64) / 64.0;
+            let want = travel_time_at(&profile, distance, l).unwrap();
+            prop_assert!(
+                approx_eq(t.eval(l), want),
+                "l={l}: fn={} direct={want}", t.eval(l)
+            );
+        }
+    }
+
+    #[test]
+    fn fifo_always_holds(
+        profile in arb_profile(),
+        lo in 0.0f64..1400.0,
+        len in 10.0f64..400.0,
+        distance in 0.2f64..15.0,
+    ) {
+        let leaving = Interval::of(lo, lo + len);
+        let t = travel_time_fn(&profile, distance, &leaving).unwrap();
+        prop_assert!(t.is_continuous());
+        prop_assert!(MonotonePwl::arrival_from_travel(&t).is_ok());
+        // travel time bounded by distance over extreme speeds
+        let min = t.minimum().value;
+        let max = t.maximum();
+        prop_assert!(pwl::approx_le(distance / profile.max_speed(), min + 1e-6));
+        prop_assert!(pwl::approx_le(max, distance / profile.min_speed() + 1e-6));
+    }
+
+    #[test]
+    fn equation_1_special_case(
+        v1 in 0.1f64..1.2,
+        v2 in 0.1f64..1.2,
+        distance in 0.2f64..10.0,
+        frac in 0.05f64..0.95,
+    ) {
+        // speed v1 before t2 = 8:00, v2 after; leaving in [5:00, 8:00]
+        let t2 = hm(8, 0);
+        let profile = SpeedProfile::from_pairs(&[(0.0, v1), (t2, v2)]).unwrap();
+        let l = hm(5, 0) + frac * (t2 - hm(5, 0));
+        let direct = travel_time_at(&profile, distance, l).unwrap();
+        let eq1 = eq1_two_speed(distance, v1, v2, t2, l);
+        // Equation (1) only covers objects that finish before the speed
+        // changes again (here: before next midnight); guard like the paper.
+        if l + direct < hm(24, 0) {
+            prop_assert!(approx_eq(direct, eq1), "direct={direct} eq1={eq1}");
+        }
+    }
+
+    #[test]
+    fn later_leaving_never_arrives_earlier(
+        profile in arb_profile(),
+        lo in 0.0f64..1400.0,
+        distance in 0.2f64..15.0,
+    ) {
+        // discrete FIFO check, independent of the pwl machinery
+        let mut prev_arrival = f64::NEG_INFINITY;
+        for k in 0..60 {
+            let l = lo + (k as f64) * 2.0;
+            let arr = l + travel_time_at(&profile, distance, l).unwrap();
+            prop_assert!(arr + 1e-9 >= prev_arrival, "FIFO violated at l={l}");
+            prev_arrival = arr;
+        }
+    }
+}

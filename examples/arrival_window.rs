@@ -1,0 +1,66 @@
+//! Arrival-interval queries: "be at the office between 8:45 and 9:15".
+//!
+//! Run with `cargo run --release --example arrival_window`.
+//!
+//! The paper's problem statement allows "a leaving or arrival time
+//! interval"; this example exercises the arrival side, answered
+//! exactly by the time-mirroring reduction (see
+//! `allfp::arrival`): which route to take — and when to leave — for
+//! every admissible arrival instant.
+
+use allfp::arrival::{ArrivalPlanner, ArrivalQuerySpec};
+use fastest_paths::prelude::*;
+use roadnet::generators::{suffolk_like, MetroConfig};
+use roadnet::workload::commute_pairs;
+
+fn main() {
+    let net = suffolk_like(&MetroConfig::small(7)).expect("generator succeeds");
+    // a morning commute into downtown
+    let pair = commute_pairs(&net, 1, 1.5, 3.0, 1.0, 11)
+        .expect("sampling succeeds")
+        .pop()
+        .expect("network is large enough");
+    println!(
+        "meeting at {} (downtown), coming from {} ({:.1} mi away)",
+        pair.target, pair.source, pair.euclidean
+    );
+
+    let planner =
+        ArrivalPlanner::new(&net, EngineConfig::default()).expect("planner builds");
+    let q = ArrivalQuerySpec {
+        source: pair.source,
+        target: pair.target,
+        arrival: Interval::of(hm(8, 45), hm(9, 15)),
+        category: DayCategory::WORKDAY,
+    };
+
+    let ans = planner.all_fastest_paths(&q).expect("reachable");
+    println!("\nfastest routes by arrival time (window 8:45 - 9:15):");
+    for (iv, idx) in &ans.partition {
+        let path = &ans.paths[*idx];
+        let a = iv.mid();
+        let t = path.travel.eval_clamped(a);
+        println!(
+            "  arrive [{} - {}]: {} hops; e.g. arrive {} by leaving {} ({})",
+            fmt_minutes(iv.lo()),
+            fmt_minutes(iv.hi()),
+            path.n_edges(),
+            fmt_minutes(a),
+            fmt_minutes(a - t),
+            fmt_duration(t),
+        );
+    }
+
+    let single = planner.single_fastest_path(&q).expect("reachable");
+    println!(
+        "\ncheapest arrival overall: {} — leave {}, arrive [{} - {}]",
+        fmt_duration(single.travel_minutes),
+        fmt_minutes(single.departure),
+        fmt_minutes(single.best_arrival.lo()),
+        fmt_minutes(single.best_arrival.hi()),
+    );
+    println!(
+        "(search: {} paths expanded on the time-mirrored network)",
+        single.stats.expanded_paths
+    );
+}
