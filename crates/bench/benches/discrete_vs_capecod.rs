@@ -33,16 +33,8 @@ fn bench_models(c: &mut Criterion) {
             |b, &step| {
                 b.iter(|| {
                     black_box(
-                        discrete_time(
-                            net,
-                            q.source,
-                            q.target,
-                            &q.interval,
-                            step,
-                            q.category,
-                            &lb,
-                        )
-                        .unwrap(),
+                        discrete_time(net, q.source, q.target, &q.interval, step, q.category, &lb)
+                            .unwrap(),
                     )
                 })
             },

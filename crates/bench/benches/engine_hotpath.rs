@@ -1,0 +1,174 @@
+#![allow(missing_docs)] // criterion_group! expands to undocumented items
+//! Hot-path benchmarks for the allFP engine: the travel-function cache
+//! (on vs off) and the batch driver (`run_batch` vs a serial loop),
+//! over the Figure 9 workload (3-hour morning rush, distance-sampled
+//! source–target pairs on the metro scenario).
+//!
+//! Besides the Criterion timings, the run emits `BENCH_engine.json` at
+//! the repository root with wall-times and expansions/sec for each
+//! configuration, so throughput claims are machine-checkable.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, Criterion};
+use fpbench::{Scale, Scenario};
+
+use allfp::{Engine, EngineConfig, QuerySpec};
+use pwl::time::hm;
+use pwl::Interval;
+use roadnet::workload::sample_pairs;
+use roadnet::RoadNetwork;
+use traffic::DayCategory;
+
+/// The Figure 9 query workload: `count` pairs 1–3 miles apart, morning
+/// rush interval, workday speeds.
+fn workload(net: &RoadNetwork, count: usize) -> Vec<QuerySpec> {
+    let interval = Interval::of(hm(7, 0), hm(10, 0));
+    sample_pairs(net, count, 1.0, 3.0, 0xF19)
+        .expect("sampling succeeds")
+        .iter()
+        .map(|p| QuerySpec::new(p.source, p.target, interval, DayCategory::WORKDAY))
+        .collect()
+}
+
+fn uncached() -> EngineConfig {
+    EngineConfig {
+        use_travel_cache: false,
+        ..EngineConfig::default()
+    }
+}
+
+fn bench_hotpath(c: &mut Criterion) {
+    let scenario = Scenario::new(Scale::Small, 0x5EED);
+    let net = &scenario.net;
+    let queries = workload(net, 8);
+
+    let cached = Engine::new(net, EngineConfig::default());
+    let plain = Engine::new(net, uncached());
+
+    let mut group = c.benchmark_group("engine-hotpath allFP x8");
+    group.sample_size(10);
+    group.bench_function("serial cache-off", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(plain.all_fastest_paths(q).ok());
+            }
+        })
+    });
+    group.bench_function("serial cache-on", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(cached.all_fastest_paths(q).ok());
+            }
+        })
+    });
+    group.bench_function("run_batch cache-on", |b| {
+        b.iter(|| black_box(cached.run_batch(&queries)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hotpath);
+
+/// One measured configuration for the JSON report.
+struct Measured {
+    name: &'static str,
+    wall_seconds: f64,
+    queries: usize,
+    expanded_paths: usize,
+    expansions_per_sec: f64,
+    queries_per_sec: f64,
+}
+
+/// Time `queries` through `run`, counting expansions via the answers.
+fn measure(
+    name: &'static str,
+    queries: &[QuerySpec],
+    run: impl Fn(&[QuerySpec]) -> Vec<allfp::Result<allfp::AllFpAnswer>>,
+) -> Measured {
+    // Warm-up pass (fills the cache where one is enabled).
+    let _ = run(queries);
+    let reps = 3;
+    let start = Instant::now();
+    let mut expanded = 0usize;
+    for _ in 0..reps {
+        expanded = 0;
+        for ans in run(queries).iter().flatten() {
+            expanded += ans.stats.expanded_paths;
+        }
+    }
+    let wall = start.elapsed().as_secs_f64() / f64::from(reps);
+    Measured {
+        name,
+        wall_seconds: wall,
+        queries: queries.len(),
+        expanded_paths: expanded,
+        expansions_per_sec: expanded as f64 / wall,
+        queries_per_sec: queries.len() as f64 / wall,
+    }
+}
+
+/// Minimal JSON rendering (no serde in the workspace).
+fn to_json(rows: &[Measured], speedup_cache: f64, speedup_batch: f64) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"engine_hotpath\",\n");
+    out.push_str("  \"workload\": \"fig9 morning rush, metro-small, allFP\",\n");
+    out.push_str("  \"configs\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"queries\": {}, \"wall_seconds\": {:.6}, \
+             \"expanded_paths\": {}, \"expansions_per_sec\": {:.1}, \"queries_per_sec\": {:.2}}}{}\n",
+            r.name,
+            r.queries,
+            r.wall_seconds,
+            r.expanded_paths,
+            r.expansions_per_sec,
+            r.queries_per_sec,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"speedup_cache_on_vs_off\": {speedup_cache:.2},\n"
+    ));
+    out.push_str(&format!(
+        "  \"speedup_batch_vs_serial\": {speedup_batch:.2}\n"
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// Measure the report configurations and write `BENCH_engine.json`.
+fn emit_report() {
+    let scenario = Scenario::new(Scale::Small, 0x5EED);
+    let net = &scenario.net;
+    let queries = workload(net, 8);
+
+    let plain = Engine::new(net, uncached());
+    let cached = Engine::new(net, EngineConfig::default());
+
+    let rows = vec![
+        measure("serial cache-off", &queries, |qs| {
+            qs.iter().map(|q| plain.all_fastest_paths(q)).collect()
+        }),
+        measure("serial cache-on", &queries, |qs| {
+            qs.iter().map(|q| cached.all_fastest_paths(q)).collect()
+        }),
+        measure("run_batch cache-on", &queries, |qs| cached.run_batch(qs)),
+    ];
+    let speedup_cache = rows[0].wall_seconds / rows[1].wall_seconds;
+    let speedup_batch = rows[1].wall_seconds / rows[2].wall_seconds;
+    let json = to_json(&rows, speedup_cache, speedup_batch);
+
+    // CARGO_MANIFEST_DIR = crates/bench; the report lives at the root.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    print!("{json}");
+}
+
+fn main() {
+    benches();
+    emit_report();
+}

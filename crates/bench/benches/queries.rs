@@ -25,7 +25,10 @@ fn bench_queries(c: &mut Criterion) {
     let naive = Engine::for_network(net, EngineConfig::default()).expect("builds");
     let bd = Engine::for_network(
         net,
-        EngineConfig { estimator: EstimatorKind::Boundary { grid: 8 }, ..Default::default() },
+        EngineConfig {
+            estimator: EstimatorKind::Boundary { grid: 8 },
+            ..Default::default()
+        },
     )
     .expect("builds");
 

@@ -35,7 +35,10 @@ fn bench_record_scan(c: &mut Criterion) {
 }
 
 fn bench_btree_get(c: &mut Criterion) {
-    let pool = Arc::new(BufferPool::new(Arc::new(MemStore::new(DEFAULT_PAGE_SIZE)), 256));
+    let pool = Arc::new(BufferPool::new(
+        Arc::new(MemStore::new(DEFAULT_PAGE_SIZE)),
+        256,
+    ));
     let pairs: Vec<(u64, u64)> = (0..100_000u64).map(|i| (i * 2, i)).collect();
     let tree = BTree::bulk_load(Arc::clone(&pool), &pairs).expect("bulk load");
     let mut k = 0u64;
@@ -51,8 +54,8 @@ fn bench_find_node(c: &mut Criterion) {
     let scenario = Scenario::new(Scale::Small, 0x5EED);
     let net = &scenario.net;
     let store = Arc::new(MemStore::new(DEFAULT_PAGE_SIZE));
-    let disk = CcamStore::build(net, store, PlacementPolicy::ConnectivityClustered, 256)
-        .expect("builds");
+    let disk =
+        CcamStore::build(net, store, PlacementPolicy::ConnectivityClustered, 256).expect("builds");
     let mut i = 0u32;
     let n = net.n_nodes() as u32;
     c.bench_function("ccam node_record (warm pool)", |b| {

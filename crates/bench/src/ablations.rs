@@ -25,7 +25,12 @@ pub fn grid_sweep(net: &RoadNetwork, grids: &[usize], n_queries: usize, seed: u6
 
     let mut t = Table::new(
         "Ablation A-1 - bdLB grid granularity (allFP, morning rush)",
-        &["grid", "precompute ms", "mean expanded nodes", "mean query ms"],
+        &[
+            "grid",
+            "precompute ms",
+            "mean expanded nodes",
+            "mean query ms",
+        ],
     );
     for &grid in grids {
         let t0 = Instant::now();
@@ -49,14 +54,20 @@ pub fn grid_sweep(net: &RoadNetwork, grids: &[usize], n_queries: usize, seed: u6
         for p in &pairs {
             let q = QuerySpec::new(p.source, p.target, interval, DayCategory::WORKDAY);
             let t0 = Instant::now();
-            let Ok(ans) = engine.all_fastest_paths(&q) else { continue };
+            let Ok(ans) = engine.all_fastest_paths(&q) else {
+                continue;
+            };
             elapsed_ms += t0.elapsed().as_secs_f64() * 1e3;
             expanded += ans.stats.expanded_nodes;
             done += 1;
         }
         let n = done.max(1) as f64;
         t.push_row(vec![
-            if grid == 0 { "naive".into() } else { grid.to_string() },
+            if grid == 0 {
+                "naive".into()
+            } else {
+                grid.to_string()
+            },
             fnum(pre_ms, 1),
             fnum(expanded as f64 / n, 1),
             fnum(elapsed_ms / n, 2),
@@ -73,7 +84,13 @@ pub fn pruning(net: &RoadNetwork, n_queries: usize, seed: u64) -> Table {
 
     let mut t = Table::new(
         "Ablation A-2 - basic path expansion vs dominance pruning (allFP, 1h rush window)",
-        &["engine", "queries", "mean expanded paths", "mean pushed", "mean query ms"],
+        &[
+            "engine",
+            "queries",
+            "mean expanded paths",
+            "mean pushed",
+            "mean query ms",
+        ],
     );
     for (name, prune) in [("basic (paper)", false), ("pruned (default)", true)] {
         let engine = Engine::new(
@@ -91,7 +108,9 @@ pub fn pruning(net: &RoadNetwork, n_queries: usize, seed: u64) -> Table {
         for p in &pairs {
             let q = QuerySpec::new(p.source, p.target, interval, DayCategory::WORKDAY);
             let t0 = Instant::now();
-            let Ok(ans) = engine.all_fastest_paths(&q) else { continue };
+            let Ok(ans) = engine.all_fastest_paths(&q) else {
+                continue;
+            };
             elapsed_ms += t0.elapsed().as_secs_f64() * 1e3;
             expanded += ans.stats.expanded_paths;
             pushed += ans.stats.pushed;
@@ -117,7 +136,13 @@ pub fn ccam_placement(net: &RoadNetwork, pool_frames: &[usize], seed: u64) -> Ta
 
     let mut t = Table::new(
         "Ablation A-3 - CCAM placement vs buffer size (8 allFP queries, page 2048B)",
-        &["placement", "pool frames", "logical reads", "page faults", "hit %"],
+        &[
+            "placement",
+            "pool frames",
+            "logical reads",
+            "page faults",
+            "hit %",
+        ],
     );
     for (name, policy) in [
         ("ccam", PlacementPolicy::ConnectivityClustered),

@@ -37,7 +37,12 @@ fn main() -> ExitCode {
         eprintln!("usage: experiments <table1|fig9|fig10|const-speed|ablation-grid|ablation-pruning|ablation-ccam|all> [--scale small|medium|full] [--seed N] [--queries N] [--csv DIR]");
         return ExitCode::FAILURE;
     };
-    let mut opts = Options { scale: Scale::Medium, seed: 0x5EED, queries: 20, csv_dir: None };
+    let mut opts = Options {
+        scale: Scale::Medium,
+        seed: 0x5EED,
+        queries: 20,
+        csv_dir: None,
+    };
     let rest: Vec<String> = args.collect();
     let mut i = 0;
     while i < rest.len() {
@@ -87,17 +92,29 @@ fn main() -> ExitCode {
         emit(&opts, "table1", table1::render());
     }
 
-    if ["fig9", "fig10", "const-speed", "ablation-grid", "ablation-pruning", "ablation-ccam"]
-        .iter()
-        .any(|n| wants(n))
+    if [
+        "fig9",
+        "fig10",
+        "const-speed",
+        "ablation-grid",
+        "ablation-pruning",
+        "ablation-ccam",
+    ]
+    .iter()
+    .any(|n| wants(n))
     {
         let scenario = Scenario::new(opts.scale, opts.seed);
         println!("{}", scenario.describe());
 
         if wants("fig9") {
             matched = true;
-            let rows =
-                fig9::run(&scenario.net, opts.queries, scenario.max_query_miles(), 8, opts.seed);
+            let rows = fig9::run(
+                &scenario.net,
+                opts.queries,
+                scenario.max_query_miles(),
+                8,
+                opts.seed,
+            );
             emit(&opts, "fig9", fig9::render(&rows));
         }
         if wants("fig10") {

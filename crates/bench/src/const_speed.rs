@@ -40,8 +40,8 @@ pub fn run(net: &RoadNetwork, n_queries: usize, seed: u64) -> Vec<ConstSpeedRow>
     // (instant, evening?) — evening trips run the commute in reverse
     let instants = [(hm(8, 0), false), (hm(12, 0), false), (hm(17, 0), true)];
     let downtown_radius = downtown_radius(net);
-    let pairs = commute_pairs(net, n_queries, 2.0, 6.0, downtown_radius, seed)
-        .expect("sampling succeeds");
+    let pairs =
+        commute_pairs(net, n_queries, 2.0, 6.0, downtown_radius, seed).expect("sampling succeeds");
 
     let mut rows = Vec::with_capacity(instants.len());
     for (leave, evening) in instants {
@@ -50,14 +50,15 @@ pub fn run(net: &RoadNetwork, n_queries: usize, seed: u64) -> Vec<ConstSpeedRow>
         let mut improvement_sum = 0.0;
         let mut done = 0usize;
         for p in &pairs {
-            let (src, dst) = if evening { (p.target, p.source) } else { (p.source, p.target) };
-            let q = QuerySpec::new(
-                src,
-                dst,
-                Interval::of(leave, leave),
-                DayCategory::WORKDAY,
-            );
-            let Ok(smart) = engine.single_fastest_path(&q) else { continue };
+            let (src, dst) = if evening {
+                (p.target, p.source)
+            } else {
+                (p.source, p.target)
+            };
+            let q = QuerySpec::new(src, dst, Interval::of(leave, leave), DayCategory::WORKDAY);
+            let Ok(smart) = engine.single_fastest_path(&q) else {
+                continue;
+            };
             let Ok((_, constant)) =
                 constant_speed_plan(net, q.source, q.target, leave, DayCategory::WORKDAY)
             else {
@@ -103,7 +104,13 @@ fn downtown_radius(net: &RoadNetwork) -> f64 {
 pub fn render(rows: &[ConstSpeedRow]) -> Table {
     let mut t = Table::new(
         "Section 6 - CapeCod planning vs constant speed-limit planning (workday)",
-        &["departure", "queries", "smart mean", "constant mean", "improvement %"],
+        &[
+            "departure",
+            "queries",
+            "smart mean",
+            "constant mean",
+            "improvement %",
+        ],
     );
     for r in rows {
         t.push_row(vec![

@@ -72,7 +72,9 @@ pub fn run(
     for p in &pairs {
         let q = QuerySpec::new(p.source, p.target, interval, DayCategory::WORKDAY);
         let t0 = Instant::now();
-        let Ok(single) = engine.single_fastest_path(&q) else { continue };
+        let Ok(single) = engine.single_fastest_path(&q) else {
+            continue;
+        };
         exact_total_ms += t0.elapsed().as_secs_f64() * 1e3;
         exact_total_work += single.stats.expanded_paths.max(1);
         exacts.push((p, single));
@@ -110,7 +112,11 @@ pub fn run(
             probes,
         });
     }
-    Fig10Result { rows, queries: exacts.len(), exact_ms: exact_total_ms / exacts.len().max(1) as f64 }
+    Fig10Result {
+        rows,
+        queries: exacts.len(),
+        exact_ms: exact_total_ms / exacts.len().max(1) as f64,
+    }
 }
 
 /// Render both panels of Figure 10.

@@ -61,12 +61,18 @@ pub fn run(
     let naive = Engine::for_network(net, EngineConfig::default()).expect("estimator builds");
     let bd = Engine::for_network(
         net,
-        EngineConfig { estimator: EstimatorKind::Boundary { grid }, ..Default::default() },
+        EngineConfig {
+            estimator: EstimatorKind::Boundary { grid },
+            ..Default::default()
+        },
     )
     .expect("precomputation succeeds");
     let bdt = Engine::for_network(
         net,
-        EngineConfig { estimator: EstimatorKind::BoundaryTime { grid }, ..Default::default() },
+        EngineConfig {
+            estimator: EstimatorKind::BoundaryTime { grid },
+            ..Default::default()
+        },
     )
     .expect("precomputation succeeds");
 
@@ -78,12 +84,24 @@ pub fn run(
         let mut done = 0usize;
         for p in &pairs {
             let q = QuerySpec::new(p.source, p.target, interval, DayCategory::WORKDAY);
-            let Ok(sn) = naive.single_fastest_path(&q) else { continue };
-            let Ok(sb) = bd.single_fastest_path(&q) else { continue };
-            let Ok(st) = bdt.single_fastest_path(&q) else { continue };
-            let Ok(an) = naive.all_fastest_paths(&q) else { continue };
-            let Ok(ab) = bd.all_fastest_paths(&q) else { continue };
-            let Ok(at) = bdt.all_fastest_paths(&q) else { continue };
+            let Ok(sn) = naive.single_fastest_path(&q) else {
+                continue;
+            };
+            let Ok(sb) = bd.single_fastest_path(&q) else {
+                continue;
+            };
+            let Ok(st) = bdt.single_fastest_path(&q) else {
+                continue;
+            };
+            let Ok(an) = naive.all_fastest_paths(&q) else {
+                continue;
+            };
+            let Ok(ab) = bd.all_fastest_paths(&q) else {
+                continue;
+            };
+            let Ok(at) = bdt.all_fastest_paths(&q) else {
+                continue;
+            };
             sums[0] += sn.stats.expanded_nodes as f64;
             sums[1] += sb.stats.expanded_nodes as f64;
             sums[2] += st.stats.expanded_nodes as f64;
@@ -134,8 +152,22 @@ pub fn render(rows: &[Fig9Row]) -> Table {
             fnum(r.all_naive, 1),
             fnum(r.all_bd, 1),
             fnum(r.all_bdt, 1),
-            fnum(if r.single_bdt > 0.0 { r.single_naive / r.single_bdt } else { 0.0 }, 2),
-            fnum(if r.all_bdt > 0.0 { r.all_naive / r.all_bdt } else { 0.0 }, 2),
+            fnum(
+                if r.single_bdt > 0.0 {
+                    r.single_naive / r.single_bdt
+                } else {
+                    0.0
+                },
+                2,
+            ),
+            fnum(
+                if r.all_bdt > 0.0 {
+                    r.all_naive / r.all_bdt
+                } else {
+                    0.0
+                },
+                2,
+            ),
         ]);
     }
     t

@@ -45,7 +45,10 @@ impl Scenario {
         let cfg = match scale {
             Scale::Small => MetroConfig::small(seed),
             Scale::Medium => MetroConfig::medium(seed),
-            Scale::Full => MetroConfig { seed, ..MetroConfig::default() },
+            Scale::Full => MetroConfig {
+                seed,
+                ..MetroConfig::default()
+            },
         };
         let net = suffolk_like(&cfg).expect("generator succeeds");
         Scenario { net, scale, seed }

@@ -12,7 +12,13 @@ pub fn render() -> Table {
     let schema = PatternSchema::table1().expect("schema builds");
     let mut t = Table::new(
         "Table 1 - CapeCod pattern schema (speeds in MPH, probed from the implementation)",
-        &["class", "non-workday", "workday 8am", "workday noon", "workday 5pm"],
+        &[
+            "class",
+            "non-workday",
+            "workday 8am",
+            "workday noon",
+            "workday 5pm",
+        ],
     );
     let probes = [
         (DayCategory::NON_WORKDAY, hm(8, 0)),

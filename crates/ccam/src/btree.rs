@@ -117,7 +117,11 @@ impl BTree {
         }
         pool.flush()?;
 
-        Ok(BTree { pool, root: level[0].1, height })
+        Ok(BTree {
+            pool,
+            root: level[0].1,
+            height,
+        })
     }
 
     /// Reopen a tree whose root/height were persisted elsewhere.
@@ -379,7 +383,9 @@ fn parse_leaf(page: &[u8]) -> Result<(Vec<(u64, u64)>, u64)> {
     let mut buf = page;
     let kind = buf.get_u8();
     if kind != KIND_LEAF {
-        return Err(CcamError::Corrupt(format!("expected leaf, found kind {kind}")));
+        return Err(CcamError::Corrupt(format!(
+            "expected leaf, found kind {kind}"
+        )));
     }
     let n = buf.get_u16_le() as usize;
     let next = buf.get_u64_le();
@@ -442,8 +448,11 @@ mod tests {
         let pairs: Vec<(u64, u64)> = (0..1000).map(|i| (i * 2, i)).collect();
         let t = BTree::bulk_load(pool(256, 64), &pairs).unwrap();
         let got = t.range(100, 121).unwrap();
-        let want: Vec<(u64, u64)> =
-            pairs.iter().copied().filter(|&(k, _)| (100..=121).contains(&k)).collect();
+        let want: Vec<(u64, u64)> = pairs
+            .iter()
+            .copied()
+            .filter(|&(k, _)| (100..=121).contains(&k))
+            .collect();
         assert_eq!(got, want);
         // full scan
         assert_eq!(t.range(0, u64::MAX - 1).unwrap(), pairs);

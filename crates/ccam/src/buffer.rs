@@ -73,7 +73,10 @@ impl BufferPool {
         BufferPool {
             store,
             capacity: capacity.max(1),
-            inner: Mutex::new(Inner { frames: HashMap::new(), tick: 0 }),
+            inner: Mutex::new(Inner {
+                frames: HashMap::new(),
+                tick: 0,
+            }),
             stats: BufferStats::default(),
         }
     }
@@ -110,7 +113,11 @@ impl BufferPool {
         let mut data = vec![0u8; self.store.page_size()];
         self.store.read_page(id, &mut data)?;
         self.evict_if_full(&mut inner)?;
-        let frame = Frame { data, stamp: tick, dirty: false };
+        let frame = Frame {
+            data,
+            stamp: tick,
+            dirty: false,
+        };
         let r = f(&frame.data);
         inner.frames.insert(id, frame);
         Ok(r)
@@ -129,7 +136,14 @@ impl BufferPool {
             return Ok(());
         }
         self.evict_if_full(&mut inner)?;
-        inner.frames.insert(id, Frame { data: data.to_vec(), stamp: tick, dirty: true });
+        inner.frames.insert(
+            id,
+            Frame {
+                data: data.to_vec(),
+                stamp: tick,
+                dirty: true,
+            },
+        );
         Ok(())
     }
 

@@ -162,8 +162,8 @@ impl CcamStore {
         let page_size = store.page_size();
         let pool = Arc::new(BufferPool::new(store, pool_frames));
 
-        let (n_nodes, root, height, pattern_start, n_pattern_pages, pattern_len) =
-            pool.with_page(0, |page| {
+        let (n_nodes, root, height, pattern_start, n_pattern_pages, pattern_len) = pool
+            .with_page(0, |page| {
                 let mut buf = page;
                 if buf.get_u32_le() != MAGIC {
                     return Err(CcamError::Corrupt("bad magic".into()));
@@ -184,7 +184,14 @@ impl CcamStore {
                 let pattern_start = buf.get_u64_le();
                 let n_pattern_pages = buf.get_u32_le() as usize;
                 let pattern_len = buf.get_u32_le() as usize;
-                Ok((n_nodes, root, height, pattern_start, n_pattern_pages, pattern_len))
+                Ok((
+                    n_nodes,
+                    root,
+                    height,
+                    pattern_start,
+                    n_pattern_pages,
+                    pattern_len,
+                ))
             })??;
 
         let mut pattern_bytes = Vec::with_capacity(pattern_len);
@@ -264,6 +271,17 @@ impl NetworkSource for CcamStore {
         self.node_record(node)
             .map(|r| r.edges.iter().map(Edge::from).collect())
             .map_err(|_| roadnet::NetworkError::UnknownNode(node))
+    }
+
+    fn successors_into(&self, node: NodeId, buf: &mut Vec<Edge>) -> roadnet::Result<()> {
+        buf.clear();
+        match self.node_record(node) {
+            Ok(r) => {
+                buf.extend(r.edges.iter().map(Edge::from));
+                Ok(())
+            }
+            Err(_) => Err(roadnet::NetworkError::UnknownNode(node)),
+        }
     }
 
     fn pattern(&self, id: PatternId) -> roadnet::Result<&CapeCodPattern> {
@@ -392,14 +410,18 @@ impl CcamStore {
     fn append_record(&mut self, bytes: &[u8]) -> Result<u64> {
         let page_size = self.pool.store().page_size();
         if bytes.len() + 8 > page_size {
-            return Err(CcamError::RecordTooLarge { need: bytes.len(), page: page_size });
+            return Err(CcamError::RecordTooLarge {
+                need: bytes.len(),
+                page: page_size,
+            });
         }
         loop {
             let page_id = match self.overflow_page {
                 Some(id) => id,
                 None => {
                     let id = self.pool.store().allocate()?;
-                    self.pool.write_page(id, SlottedPage::new(page_size).as_bytes())?;
+                    self.pool
+                        .write_page(id, SlottedPage::new(page_size).as_bytes())?;
                     self.overflow_page = Some(id);
                     id
                 }
@@ -562,7 +584,10 @@ mod tests {
     fn implements_network_source() {
         let (net, ccam) = build_grid_store(PlacementPolicy::HilbertPacked);
         let src: &dyn NetworkSource = &ccam;
-        assert_eq!(src.find_node(NodeId(5)).unwrap(), *net.point(NodeId(5)).unwrap());
+        assert_eq!(
+            src.find_node(NodeId(5)).unwrap(),
+            *net.point(NodeId(5)).unwrap()
+        );
         assert_eq!(
             src.successors(NodeId(0)).unwrap(),
             net.neighbors(NodeId(0)).unwrap().to_vec()
@@ -578,8 +603,13 @@ mod tests {
         let net = grid(6, 6, 0.3, RoadClass::LocalOutside).unwrap();
         let store: Arc<dyn BlockStore> = Arc::new(MemStore::new(DEFAULT_PAGE_SIZE));
         {
-            CcamStore::build(&net, Arc::clone(&store), PlacementPolicy::ConnectivityClustered, 16)
-                .unwrap();
+            CcamStore::build(
+                &net,
+                Arc::clone(&store),
+                PlacementPolicy::ConnectivityClustered,
+                16,
+            )
+            .unwrap();
         }
         let reopened = CcamStore::open(store, 16).unwrap();
         assert_eq!(NetworkSource::n_nodes(&reopened), 36);
@@ -604,7 +634,10 @@ mod tests {
     fn open_rejects_garbage() {
         let store: Arc<dyn BlockStore> = Arc::new(MemStore::new(DEFAULT_PAGE_SIZE));
         store.allocate().unwrap();
-        assert!(matches!(CcamStore::open(store, 4), Err(CcamError::Corrupt(_))));
+        assert!(matches!(
+            CcamStore::open(store, 4),
+            Err(CcamError::Corrupt(_))
+        ));
     }
 
     #[test]
@@ -665,7 +698,10 @@ mod tests {
             .unwrap();
         }
         let rec = ccam.node_record(NodeId(0)).unwrap();
-        assert_eq!(rec.edges.len(), net.neighbors(NodeId(0)).unwrap().len() - 1 + 12);
+        assert_eq!(
+            rec.edges.len(),
+            net.neighbors(NodeId(0)).unwrap().len() - 1 + 12
+        );
 
         // duplicate edge rejected
         assert!(ccam
@@ -700,7 +736,10 @@ mod tests {
         // everything persists across close/reopen
         let reopened = CcamStore::open(store, 32).unwrap();
         assert_eq!(NetworkSource::n_nodes(&reopened), net.n_nodes() + 1);
-        assert_eq!(reopened.find_node(new_id).unwrap(), Point { x: 99.0, y: 99.0 });
+        assert_eq!(
+            reopened.find_node(new_id).unwrap(),
+            Point { x: 99.0, y: 99.0 }
+        );
         let rec2 = reopened.node_record(NodeId(0)).unwrap();
         assert_eq!(rec2.edges.len(), rec.edges.len());
         // untouched nodes unchanged
@@ -714,15 +753,11 @@ mod tests {
     fn set_pattern_persists() {
         let net = grid(4, 4, 0.3, RoadClass::LocalBoston).unwrap();
         let store: Arc<dyn BlockStore> = Arc::new(MemStore::new(DEFAULT_PAGE_SIZE));
-        let mut ccam = CcamStore::build(
-            &net,
-            Arc::clone(&store),
-            PlacementPolicy::HilbertPacked,
-            32,
-        )
-        .unwrap();
+        let mut ccam =
+            CcamStore::build(&net, Arc::clone(&store), PlacementPolicy::HilbertPacked, 32).unwrap();
         let fast = CapeCodPattern::uniform(2.0, 2).unwrap(); // 120 MPH repave
-        ccam.set_pattern(roadnet::PatternId(2), fast.clone()).unwrap();
+        ccam.set_pattern(roadnet::PatternId(2), fast.clone())
+            .unwrap();
         assert!((NetworkSource::max_speed(&ccam) - 2.0).abs() < 1e-12);
 
         let reopened = CcamStore::open(store, 32).unwrap();

@@ -119,7 +119,8 @@ mod tests {
         for d in 0..(1u64 << (2 * order)) - 1 {
             let (x0, y0) = hilbert_d2xy(order, d);
             let (x1, y1) = hilbert_d2xy(order, d + 1);
-            let dist = (i64::from(x0) - i64::from(x1)).abs() + (i64::from(y0) - i64::from(y1)).abs();
+            let dist =
+                (i64::from(x0) - i64::from(x1)).abs() + (i64::from(y0) - i64::from(y1)).abs();
             assert_eq!(dist, 1, "jump at d={d}");
         }
     }
@@ -142,7 +143,12 @@ mod tests {
     fn order_keeps_near_points_near() {
         // a line of points: hilbert order along a line should visit them
         // monotonically (either direction)
-        let pts: Vec<Point> = (0..32).map(|i| Point { x: i as f64, y: 0.0 }).collect();
+        let pts: Vec<Point> = (0..32)
+            .map(|i| Point {
+                x: i as f64,
+                y: 0.0,
+            })
+            .collect();
         let order = hilbert_order(&pts);
         let mut sorted = order.clone();
         sorted.sort_unstable();

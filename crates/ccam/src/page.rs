@@ -71,7 +71,9 @@ impl SlottedPage {
     /// insert would need).
     pub fn free_space(&self) -> usize {
         let dir_start = self.buf.len() - self.n_slots() * SLOT;
-        dir_start.saturating_sub(self.free_offset()).saturating_sub(SLOT)
+        dir_start
+            .saturating_sub(self.free_offset())
+            .saturating_sub(SLOT)
     }
 
     /// `true` if a record of `len` bytes fits.
@@ -112,7 +114,10 @@ impl SlottedPage {
         let off = read_u16(&self.buf, dir) as usize;
         let len = read_u16(&self.buf, dir + 2) as usize;
         if record.len() > len {
-            return Err(CcamError::RecordTooLarge { need: record.len(), page: len });
+            return Err(CcamError::RecordTooLarge {
+                need: record.len(),
+                page: len,
+            });
         }
         self.buf[off..off + record.len()].copy_from_slice(record);
         write_u16(&mut self.buf, dir + 2, record.len() as u16);
@@ -177,7 +182,10 @@ mod tests {
         }
         // 64 - 4 header = 60; each record costs 10 + 4 slot = 14 → 4 fit
         assert_eq!(inserted, 4);
-        assert!(matches!(p.insert(&rec), Err(CcamError::RecordTooLarge { .. })));
+        assert!(matches!(
+            p.insert(&rec),
+            Err(CcamError::RecordTooLarge { .. })
+        ));
         // everything still readable
         for r in p.records() {
             assert_eq!(r.unwrap(), &rec);

@@ -225,8 +225,7 @@ mod tests {
     fn pages_respect_byte_budget() {
         let net = grid(10, 10, 0.2, RoadClass::LocalOutside).unwrap();
         let page_size = 512;
-        let p =
-            partition_nodes(&net, PlacementPolicy::ConnectivityClustered, page_size).unwrap();
+        let p = partition_nodes(&net, PlacementPolicy::ConnectivityClustered, page_size).unwrap();
         for page in &p.pages {
             let used: usize = page.iter().map(|&n| record_cost(&net, n)).sum();
             assert!(used <= page_size - 4, "page overflows: {used}");

@@ -30,13 +30,23 @@ pub struct EdgeRecord {
 
 impl From<&Edge> for EdgeRecord {
     fn from(e: &Edge) -> Self {
-        EdgeRecord { to: e.to, distance: e.distance, class: e.class, pattern: e.pattern }
+        EdgeRecord {
+            to: e.to,
+            distance: e.distance,
+            class: e.class,
+            pattern: e.pattern,
+        }
     }
 }
 
 impl From<&EdgeRecord> for Edge {
     fn from(r: &EdgeRecord) -> Self {
-        Edge { to: r.to, distance: r.distance, class: r.class, pattern: r.pattern }
+        Edge {
+            to: r.to,
+            distance: r.distance,
+            class: r.class,
+            pattern: r.pattern,
+        }
     }
 }
 
@@ -92,11 +102,15 @@ impl NodeRecord {
             let to = NodeId(buf.get_u32_le());
             let distance = buf.get_f64_le();
             let class_idx = buf.get_u8();
-            let class = RoadClass::from_index(usize::from(class_idx)).ok_or_else(|| {
-                CcamError::Corrupt(format!("bad road class index {class_idx}"))
-            })?;
+            let class = RoadClass::from_index(usize::from(class_idx))
+                .ok_or_else(|| CcamError::Corrupt(format!("bad road class index {class_idx}")))?;
             let pattern = PatternId(buf.get_u16_le());
-            edges.push(EdgeRecord { to, distance, class, pattern });
+            edges.push(EdgeRecord {
+                to,
+                distance,
+                class,
+                pattern,
+            });
         }
         if buf.has_remaining() {
             return Err(CcamError::Corrupt(format!(
@@ -104,7 +118,11 @@ impl NodeRecord {
                 buf.remaining()
             )));
         }
-        Ok(NodeRecord { id, loc: Point { x, y }, edges })
+        Ok(NodeRecord {
+            id,
+            loc: Point { x, y },
+            edges,
+        })
     }
 }
 
@@ -145,7 +163,11 @@ mod tests {
 
     #[test]
     fn round_trip_no_edges() {
-        let r = NodeRecord { id: NodeId(0), loc: Point { x: 0.0, y: 0.0 }, edges: vec![] };
+        let r = NodeRecord {
+            id: NodeId(0),
+            loc: Point { x: 0.0, y: 0.0 },
+            edges: vec![],
+        };
         let mut buf = Vec::new();
         r.encode(&mut buf);
         assert_eq!(NodeRecord::decode(&buf).unwrap(), r);
@@ -168,7 +190,10 @@ mod tests {
         r.encode(&mut buf);
         // class byte of the first edge sits after header(22) + to(4) + dist(8)
         buf[22 + 12] = 9;
-        assert!(matches!(NodeRecord::decode(&buf), Err(CcamError::Corrupt(_))));
+        assert!(matches!(
+            NodeRecord::decode(&buf),
+            Err(CcamError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -75,7 +75,11 @@ pub struct MemStore {
 impl MemStore {
     /// New empty store with the given page size.
     pub fn new(page_size: usize) -> Self {
-        MemStore { page_size, pages: Mutex::new(Vec::new()), stats: IoStats::default() }
+        MemStore {
+            page_size,
+            pages: Mutex::new(Vec::new()),
+            stats: IoStats::default(),
+        }
     }
 }
 
@@ -224,8 +228,14 @@ mod tests {
         store.read_page(0, &mut out).unwrap();
         assert!(out.iter().all(|&b| b == 0));
 
-        assert!(matches!(store.read_page(7, &mut out), Err(CcamError::BadPage(7))));
-        assert!(matches!(store.write_page(7, &buf), Err(CcamError::BadPage(7))));
+        assert!(matches!(
+            store.read_page(7, &mut out),
+            Err(CcamError::BadPage(7))
+        ));
+        assert!(matches!(
+            store.write_page(7, &buf),
+            Err(CcamError::BadPage(7))
+        ));
 
         let (r, w) = store.io_stats().snapshot();
         assert_eq!((r, w), (2, 1));
@@ -265,7 +275,10 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("ragged.db");
         std::fs::write(&path, [0u8; 100]).unwrap();
-        assert!(matches!(FileStore::open(&path, 512), Err(CcamError::Corrupt(_))));
+        assert!(matches!(
+            FileStore::open(&path, 512),
+            Err(CcamError::Corrupt(_))
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

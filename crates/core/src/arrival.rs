@@ -97,7 +97,11 @@ impl ArrivalPlanner {
     pub fn new(net: &RoadNetwork, config: EngineConfig) -> Result<Self> {
         let mirrored = net.reversed_time_mirrored();
         let estimator = crate::engine::build_estimator(&mirrored, &config)?;
-        Ok(ArrivalPlanner { mirrored, estimator, config })
+        Ok(ArrivalPlanner {
+            mirrored,
+            estimator,
+            config,
+        })
     }
 
     /// The mirrored network (exposed for tests and diagnostics).
@@ -158,10 +162,7 @@ impl ArrivalPlanner {
 
     /// Answer an arrival-interval **singleFP** query: the minimum
     /// travel time over all arrival instants in the window.
-    pub fn single_fastest_path(
-        &self,
-        query: &ArrivalQuerySpec,
-    ) -> Result<ArrivalSingleFpAnswer> {
+    pub fn single_fastest_path(&self, query: &ArrivalQuerySpec) -> Result<ArrivalSingleFpAnswer> {
         let mirrored_query = self.mirror_query(query);
         let engine = self.engine();
         let single = engine.single_fastest_path(&mirrored_query)?;
@@ -221,7 +222,10 @@ mod tests {
 
         // partition covers the arrival window, contiguously
         assert!(pwl::approx_eq(ans.partition[0].0.lo(), hm(7, 0)));
-        assert!(pwl::approx_eq(ans.partition.last().unwrap().0.hi(), hm(7, 8)));
+        assert!(pwl::approx_eq(
+            ans.partition.last().unwrap().0.hi(),
+            hm(7, 8)
+        ));
         for w in ans.partition.windows(2) {
             assert!(pwl::approx_eq(w[0].0.hi(), w[1].0.lo()));
             assert_ne!(w[0].1, w[1].1);
@@ -247,7 +251,10 @@ mod tests {
         let single = planner.single_fastest_path(&q).unwrap();
         assert_eq!(single.path.nodes, vec![ids.s, ids.n, ids.e]);
         assert!((single.travel_minutes - 5.0).abs() < 1e-9);
-        assert!(pwl::approx_eq(single.departure + 5.0, single.best_arrival.lo()));
+        assert!(pwl::approx_eq(
+            single.departure + 5.0,
+            single.best_arrival.lo()
+        ));
     }
 
     #[test]

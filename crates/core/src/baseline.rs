@@ -81,7 +81,10 @@ pub fn astar_at<S: NetworkSource>(
 
     arrival.insert(s, leave);
     let s_loc = source.find_node(s)?;
-    heap.push(Item { f: leave + heuristic.travel_lower_bound(s, s_loc, e, target_loc), node: s });
+    heap.push(Item {
+        f: leave + heuristic.travel_lower_bound(s, s_loc, e, target_loc),
+        node: s,
+    });
 
     while let Some(Item { node: u, .. }) = heap.pop() {
         if settled.get(&u).copied().unwrap_or(false) {
@@ -116,11 +119,17 @@ pub fn astar_at<S: NetworkSource>(
                 parent.insert(edge.to, u);
                 let v_loc = source.find_node(edge.to)?;
                 let h = heuristic.travel_lower_bound(edge.to, v_loc, e, target_loc);
-                heap.push(Item { f: t_v + h, node: edge.to });
+                heap.push(Item {
+                    f: t_v + h,
+                    node: edge.to,
+                });
             }
         }
     }
-    Err(AllFpError::Unreachable { source: s, target: e })
+    Err(AllFpError::Unreachable {
+        source: s,
+        target: e,
+    })
 }
 
 /// Result of a discrete-time interval query.
@@ -192,7 +201,10 @@ pub fn evaluate_path<S: NetworkSource>(
         let edge = edges
             .iter()
             .find(|e| e.to == w[1])
-            .ok_or(AllFpError::Unreachable { source: w[0], target: w[1] })?;
+            .ok_or(AllFpError::Unreachable {
+                source: w[0],
+                target: w[1],
+            })?;
         let profile = source.pattern(edge.pattern)?.profile(category)?;
         t += travel_time_at(profile, edge.distance, t)?;
     }
@@ -266,11 +278,17 @@ pub fn constant_speed_plan<S: NetworkSource>(
             if c_v < cost.get(&edge.to).copied().unwrap_or(f64::INFINITY) {
                 cost.insert(edge.to, c_v);
                 parent.insert(edge.to, u);
-                heap.push(Item { f: c_v, node: edge.to });
+                heap.push(Item {
+                    f: c_v,
+                    node: edge.to,
+                });
             }
         }
     }
-    Err(AllFpError::Unreachable { source: s, target: e })
+    Err(AllFpError::Unreachable {
+        source: s,
+        target: e,
+    })
 }
 
 #[cfg(test)]
@@ -328,8 +346,7 @@ mod tests {
     #[test]
     fn astar_source_equals_target() {
         let (net, ids) = paper_running_example();
-        let ans =
-            astar_at(&net, ids.s, ids.s, hm(7, 0), DayCategory::WORKDAY, &ZeroLb).unwrap();
+        let ans = astar_at(&net, ids.s, ids.s, hm(7, 0), DayCategory::WORKDAY, &ZeroLb).unwrap();
         assert_eq!(ans.nodes, vec![ids.s]);
         assert_eq!(ans.travel_minutes, 0.0);
     }
@@ -339,8 +356,8 @@ mod tests {
         // Corner to center: the quadrant past the target is where the
         // heuristic prunes (corner-to-corner would leave nothing to
         // prune — every node is "on the way").
-        let net = roadnet::generators::grid(15, 15, 0.3, traffic::RoadClass::InboundHighway)
-            .unwrap();
+        let net =
+            roadnet::generators::grid(15, 15, 0.3, traffic::RoadClass::InboundHighway).unwrap();
         let (s, e) = (NodeId(0), NodeId(7 * 15 + 7));
         let with_h = astar_at(
             &net,
@@ -372,8 +389,7 @@ mod tests {
         assert_eq!(coarse.queries, 1);
         assert!((coarse.travel_minutes - 6.0).abs() < 1e-9);
         // fine: probes every minute → finds the 5-min via-n window
-        let fine =
-            discrete_time(&net, ids.s, ids.e, &i, 1.0, DayCategory::WORKDAY, &lb).unwrap();
+        let fine = discrete_time(&net, ids.s, ids.e, &i, 1.0, DayCategory::WORKDAY, &lb).unwrap();
         assert_eq!(fine.queries, 16);
         assert!((fine.travel_minutes - 5.0).abs() < 1e-9);
         assert!(fine.best_leave >= hm(7, 0) - 1e-9);
@@ -383,8 +399,8 @@ mod tests {
     #[test]
     fn evaluate_path_matches_astar() {
         let (net, ids) = paper_running_example();
-        let t = evaluate_path(&net, &[ids.s, ids.n, ids.e], hm(7, 0), DayCategory::WORKDAY)
-            .unwrap();
+        let t =
+            evaluate_path(&net, &[ids.s, ids.n, ids.e], hm(7, 0), DayCategory::WORKDAY).unwrap();
         assert!((t - 5.0).abs() < 1e-9);
         // unknown edge errors
         assert!(evaluate_path(&net, &[ids.e, ids.s], hm(7, 0), DayCategory::WORKDAY).is_err());

@@ -59,7 +59,7 @@ impl BoundaryLb {
     /// Precompute over `net` with a `grid × grid` space partitioning.
     ///
     /// Runs `2 · grid²` multi-source Dijkstras, parallelized across
-    /// available cores with `crossbeam` scoped threads.
+    /// available cores with `std::thread` scoped threads.
     pub fn build(net: &RoadNetwork, grid: usize, mode: WeightMode) -> Result<BoundaryLb> {
         let grid = grid.max(1);
         let n = net.n_nodes();
@@ -119,15 +119,17 @@ impl BoundaryLb {
             row: Vec<f64>,
         }
 
-        let workers = std::thread::available_parallelism().map_or(4, |p| p.get()).min(n_cells.max(1));
-        let results: Vec<CellResult> = crossbeam::thread::scope(|scope| {
+        let workers = std::thread::available_parallelism()
+            .map_or(4, |p| p.get())
+            .min(n_cells.max(1));
+        let results: Vec<CellResult> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
             for w in 0..workers {
                 let boundary = &boundary;
                 let cell_of_node = &cell_of_node;
                 let fwd = &fwd;
                 let rev = &rev;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut out = Vec::new();
                     let mut cell = w;
                     while cell < n_cells {
@@ -154,7 +156,12 @@ impl BoundaryLb {
                             row[c2] = best;
                         }
                         row[cell] = 0.0;
-                        out.push(CellResult { cell, d_out, d_in, row });
+                        out.push(CellResult {
+                            cell,
+                            d_out,
+                            d_in,
+                            row,
+                        });
                         cell += workers;
                     }
                     out
@@ -164,8 +171,7 @@ impl BoundaryLb {
                 .into_iter()
                 .flat_map(|h| h.join().expect("worker panicked"))
                 .collect()
-        })
-        .expect("crossbeam scope");
+        });
 
         let mut d_out = vec![f64::INFINITY; n];
         let mut d_in = vec![f64::INFINITY; n];
@@ -353,11 +359,14 @@ mod tests {
             bot.push(net.add_node(i as f64, 0.0).unwrap());
         }
         for i in 0..n - 1 {
-            net.add_bidirectional(top[i], top[i + 1], 1.0, RoadClass::LocalOutside).unwrap();
-            net.add_bidirectional(bot[i], bot[i + 1], 1.0, RoadClass::LocalOutside).unwrap();
+            net.add_bidirectional(top[i], top[i + 1], 1.0, RoadClass::LocalOutside)
+                .unwrap();
+            net.add_bidirectional(bot[i], bot[i + 1], 1.0, RoadClass::LocalOutside)
+                .unwrap();
         }
         // single vertical link at the right end
-        net.add_bidirectional(top[n - 1], bot[n - 1], 1.0, RoadClass::LocalOutside).unwrap();
+        net.add_bidirectional(top[n - 1], bot[n - 1], 1.0, RoadClass::LocalOutside)
+            .unwrap();
 
         let lb = BoundaryLb::build(&net, 6, WeightMode::Distance).unwrap();
         let naive = NaiveLb::new(net.max_speed());

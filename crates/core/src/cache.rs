@@ -1,0 +1,377 @@
+//! Per-edge travel-time function cache.
+//!
+//! `travel_time_fn` derives an edge's piecewise-linear travel-time
+//! function from its raw piecewise-constant speed profile — an exact
+//! but relatively expensive construction (cumulative-distance
+//! integration, inversion, composition). The seed engine re-ran it for
+//! **every path expansion**, even though the function it produces is
+//! fully determined by `(speed pattern, day category, edge length)`
+//! and speed profiles are periodic with the 24-hour day.
+//!
+//! [`TravelFnCache`] exploits both facts, the same way scalable
+//! time-dependent engines precompute per-edge travel-time functions
+//! (Strasser/Wagner/Zeitz; Nannicini et al.): the first request for a
+//! key computes the function **once over a full period** (plus enough
+//! lookahead to cover trips that cross midnight), and every subsequent
+//! request is served by *restricting* that stored function to the
+//! requested leaving interval — shifted by whole periods when the
+//! interval lives in a later day.
+//!
+//! Answers are unchanged: a travel-time function under a periodic
+//! profile satisfies `T(l + 1440) = T(l)`, so the restriction of the
+//! full-period function to any interval equals the function
+//! `travel_time_fn` would have built for that interval directly (up to
+//! float rounding well inside `pwl::EPS` — the equivalence golden test
+//! in `tests/equivalence.rs` checks this end to end).
+//!
+//! The cache is shared across queries and across the threads of
+//! [`Engine::run_batch`](crate::Engine::run_batch): lookups take a read
+//! lock, the one-time construction takes a short write lock, and
+//! hit/miss counters are atomics surfaced both per-query (in
+//! [`QueryStats`](crate::QueryStats)) and engine-wide.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use pwl::time::MINUTES_PER_DAY;
+use pwl::{Interval, Pwl};
+use roadnet::PatternId;
+use traffic::travel::travel_time_fn;
+use traffic::{DayCategory, SpeedProfile};
+
+use crate::Result;
+
+/// Cache key: everything that determines an edge travel-time function.
+///
+/// Distance is keyed by its bit pattern — edges with the same length
+/// (grid networks have many) share one entry; NaN cannot occur because
+/// `travel_time_fn` rejects non-finite distances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    pattern: PatternId,
+    category: DayCategory,
+    distance_bits: u64,
+}
+
+/// Engine-wide cache of full-period edge travel-time functions.
+#[derive(Debug)]
+pub struct TravelFnCache {
+    enabled: bool,
+    map: RwLock<HashMap<Key, Arc<Pwl>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// A snapshot of the cache's lifetime counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Requests served from a stored full-period function.
+    pub hits: u64,
+    /// Requests that had to build the full-period function first.
+    pub misses: u64,
+}
+
+impl TravelFnCache {
+    /// An active cache.
+    pub fn new() -> Self {
+        TravelFnCache {
+            enabled: true,
+            map: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// A disabled cache: every request recomputes from the profile,
+    /// byte-for-byte the seed engine's behaviour. Used as the reference
+    /// configuration by the equivalence tests and ablations.
+    pub fn disabled() -> Self {
+        TravelFnCache {
+            enabled: false,
+            ..TravelFnCache::new()
+        }
+    }
+
+    /// Is the cache serving stored functions?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Lifetime hit/miss counters (shared across queries and threads).
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The travel-time function for traversing `distance` miles under
+    /// `profile`, for leaving instants in `leaving`.
+    ///
+    /// Returns the function and whether the request was a cache hit.
+    /// With the cache disabled, computes directly and reports a miss.
+    pub fn travel_fn(
+        &self,
+        pattern: PatternId,
+        category: DayCategory,
+        profile: &SpeedProfile,
+        distance: f64,
+        leaving: &Interval,
+    ) -> Result<(Pwl, bool)> {
+        if !self.enabled {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Ok((travel_time_fn(profile, distance, leaving)?, false));
+        }
+
+        let key = Key {
+            pattern,
+            category,
+            distance_bits: distance.to_bits(),
+        };
+        // Take the read guard in its own statement so it is dropped
+        // before the miss path asks for the write lock (a match on the
+        // guarded lookup would keep it alive across the whole match and
+        // self-deadlock).
+        let cached = self.map.read().expect("cache lock").get(&key).cloned();
+        let (full, hit) = match cached {
+            Some(f) => (f, true),
+            None => {
+                // Compute outside the write lock; a racing thread doing
+                // the same work is harmless (last insert wins, values
+                // are identical by construction).
+                let built = Arc::new(full_period_fn(profile, distance)?);
+                let mut map = self.map.write().expect("cache lock");
+                let entry = map.entry(key).or_insert_with(|| Arc::clone(&built));
+                (Arc::clone(entry), false)
+            }
+        };
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+
+        match restrict_periodic(&full, leaving) {
+            Some(f) => Ok((f, hit)),
+            // Intervals the periodic view cannot serve (degenerate,
+            // wider than a day, numerically hairline at the seam) fall
+            // back to the direct construction — rare and still exact.
+            None => Ok((travel_time_fn(profile, distance, leaving)?, hit)),
+        }
+    }
+}
+
+impl Default for TravelFnCache {
+    fn default() -> Self {
+        TravelFnCache::new()
+    }
+}
+
+/// Build the edge's travel-time function over one full day.
+///
+/// The domain is exactly `[0, 1440]`; `travel_time_fn` internally
+/// extends its integration window far enough past the end of the day
+/// to cover any arrival (slack `distance / v_min`), so the function is
+/// exact for every leaving instant in the day even when the traversal
+/// crosses midnight.
+fn full_period_fn(profile: &SpeedProfile, distance: f64) -> Result<Pwl> {
+    let day = Interval::of(0.0, MINUTES_PER_DAY);
+    Ok(travel_time_fn(profile, distance, &day)?)
+}
+
+/// Restrict the full-period function `full` (domain `[0, 1440]`,
+/// periodic semantics) to an arbitrary `leaving` interval, exploiting
+/// `T(l + 1440) = T(l)`.
+///
+/// Returns `None` for requests better served by direct construction:
+/// degenerate or near-degenerate intervals and intervals spanning a
+/// full day or more.
+fn restrict_periodic(full: &Pwl, leaving: &Interval) -> Option<Pwl> {
+    if leaving.is_degenerate() || leaving.len() >= MINUTES_PER_DAY {
+        return None;
+    }
+    let period = (leaving.lo() / MINUTES_PER_DAY).floor();
+    let shift = period * MINUTES_PER_DAY;
+    let lo = leaving.lo() - shift;
+    let hi = leaving.hi() - shift;
+    if hi <= MINUTES_PER_DAY {
+        // Entirely within one period: restrict and shift back.
+        let r = full.restrict(&Interval::of(lo, hi)).ok()?;
+        return Some(shifted(r, shift));
+    }
+    // Wraps the day boundary: splice [lo, 1440] with [0, hi - 1440]
+    // moved one period later. T(0) == T(1440) under periodicity, so the
+    // seam is continuous.
+    let left = full.restrict(&Interval::of(lo, MINUTES_PER_DAY)).ok()?;
+    let right = full
+        .restrict(&Interval::of(0.0, hi - MINUTES_PER_DAY))
+        .ok()?;
+    let glued = left.concat(&shifted(right, MINUTES_PER_DAY)).ok()?;
+    Some(shifted(glued, shift))
+}
+
+/// `shift_x` that keeps zero shifts exact (no `+ 0.0` rounding noise).
+fn shifted(f: Pwl, dx: f64) -> Pwl {
+    if dx == 0.0 {
+        f
+    } else {
+        f.shift_x(dx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwl::time::hm;
+    use pwl::{approx_eq, Interval};
+
+    fn rush_profile() -> SpeedProfile {
+        SpeedProfile::with_rush_window(1.0, 0.4, hm(7, 0), hm(9, 30)).unwrap()
+    }
+
+    fn direct(profile: &SpeedProfile, d: f64, iv: &Interval) -> Pwl {
+        travel_time_fn(profile, d, iv).unwrap()
+    }
+
+    #[test]
+    fn cached_restriction_matches_direct_within_day() {
+        let cache = TravelFnCache::new();
+        let profile = rush_profile();
+        let iv = Interval::of(hm(6, 30), hm(8, 45));
+        let (cached, hit0) = cache
+            .travel_fn(PatternId(1), DayCategory::WORKDAY, &profile, 3.0, &iv)
+            .unwrap();
+        assert!(!hit0, "first request must miss");
+        let want = direct(&profile, 3.0, &iv);
+        assert!(cached.domain().approx_eq(&want.domain()));
+        for k in 0..=96 {
+            let l = iv.lo() + iv.len() * (k as f64) / 96.0;
+            assert!(
+                approx_eq(cached.eval(l), want.eval(l)),
+                "l={l}: {} vs {}",
+                cached.eval(l),
+                want.eval(l)
+            );
+        }
+        let (_, hit1) = cache
+            .travel_fn(PatternId(1), DayCategory::WORKDAY, &profile, 3.0, &iv)
+            .unwrap();
+        assert!(hit1, "second request must hit");
+        assert_eq!(cache.counters(), CacheCounters { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn cached_restriction_matches_direct_across_midnight() {
+        let cache = TravelFnCache::new();
+        let profile = rush_profile();
+        // interval straddling midnight, one day out
+        let iv = Interval::of(hm(23, 10) + MINUTES_PER_DAY, hm(25, 40) + MINUTES_PER_DAY);
+        let (cached, _) = cache
+            .travel_fn(PatternId(2), DayCategory::WORKDAY, &profile, 5.0, &iv)
+            .unwrap();
+        let want = direct(&profile, 5.0, &iv);
+        for k in 0..=96 {
+            let l = iv.lo() + iv.len() * (k as f64) / 96.0;
+            assert!(
+                approx_eq(cached.eval(l), want.eval(l)),
+                "l={l}: {} vs {}",
+                cached.eval(l),
+                want.eval(l)
+            );
+        }
+    }
+
+    #[test]
+    fn keys_distinguish_distance_category_pattern() {
+        let cache = TravelFnCache::new();
+        let profile = rush_profile();
+        let iv = Interval::of(hm(7, 0), hm(8, 0));
+        let p = PatternId(3);
+        cache
+            .travel_fn(p, DayCategory::WORKDAY, &profile, 1.0, &iv)
+            .unwrap();
+        cache
+            .travel_fn(p, DayCategory::WORKDAY, &profile, 2.0, &iv)
+            .unwrap();
+        cache
+            .travel_fn(p, DayCategory::NON_WORKDAY, &profile, 1.0, &iv)
+            .unwrap();
+        cache
+            .travel_fn(PatternId(4), DayCategory::WORKDAY, &profile, 1.0, &iv)
+            .unwrap();
+        assert_eq!(cache.counters(), CacheCounters { hits: 0, misses: 4 });
+        cache
+            .travel_fn(p, DayCategory::WORKDAY, &profile, 1.0, &iv)
+            .unwrap();
+        assert_eq!(cache.counters(), CacheCounters { hits: 1, misses: 4 });
+    }
+
+    #[test]
+    fn disabled_cache_always_misses_and_matches_direct() {
+        let cache = TravelFnCache::disabled();
+        assert!(!cache.is_enabled());
+        let profile = rush_profile();
+        let iv = Interval::of(hm(6, 0), hm(10, 0));
+        for _ in 0..3 {
+            let (f, hit) = cache
+                .travel_fn(PatternId(9), DayCategory::WORKDAY, &profile, 2.0, &iv)
+                .unwrap();
+            assert!(!hit);
+            let want = direct(&profile, 2.0, &iv);
+            for l in [hm(6, 0), hm(7, 30), hm(9, 59)] {
+                assert!(approx_eq(f.eval(l), want.eval(l)));
+            }
+        }
+        assert_eq!(cache.counters(), CacheCounters { hits: 0, misses: 3 });
+    }
+
+    #[test]
+    fn degenerate_and_wide_intervals_fall_back() {
+        let profile = rush_profile();
+        let full = full_period_fn(&profile, 2.0).unwrap();
+        assert!(restrict_periodic(&full, &Interval::of(5.0, 5.0)).is_none());
+        assert!(restrict_periodic(&full, &Interval::of(0.0, 2.0 * MINUTES_PER_DAY)).is_none());
+        // but the cache still serves them via direct construction
+        let cache = TravelFnCache::new();
+        let (f, _) = cache
+            .travel_fn(
+                PatternId(5),
+                DayCategory::WORKDAY,
+                &profile,
+                2.0,
+                &Interval::of(5.0, 5.0),
+            )
+            .unwrap();
+        assert!(approx_eq(
+            f.eval(5.0),
+            travel_time_fn(&profile, 2.0, &Interval::of(5.0, 5.0))
+                .unwrap()
+                .eval(5.0)
+        ));
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let cache = std::sync::Arc::new(TravelFnCache::new());
+        let profile = rush_profile();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = std::sync::Arc::clone(&cache);
+                let profile = profile.clone();
+                scope.spawn(move || {
+                    for k in 0..8 {
+                        let iv = Interval::of(hm(6, k), hm(9, k));
+                        cache
+                            .travel_fn(PatternId(7), DayCategory::WORKDAY, &profile, 2.5, &iv)
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        let c = cache.counters();
+        assert_eq!(c.hits + c.misses, 32);
+        assert!(c.misses >= 1);
+        assert!(c.hits >= 28, "at most one build per racing thread: {c:?}");
+    }
+}

@@ -3,11 +3,11 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use pwl::{compose_travel, Envelope, Interval, Pwl};
+use pwl::{compose_travel_simplified, Envelope, Interval, Pwl};
 use roadnet::{NetworkSource, NodeId, Point};
-use traffic::travel::travel_time_fn;
 
 use crate::baseline::astar_at;
+use crate::cache::{CacheCounters, TravelFnCache};
 use crate::estimator::{EstimatorKind, LowerBoundEstimator, NaiveLb};
 use crate::query::{AllFpAnswer, FastestPath, QuerySpec, QueryStats, SingleFpAnswer};
 use crate::{AllFpError, BoundaryLb, Result, WeightMode};
@@ -32,6 +32,13 @@ pub struct EngineConfig {
     pub prune_dominated: bool,
     /// Safety valve: abort after this many path expansions.
     pub max_expansions: usize,
+    /// Serve per-edge travel-time functions from the engine's
+    /// [`TravelFnCache`] instead of rebuilding them from the speed
+    /// profile on every expansion. **On by default**; answers are
+    /// identical either way (the cache restricts one exact full-period
+    /// function — see `cache.rs`), so `false` exists for the
+    /// equivalence tests and for ablation measurements.
+    pub use_travel_cache: bool,
 }
 
 impl Default for EngineConfig {
@@ -40,16 +47,60 @@ impl Default for EngineConfig {
             estimator: EstimatorKind::Naive,
             prune_dominated: true,
             max_expansions: 2_000_000,
+            use_travel_cache: true,
         }
     }
 }
 
-/// A path under consideration: its node sequence and exact travel-time
-/// function `T(l)` over the query interval. The prioritized minimum of
-/// `T + T_est` lives on the queue entry.
+/// A path under consideration, stored as a node in the per-query path
+/// arena: a parent pointer into the arena, the path's head node, and
+/// its exact travel-time function `T(l)` over the query interval. The
+/// prioritized minimum of `T + T_est` lives on the queue entry.
+///
+/// The seed engine stored every path as an owned `Vec<NodeId>`, so
+/// expanding a depth-`d` path cost an O(d) clone per successor and the
+/// cycle check was a linear scan of that vector. With parent pointers,
+/// expansion appends one arena slot (O(1) beyond the travel function
+/// itself), the cycle check walks the parent chain (same O(d) bound,
+/// no allocation), and full node sequences are materialized only for
+/// the handful of paths that end up in an answer.
 struct PathState {
-    nodes: Vec<NodeId>,
+    /// Arena index of the path this one extends; `None` for the root.
+    parent: Option<u32>,
+    /// Last node of the path.
+    head: NodeId,
+    /// Number of edges in the path (root is 0); pre-sizes
+    /// materialization buffers.
+    depth: u32,
+    /// Cached `travel.minimum().value` — the O(pieces) scan is done
+    /// once at push time and reused by the early border prune of every
+    /// expansion of this path.
+    travel_min: f64,
     travel: Pwl,
+}
+
+/// The node sequence of arena path `idx`, root first.
+fn materialize(paths: &[PathState], idx: usize) -> Vec<NodeId> {
+    let mut nodes = Vec::with_capacity(paths[idx].depth as usize + 1);
+    let mut cur = Some(idx);
+    while let Some(i) = cur {
+        nodes.push(paths[i].head);
+        cur = paths[i].parent.map(|p| p as usize);
+    }
+    nodes.reverse();
+    nodes
+}
+
+/// Does arena path `idx` visit `node`? (Cycle check for expansion.)
+fn visits(paths: &[PathState], idx: usize, node: NodeId) -> bool {
+    let mut cur = Some(idx);
+    while let Some(i) = cur {
+        if paths[i].head == node {
+            return true;
+        }
+        cur = paths[i].parent.map(|p| p as usize);
+    }
+    false
 }
 
 /// Max-heap adapter (min by `f_min`, FIFO on ties for determinism).
@@ -86,6 +137,7 @@ pub struct Engine<'a, S: NetworkSource> {
     source: &'a S,
     estimator: Box<dyn LowerBoundEstimator + 'a>,
     config: EngineConfig,
+    cache: TravelFnCache,
 }
 
 impl<'a, S: NetworkSource> Engine<'a, S> {
@@ -97,7 +149,13 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
     /// in-memory copy.
     pub fn new(source: &'a S, config: EngineConfig) -> Self {
         let naive = NaiveLb::new(source.max_speed());
-        Engine { source, estimator: Box::new(naive), config }
+        let cache = cache_for(&config);
+        Engine {
+            source,
+            estimator: Box::new(naive),
+            config,
+            cache,
+        }
     }
 
     /// Build an engine over any source with an explicit estimator
@@ -108,12 +166,73 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
         estimator: Box<dyn LowerBoundEstimator + 'a>,
         config: EngineConfig,
     ) -> Self {
-        Engine { source, estimator, config }
+        let cache = cache_for(&config);
+        Engine {
+            source,
+            estimator,
+            config,
+            cache,
+        }
     }
 
     /// Name of the active estimator.
     pub fn estimator_name(&self) -> &'static str {
         self.estimator.name()
+    }
+
+    /// Lifetime hit/miss counters of the engine's travel-function
+    /// cache, accumulated across every query (and every thread of
+    /// [`Engine::run_batch`]) this engine has answered.
+    pub fn cache_counters(&self) -> CacheCounters {
+        self.cache.counters()
+    }
+
+    /// Answer a batch of allFP queries, using every available core.
+    ///
+    /// Queries are striped over `std::thread::scope` workers (the same
+    /// pattern `BoundaryLb::build` uses for its per-cell Dijkstra
+    /// runs); results come back in input order, one `Result` per query
+    /// so a failing query doesn't poison its batch-mates. The workers
+    /// share the engine immutably — the travel-function cache is the
+    /// only shared mutable state, and it is internally synchronized,
+    /// so a miss filled by one worker is a hit for every other.
+    pub fn run_batch(&self, queries: &[QuerySpec]) -> Vec<Result<AllFpAnswer>>
+    where
+        S: Sync,
+    {
+        let workers = std::thread::available_parallelism()
+            .map_or(1, |n| n.get())
+            .min(queries.len());
+        if workers <= 1 {
+            return queries.iter().map(|q| self.all_fastest_paths(q)).collect();
+        }
+        let per_worker: Vec<Vec<(usize, Result<AllFpAnswer>)>> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for w in 0..workers {
+                handles.push(scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut i = w;
+                    while i < queries.len() {
+                        out.push((i, self.all_fastest_paths(&queries[i])));
+                        i += workers;
+                    }
+                    out
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("batch worker panicked"))
+                .collect()
+        });
+        let mut results: Vec<Option<Result<AllFpAnswer>>> =
+            (0..queries.len()).map(|_| None).collect();
+        for (i, r) in per_worker.into_iter().flatten() {
+            results[i] = Some(r);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("striping covers every query"))
+            .collect()
     }
 
     /// Answer the **allFP query**: the full partitioning of the query
@@ -127,13 +246,18 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
     /// soon as the first path reaching the target is popped (§4.5) —
     /// no lower-border computation beyond that point.
     pub fn single_fastest_path(&self, query: &QuerySpec) -> Result<SingleFpAnswer> {
-        self.run(query, true).map(|(_, single)| single.expect("single answer on success"))
+        self.run(query, true)
+            .map(|(_, single)| single.expect("single answer on success"))
     }
 
     /// Shared search. When `single_only`, stops at the first popped
     /// target path. Otherwise runs to the paper's termination rule and
     /// assembles the partitioning.
-    fn run(&self, query: &QuerySpec, single_only: bool) -> Result<(AllFpAnswer, Option<SingleFpAnswer>)> {
+    fn run(
+        &self,
+        query: &QuerySpec,
+        single_only: bool,
+    ) -> Result<(AllFpAnswer, Option<SingleFpAnswer>)> {
         let interval = query.interval;
         let target_loc = self.source.find_node(query.target)?;
 
@@ -155,23 +279,42 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
             Vec::new()
         };
 
-        // Lower border over identified target paths.
+        // Lower border over identified target paths. `border_max`
+        // mirrors `border.max_value()` so the per-pop and per-edge
+        // pruning checks are O(1) instead of an O(pieces) envelope
+        // scan; it only changes when a path merges into the border.
         let mut border: Option<Envelope<usize>> = None;
+        let mut border_max = f64::INFINITY;
         let mut single: Option<SingleFpAnswer> = None;
+
+        // Global best-case speed: `distance / max_speed` lower-bounds
+        // any edge's travel time, independent of leaving instant.
+        let max_speed = self.source.max_speed();
+        // Reused successor buffer — one allocation per query, not one
+        // per expansion.
+        let mut edges: Vec<roadnet::Edge> = Vec::new();
 
         // Seed: the zero-length path at the source.
         {
             let travel = Pwl::constant(interval, 0.0)?;
             let s_loc = self.source.find_node(query.source)?;
-            let est = self.estimator.travel_lower_bound(
-                query.source,
-                s_loc,
-                query.target,
-                target_loc,
-            );
-            let f_min = travel.add_scalar(est).minimum().value;
-            paths.push(PathState { nodes: vec![query.source], travel });
-            heap.push(QueueEntry { f_min, seq, path: 0 });
+            let est =
+                self.estimator
+                    .travel_lower_bound(query.source, s_loc, query.target, target_loc);
+            let travel_min = travel.minimum().value;
+            let f_min = travel_min + est;
+            paths.push(PathState {
+                parent: None,
+                head: query.source,
+                depth: 0,
+                travel_min,
+                travel,
+            });
+            heap.push(QueueEntry {
+                f_min,
+                seq,
+                path: 0,
+            });
             seq += 1;
             stats.pushed += 1;
         }
@@ -179,27 +322,30 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
         while let Some(entry) = heap.pop() {
             // Termination (§4.6): the next candidate can no longer beat
             // the border anywhere.
-            if let Some(b) = &border {
-                if pwl::approx_le(b.max_value(), entry.f_min) {
-                    break;
-                }
+            if border_max.is_finite() && pwl::approx_le(border_max, entry.f_min) {
+                break;
             }
 
             if stats.expanded_paths >= self.config.max_expansions {
-                return Err(AllFpError::BudgetExhausted { expansions: stats.expanded_paths });
+                return Err(AllFpError::BudgetExhausted {
+                    expansions: stats.expanded_paths,
+                });
             }
 
-            let head = *paths[entry.path].nodes.last().expect("paths are non-empty");
+            let head = paths[entry.path].head;
 
             if head == query.target {
-                // Identified a target path.
-                let travel = paths[entry.path].travel.clone();
+                // Identified a target path. Its travel function stays
+                // in the arena: the single answer clones it once, and
+                // the border either takes one clone (first entry) or
+                // merges by reference — the seed engine cloned it
+                // unconditionally and then again for the single answer.
                 if single.is_none() {
-                    let m = travel.minimum();
+                    let m = paths[entry.path].travel.minimum();
                     single = Some(SingleFpAnswer {
                         path: FastestPath {
-                            nodes: paths[entry.path].nodes.clone(),
-                            travel: travel.clone(),
+                            nodes: materialize(&paths, entry.path),
+                            travel: paths[entry.path].travel.clone(),
                         },
                         travel_minutes: m.value,
                         best_leaving: m.at,
@@ -211,8 +357,15 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
                 }
                 stats.border_merges += 1;
                 match &mut border {
-                    None => border = Some(Envelope::new(travel, entry.path)),
-                    Some(b) => b.merge_min(&travel, entry.path)?,
+                    None => {
+                        let b = Envelope::new(paths[entry.path].travel.clone(), entry.path);
+                        border_max = b.max_value();
+                        border = Some(b);
+                    }
+                    Some(b) => {
+                        b.merge_min(&paths[entry.path].travel, entry.path)?;
+                        border_max = b.max_value();
+                    }
                 }
                 continue;
             }
@@ -227,27 +380,55 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
             // The leaving-time interval at `head` (the paper's Figure 4
             // step) is a property of the path, not the edge.
             let arrivals = pwl::compose::arrival_interval(&paths[entry.path].travel)?;
-            for edge in self.source.successors(head)? {
+            self.source.successors_into(head, &mut edges)?;
+            for edge in edges.drain(..) {
                 // Cycles can never help under FIFO (positive travel times).
-                if paths[entry.path].nodes.contains(&edge.to) {
+                if visits(&paths, entry.path, edge.to) {
                     continue;
                 }
-                let profile = self.source.pattern(edge.pattern)?.profile(query.category)?;
-                let t_edge = travel_time_fn(profile, edge.distance, &arrivals)?;
-                let travel = compose_travel(&paths[entry.path].travel, &t_edge)?.simplify();
 
                 let v_loc = self.source.find_node(edge.to)?;
                 let est =
-                    self.estimator.travel_lower_bound(edge.to, v_loc, query.target, target_loc);
-                let f_min = travel.minimum().value + est;
+                    self.estimator
+                        .travel_lower_bound(edge.to, v_loc, query.target, target_loc);
 
-                // Border bound: a path whose best possible outcome cannot
-                // beat the border anywhere is dead.
-                if let Some(b) = &border {
-                    if pwl::approx_le(b.max_value(), f_min) {
+                // Early border bound, before the expensive composition:
+                // the extended path's travel function is everywhere ≥
+                // parent minimum + distance/v_max, so if even that
+                // best case cannot beat the border anywhere, skip the
+                // travel-function work entirely. Conservative — every
+                // path it kills, the exact check below would kill too.
+                if border_max.is_finite() {
+                    let optimistic = paths[entry.path].travel_min + edge.distance / max_speed + est;
+                    if pwl::approx_le(border_max, optimistic) {
                         stats.pruned_by_border += 1;
                         continue;
                     }
+                }
+
+                let profile = self.source.pattern(edge.pattern)?.profile(query.category)?;
+                let (t_edge, hit) = self.cache.travel_fn(
+                    edge.pattern,
+                    query.category,
+                    profile,
+                    edge.distance,
+                    &arrivals,
+                )?;
+                stats.cache_lookups += 1;
+                if hit {
+                    stats.cache_hits += 1;
+                } else {
+                    stats.cache_misses += 1;
+                }
+                let travel = compose_travel_simplified(&paths[entry.path].travel, &t_edge)?;
+                let travel_min = travel.minimum().value;
+                let f_min = travel_min + est;
+
+                // Border bound: a path whose best possible outcome cannot
+                // beat the border anywhere is dead.
+                if border_max.is_finite() && pwl::approx_le(border_max, f_min) {
+                    stats.pruned_by_border += 1;
+                    continue;
                 }
 
                 // Optional per-node dominance pruning (extension).
@@ -261,14 +442,23 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
                     }
                 }
 
-                let mut nodes = paths[entry.path].nodes.clone();
-                nodes.push(edge.to);
                 let idx = paths.len();
-                paths.push(PathState { nodes, travel });
+                let parent = u32::try_from(entry.path).expect("arena outgrew u32 indices");
+                paths.push(PathState {
+                    parent: Some(parent),
+                    head: edge.to,
+                    depth: paths[entry.path].depth + 1,
+                    travel_min,
+                    travel,
+                });
                 if self.config.prune_dominated {
                     node_fns[edge.to.index()].push(idx);
                 }
-                heap.push(QueueEntry { f_min, seq, path: idx });
+                heap.push(QueueEntry {
+                    f_min,
+                    seq,
+                    path: idx,
+                });
                 seq += 1;
                 stats.pushed += 1;
             }
@@ -309,7 +499,7 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
                 None => {
                     path_index.push(engine_id);
                     answer_paths.push(FastestPath {
-                        nodes: paths[engine_id].nodes.clone(),
+                        nodes: materialize(&paths, engine_id),
                         travel: paths[engine_id].travel.clone(),
                     });
                     answer_paths.len() - 1
@@ -334,7 +524,12 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
             s.stats = stats;
         }
         Ok((
-            AllFpAnswer { paths: answer_paths, partition, lower_border, stats },
+            AllFpAnswer {
+                paths: answer_paths,
+                partition,
+                lower_border,
+                stats,
+            },
             single,
         ))
     }
@@ -362,7 +557,10 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
         };
         let shown = Interval::of(l, l + 1e-3);
         let travel = Pwl::constant(shown, ans.travel_minutes)?;
-        let fp = FastestPath { nodes: ans.nodes, travel: travel.clone() };
+        let fp = FastestPath {
+            nodes: ans.nodes,
+            travel: travel.clone(),
+        };
         let single = SingleFpAnswer {
             path: fp.clone(),
             travel_minutes: ans.travel_minutes,
@@ -384,7 +582,22 @@ impl<'a> Engine<'a, roadnet::RoadNetwork> {
     /// precomputation if the config asks for it.
     pub fn for_network(net: &'a roadnet::RoadNetwork, config: EngineConfig) -> Result<Self> {
         let estimator = build_estimator(net, &config)?;
-        Ok(Engine { source: net, estimator, config })
+        let cache = cache_for(&config);
+        Ok(Engine {
+            source: net,
+            estimator,
+            config,
+            cache,
+        })
+    }
+}
+
+/// The travel-function cache matching a config's `use_travel_cache`.
+fn cache_for(config: &EngineConfig) -> TravelFnCache {
+    if config.use_travel_cache {
+        TravelFnCache::new()
+    } else {
+        TravelFnCache::disabled()
     }
 }
 
@@ -457,7 +670,10 @@ mod tests {
         assert_eq!(p1.nodes, vec![ids.s, ids.n, ids.e]);
         assert_eq!(p2.nodes, vec![ids.s, ids.e]);
         assert!(pwl::approx_eq(ans.partition[0].0.hi(), hms(6, 58, 30)));
-        assert!(pwl::approx_eq(ans.partition[1].0.hi(), hm(7, 6) - 18.0 / 7.0));
+        assert!(pwl::approx_eq(
+            ans.partition[1].0.hi(),
+            hm(7, 6) - 18.0 / 7.0
+        ));
         assert!(pwl::approx_eq(ans.partition[2].0.hi(), hm(7, 5)));
         // border covers I exactly
         assert!(ans.lower_border.domain().approx_eq(&paper_query().interval));
@@ -516,7 +732,10 @@ mod tests {
         // 5 minutes beats the 6-mile direct road everywhere.
         let ans = engine.all_fastest_paths(&q).unwrap();
         assert_eq!(ans.partition.len(), 1);
-        assert_eq!(ans.paths[ans.partition[0].1].nodes, vec![ids.s, ids.n, ids.e]);
+        assert_eq!(
+            ans.paths[ans.partition[0].1].nodes,
+            vec![ids.s, ids.n, ids.e]
+        );
         assert!((ans.travel_at(hm(7, 0)).unwrap() - 5.0).abs() < 1e-9);
     }
 
@@ -525,11 +744,17 @@ mod tests {
         let (net, _) = paper_running_example();
         let plain = Engine::new(
             &net,
-            EngineConfig { prune_dominated: false, ..EngineConfig::default() },
+            EngineConfig {
+                prune_dominated: false,
+                ..EngineConfig::default()
+            },
         );
         let pruned = Engine::new(
             &net,
-            EngineConfig { prune_dominated: true, ..EngineConfig::default() },
+            EngineConfig {
+                prune_dominated: true,
+                ..EngineConfig::default()
+            },
         );
         let q = paper_query();
         let a = plain.all_fastest_paths(&q).unwrap();
@@ -546,7 +771,10 @@ mod tests {
         let (net, _) = paper_running_example();
         let engine = Engine::new(
             &net,
-            EngineConfig { max_expansions: 0, ..EngineConfig::default() },
+            EngineConfig {
+                max_expansions: 0,
+                ..EngineConfig::default()
+            },
         );
         assert!(matches!(
             engine.all_fastest_paths(&paper_query()),
@@ -561,7 +789,10 @@ mod tests {
         assert_eq!(engine.estimator_name(), "naiveLB");
         let bd = Engine::for_network(
             &net,
-            EngineConfig { estimator: EstimatorKind::Boundary { grid: 2 }, ..Default::default() },
+            EngineConfig {
+                estimator: EstimatorKind::Boundary { grid: 2 },
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(bd.estimator_name(), "bdLB");
@@ -578,7 +809,10 @@ mod tests {
 
     #[test]
     fn error_displays_are_informative() {
-        let e = AllFpError::Unreachable { source: NodeId(1), target: NodeId(2) };
+        let e = AllFpError::Unreachable {
+            source: NodeId(1),
+            target: NodeId(2),
+        };
         assert!(e.to_string().contains("no path"));
         let e = AllFpError::BudgetExhausted { expansions: 42 };
         assert!(e.to_string().contains("42"));
@@ -593,5 +827,131 @@ mod tests {
         assert!(ans.stats.expanded_nodes >= 2);
         assert!(ans.stats.pushed >= 3);
         assert_eq!(ans.stats.border_merges, 2);
+    }
+
+    #[test]
+    fn cache_counters_are_consistent() {
+        let (net, _) = paper_running_example();
+        let engine = Engine::new(&net, EngineConfig::default());
+        let q = paper_query();
+        let a = engine.all_fastest_paths(&q).unwrap();
+        assert!(a.stats.cache_lookups > 0);
+        assert_eq!(
+            a.stats.cache_hits + a.stats.cache_misses,
+            a.stats.cache_lookups
+        );
+        // A second identical query is served entirely from the cache.
+        let b = engine.all_fastest_paths(&q).unwrap();
+        assert_eq!(b.stats.cache_misses, 0);
+        assert_eq!(b.stats.cache_hits, b.stats.cache_lookups);
+        // Engine-wide counters add up across the two queries.
+        let c = engine.cache_counters();
+        assert_eq!(
+            (c.hits + c.misses) as usize,
+            a.stats.cache_lookups + b.stats.cache_lookups
+        );
+    }
+
+    #[test]
+    fn disabled_cache_counts_every_lookup_as_miss() {
+        let (net, _) = paper_running_example();
+        let engine = Engine::new(
+            &net,
+            EngineConfig {
+                use_travel_cache: false,
+                ..EngineConfig::default()
+            },
+        );
+        let q = paper_query();
+        for _ in 0..2 {
+            let a = engine.all_fastest_paths(&q).unwrap();
+            assert_eq!(a.stats.cache_hits, 0);
+            assert_eq!(a.stats.cache_misses, a.stats.cache_lookups);
+        }
+    }
+
+    #[test]
+    fn cache_toggle_preserves_answers() {
+        let (net, _) = paper_running_example();
+        let cached = Engine::new(&net, EngineConfig::default());
+        let plain = Engine::new(
+            &net,
+            EngineConfig {
+                use_travel_cache: false,
+                ..EngineConfig::default()
+            },
+        );
+        let q = paper_query();
+        let a = cached.all_fastest_paths(&q).unwrap();
+        let b = plain.all_fastest_paths(&q).unwrap();
+        assert_eq!(a.partition.len(), b.partition.len());
+        for (x, y) in a.partition.iter().zip(b.partition.iter()) {
+            assert!(x.0.approx_eq(&y.0));
+            assert_eq!(a.paths[x.1].nodes, b.paths[y.1].nodes);
+        }
+    }
+
+    #[test]
+    fn run_batch_matches_serial() {
+        let (net, ids) = paper_running_example();
+        let engine = Engine::new(&net, EngineConfig::default());
+        let mut queries = Vec::new();
+        for k in 0..9u32 {
+            queries.push(QuerySpec::new(
+                ids.s,
+                ids.e,
+                Interval::of(hm(6, 40 + k), hm(7, 1 + k)),
+                DayCategory::WORKDAY,
+            ));
+        }
+        // one unreachable query mixed in: it must fail alone
+        queries.push(QuerySpec::new(
+            ids.e,
+            ids.s,
+            Interval::of(hm(6, 50), hm(7, 5)),
+            DayCategory::WORKDAY,
+        ));
+        let batch = engine.run_batch(&queries);
+        assert_eq!(batch.len(), queries.len());
+        for (q, got) in queries.iter().zip(batch.iter()) {
+            match engine.all_fastest_paths(q) {
+                Ok(want) => {
+                    let got = got.as_ref().expect("batch result matches serial");
+                    assert_eq!(got.partition.len(), want.partition.len());
+                    for (x, y) in got.partition.iter().zip(want.partition.iter()) {
+                        assert!(x.0.approx_eq(&y.0));
+                        assert_eq!(got.paths[x.1].nodes, want.paths[y.1].nodes);
+                    }
+                }
+                Err(_) => assert!(got.is_err()),
+            }
+        }
+    }
+
+    #[test]
+    fn arena_materializes_deep_paths() {
+        // A 5-node chain exercises materialization and the
+        // parent-chain cycle check beyond depth 2.
+        let schema = traffic::PatternSchema::table1().unwrap();
+        let mut net = roadnet::RoadNetwork::with_schema(&schema);
+        let mut ids = Vec::new();
+        for i in 0..5 {
+            ids.push(net.add_node(f64::from(i), 0.0).unwrap());
+        }
+        for w in ids.windows(2) {
+            net.add_bidirectional(w[0], w[1], 1.0, traffic::RoadClass::LocalOutside)
+                .unwrap();
+        }
+        let engine = Engine::new(&net, EngineConfig::default());
+        let q = QuerySpec::new(
+            ids[0],
+            ids[4],
+            Interval::of(hm(6, 50), hm(7, 5)),
+            DayCategory::WORKDAY,
+        );
+        let ans = engine.all_fastest_paths(&q).unwrap();
+        assert_eq!(ans.paths[ans.partition[0].1].nodes, ids);
+        let single = engine.single_fastest_path(&q).unwrap();
+        assert_eq!(single.path.nodes, ids);
     }
 }

@@ -14,16 +14,14 @@ pub trait LowerBoundEstimator: Send + Sync {
     /// Lower-bound travel time from `from` (at `from_loc`) to `to`
     /// (at `to_loc`), minutes. Must never exceed the true fastest
     /// travel time at any leaving instant.
-    fn travel_lower_bound(&self, from: NodeId, from_loc: Point, to: NodeId, to_loc: Point)
-        -> f64;
+    fn travel_lower_bound(&self, from: NodeId, from_loc: Point, to: NodeId, to_loc: Point) -> f64;
 
     /// Short display name (used by the experiment harness).
     fn name(&self) -> &'static str;
 }
 
 impl<T: LowerBoundEstimator + ?Sized> LowerBoundEstimator for &T {
-    fn travel_lower_bound(&self, from: NodeId, from_loc: Point, to: NodeId, to_loc: Point)
-        -> f64 {
+    fn travel_lower_bound(&self, from: NodeId, from_loc: Point, to: NodeId, to_loc: Point) -> f64 {
         (**self).travel_lower_bound(from, from_loc, to, to_loc)
     }
 

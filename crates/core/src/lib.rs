@@ -42,6 +42,7 @@
 //! model, all used by the experiment harness.
 
 mod boundary;
+mod cache;
 mod engine;
 mod estimator;
 mod query;
@@ -51,6 +52,7 @@ pub mod baseline;
 
 pub use arrival::{ArrivalAllFpAnswer, ArrivalPlanner, ArrivalQuerySpec, ArrivalSingleFpAnswer};
 pub use boundary::{BoundaryLb, WeightMode};
+pub use cache::{CacheCounters, TravelFnCache};
 pub use engine::{build_estimator, Engine, EngineConfig};
 pub use estimator::{EstimatorKind, LowerBoundEstimator, MaxEstimator, NaiveLb, ZeroLb};
 pub use query::{AllFpAnswer, FastestPath, QuerySpec, QueryStats, SingleFpAnswer};

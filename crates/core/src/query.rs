@@ -21,7 +21,12 @@ pub struct QuerySpec {
 impl QuerySpec {
     /// Convenience constructor.
     pub fn new(source: NodeId, target: NodeId, interval: Interval, category: DayCategory) -> Self {
-        QuerySpec { source, target, interval, category }
+        QuerySpec {
+            source,
+            target,
+            interval,
+            category,
+        }
     }
 }
 
@@ -62,6 +67,13 @@ pub struct QueryStats {
     /// Paths that reached the target and were merged into the lower
     /// border.
     pub border_merges: usize,
+    /// Edge travel-function requests during this query.
+    pub cache_lookups: usize,
+    /// Requests served from the engine's travel-function cache.
+    pub cache_hits: usize,
+    /// Requests that computed the function from the speed profile
+    /// (always equal to `cache_lookups` when the cache is disabled).
+    pub cache_misses: usize,
 }
 
 /// Answer to a singleFP query.
@@ -148,7 +160,8 @@ mod tests {
             Pwl::linear(Interval::of(0.0, 10.0), Linear { a: 0.2, b: 4.0 }).unwrap(),
             0usize,
         );
-        env.merge_min(&Pwl::constant(Interval::of(0.0, 10.0), 5.0).unwrap(), 1).unwrap();
+        env.merge_min(&Pwl::constant(Interval::of(0.0, 10.0), 5.0).unwrap(), 1)
+            .unwrap();
         AllFpAnswer {
             paths: vec![p0, p1],
             partition: vec![(i1, 0), (i2, 1)],

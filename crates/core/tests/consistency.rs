@@ -19,7 +19,9 @@ use roadnet::{NodeId, RoadNetwork};
 use traffic::DayCategory;
 
 fn probe_instants(i: &Interval, n: usize) -> Vec<f64> {
-    (0..=n).map(|k| i.lo() + i.len() * (k as f64) / (n as f64)).collect()
+    (0..=n)
+        .map(|k| i.lo() + i.len() * (k as f64) / (n as f64))
+        .collect()
 }
 
 /// allFP's lower border must match the fixed-instant oracle everywhere.
@@ -106,7 +108,10 @@ fn boundary_estimator_preserves_answers_and_prunes() {
     let naive = Engine::for_network(&net, EngineConfig::default()).unwrap();
     let boundary = Engine::for_network(
         &net,
-        EngineConfig { estimator: EstimatorKind::Boundary { grid: 8 }, ..Default::default() },
+        EngineConfig {
+            estimator: EstimatorKind::Boundary { grid: 8 },
+            ..Default::default()
+        },
     )
     .unwrap();
     let mut naive_total = 0usize;
@@ -172,7 +177,10 @@ fn dominance_pruning_preserves_answers_on_metro() {
     // basic = the paper's unpruned path expansion; default = pruned
     let plain = Engine::new(
         &net,
-        EngineConfig { prune_dominated: false, ..EngineConfig::default() },
+        EngineConfig {
+            prune_dominated: false,
+            ..EngineConfig::default()
+        },
     );
     let pruned = Engine::new(&net, EngineConfig::default());
     for p in pairs {

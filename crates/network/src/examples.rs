@@ -47,8 +47,9 @@ pub fn paper_running_example() -> (RoadNetwork, PaperExampleIds) {
     };
 
     // s → e: constant 1 mpm.
-    let pat_se =
-        net.add_pattern(with_flat_nonworkday(SpeedProfile::constant(1.0).expect("valid")));
+    let pat_se = net.add_pattern(with_flat_nonworkday(
+        SpeedProfile::constant(1.0).expect("valid"),
+    ));
     // s → n: 1/3 mpm before 7:00, 1 mpm after.
     let pat_sn = net.add_pattern(with_flat_nonworkday(
         SpeedProfile::from_pairs(&[(0.0, 1.0 / 3.0), (hm(7, 0), 1.0)]).expect("valid"),
@@ -64,9 +65,12 @@ pub fn paper_running_example() -> (RoadNetwork, PaperExampleIds) {
     let n = net.add_node(0.8, 0.6).expect("finite"); // 1.0 mi from s
     let e = net.add_node(1.8, 0.6).expect("finite"); // 1.0 mi from n, ~1.9 from s
 
-    net.add_edge(s, e, 6.0, RoadClass::LocalOutside, pat_se).expect("valid edge");
-    net.add_edge(s, n, 2.0, RoadClass::LocalOutside, pat_sn).expect("valid edge");
-    net.add_edge(n, e, 3.0, RoadClass::LocalOutside, pat_ne).expect("valid edge");
+    net.add_edge(s, e, 6.0, RoadClass::LocalOutside, pat_se)
+        .expect("valid edge");
+    net.add_edge(s, n, 2.0, RoadClass::LocalOutside, pat_sn)
+        .expect("valid edge");
+    net.add_edge(n, e, 3.0, RoadClass::LocalOutside, pat_ne)
+        .expect("valid edge");
 
     (net, PaperExampleIds { s, n, e })
 }

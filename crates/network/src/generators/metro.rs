@@ -127,11 +127,17 @@ struct BucketIndex {
 
 impl BucketIndex {
     fn new(cell: f64) -> Self {
-        BucketIndex { cell, buckets: HashMap::new() }
+        BucketIndex {
+            cell,
+            buckets: HashMap::new(),
+        }
     }
 
     fn key(&self, p: &Point) -> (i32, i32) {
-        ((p.x / self.cell).floor() as i32, (p.y / self.cell).floor() as i32)
+        (
+            (p.x / self.cell).floor() as i32,
+            (p.y / self.cell).floor() as i32,
+        )
     }
 
     fn insert(&mut self, id: NodeId, p: Point) {
@@ -213,7 +219,7 @@ pub fn suffolk_like(cfg: &MetroConfig) -> Result<RoadNetwork> {
         &mut local_nodes,
         &mut candidates,
     )?;
-    for (&_, &(id, p)) in &core_ids {
+    for &(id, p) in &core_ids {
         index.insert(id, p);
     }
 
@@ -232,7 +238,7 @@ pub fn suffolk_like(cfg: &MetroConfig) -> Result<RoadNetwork> {
 
     // --- 3. stitch outer grid to core along the seam ------------------------
     let seam = cfg.core_radius + 1.6 * cfg.outer_spacing;
-    for &(id, p) in outer_ids.values() {
+    for &(id, p) in &outer_ids {
         let r = p.x.hypot(p.y);
         if r <= seam {
             if let Some((near, _)) = index.nearest(&p) {
@@ -359,8 +365,15 @@ fn lay_grid(
     keep: impl Fn(f64, f64) -> bool,
     local_nodes: &mut Vec<NodeId>,
     candidates: &mut Vec<(NodeId, NodeId)>,
-) -> Result<HashMap<(i32, i32), (NodeId, Point)>> {
+) -> Result<Vec<(NodeId, Point)>> {
+    // The grid-coordinate map is internal (left/down neighbor lookup);
+    // callers get the nodes as a Vec in generation order. Returning the
+    // HashMap itself would hand callers a process-random iteration
+    // order (std's hasher is seeded per process), and the stitching
+    // pass inserts into the spatial index *while* querying it — seeded
+    // runs would produce different networks from run to run.
     let mut ids: HashMap<(i32, i32), (NodeId, Point)> = HashMap::new();
+    let mut laid: Vec<(NodeId, Point)> = Vec::new();
     let n = ((hi - lo) / spacing).floor() as i32;
     for j in 0..=n {
         for i in 0..=n {
@@ -372,7 +385,9 @@ fn lay_grid(
             let jx = gx + rng.gen_range(-jitter..jitter) * spacing;
             let jy = gy + rng.gen_range(-jitter..jitter) * spacing;
             let id = net.add_node(jx, jy)?;
-            ids.insert((i, j), (id, Point { x: jx, y: jy }));
+            let p = Point { x: jx, y: jy };
+            ids.insert((i, j), (id, p));
+            laid.push((id, p));
             local_nodes.push(id);
             if let Some(&(left, _)) = ids.get(&(i - 1, j)) {
                 candidates.push((left, id));
@@ -382,17 +397,12 @@ fn lay_grid(
             }
         }
     }
-    Ok(ids)
+    Ok(laid)
 }
 
 /// Local street class from endpoint radii: inside the core disc →
 /// `LocalBoston`, otherwise `LocalOutside`.
-fn local_class(
-    net: &RoadNetwork,
-    cfg: &MetroConfig,
-    a: NodeId,
-    b: NodeId,
-) -> Result<RoadClass> {
+fn local_class(net: &RoadNetwork, cfg: &MetroConfig, a: NodeId, b: NodeId) -> Result<RoadClass> {
     let pa = net.point(a)?;
     let pb = net.point(b)?;
     let ra = pa.x.hypot(pa.y);
@@ -453,7 +463,12 @@ fn connect_components(net: &mut RoadNetwork, cfg: &MetroConfig) -> Result<()> {
         }
         let (b, d) = best.expect("component with node 0 is non-empty");
         let class = local_class(net, cfg, NodeId(stranded as u32), NodeId(b as u32))?;
-        net.add_bidirectional(NodeId(stranded as u32), NodeId(b as u32), d.max(1e-6), class)?;
+        net.add_bidirectional(
+            NodeId(stranded as u32),
+            NodeId(b as u32),
+            d.max(1e-6),
+            class,
+        )?;
     }
 }
 
@@ -509,7 +524,11 @@ mod tests {
     #[test]
     fn harbor_carves_a_detour() {
         let with = suffolk_like(&MetroConfig::small(9)).unwrap();
-        let without = suffolk_like(&MetroConfig { harbor: false, ..MetroConfig::small(9) }).unwrap();
+        let without = suffolk_like(&MetroConfig {
+            harbor: false,
+            ..MetroConfig::small(9)
+        })
+        .unwrap();
         // fewer local nodes with the harbor carved out
         assert!(with.n_nodes() < without.n_nodes());
         // no local street endpoints deep inside the water sector

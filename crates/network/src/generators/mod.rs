@@ -24,7 +24,10 @@ pub(crate) struct UnionFind {
 
 impl UnionFind {
     pub(crate) fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n as u32).collect(), rank: vec![0; n] }
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+        }
     }
 
     pub(crate) fn find(&mut self, x: u32) -> u32 {

@@ -32,10 +32,10 @@ pub fn random_geometric(n: usize, side: f64, k: usize, seed: u64) -> Result<Road
     let mut uf = UnionFind::new(n);
     let mut added = std::collections::HashSet::new();
     let connect = |net: &mut RoadNetwork,
-                       uf: &mut UnionFind,
-                       added: &mut std::collections::HashSet<(usize, usize)>,
-                       a: usize,
-                       b: usize|
+                   uf: &mut UnionFind,
+                   added: &mut std::collections::HashSet<(usize, usize)>,
+                   a: usize,
+                   b: usize|
      -> Result<()> {
         let key = (a.min(b), a.max(b));
         if a == b || !added.insert(key) {

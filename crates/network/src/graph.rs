@@ -79,11 +79,20 @@ impl RoadNetwork {
     /// An empty network seeded with the four class patterns of
     /// `schema` (pattern id = `RoadClass::index`).
     pub fn with_schema(schema: &PatternSchema) -> Self {
-        let patterns: Vec<CapeCodPattern> =
-            RoadClass::ALL.iter().map(|&c| schema.pattern(c).clone()).collect();
-        let max_speed =
-            patterns.iter().map(CapeCodPattern::max_speed).fold(f64::NEG_INFINITY, f64::max);
-        RoadNetwork { points: Vec::new(), adj: Vec::new(), patterns, max_speed }
+        let patterns: Vec<CapeCodPattern> = RoadClass::ALL
+            .iter()
+            .map(|&c| schema.pattern(c).clone())
+            .collect();
+        let max_speed = patterns
+            .iter()
+            .map(CapeCodPattern::max_speed)
+            .fold(f64::NEG_INFINITY, f64::max);
+        RoadNetwork {
+            points: Vec::new(),
+            adj: Vec::new(),
+            patterns,
+            max_speed,
+        }
     }
 
     /// An empty network with an empty pattern table.
@@ -135,9 +144,17 @@ impl RoadNetwork {
         }
         let euclidean = pf.distance(&pt);
         if !distance.is_finite() || distance <= 0.0 || distance < euclidean - 1e-9 {
-            return Err(NetworkError::BadEdgeLength { length: distance, euclidean });
+            return Err(NetworkError::BadEdgeLength {
+                length: distance,
+                euclidean,
+            });
         }
-        self.adj[from.index()].push(Edge { to, distance, class, pattern });
+        self.adj[from.index()].push(Edge {
+            to,
+            distance,
+            class,
+            pattern,
+        });
         Ok(())
     }
 
@@ -178,12 +195,17 @@ impl RoadNetwork {
 
     /// Location of `node`.
     pub fn point(&self, node: NodeId) -> Result<&Point> {
-        self.points.get(node.index()).ok_or(NetworkError::UnknownNode(node))
+        self.points
+            .get(node.index())
+            .ok_or(NetworkError::UnknownNode(node))
     }
 
     /// Outgoing edges of `node`.
     pub fn neighbors(&self, node: NodeId) -> Result<&[Edge]> {
-        self.adj.get(node.index()).map(Vec::as_slice).ok_or(NetworkError::UnknownNode(node))
+        self.adj
+            .get(node.index())
+            .map(Vec::as_slice)
+            .ok_or(NetworkError::UnknownNode(node))
     }
 
     /// Euclidean distance between two nodes, miles.
@@ -199,7 +221,9 @@ impl RoadNetwork {
 
     /// Pattern by id.
     pub fn pattern(&self, id: PatternId) -> Result<&CapeCodPattern> {
-        self.patterns.get(usize::from(id.0)).ok_or(NetworkError::UnknownPattern(id))
+        self.patterns
+            .get(usize::from(id.0))
+            .ok_or(NetworkError::UnknownPattern(id))
     }
 
     /// Speed profile of `edge` under `category`.
@@ -242,8 +266,11 @@ impl RoadNetwork {
     /// *leaving-interval* query here answers an *arrival-interval*
     /// query there.
     pub fn reversed_time_mirrored(&self) -> RoadNetwork {
-        let patterns: Vec<CapeCodPattern> =
-            self.patterns.iter().map(CapeCodPattern::time_mirrored).collect();
+        let patterns: Vec<CapeCodPattern> = self
+            .patterns
+            .iter()
+            .map(CapeCodPattern::time_mirrored)
+            .collect();
         let mut adj: Vec<Vec<Edge>> = vec![Vec::new(); self.points.len()];
         for (u, edges) in self.adj.iter().enumerate() {
             for e in edges {
@@ -255,7 +282,12 @@ impl RoadNetwork {
                 });
             }
         }
-        RoadNetwork { points: self.points.clone(), adj, patterns, max_speed: self.max_speed }
+        RoadNetwork {
+            points: self.points.clone(),
+            adj,
+            patterns,
+            max_speed: self.max_speed,
+        }
     }
 
     /// Bounding box of all node locations as
@@ -301,8 +333,12 @@ mod tests {
             net.add_class_edge(a, b, 4.9, RoadClass::LocalOutside),
             Err(NetworkError::BadEdgeLength { .. })
         ));
-        assert!(net.add_class_edge(a, b, 5.0, RoadClass::LocalOutside).is_ok());
-        assert!(net.add_class_edge(a, b, 6.2, RoadClass::LocalOutside).is_ok());
+        assert!(net
+            .add_class_edge(a, b, 5.0, RoadClass::LocalOutside)
+            .is_ok());
+        assert!(net
+            .add_class_edge(a, b, 6.2, RoadClass::LocalOutside)
+            .is_ok());
         assert!(matches!(
             net.add_class_edge(a, b, 0.0, RoadClass::LocalOutside),
             Err(NetworkError::BadEdgeLength { .. })
@@ -314,8 +350,13 @@ mod tests {
     fn unknown_ids_rejected() {
         let (mut net, a, _) = two_node_net();
         let ghost = NodeId(99);
-        assert!(matches!(net.point(ghost), Err(NetworkError::UnknownNode(_))));
-        assert!(net.add_class_edge(a, ghost, 1.0, RoadClass::LocalOutside).is_err());
+        assert!(matches!(
+            net.point(ghost),
+            Err(NetworkError::UnknownNode(_))
+        ));
+        assert!(net
+            .add_class_edge(a, ghost, 1.0, RoadClass::LocalOutside)
+            .is_err());
         assert!(net
             .add_edge(a, a, 1.0, RoadClass::LocalOutside, PatternId(77))
             .is_err());
@@ -324,7 +365,8 @@ mod tests {
     #[test]
     fn neighbors_and_reverse() {
         let (mut net, a, b) = two_node_net();
-        net.add_bidirectional(a, b, 5.5, RoadClass::LocalBoston).unwrap();
+        net.add_bidirectional(a, b, 5.5, RoadClass::LocalBoston)
+            .unwrap();
         assert_eq!(net.neighbors(a).unwrap().len(), 1);
         assert_eq!(net.neighbors(a).unwrap()[0].to, b);
         let rev = net.reverse_adj();
@@ -342,7 +384,9 @@ mod tests {
         let b = net.add_node(1.0, 0.0).unwrap();
         net.add_edge(a, b, 1.0, RoadClass::LocalOutside, p).unwrap();
         assert_eq!(net.max_speed(), 1.0);
-        let prof = net.profile(&net.neighbors(a).unwrap()[0], DayCategory::WORKDAY).unwrap();
+        let prof = net
+            .profile(&net.neighbors(a).unwrap()[0], DayCategory::WORKDAY)
+            .unwrap();
         assert_eq!(prof.speed_at(pwl::time::hm(8, 0)), 0.5);
     }
 
@@ -352,7 +396,8 @@ mod tests {
         let mut net = RoadNetwork::with_schema(&schema);
         let a = net.add_node(0.0, 0.0).unwrap();
         let b = net.add_node(1.0, 0.0).unwrap();
-        net.add_class_edge(a, b, 1.2, RoadClass::InboundHighway).unwrap();
+        net.add_class_edge(a, b, 1.2, RoadClass::InboundHighway)
+            .unwrap();
 
         let rev = net.reversed_time_mirrored();
         assert_eq!(rev.n_nodes(), 2);

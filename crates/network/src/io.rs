@@ -64,7 +64,10 @@ pub fn to_string(net: &RoadNetwork) -> String {
 /// Parse the text format back into a network.
 pub fn from_str(text: &str) -> Result<RoadNetwork> {
     fn parse_err(line_no: usize, msg: impl Into<String>) -> NetworkError {
-        NetworkError::Parse { line: line_no, message: msg.into() }
+        NetworkError::Parse {
+            line: line_no,
+            message: msg.into(),
+        }
     }
 
     let mut lines = text.lines().enumerate();
@@ -120,7 +123,13 @@ pub fn from_str(text: &str) -> Result<RoadNetwork> {
                 let pattern = next_f64("pattern")? as u16;
                 let class = RoadClass::from_index(class_idx)
                     .ok_or_else(|| parse_err(line_no, format!("bad class {class_idx}")))?;
-                net.add_edge(NodeId(from), NodeId(to), distance, class, PatternId(pattern))?;
+                net.add_edge(
+                    NodeId(from),
+                    NodeId(to),
+                    distance,
+                    class,
+                    PatternId(pattern),
+                )?;
             }
             other => return Err(parse_err(line_no, format!("unknown record '{other}'"))),
         }
@@ -133,14 +142,18 @@ pub fn from_str(text: &str) -> Result<RoadNetwork> {
 
 /// Write `net` to `path`.
 pub fn save(net: &RoadNetwork, path: &Path) -> Result<()> {
-    std::fs::write(path, to_string(net))
-        .map_err(|e| NetworkError::Parse { line: 0, message: format!("write failed: {e}") })
+    std::fs::write(path, to_string(net)).map_err(|e| NetworkError::Parse {
+        line: 0,
+        message: format!("write failed: {e}"),
+    })
 }
 
 /// Load a network from `path`.
 pub fn load(path: &Path) -> Result<RoadNetwork> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| NetworkError::Parse { line: 0, message: format!("read failed: {e}") })?;
+    let text = std::fs::read_to_string(path).map_err(|e| NetworkError::Parse {
+        line: 0,
+        message: format!("read failed: {e}"),
+    })?;
     from_str(&text)
 }
 
@@ -181,7 +194,7 @@ mod tests {
         assert!(from_str("capecod-network v1\nnode 1").is_err()); // missing y
         assert!(from_str("capecod-network v1\nnode 0 0\nnode 1 0\nedge 0 1 1.0 9 0").is_err()); // bad class
         assert!(from_str("capecod-network v1\nnode 0 0 7").is_err()); // trailing
-        // geometric invariant still enforced on load
+                                                                      // geometric invariant still enforced on load
         let short = "capecod-network v1\npattern 1 1 0 1\nnode 0 0\nnode 5 0\nedge 0 1 1.0 3 0";
         assert!(from_str(short).is_err());
     }

@@ -27,6 +27,19 @@ pub trait NetworkSource {
     /// Outgoing edges of `node` (CCAM: `GetSuccessor`).
     fn successors(&self, node: NodeId) -> Result<Vec<Edge>>;
 
+    /// Fill `buf` with the outgoing edges of `node`, clearing it first.
+    ///
+    /// Hot loops (the allFP engine expands thousands of nodes per
+    /// query) call this with a reused buffer to avoid a fresh `Vec`
+    /// per expansion; implementations that can copy from an internal
+    /// slice should override the default, which delegates to
+    /// [`NetworkSource::successors`].
+    fn successors_into(&self, node: NodeId, buf: &mut Vec<Edge>) -> Result<()> {
+        buf.clear();
+        buf.extend(self.successors(node)?);
+        Ok(())
+    }
+
     /// Speed pattern by id (pattern tables are small and cached in
     /// memory by every implementation).
     fn pattern(&self, id: PatternId) -> Result<&CapeCodPattern>;
@@ -53,6 +66,12 @@ impl NetworkSource for RoadNetwork {
         Ok(self.neighbors(node)?.to_vec())
     }
 
+    fn successors_into(&self, node: NodeId, buf: &mut Vec<Edge>) -> Result<()> {
+        buf.clear();
+        buf.extend_from_slice(self.neighbors(node)?);
+        Ok(())
+    }
+
     fn pattern(&self, id: PatternId) -> Result<&CapeCodPattern> {
         RoadNetwork::pattern(self, id)
     }
@@ -73,7 +92,8 @@ mod tests {
         let mut net = RoadNetwork::with_schema(&schema);
         let a = net.add_node(0.0, 0.0).unwrap();
         let b = net.add_node(1.0, 0.0).unwrap();
-        net.add_bidirectional(a, b, 1.0, RoadClass::LocalOutside).unwrap();
+        net.add_bidirectional(a, b, 1.0, RoadClass::LocalOutside)
+            .unwrap();
 
         let src: &dyn NetworkSource = &net;
         assert_eq!(src.n_nodes(), 2);

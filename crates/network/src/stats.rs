@@ -44,7 +44,11 @@ impl NetworkStats {
             nodes,
             directed_edges,
             class_counts,
-            avg_out_degree: if nodes == 0 { 0.0 } else { directed_edges as f64 / nodes as f64 },
+            avg_out_degree: if nodes == 0 {
+                0.0
+            } else {
+                directed_edges as f64 / nodes as f64
+            },
             total_miles,
             extent,
         }
@@ -77,9 +81,12 @@ mod tests {
         let mut net = crate::RoadNetwork::with_schema(&schema);
         let a = net.add_node(0.0, 0.0).unwrap();
         let b = net.add_node(1.0, 0.0).unwrap();
-        net.add_class_edge(a, b, 1.0, RoadClass::InboundHighway).unwrap();
-        net.add_class_edge(b, a, 1.0, RoadClass::OutboundHighway).unwrap();
-        net.add_bidirectional(a, b, 1.2, RoadClass::LocalBoston).unwrap();
+        net.add_class_edge(a, b, 1.0, RoadClass::InboundHighway)
+            .unwrap();
+        net.add_class_edge(b, a, 1.0, RoadClass::OutboundHighway)
+            .unwrap();
+        net.add_bidirectional(a, b, 1.2, RoadClass::LocalBoston)
+            .unwrap();
         let s = NetworkStats::of(&net);
         assert_eq!(s.nodes, 2);
         assert_eq!(s.directed_edges, 4);

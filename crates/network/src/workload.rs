@@ -52,7 +52,11 @@ pub fn sample_pairs(
         }
         let d = net.euclidean(a, b)?;
         if d >= dist_lo && d <= dist_hi {
-            out.push(QueryPair { source: a, target: b, euclidean: d });
+            out.push(QueryPair {
+                source: a,
+                target: b,
+                euclidean: d,
+            });
         }
     }
     Ok(out)
@@ -97,7 +101,11 @@ pub fn commute_pairs(
         }
         let d = pa.distance(pb);
         if d >= dist_lo && d <= dist_hi {
-            out.push(QueryPair { source: a, target: b, euclidean: d });
+            out.push(QueryPair {
+                source: a,
+                target: b,
+                euclidean: d,
+            });
         }
     }
     Ok(out)

@@ -24,8 +24,24 @@ use crate::{Interval, MonotonePwl, Pwl, PwlError, Result};
 /// arrival interval at the intermediate node), `A₁(I) = [lo + T₁(lo),
 /// hi + T₁(hi)]` — paper §4.4, Figure 4.
 pub fn arrival_interval(t1: &Pwl) -> Result<Interval> {
-    let a1 = MonotonePwl::arrival_from_travel(t1)?;
-    Ok(a1.range())
+    // Same validations and endpoint arithmetic as
+    // `MonotonePwl::arrival_from_travel(t1)?.range()`, without
+    // materializing the arrival function (this runs once per expanded
+    // path in the engine).
+    t1.check_continuous()?;
+    let (x1, f1) = (t1.breakpoints(), t1.linears());
+    for (i, f) in f1.iter().enumerate() {
+        if f.a + 1.0 <= crate::EPS {
+            return Err(PwlError::NotIncreasing { at: x1[i] });
+        }
+    }
+    let arr = |i: usize| crate::Linear {
+        a: f1[i].a + 1.0,
+        b: f1[i].b,
+    };
+    let lo = x1[0];
+    let hi = x1[x1.len() - 1];
+    Ok(Interval::of(arr(0).eval(lo), arr(f1.len() - 1).eval(hi)))
 }
 
 /// The compound `T(l) = T₁(l) + T₂(l + T₁(l))`.
@@ -38,7 +54,10 @@ pub fn compose_travel(t1: &Pwl, t2: &Pwl) -> Result<Pwl> {
     let a1 = MonotonePwl::arrival_from_travel(t1)?;
     let arrivals = a1.range();
     if !t2.domain().covers(&arrivals) {
-        return Err(PwlError::DomainMismatch { left: t2.domain(), right: arrivals });
+        return Err(PwlError::DomainMismatch {
+            left: t2.domain(),
+            right: arrivals,
+        });
     }
     let domain = t1.domain();
 
@@ -63,6 +82,109 @@ pub fn compose_travel(t1: &Pwl, t2: &Pwl) -> Result<Pwl> {
     })
 }
 
+/// [`compose_travel`] fused with [`Pwl::simplify`]: identical output
+/// function, one building pass.
+///
+/// The engine composes once per expanded edge and always simplifies the
+/// result, so this variant avoids the per-call overheads of the
+/// two-pass form:
+///
+/// * no intermediate unsimplified function — collinear pieces are
+///   dropped while building;
+/// * no materialized arrival function — `A₁` shares `T₁`'s breakpoints
+///   with each slope shifted by one, so evals and inverses read `T₁`'s
+///   piece table directly (`MonotonePwl::arrival_from_travel` clones
+///   the function, and its `inverse_at` allocates the point list on
+///   every call — once per `T₂` breakpoint);
+/// * no per-piece binary searches — the subdivision midpoints and
+///   their images under the increasing `A₁` are both nondecreasing, as
+///   are `T₂`'s breakpoints, so advancing cursors find every piece.
+pub fn compose_travel_simplified(t1: &Pwl, t2: &Pwl) -> Result<Pwl> {
+    let (x1, f1) = (t1.breakpoints(), t1.linears());
+    let n1 = f1.len();
+    // Arrival piece over x1[i]..x1[i+1]: same arithmetic as
+    // `add_identity` (slope + 1, intercept unchanged), so every value
+    // below matches the two-pass path bit for bit.
+    let arr = |i: usize| crate::Linear {
+        a: f1[i].a + 1.0,
+        b: f1[i].b,
+    };
+
+    // The `MonotonePwl::arrival_from_travel` validations, on the
+    // shared breakpoint grid: continuity, then FIFO (arrival slopes
+    // must be strictly positive).
+    t1.check_continuous()?;
+    for (i, f) in f1.iter().enumerate() {
+        if f.a + 1.0 <= crate::EPS {
+            return Err(PwlError::NotIncreasing { at: x1[i] });
+        }
+    }
+
+    let domain = t1.domain();
+    let arrivals = Interval::of(arr(0).eval(x1[0]), arr(n1 - 1).eval(x1[n1]));
+    if !t2.domain().covers(&arrivals) {
+        return Err(PwlError::DomainMismatch {
+            left: t2.domain(),
+            right: arrivals,
+        });
+    }
+
+    // Breakpoint set: T₁'s own, plus A₁⁻¹ of T₂'s interior breakpoints
+    // that land strictly inside the domain. T₂'s breakpoints ascend and
+    // A₁ is increasing, so one cursor sweep finds each preimage's piece.
+    let mut xs: Vec<f64> = x1.to_vec();
+    let mut p = 0usize;
+    for &t in t2.breakpoints() {
+        if !arrivals.contains_approx(t) {
+            continue;
+        }
+        while p + 1 < n1 && arr(p).eval(x1[p + 1]) <= t {
+            p += 1;
+        }
+        let piece = arr(p);
+        let l = domain.clamp((t - piece.b) / piece.a);
+        if crate::definitely_lt(domain.lo(), l) && crate::definitely_lt(l, domain.hi()) {
+            xs.push(l);
+        }
+    }
+    crate::pwl::sort_dedupe(&mut xs);
+    if xs.len() < 2 {
+        return Err(PwlError::BadBreakpoints(
+            "empty elementary subdivision".into(),
+        ));
+    }
+
+    let (x2, f2) = (t2.breakpoints(), t2.linears());
+    let t2dom = t2.domain();
+
+    let mut out_xs: Vec<f64> = Vec::with_capacity(xs.len());
+    let mut out_fs: Vec<crate::Linear> = Vec::with_capacity(xs.len() - 1);
+    out_xs.push(xs[0]);
+    let (mut i1, mut i2) = (0usize, 0usize);
+    for w in xs.windows(2) {
+        let mid = 0.5 * (w[0] + w[1]);
+        while i1 + 1 < n1 && x1[i1 + 1] <= mid {
+            i1 += 1;
+        }
+        let arrive = t2dom.clamp(arr(i1).eval(mid));
+        while i2 + 1 < f2.len() && x2[i2 + 1] <= arrive {
+            i2 += 1;
+        }
+        let g = f1[i1].compound(&f2[i2]);
+        if let Some(last) = out_fs.last() {
+            // Same rule as `Pwl::simplify`: collinear over the new
+            // piece's span extends the previous piece.
+            if last.approx_same_over(&g, &Interval::of(w[0], w[1])) {
+                continue;
+            }
+            out_xs.push(w[0]);
+        }
+        out_fs.push(g);
+    }
+    out_xs.push(xs[xs.len() - 1]);
+    Pwl::new(out_xs, out_fs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,12 +207,7 @@ mod tests {
     /// [6:56, 7:07]): 3 until 7:05, then 10 − (7/3)(7:08 − l).
     fn paper_t2() -> Pwl {
         let ramp_end = 10.0 - (7.0 / 3.0) * (hm(7, 8) - hm(7, 7));
-        Pwl::from_points(&[
-            (hm(6, 56), 3.0),
-            (hm(7, 5), 3.0),
-            (hm(7, 7), ramp_end),
-        ])
-        .unwrap()
+        Pwl::from_points(&[(hm(6, 56), 3.0), (hm(7, 5), 3.0), (hm(7, 7), ramp_end)]).unwrap()
     }
 
     #[test]
@@ -158,12 +275,40 @@ mod tests {
 
     #[test]
     fn compound_rejects_fifo_violation() {
-        let bad =
-            Pwl::linear(Interval::of(0.0, 10.0), Linear { a: -2.0, b: 30.0 }).unwrap();
+        let bad = Pwl::linear(Interval::of(0.0, 10.0), Linear { a: -2.0, b: 30.0 }).unwrap();
         let t2 = Pwl::constant(Interval::of(0.0, 100.0), 1.0).unwrap();
         assert!(matches!(
             compose_travel(&bad, &t2),
             Err(PwlError::NotIncreasing { .. })
+        ));
+    }
+
+    #[test]
+    fn fused_variant_matches_compose_then_simplify() {
+        let t1 = paper_t1();
+        let t2 = paper_t2();
+        let fused = compose_travel_simplified(&t1, &t2).unwrap();
+        let two_pass = compose_travel(&t1, &t2).unwrap().simplify();
+        assert_eq!(fused.breakpoints(), two_pass.breakpoints());
+        let d = t1.domain();
+        for k in 0..=200 {
+            let l = d.lo() + d.len() * (f64::from(k)) / 200.0;
+            assert!(
+                approx_eq(fused.eval(l), two_pass.eval(l)),
+                "mismatch at l={l}"
+            );
+        }
+
+        // Constant edge: collapses to t1's simplified piece count.
+        let flat = Pwl::constant(Interval::of(hm(6, 0), hm(9, 0)), 4.0).unwrap();
+        let fused = compose_travel_simplified(&t1, &flat).unwrap();
+        assert_eq!(fused.n_pieces(), t1.simplify().n_pieces());
+
+        // Same error surface as the two-pass form.
+        let short = Pwl::constant(Interval::of(hm(6, 56), hm(7, 0)), 3.0).unwrap();
+        assert!(matches!(
+            compose_travel_simplified(&t1, &short),
+            Err(PwlError::DomainMismatch { .. })
         ));
     }
 

@@ -37,7 +37,10 @@ impl<T: Clone + PartialEq> Envelope<T> {
     /// Start an envelope from a single function.
     pub fn new(f: Pwl, tag: T) -> Self {
         let n = f.n_pieces();
-        Envelope { pwl: f, tags: vec![tag; n] }
+        Envelope {
+            pwl: f,
+            tags: vec![tag; n],
+        }
     }
 
     /// The envelope as a plain [`Pwl`].
@@ -80,7 +83,11 @@ impl<T: Clone + PartialEq> Envelope<T> {
         self.pwl
             .pieces()
             .zip(self.tags.iter())
-            .map(|((interval, linear), tag)| EnvelopePiece { interval, linear: *linear, tag })
+            .map(|((interval, linear), tag)| EnvelopePiece {
+                interval,
+                linear: *linear,
+                tag,
+            })
     }
 
     /// The partitioning of the domain into maximal runs of equal tag —
@@ -103,7 +110,10 @@ impl<T: Clone + PartialEq> Envelope<T> {
     pub fn merge_min(&mut self, f: &Pwl, tag: T) -> Result<()> {
         let domain = self.domain();
         if !f.domain().covers(&domain) {
-            return Err(PwlError::DomainMismatch { left: f.domain(), right: domain });
+            return Err(PwlError::DomainMismatch {
+                left: f.domain(),
+                right: domain,
+            });
         }
 
         // Elementary subdivision: both current envelope and `f` are
@@ -115,8 +125,12 @@ impl<T: Clone + PartialEq> Envelope<T> {
         let mut new_tags: Vec<T> = Vec::with_capacity(xs.len() * 2);
         new_xs.push(domain.lo());
 
-        let push = |hi: f64, lin: Linear, t: T, new_xs: &mut Vec<f64>,
-                        new_fs: &mut Vec<Linear>, new_tags: &mut Vec<T>| {
+        let push = |hi: f64,
+                    lin: Linear,
+                    t: T,
+                    new_xs: &mut Vec<f64>,
+                    new_fs: &mut Vec<Linear>,
+                    new_tags: &mut Vec<T>| {
             new_xs.push(hi);
             new_fs.push(lin);
             new_tags.push(t);
@@ -125,7 +139,10 @@ impl<T: Clone + PartialEq> Envelope<T> {
         for w in xs.windows(2) {
             let cell = Interval::of(w[0], w[1]);
             let mid = cell.mid();
-            let ei = self.pwl.piece_index_at(mid).expect("mid in envelope domain");
+            let ei = self
+                .pwl
+                .piece_index_at(mid)
+                .expect("mid in envelope domain");
             let (e_lin, e_tag) = (self.pwl.linears()[ei], self.tags[ei].clone());
             let f_lin = f.linears()[f.piece_index_at(mid).expect("mid in f domain")];
 
@@ -133,15 +150,42 @@ impl<T: Clone + PartialEq> Envelope<T> {
                 Some(x) => {
                     // Lines cross strictly inside the cell: the lower one
                     // flips at x.
-                    let e_lower_left =
-                        definitely_lt(e_lin.eval(cell.lo()), f_lin.eval(cell.lo()))
-                            || approx_le(e_lin.eval(cell.lo()), f_lin.eval(cell.lo()));
+                    let e_lower_left = definitely_lt(e_lin.eval(cell.lo()), f_lin.eval(cell.lo()))
+                        || approx_le(e_lin.eval(cell.lo()), f_lin.eval(cell.lo()));
                     if e_lower_left {
-                        push(x, e_lin, e_tag.clone(), &mut new_xs, &mut new_fs, &mut new_tags);
-                        push(cell.hi(), f_lin, tag.clone(), &mut new_xs, &mut new_fs, &mut new_tags);
+                        push(
+                            x,
+                            e_lin,
+                            e_tag.clone(),
+                            &mut new_xs,
+                            &mut new_fs,
+                            &mut new_tags,
+                        );
+                        push(
+                            cell.hi(),
+                            f_lin,
+                            tag.clone(),
+                            &mut new_xs,
+                            &mut new_fs,
+                            &mut new_tags,
+                        );
                     } else {
-                        push(x, f_lin, tag.clone(), &mut new_xs, &mut new_fs, &mut new_tags);
-                        push(cell.hi(), e_lin, e_tag, &mut new_xs, &mut new_fs, &mut new_tags);
+                        push(
+                            x,
+                            f_lin,
+                            tag.clone(),
+                            &mut new_xs,
+                            &mut new_fs,
+                            &mut new_tags,
+                        );
+                        push(
+                            cell.hi(),
+                            e_lin,
+                            e_tag,
+                            &mut new_xs,
+                            &mut new_fs,
+                            &mut new_tags,
+                        );
                     }
                 }
                 None => {
@@ -149,9 +193,23 @@ impl<T: Clone + PartialEq> Envelope<T> {
                     // whole cell (compare at the midpoint). Ties keep the
                     // existing envelope piece.
                     if approx_le(e_lin.eval(mid), f_lin.eval(mid)) {
-                        push(cell.hi(), e_lin, e_tag, &mut new_xs, &mut new_fs, &mut new_tags);
+                        push(
+                            cell.hi(),
+                            e_lin,
+                            e_tag,
+                            &mut new_xs,
+                            &mut new_fs,
+                            &mut new_tags,
+                        );
                     } else {
-                        push(cell.hi(), f_lin, tag.clone(), &mut new_xs, &mut new_fs, &mut new_tags);
+                        push(
+                            cell.hi(),
+                            f_lin,
+                            tag.clone(),
+                            &mut new_xs,
+                            &mut new_fs,
+                            &mut new_tags,
+                        );
                     }
                 }
             }

@@ -95,12 +95,18 @@ impl Interval {
 
     /// Smallest interval containing both `self` and `other`.
     pub fn hull(&self, other: &Interval) -> Interval {
-        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
     }
 
     /// Shift both endpoints by `dx`.
     pub fn shift(&self, dx: f64) -> Interval {
-        Interval { lo: self.lo + dx, hi: self.hi + dx }
+        Interval {
+            lo: self.lo + dx,
+            hi: self.hi + dx,
+        }
     }
 
     /// Clamp `x` into the interval.

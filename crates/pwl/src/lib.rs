@@ -56,7 +56,7 @@ pub use linear::Linear;
 pub use monotone::MonotonePwl;
 pub use pwl::{MinResult, Pwl};
 
-pub use compose::compose_travel;
+pub use compose::{compose_travel, compose_travel_simplified};
 
 /// Crate-wide absolute tolerance for breakpoint and value comparisons.
 ///
@@ -138,7 +138,10 @@ impl std::fmt::Display for PwlError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PwlError::BadBreakpoints(msg) => write!(f, "bad breakpoints: {msg}"),
-            PwlError::PieceCountMismatch { breakpoints, pieces } => write!(
+            PwlError::PieceCountMismatch {
+                breakpoints,
+                pieces,
+            } => write!(
                 f,
                 "piece count mismatch: {breakpoints} breakpoints need {} pieces, got {pieces}",
                 breakpoints.saturating_sub(1)
@@ -183,9 +186,15 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        let e = PwlError::OutOfDomain { x: 5.0, domain: Interval::new(0.0, 1.0).unwrap() };
+        let e = PwlError::OutOfDomain {
+            x: 5.0,
+            domain: Interval::new(0.0, 1.0).unwrap(),
+        };
         assert!(e.to_string().contains("outside domain"));
-        let e = PwlError::PieceCountMismatch { breakpoints: 3, pieces: 1 };
+        let e = PwlError::PieceCountMismatch {
+            breakpoints: 3,
+            pieces: 1,
+        };
         assert!(e.to_string().contains("2 pieces"));
     }
 }

@@ -55,20 +55,29 @@ impl Linear {
     /// Pointwise sum.
     #[inline]
     pub fn add(&self, other: &Linear) -> Linear {
-        Linear { a: self.a + other.a, b: self.b + other.b }
+        Linear {
+            a: self.a + other.a,
+            b: self.b + other.b,
+        }
     }
 
     /// Add a constant.
     #[inline]
     pub fn add_scalar(&self, c: f64) -> Linear {
-        Linear { a: self.a, b: self.b + c }
+        Linear {
+            a: self.a,
+            b: self.b + c,
+        }
     }
 
     /// Compose with the inner function: `self ∘ inner`, i.e.
     /// `x ↦ self(inner(x))`.
     #[inline]
     pub fn compose(&self, inner: &Linear) -> Linear {
-        Linear { a: self.a * inner.a, b: self.a * inner.b + self.b }
+        Linear {
+            a: self.a * inner.a,
+            b: self.a * inner.b + self.b,
+        }
     }
 
     /// The *compound* of two travel-time pieces (paper §4.4).

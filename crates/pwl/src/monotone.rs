@@ -104,7 +104,10 @@ impl MonotonePwl {
         let mut fs = Vec::with_capacity(pts.len() - 1);
         for (i, f) in self.inner.linears().iter().enumerate() {
             xs.push(pts[i].1);
-            fs.push(Linear { a: 1.0 / f.a, b: -f.b / f.a });
+            fs.push(Linear {
+                a: 1.0 / f.a,
+                b: -f.b / f.a,
+            });
         }
         xs.push(pts[pts.len() - 1].1);
         // Slopes 1/a are positive and the graph mirrors a continuous
@@ -121,7 +124,10 @@ impl MonotonePwl {
     pub fn compose(&self, inner: &MonotonePwl) -> Result<MonotonePwl> {
         let irange = inner.range();
         if !self.domain().covers(&irange) {
-            return Err(PwlError::DomainMismatch { left: self.domain(), right: irange });
+            return Err(PwlError::DomainMismatch {
+                left: self.domain(),
+                right: irange,
+            });
         }
         // Breakpoints: inner's, plus preimages of self's interior
         // breakpoints under inner.
@@ -137,8 +143,10 @@ impl MonotonePwl {
         }
         crate::pwl::sort_dedupe(&mut xs);
         let composed = crate::pwl::build_from_breakpoints(xs, |mid| {
-            let g = inner.inner.linears()
-                [inner.inner.piece_index_at(mid).expect("mid in inner domain")];
+            let g = inner.inner.linears()[inner
+                .inner
+                .piece_index_at(mid)
+                .expect("mid in inner domain")];
             let y = g.eval(mid);
             let f = self.inner.linears()[self
                 .inner
@@ -151,12 +159,16 @@ impl MonotonePwl {
 
     /// Pointwise `self + c` (still monotone).
     pub fn add_scalar(&self, c: f64) -> MonotonePwl {
-        MonotonePwl { inner: self.inner.add_scalar(c) }
+        MonotonePwl {
+            inner: self.inner.add_scalar(c),
+        }
     }
 
     /// Restrict to `to ∩ domain`.
     pub fn restrict(&self, to: &Interval) -> Result<MonotonePwl> {
-        Ok(MonotonePwl { inner: self.inner.restrict(to)? })
+        Ok(MonotonePwl {
+            inner: self.inner.restrict(to)?,
+        })
     }
 }
 
@@ -174,7 +186,10 @@ mod tests {
     #[test]
     fn rejects_flat_and_decreasing() {
         let flat = Pwl::constant(Interval::of(0.0, 1.0), 2.0).unwrap();
-        assert!(matches!(MonotonePwl::new(flat), Err(PwlError::NotIncreasing { .. })));
+        assert!(matches!(
+            MonotonePwl::new(flat),
+            Err(PwlError::NotIncreasing { .. })
+        ));
         let dec = Pwl::from_points(&[(0.0, 5.0), (1.0, 4.0)]).unwrap();
         assert!(MonotonePwl::new(dec).is_err());
         let jump = Pwl::new(
@@ -182,7 +197,10 @@ mod tests {
             vec![Linear::identity(), Linear { a: 1.0, b: 10.0 }],
         )
         .unwrap();
-        assert!(matches!(MonotonePwl::new(jump), Err(PwlError::Discontinuous { .. })));
+        assert!(matches!(
+            MonotonePwl::new(jump),
+            Err(PwlError::Discontinuous { .. })
+        ));
     }
 
     #[test]

@@ -47,7 +47,10 @@ impl Pwl {
             )));
         }
         if xs.len() != fs.len() + 1 {
-            return Err(PwlError::PieceCountMismatch { breakpoints: xs.len(), pieces: fs.len() });
+            return Err(PwlError::PieceCountMismatch {
+                breakpoints: xs.len(),
+                pieces: fs.len(),
+            });
         }
         for &x in &xs {
             if !x.is_finite() {
@@ -78,7 +81,10 @@ impl Pwl {
     /// A single linear piece on `domain`.
     pub fn linear(domain: Interval, lin: Linear) -> Result<Self> {
         if domain.is_degenerate() {
-            return Err(PwlError::BadInterval { lo: domain.lo(), hi: domain.hi() });
+            return Err(PwlError::BadInterval {
+                lo: domain.lo(),
+                hi: domain.hi(),
+            });
         }
         Self::new(vec![domain.lo(), domain.hi()], vec![lin])
     }
@@ -146,7 +152,10 @@ impl Pwl {
     /// `x == xₙ` maps to the last piece.
     pub fn piece_index_at(&self, x: f64) -> Result<usize> {
         if !self.domain().contains_approx(x) {
-            return Err(PwlError::OutOfDomain { x, domain: self.domain() });
+            return Err(PwlError::OutOfDomain {
+                x,
+                domain: self.domain(),
+            });
         }
         // First breakpoint strictly greater than x, minus one.
         let idx = self.xs.partition_point(|&bx| bx <= x);
@@ -204,7 +213,11 @@ impl Pwl {
             let l = self.left_value(i);
             let r = self.right_value(i);
             if !approx_eq(l, r) {
-                return Err(PwlError::Discontinuous { at: self.xs[i], left: l, right: r });
+                return Err(PwlError::Discontinuous {
+                    at: self.xs[i],
+                    left: l,
+                    right: r,
+                });
             }
         }
         Ok(())
@@ -222,12 +235,14 @@ impl Pwl {
 
     /// Minimum and first argmin interval over the whole domain.
     pub fn minimum(&self) -> MinResult {
-        self.min_over(&self.domain()).expect("domain is always valid")
+        self.min_over(&self.domain())
+            .expect("domain is always valid")
     }
 
     /// Maximum value over the whole domain.
     pub fn maximum(&self) -> f64 {
-        self.max_over(&self.domain()).expect("domain is always valid")
+        self.max_over(&self.domain())
+            .expect("domain is always valid")
     }
 
     /// Minimum and first argmin interval over `over ∩ domain`.
@@ -235,19 +250,26 @@ impl Pwl {
         let within = self
             .domain()
             .intersect(over)
-            .ok_or(PwlError::DomainMismatch { left: self.domain(), right: *over })?;
+            .ok_or(PwlError::DomainMismatch {
+                left: self.domain(),
+                right: *over,
+            })?;
 
         // Pass 1: minimum value.
         let mut min = f64::INFINITY;
         for (iv, f) in self.pieces() {
-            let Some(c) = iv.intersect(&within) else { continue };
+            let Some(c) = iv.intersect(&within) else {
+                continue;
+            };
             min = min.min(f.eval(c.lo())).min(f.eval(c.hi()));
         }
 
         // Pass 2: first maximal run of x with f(x) ≈ min.
         let mut run: Option<Interval> = None;
         for (iv, f) in self.pieces() {
-            let Some(c) = iv.intersect(&within) else { continue };
+            let Some(c) = iv.intersect(&within) else {
+                continue;
+            };
             // Sub-interval of c on which f ≤ min (within tolerance).
             let lo_ok = approx_le(f.eval(c.lo()), min);
             let hi_ok = approx_le(f.eval(c.hi()), min);
@@ -266,7 +288,10 @@ impl Pwl {
                 (None, None) => {}
             }
         }
-        Ok(MinResult { value: min, at: run.expect("minimum is attained") })
+        Ok(MinResult {
+            value: min,
+            at: run.expect("minimum is attained"),
+        })
     }
 
     /// Maximum value over `over ∩ domain`.
@@ -274,10 +299,15 @@ impl Pwl {
         let within = self
             .domain()
             .intersect(over)
-            .ok_or(PwlError::DomainMismatch { left: self.domain(), right: *over })?;
+            .ok_or(PwlError::DomainMismatch {
+                left: self.domain(),
+                right: *over,
+            })?;
         let mut max = f64::NEG_INFINITY;
         for (iv, f) in self.pieces() {
-            let Some(c) = iv.intersect(&within) else { continue };
+            let Some(c) = iv.intersect(&within) else {
+                continue;
+            };
             max = max.max(f.eval(c.lo())).max(f.eval(c.hi()));
         }
         Ok(max)
@@ -285,14 +315,20 @@ impl Pwl {
 
     /// Pointwise `self + c`.
     pub fn add_scalar(&self, c: f64) -> Pwl {
-        Pwl { xs: self.xs.clone(), fs: self.fs.iter().map(|f| f.add_scalar(c)).collect() }
+        Pwl {
+            xs: self.xs.clone(),
+            fs: self.fs.iter().map(|f| f.add_scalar(c)).collect(),
+        }
     }
 
     /// Pointwise `self + lin` (a full linear function, e.g. the
     /// identity to turn a travel-time function into an arrival
     /// function).
     pub fn add_linear(&self, lin: &Linear) -> Pwl {
-        Pwl { xs: self.xs.clone(), fs: self.fs.iter().map(|f| f.add(lin)).collect() }
+        Pwl {
+            xs: self.xs.clone(),
+            fs: self.fs.iter().map(|f| f.add(lin)).collect(),
+        }
     }
 
     /// Arrival function `A(l) = l + T(l)` of a travel-time function.
@@ -312,7 +348,10 @@ impl Pwl {
             .domain()
             .intersect(&other.domain())
             .filter(|d| !d.is_degenerate())
-            .ok_or(PwlError::DomainMismatch { left: self.domain(), right: other.domain() })?;
+            .ok_or(PwlError::DomainMismatch {
+                left: self.domain(),
+                right: other.domain(),
+            })?;
         let xs = merged_breakpoints(&[self, other], &domain);
         build_from_breakpoints(xs, |mid| {
             let i = self.piece_index_at(mid).expect("mid in domain");
@@ -327,12 +366,50 @@ impl Pwl {
             .domain()
             .intersect(to)
             .filter(|d| !d.is_degenerate())
-            .ok_or(PwlError::DomainMismatch { left: self.domain(), right: *to })?;
+            .ok_or(PwlError::DomainMismatch {
+                left: self.domain(),
+                right: *to,
+            })?;
         let xs = merged_breakpoints(&[self], &domain);
         build_from_breakpoints(xs, |mid| {
             let i = self.piece_index_at(mid).expect("mid in domain");
             self.fs[i]
         })
+    }
+
+    /// Concatenate with `next`, whose domain must begin (within
+    /// [`EPS`]) where this one ends. The result covers both domains;
+    /// at the seam the left function's endpoint wins the breakpoint
+    /// coordinate. Values are *not* required to agree at the seam
+    /// (the type supports discontinuities), but callers gluing
+    /// continuous functions — e.g. the periodic travel-function cache
+    /// splicing a day boundary — get a continuous result whenever the
+    /// inputs agree there.
+    pub fn concat(&self, next: &Pwl) -> Result<Pwl> {
+        let seam_l = self.domain().hi();
+        let seam_r = next.domain().lo();
+        if !approx_eq(seam_l, seam_r) {
+            return Err(PwlError::DomainMismatch {
+                left: self.domain(),
+                right: next.domain(),
+            });
+        }
+        let mut xs = Vec::with_capacity(self.xs.len() + next.xs.len() - 1);
+        xs.extend_from_slice(&self.xs);
+        // re-anchor next's breakpoints after the seam; skip its first
+        xs.extend(next.xs.iter().skip(1).copied());
+        // guard against a sub-EPS overlap producing a non-increasing pair
+        if xs[self.xs.len()] <= seam_l {
+            return Err(PwlError::BadBreakpoints(format!(
+                "concat seam not increasing: {} then {}",
+                seam_l,
+                xs[self.xs.len()]
+            )));
+        }
+        let mut fs = Vec::with_capacity(self.fs.len() + next.fs.len());
+        fs.extend_from_slice(&self.fs);
+        fs.extend_from_slice(&next.fs);
+        Pwl::new(xs, fs)
     }
 
     /// Merge adjacent pieces that represent the same line (within
@@ -369,7 +446,10 @@ impl Pwl {
         }
         for f in self.fs.iter().rev() {
             // g(x) = f(c - x) = -a·x + (a·c + b)
-            fs.push(Linear { a: -f.a, b: f.a * c + f.b });
+            fs.push(Linear {
+                a: -f.a,
+                b: f.a * c + f.b,
+            });
         }
         Pwl { xs, fs }
     }
@@ -381,7 +461,10 @@ impl Pwl {
             fs: self
                 .fs
                 .iter()
-                .map(|f| Linear { a: f.a, b: f.b - f.a * dx })
+                .map(|f| Linear {
+                    a: f.a,
+                    b: f.b - f.a * dx,
+                })
                 .collect(),
         }
     }
@@ -445,7 +528,9 @@ pub(crate) fn build_from_breakpoints(
     mut pick: impl FnMut(f64) -> Linear,
 ) -> Result<Pwl> {
     if xs.len() < 2 {
-        return Err(PwlError::BadBreakpoints("empty elementary subdivision".into()));
+        return Err(PwlError::BadBreakpoints(
+            "empty elementary subdivision".into(),
+        ));
     }
     let mut fs = Vec::with_capacity(xs.len() - 1);
     for w in xs.windows(2) {
@@ -495,10 +580,7 @@ mod tests {
     #[test]
     fn from_points_roundtrip() {
         let f = vee();
-        assert_eq!(
-            f.points(),
-            vec![(0.0, 10.0), (10.0, 0.0), (20.0, 10.0)]
-        );
+        assert_eq!(f.points(), vec![(0.0, 10.0), (10.0, 0.0), (20.0, 10.0)]);
         assert!(f.is_continuous());
     }
 
@@ -548,7 +630,10 @@ mod tests {
         assert!(approx_eq(m.value, 2.0));
         assert!(m.at.approx_eq(&Interval::of(12.0, 12.0)));
         assert!(f.min_over(&Interval::of(30.0, 40.0)).is_err());
-        assert!(approx_eq(f.max_over(&Interval::of(5.0, 12.0)).unwrap(), 5.0));
+        assert!(approx_eq(
+            f.max_over(&Interval::of(5.0, 12.0)).unwrap(),
+            5.0
+        ));
     }
 
     #[test]
@@ -609,6 +694,29 @@ mod tests {
             assert!(approx_eq(s.eval(x), f.eval(x)));
         }
         assert_eq!(s.simplify(), s);
+    }
+
+    #[test]
+    fn concat_glues_adjacent_functions() {
+        let left = Pwl::from_points(&[(0.0, 1.0), (5.0, 3.0)]).unwrap();
+        let right = Pwl::from_points(&[(5.0, 3.0), (8.0, 0.0), (10.0, 2.0)]).unwrap();
+        let glued = left.concat(&right).unwrap();
+        assert!(glued.domain().approx_eq(&Interval::of(0.0, 10.0)));
+        assert_eq!(glued.n_pieces(), 3);
+        assert!(glued.is_continuous());
+        for x in [0.0, 2.5, 5.0 + 1e-9, 6.5, 8.0, 10.0] {
+            let want = if x <= 5.0 {
+                left.eval(x)
+            } else {
+                right.eval(x)
+            };
+            assert!(approx_eq(glued.eval(x), want), "x={x}");
+        }
+        // disjoint domains are rejected
+        let far = Pwl::constant(Interval::of(50.0, 60.0), 1.0).unwrap();
+        assert!(left.concat(&far).is_err());
+        // order matters: right.concat(left) seams at 10 vs 0
+        assert!(right.concat(&left).is_err());
     }
 
     #[test]

@@ -38,7 +38,9 @@ fn arb_travel(x0: f64) -> impl Strategy<Value = Pwl> {
             y += dx * slope;
             pts.push((x, y));
         }
-        Pwl::from_points(&pts).expect("valid arrival").sub_identity()
+        Pwl::from_points(&pts)
+            .expect("valid arrival")
+            .sub_identity()
     })
 }
 

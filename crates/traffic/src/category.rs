@@ -36,7 +36,9 @@ impl CategorySet {
         if names.is_empty() || names.len() > usize::from(u8::MAX) {
             return None;
         }
-        Some(CategorySet { names: names.into_iter().map(Into::into).collect() })
+        Some(CategorySet {
+            names: names.into_iter().map(Into::into).collect(),
+        })
     }
 
     /// The paper's default set: `workday`, `non-workday`.

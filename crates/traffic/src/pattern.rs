@@ -16,7 +16,9 @@ impl CapeCodPattern {
     /// Build from one profile per category, in category order.
     pub fn new(profiles: Vec<SpeedProfile>) -> Result<Self> {
         if profiles.is_empty() {
-            return Err(TrafficError::BadPieces("pattern needs at least one profile".into()));
+            return Err(TrafficError::BadPieces(
+                "pattern needs at least one profile".into(),
+            ));
         }
         Ok(CapeCodPattern { profiles })
     }
@@ -56,19 +58,29 @@ impl CapeCodPattern {
     /// query reduction.
     pub fn time_mirrored(&self) -> CapeCodPattern {
         CapeCodPattern {
-            profiles: self.profiles.iter().map(SpeedProfile::time_mirrored).collect(),
+            profiles: self
+                .profiles
+                .iter()
+                .map(SpeedProfile::time_mirrored)
+                .collect(),
         }
     }
 
     /// Maximum speed across all categories (used by the naive
     /// lower-bound estimator's `v_max`).
     pub fn max_speed(&self) -> f64 {
-        self.profiles.iter().map(SpeedProfile::max_speed).fold(f64::NEG_INFINITY, f64::max)
+        self.profiles
+            .iter()
+            .map(SpeedProfile::max_speed)
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Minimum speed across all categories.
     pub fn min_speed(&self) -> f64 {
-        self.profiles.iter().map(SpeedProfile::min_speed).fold(f64::INFINITY, f64::min)
+        self.profiles
+            .iter()
+            .map(SpeedProfile::min_speed)
+            .fold(f64::INFINITY, f64::min)
     }
 }
 
@@ -97,7 +109,10 @@ mod tests {
     fn uniform_pattern() {
         let p = CapeCodPattern::uniform(0.75, 2).unwrap();
         assert_eq!(p.n_categories(), 2);
-        assert_eq!(p.profile(DayCategory::WORKDAY).unwrap().speed_at(hm(8, 0)), 0.75);
+        assert_eq!(
+            p.profile(DayCategory::WORKDAY).unwrap().speed_at(hm(8, 0)),
+            0.75
+        );
         assert_eq!(p.max_speed(), 0.75);
         assert!(CapeCodPattern::uniform(0.0, 2).is_err());
     }

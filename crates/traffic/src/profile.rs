@@ -58,7 +58,10 @@ impl SpeedProfile {
                 return Err(TrafficError::BadSpeed(p.speed));
             }
             if !p.start.is_finite() {
-                return Err(TrafficError::BadPieces(format!("non-finite start {}", p.start)));
+                return Err(TrafficError::BadPieces(format!(
+                    "non-finite start {}",
+                    p.start
+                )));
             }
         }
         Ok(SpeedProfile { pieces })
@@ -71,7 +74,12 @@ impl SpeedProfile {
 
     /// Convenience constructor from `(start_minute, speed_mpm)` pairs.
     pub fn from_pairs(pairs: &[(f64, f64)]) -> Result<Self> {
-        Self::new(pairs.iter().map(|&(start, speed)| ProfilePiece { start, speed }).collect())
+        Self::new(
+            pairs
+                .iter()
+                .map(|&(start, speed)| ProfilePiece { start, speed })
+                .collect(),
+        )
     }
 
     /// A profile with `base` speed everywhere except `[from, to)` where
@@ -85,13 +93,25 @@ impl SpeedProfile {
         }
         let mut pieces = Vec::with_capacity(3);
         if from > 0.0 {
-            pieces.push(ProfilePiece { start: 0.0, speed: base });
-            pieces.push(ProfilePiece { start: from, speed: reduced });
+            pieces.push(ProfilePiece {
+                start: 0.0,
+                speed: base,
+            });
+            pieces.push(ProfilePiece {
+                start: from,
+                speed: reduced,
+            });
         } else {
-            pieces.push(ProfilePiece { start: 0.0, speed: reduced });
+            pieces.push(ProfilePiece {
+                start: 0.0,
+                speed: reduced,
+            });
         }
         if to < MINUTES_PER_DAY {
-            pieces.push(ProfilePiece { start: to, speed: base });
+            pieces.push(ProfilePiece {
+                start: to,
+                speed: base,
+            });
         }
         Self::new(pieces)
     }
@@ -111,12 +131,18 @@ impl SpeedProfile {
 
     /// Maximum speed over the day.
     pub fn max_speed(&self) -> f64 {
-        self.pieces.iter().map(|p| p.speed).fold(f64::NEG_INFINITY, f64::max)
+        self.pieces
+            .iter()
+            .map(|p| p.speed)
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Minimum speed over the day.
     pub fn min_speed(&self) -> f64 {
-        self.pieces.iter().map(|p| p.speed).fold(f64::INFINITY, f64::min)
+        self.pieces
+            .iter()
+            .map(|p| p.speed)
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// The profile with time running backwards: speed at time `t`
@@ -132,8 +158,15 @@ impl SpeedProfile {
         let mut pieces: Vec<ProfilePiece> = Vec::with_capacity(self.pieces.len());
         for (i, p) in self.pieces.iter().enumerate().rev() {
             let end = self.pieces.get(i + 1).map_or(MINUTES_PER_DAY, |q| q.start);
-            let start = if end >= MINUTES_PER_DAY { 0.0 } else { MINUTES_PER_DAY - end };
-            pieces.push(ProfilePiece { start, speed: p.speed });
+            let start = if end >= MINUTES_PER_DAY {
+                0.0
+            } else {
+                MINUTES_PER_DAY - end
+            };
+            pieces.push(ProfilePiece {
+                start,
+                speed: p.speed,
+            });
         }
         SpeedProfile::new(pieces).expect("mirror of a valid profile is valid")
     }
@@ -208,10 +241,7 @@ impl std::fmt::Display for SpeedProfile {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let mut first = true;
         for (i, p) in self.pieces.iter().enumerate() {
-            let end = self
-                .pieces
-                .get(i + 1)
-                .map_or(MINUTES_PER_DAY, |n| n.start);
+            let end = self.pieces.get(i + 1).map_or(MINUTES_PER_DAY, |n| n.start);
             if !first {
                 write!(f, ", ")?;
             }
@@ -294,7 +324,9 @@ mod tests {
     #[test]
     fn cumulative_distance_integrates() {
         let p = workday_example();
-        let d = p.cumulative_distance(&Interval::of(hm(6, 0), hm(10, 0))).unwrap();
+        let d = p
+            .cumulative_distance(&Interval::of(hm(6, 0), hm(10, 0)))
+            .unwrap();
         // 6:00–7:00 at 1 mpm = 60 mi; 7:00–9:00 at 0.5 = 60 mi; 9:00–10:00 = 60 mi
         assert!(approx_eq(d.eval(hm(6, 0)), 0.0));
         assert!(approx_eq(d.eval(hm(7, 0)), 60.0));
@@ -320,7 +352,15 @@ mod tests {
         let m = p.time_mirrored();
         // speed at t in the mirror equals speed at 1440 − t originally
         // (probing away from piece boundaries, whose half-openness flips)
-        for t in [0.0, hm(6, 59), hm(7, 0), hm(8, 30), hm(9, 0), hm(15, 30), hm(23, 59)] {
+        for t in [
+            0.0,
+            hm(6, 59),
+            hm(7, 0),
+            hm(8, 30),
+            hm(9, 0),
+            hm(15, 30),
+            hm(23, 59),
+        ] {
             assert_eq!(
                 m.speed_at(t),
                 p.speed_at(MINUTES_PER_DAY - t),

@@ -152,12 +152,18 @@ impl PatternSchema {
     /// Maximum speed anywhere in the schema (the naive estimator's
     /// `v_max`), miles per minute.
     pub fn max_speed(&self) -> f64 {
-        self.patterns.iter().map(CapeCodPattern::max_speed).fold(f64::NEG_INFINITY, f64::max)
+        self.patterns
+            .iter()
+            .map(CapeCodPattern::max_speed)
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Minimum speed anywhere in the schema, miles per minute.
     pub fn min_speed(&self) -> f64 {
-        self.patterns.iter().map(CapeCodPattern::min_speed).fold(f64::INFINITY, f64::min)
+        self.patterns
+            .iter()
+            .map(CapeCodPattern::min_speed)
+            .fold(f64::INFINITY, f64::min)
     }
 }
 
@@ -181,11 +187,15 @@ mod tests {
         // 8am: inbound crawls, outbound flows
         let t = hm(8, 0);
         assert!(approx_eq(
-            s.profile(RoadClass::InboundHighway, wd).unwrap().speed_at(t),
+            s.profile(RoadClass::InboundHighway, wd)
+                .unwrap()
+                .speed_at(t),
             mph_to_mpm(20.0)
         ));
         assert!(approx_eq(
-            s.profile(RoadClass::OutboundHighway, wd).unwrap().speed_at(t),
+            s.profile(RoadClass::OutboundHighway, wd)
+                .unwrap()
+                .speed_at(t),
             mph_to_mpm(65.0)
         ));
         assert!(approx_eq(
@@ -199,11 +209,15 @@ mod tests {
         // 5pm: outbound crawls, inbound flows
         let t = hm(17, 0);
         assert!(approx_eq(
-            s.profile(RoadClass::InboundHighway, wd).unwrap().speed_at(t),
+            s.profile(RoadClass::InboundHighway, wd)
+                .unwrap()
+                .speed_at(t),
             mph_to_mpm(65.0)
         ));
         assert!(approx_eq(
-            s.profile(RoadClass::OutboundHighway, wd).unwrap().speed_at(t),
+            s.profile(RoadClass::OutboundHighway, wd)
+                .unwrap()
+                .speed_at(t),
             mph_to_mpm(30.0)
         ));
         assert!(approx_eq(
@@ -227,7 +241,10 @@ mod tests {
         for c in RoadClass::ALL {
             let p = s.profile(c, nwd).unwrap();
             assert_eq!(p.pieces().len(), 1);
-            assert!(approx_eq(p.speed_at(hm(8, 0)), mph_to_mpm(c.speed_limit_mph())));
+            assert!(approx_eq(
+                p.speed_at(hm(8, 0)),
+                mph_to_mpm(c.speed_limit_mph())
+            ));
         }
     }
 

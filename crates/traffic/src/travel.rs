@@ -26,11 +26,7 @@ use crate::{Result, SpeedProfile, TrafficError};
 ///
 /// The returned [`Pwl`] is continuous, defined exactly on `leaving`,
 /// and simplified (no redundant breakpoints).
-pub fn travel_time_fn(
-    profile: &SpeedProfile,
-    distance: f64,
-    leaving: &Interval,
-) -> Result<Pwl> {
+pub fn travel_time_fn(profile: &SpeedProfile, distance: f64, leaving: &Interval) -> Result<Pwl> {
     if !distance.is_finite() || distance <= 0.0 {
         return Err(TrafficError::BadDistance(distance));
     }
@@ -47,7 +43,10 @@ pub fn travel_time_fn(
         // Width chosen to clear `Interval::is_degenerate`'s scaled
         // tolerance at minutes-of-day magnitudes.
         let t = travel_time_at(profile, distance, leaving.lo())?;
-        return Ok(Pwl::constant(Interval::of(leaving.lo(), leaving.lo() + 0.01), t)?);
+        return Ok(Pwl::constant(
+            Interval::of(leaving.lo(), leaving.lo() + 0.01),
+            t,
+        )?);
     }
 
     let dinv = dcum.inverse();
@@ -195,7 +194,10 @@ mod tests {
         assert!(approx_eq(t.eval(hm(23, 30)), 45.0));
         assert!(approx_eq(t.eval(hm(24, 0) + hm(0, 15)), 45.0));
         // and the single-instant variant agrees
-        assert!(approx_eq(travel_time_at(&profile, 45.0, hm(23, 45)).unwrap(), 45.0));
+        assert!(approx_eq(
+            travel_time_at(&profile, 45.0, hm(23, 45)).unwrap(),
+            45.0
+        ));
     }
 
     #[test]
@@ -230,8 +232,12 @@ mod tests {
         let l = 1470.4394593605966;
         let d = 7.718477952434894;
         let direct = travel_time_at(&profile, d, l).unwrap();
-        let f = travel_time_fn(&profile, d, &Interval::of(1273.932250613864, 1535.941862276174))
-            .unwrap();
+        let f = travel_time_fn(
+            &profile,
+            d,
+            &Interval::of(1273.932250613864, 1535.941862276174),
+        )
+        .unwrap();
         assert!(approx_eq(f.eval(l), direct));
         // and exactly at the reconstructed boundary instant
         let boundary = 1440.0 + 37.98957755773383;

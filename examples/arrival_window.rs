@@ -25,8 +25,7 @@ fn main() {
         pair.target, pair.source, pair.euclidean
     );
 
-    let planner =
-        ArrivalPlanner::new(&net, EngineConfig::default()).expect("planner builds");
+    let planner = ArrivalPlanner::new(&net, EngineConfig::default()).expect("planner builds");
     let q = ArrivalQuerySpec {
         source: pair.source,
         target: pair.target,

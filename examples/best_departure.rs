@@ -63,7 +63,10 @@ fn main() {
 
     let lb = NaiveLb::new(net.max_speed());
     println!("\nDiscrete Time model at decreasing step sizes:");
-    println!("{:>10} {:>12} {:>12} {:>10} {:>12}", "step", "travel", "vs exact", "queries", "time");
+    println!(
+        "{:>10} {:>12} {:>12} {:>10} {:>12}",
+        "step", "travel", "vs exact", "queries", "time"
+    );
     for step in [60.0, 10.0, 1.0, 1.0 / 6.0] {
         let t0 = std::time::Instant::now();
         let d = discrete_time(

@@ -47,7 +47,10 @@ fn main() {
     let ans = naive.all_fastest_paths(&query).expect("reachable");
     let naive_time = t0.elapsed();
 
-    println!("\nallFP over [6:30 - 9:30], {} distinct fastest paths:", ans.paths.len());
+    println!(
+        "\nallFP over [6:30 - 9:30], {} distinct fastest paths:",
+        ans.paths.len()
+    );
     for (iv, idx) in &ans.partition {
         let p = &ans.paths[*idx];
         println!(
@@ -66,7 +69,10 @@ fn main() {
     // --- boundary-node estimator ----------------------------------------------
     let boundary = Engine::for_network(
         &net,
-        EngineConfig { estimator: EstimatorKind::Boundary { grid: 8 }, ..Default::default() },
+        EngineConfig {
+            estimator: EstimatorKind::Boundary { grid: 8 },
+            ..Default::default()
+        },
     )
     .expect("precomputation succeeds");
     let t0 = std::time::Instant::now();

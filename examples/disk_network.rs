@@ -24,7 +24,10 @@ fn main() {
 
     let mut report: Vec<(String, u64, u64)> = Vec::new();
     for (name, policy) in [
-        ("ccam (connectivity-clustered)", PlacementPolicy::ConnectivityClustered),
+        (
+            "ccam (connectivity-clustered)",
+            PlacementPolicy::ConnectivityClustered,
+        ),
         ("hilbert-packed", PlacementPolicy::HilbertPacked),
         ("random placement", PlacementPolicy::Random { seed: 1 }),
     ] {
@@ -53,7 +56,10 @@ fn main() {
     }
 
     println!("10 allFP queries, 8-frame buffer pool, page size {DEFAULT_PAGE_SIZE}:");
-    println!("{:<32} {:>14} {:>12} {:>9}", "placement", "logical reads", "page faults", "hit %");
+    println!(
+        "{:<32} {:>14} {:>12} {:>9}",
+        "placement", "logical reads", "page faults", "hit %"
+    );
     for (name, logical, faults) in &report {
         println!(
             "{name:<32} {logical:>14} {faults:>12} {:>8.1}%",

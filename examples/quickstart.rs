@@ -10,7 +10,11 @@ use fastest_paths::prelude::*;
 
 fn main() {
     let (net, ids) = fastest_paths::roadnet::examples::paper_running_example();
-    println!("network: {} nodes, {} directed edges", net.n_nodes(), net.n_edges());
+    println!(
+        "network: {} nodes, {} directed edges",
+        net.n_nodes(),
+        net.n_edges()
+    );
 
     let query = QuerySpec::new(
         ids.s,
@@ -21,8 +25,11 @@ fn main() {
     let engine = Engine::new(&net, EngineConfig::default());
 
     // --- singleFP -----------------------------------------------------------
-    let single = engine.single_fastest_path(&query).expect("e is reachable from s");
-    println!("\nsingleFP: travel {} when leaving within [{} - {}]",
+    let single = engine
+        .single_fastest_path(&query)
+        .expect("e is reachable from s");
+    println!(
+        "\nsingleFP: travel {} when leaving within [{} - {}]",
         fmt_duration(single.travel_minutes),
         fmt_minutes(single.best_leaving.lo()),
         fmt_minutes(single.best_leaving.hi()),
@@ -31,7 +38,9 @@ fn main() {
     println!("  path: {}", names.join(" -> "));
 
     // --- allFP --------------------------------------------------------------
-    let all = engine.all_fastest_paths(&query).expect("e is reachable from s");
+    let all = engine
+        .all_fastest_paths(&query)
+        .expect("e is reachable from s");
     println!("\nallFP partitioning of [6:50 - 7:05]:");
     print!("{}", all.describe());
 

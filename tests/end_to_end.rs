@@ -74,7 +74,9 @@ fn smart_planner_beats_constant_speed_during_rush() {
             Interval::of(leave, leave),
             DayCategory::WORKDAY,
         );
-        let Ok(smart) = engine.single_fastest_path(&q) else { continue };
+        let Ok(smart) = engine.single_fastest_path(&q) else {
+            continue;
+        };
         let Ok((_, constant)) =
             constant_speed_plan(&net, p.source, p.target, leave, DayCategory::WORKDAY)
         else {
@@ -108,10 +110,8 @@ fn discrete_time_never_beats_exact() {
         let q = QuerySpec::new(p.source, p.target, window, DayCategory::WORKDAY);
         let exact = engine.single_fastest_path(&q).unwrap();
         for step in [60.0, 10.0, 1.0] {
-            let d = discrete_time(
-                &net, p.source, p.target, &window, step, q.category, &lb,
-            )
-            .unwrap();
+            let d =
+                discrete_time(&net, p.source, p.target, &window, step, q.category, &lb).unwrap();
             assert!(
                 d.travel_minutes + 1e-6 >= exact.travel_minutes,
                 "discrete ({step}m) found {} below exact {}",
@@ -119,8 +119,7 @@ fn discrete_time_never_beats_exact() {
                 exact.travel_minutes
             );
             // and the discrete answer, re-driven, matches its claim
-            let driven =
-                evaluate_path(&net, &d.nodes, d.best_leave, q.category).unwrap();
+            let driven = evaluate_path(&net, &d.nodes, d.best_leave, q.category).unwrap();
             assert!((driven - d.travel_minutes).abs() < 1e-6);
         }
     }

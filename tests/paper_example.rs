@@ -97,8 +97,7 @@ fn disk_backed_paper_example() {
 
     let (net, q, s, n, e) = paper_setup();
     let store = Arc::new(MemStore::new(DEFAULT_PAGE_SIZE));
-    let disk =
-        CcamStore::build(&net, store, PlacementPolicy::ConnectivityClustered, 16).unwrap();
+    let disk = CcamStore::build(&net, store, PlacementPolicy::ConnectivityClustered, 16).unwrap();
     let engine = Engine::new(&disk, EngineConfig::default());
     let ans = engine.all_fastest_paths(&q).unwrap();
     assert_eq!(ans.partition.len(), 3);

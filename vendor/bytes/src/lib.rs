@@ -1,0 +1,167 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides the [`Buf`] / [`BufMut`] cursor traits with the
+//! little-endian accessors the CCAM page codecs use, implemented for
+//! `&[u8]` (reading advances the slice) and `Vec<u8>` (writing
+//! appends). Semantics match upstream for this subset, including
+//! panicking on read underflow.
+
+/// Sequential reader over a byte buffer. Every `get_*` consumes bytes
+/// from the front; reading past the end panics, like upstream.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Consume `cnt` bytes without interpreting them.
+    fn advance(&mut self, cnt: usize);
+
+    /// Copy `dst.len()` bytes out and consume them.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// `true` while bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Read a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(
+            cnt <= self.len(),
+            "advance past end of buffer: {cnt} > {}",
+            self.len()
+        );
+        *self = &self[cnt..];
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            dst.len() <= self.len(),
+            "read past end of buffer: need {}, have {}",
+            dst.len(),
+            self.len()
+        );
+        dst.copy_from_slice(&self[..dst.len()]);
+        *self = &self[dst.len()..];
+    }
+}
+
+/// Sequential writer into a growable byte buffer.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut out: Vec<u8> = Vec::new();
+        out.put_u8(7);
+        out.put_u16_le(258);
+        out.put_u32_le(70_000);
+        out.put_u64_le(1 << 40);
+        out.put_f64_le(-2.5);
+        let mut r: &[u8] = &out;
+        assert_eq!(r.remaining(), 1 + 2 + 4 + 8 + 8);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16_le(), 258);
+        assert_eq!(r.get_u32_le(), 70_000);
+        assert_eq!(r.get_u64_le(), 1 << 40);
+        assert_eq!(r.get_f64_le(), -2.5);
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn advance_skips_bytes() {
+        let data = [1u8, 2, 3, 4, 5];
+        let mut r: &[u8] = &data;
+        r.advance(3);
+        assert_eq!(r.remaining(), 2);
+        assert_eq!(r.get_u8(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "read past end")]
+    fn underflow_panics() {
+        let mut r: &[u8] = &[1u8];
+        let _ = r.get_u32_le();
+    }
+
+    #[test]
+    #[should_panic(expected = "advance past end")]
+    fn advance_past_end_panics() {
+        let mut r: &[u8] = &[1u8];
+        r.advance(2);
+    }
+}

@@ -1,0 +1,310 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored
+//! crate implements the API subset the workspace's benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! `sample_size` / `bench_with_input` / `finish`, [`BenchmarkId`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Statistics are deliberately simple: each benchmark is warmed up,
+//! then timed over `sample_size` samples of an adaptively chosen
+//! iteration count; the mean, minimum, and maximum per-iteration times
+//! are printed. There is no HTML report and no outlier analysis — the
+//! numbers go to stdout (and are machine-readable enough for the
+//! `BENCH_*.json` emitters in `fp-bench`).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    /// Target total measuring time per benchmark.
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement: Duration::from_millis(500),
+        }
+    }
+}
+
+/// One timing summary, per iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct Summary {
+    /// Mean seconds per iteration.
+    pub mean: f64,
+    /// Fastest sample, seconds per iteration.
+    pub min: f64,
+    /// Slowest sample, seconds per iteration.
+    pub max: f64,
+    /// Iterations per sample.
+    pub iters: u64,
+}
+
+impl Criterion {
+    /// Override the number of samples taken per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), self.sample_size, self.measurement, &mut f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmark a closure under `id` within the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        let n = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(&full, n, self.criterion.measurement, &mut f);
+        self
+    }
+
+    /// Benchmark a closure that receives `input` by reference.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        let n = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(
+            &full,
+            n,
+            self.criterion.measurement,
+            &mut |b: &mut Bencher| f(b, input),
+        );
+        self
+    }
+
+    /// Close the group (upstream writes reports here; we do nothing).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Conversion into [`BenchmarkId`] (mirrors upstream's blanket use of
+/// strings or explicit ids).
+pub trait IntoBenchmarkId {
+    /// Convert.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, called `self.iters` times back to back.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    measurement: Duration,
+    f: &mut F,
+) -> Summary {
+    // Warm-up & calibration: find an iteration count whose sample time
+    // is measurable but keeps the whole benchmark near `measurement`.
+    let mut iters = 1u64;
+    let per_iter = loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let t = b.elapsed;
+        if t >= Duration::from_millis(2) || iters >= 1 << 24 {
+            break t.as_secs_f64() / iters as f64;
+        }
+        iters *= 4;
+    };
+    let budget = measurement.as_secs_f64() / sample_size as f64;
+    let iters = ((budget / per_iter.max(1e-12)) as u64).clamp(1, 1 << 28);
+
+    let mut times = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        times.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = times.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "{name:<56} time: [{} {} {}]  ({} iters x {} samples)",
+        fmt_time(min),
+        fmt_time(mean),
+        fmt_time(max),
+        iters,
+        sample_size
+    );
+    Summary {
+        mean,
+        min,
+        max,
+        iters,
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Declare a benchmark group function, upstream-compatible.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`, upstream-compatible.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion {
+            sample_size: 2,
+            measurement: Duration::from_millis(4),
+        };
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| black_box(1 + 1));
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_compose_ids() {
+        let mut c = Criterion {
+            sample_size: 2,
+            measurement: Duration::from_millis(4),
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::new("f", 3), &3u64, |b, &n| {
+            b.iter(|| black_box(n * 2));
+        });
+        group.bench_function(BenchmarkId::from_parameter(7), |b| b.iter(|| black_box(7)));
+        group.finish();
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(fmt_time(5e-9).contains("ns"));
+        assert!(fmt_time(5e-6).contains("us"));
+        assert!(fmt_time(5e-3).contains("ms"));
+        assert!(fmt_time(5.0).contains('s'));
+    }
+}

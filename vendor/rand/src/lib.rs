@@ -1,0 +1,228 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides the exact API subset the workspace uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and the [`Rng`]
+//! extension methods `gen_range` / `gen_bool` over the range types that
+//! appear in the generators and workload samplers.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — fully
+//! deterministic for a given seed, which is all the experiment harness
+//! requires (it never asks for OS entropy). Streams do **not** match
+//! upstream `rand`; every consumer in this workspace seeds explicitly
+//! and only relies on determinism, not on specific values.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random `u64`s.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform `f64` in `[0, 1)` (53 random mantissa bits).
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Seeding entry points (subset of upstream `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed, deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Extension methods for sampling typed values (subset of upstream
+/// `rand::Rng`). Blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open or inclusive).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p` (`0 ≤ p ≤ 1`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} out of range"
+        );
+        self.next_f64() < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// A range that knows how to draw a uniform sample of `T` from an RNG.
+pub trait SampleRange<T> {
+    /// Draw one sample.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(
+            self.start < self.end,
+            "empty f64 range {}..{}",
+            self.start,
+            self.end
+        );
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+/// Uniform integer in `[0, bound)` by rejection sampling (no modulo
+/// bias).
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    assert!(bound > 0, "empty integer range");
+    if bound.is_power_of_two() {
+        return rng.next_u64() & (bound - 1);
+    }
+    // Zone is the largest multiple of `bound` that fits in u64.
+    let zone = u64::MAX - (u64::MAX % bound) - 1;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % bound;
+        }
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let off = uniform_below(rng, span);
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty inclusive range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                let off = uniform_below(rng, span);
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Named generators (subset of upstream `rand::rngs`).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    ///
+    /// Statistically strong, tiny, and seedable from a single `u64`
+    /// (expanded through SplitMix64 as the xoshiro authors recommend).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let same: Vec<u64> = (0..8).map(|_| c.gen_range(0u64..u64::MAX)).collect();
+        assert_ne!(
+            same,
+            (0..8)
+                .map(|_| a.gen_range(0u64..u64::MAX))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-0.05f64..0.05);
+            assert!((-0.05..0.05).contains(&x));
+            let i = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&i));
+            let j = rng.gen_range(0usize..=4);
+            assert!(j <= 4);
+        }
+        // degenerate inclusive range is fine
+        assert_eq!(rng.gen_range(9usize..=9), 9);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.25)).count();
+        let frac = hits as f64 / 20_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "frac={frac}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn all_values_reachable_small_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
