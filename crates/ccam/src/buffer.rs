@@ -1,11 +1,42 @@
-//! An LRU buffer pool over a [`BlockStore`].
+//! A sharded LRU buffer pool over a [`BlockStore`].
 //!
 //! The paper's experiments count page accesses through a buffer; the
 //! ablation `A-3` reproduces the CCAM-vs-random placement gap as
 //! buffer miss counts at various pool sizes.
+//!
+//! # Concurrency
+//!
+//! The pool is split into up to [`MAX_SHARDS`] independent shards, each
+//! a `Mutex<HashMap>` with its own LRU clock and its own slice of the
+//! frame budget; a page's shard is a hash of its id. Concurrent
+//! readers (the batch query driver running over a disk-backed
+//! [`NetworkSource`](roadnet::NetworkSource)) therefore serialize only
+//! when they touch the same shard at the same moment, not on every
+//! page access the way the old single global mutex forced.
+//!
+//! Sharding only engages when each shard would hold at least
+//! [`MIN_FRAMES_PER_SHARD`] frames. Small pools — everything ablation
+//! A-3 sweeps — keep the single global LRU and therefore *bit-identical*
+//! hit/miss/eviction sequences to the pre-sharding pool; large pools
+//! trade exact global LRU order for per-shard LRU (every logical read
+//! is still exactly one hit or one miss, so the accounting stays
+//! exact — only the eviction victim choice differs).
+//!
+//! # Readahead
+//!
+//! [`BufferPool::set_readahead`] arms a readahead hook: a miss on page
+//! `p` also faults in the next `k` page ids. CCAM packs data pages in
+//! Hilbert order, so successive page ids are spatially adjacent — a
+//! query walking a neighborhood pulls its next pages into the pool
+//! before it asks for them. Readahead fetches are tallied separately
+//! (neither hits nor misses, so A-3's demand-fault accounting is
+//! unchanged when the hook is off, the default), never block (a shard
+//! that is busy right now is simply skipped), and never displace the
+//! demand working set (a prefetch only takes a free frame or recycles
+//! an earlier prefetch that was never demanded).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -13,12 +44,31 @@ use parking_lot::Mutex;
 use crate::store::BlockStore;
 use crate::Result;
 
+/// Hard cap on the number of shards.
+pub const MAX_SHARDS: usize = 16;
+
+/// A shard must be worth at least this many frames, or the pool stays
+/// coarser-grained. Keeps per-shard LRU faithful to global LRU for the
+/// small pools the paper's experiments sweep (8–512 frames).
+pub const MIN_FRAMES_PER_SHARD: usize = 64;
+
 /// Hit/miss counters (monotonic).
+///
+/// # Thread-safety contract
+///
+/// All counters are `Ordering::Relaxed` atomics: each increment is
+/// individually exact, but a reader racing live writers may see, e.g.,
+/// a hit that its paired logical read hasn't "completed" elsewhere.
+/// Invariants like `hits + misses == logical reads issued` therefore
+/// hold only for *quiescent* reads — after the accessing threads have
+/// been joined (thread join provides the happens-before) or otherwise
+/// provably stopped. Every test and experiment reads them that way.
 #[derive(Debug, Default)]
 pub struct BufferStats {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    readaheads: AtomicU64,
 }
 
 impl BufferStats {
@@ -37,6 +87,12 @@ impl BufferStats {
         self.evictions.load(Ordering::Relaxed)
     }
 
+    /// Pages speculatively faulted in by the readahead hook (not
+    /// counted as hits or misses; always 0 with readahead off).
+    pub fn readaheads(&self) -> u64 {
+        self.readaheads.load(Ordering::Relaxed)
+    }
+
     /// Total logical reads.
     pub fn logical_reads(&self) -> u64 {
         self.hits() + self.misses()
@@ -47,6 +103,11 @@ struct Frame {
     data: Vec<u8>,
     stamp: u64,
     dirty: bool,
+    /// `false` while the frame only exists because readahead guessed
+    /// it would be wanted; flips on the first demand access. Demand
+    /// eviction prefers un-demanded frames on stamp ties, and
+    /// readahead itself may only recycle un-demanded frames.
+    demanded: bool,
 }
 
 struct Inner {
@@ -54,29 +115,67 @@ struct Inner {
     tick: u64,
 }
 
-/// A fixed-capacity LRU page cache.
+struct Shard {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+/// A fixed-capacity sharded LRU page cache.
 ///
-/// Eviction scans for the minimum stamp — O(frames), which is fine for
-/// the pool sizes the experiments use (tens to a few thousand frames);
-/// the asymptotically-clean alternative (linked LRU) is not worth the
-/// unsafe code or the extra indirection here.
+/// Eviction scans the shard for the minimum stamp — O(shard frames),
+/// which is fine for the pool sizes the experiments use (tens to a few
+/// thousand frames); the asymptotically-clean alternative (linked LRU)
+/// is not worth the unsafe code or the extra indirection here.
 pub struct BufferPool {
     store: Arc<dyn BlockStore>,
     capacity: usize,
-    inner: Mutex<Inner>,
+    shards: Vec<Shard>,
+    /// `shard = hash(id) >> shard_shift`; 64 means "always shard 0".
+    shard_shift: u32,
+    /// Pages to fault in after each demand miss (0 = off).
+    readahead: AtomicUsize,
     stats: BufferStats,
 }
 
 impl BufferPool {
-    /// Wrap `store` with a pool of `capacity` frames (min 1).
+    /// Wrap `store` with a pool of `capacity` frames (min 1), sharded
+    /// as finely as [`MIN_FRAMES_PER_SHARD`] allows.
     pub fn new(store: Arc<dyn BlockStore>, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let mut shards = 1usize;
+        while shards * 2 <= MAX_SHARDS && capacity / (shards * 2) >= MIN_FRAMES_PER_SHARD {
+            shards *= 2;
+        }
+        Self::with_shards(store, capacity, shards)
+    }
+
+    /// Wrap `store` with an explicit shard count (rounded to the next
+    /// power of two, capped at [`MAX_SHARDS`] and at `capacity`).
+    /// `BufferPool::new` picks this automatically; tests and benchmarks
+    /// use the explicit form.
+    pub fn with_shards(store: Arc<dyn BlockStore>, capacity: usize, shards: usize) -> Self {
+        let capacity = capacity.max(1);
+        let n = shards
+            .next_power_of_two()
+            .clamp(1, MAX_SHARDS)
+            .min(capacity.next_power_of_two());
+        let shards = (0..n)
+            .map(|i| Shard {
+                inner: Mutex::new(Inner {
+                    frames: HashMap::new(),
+                    tick: 0,
+                }),
+                // Distribute the budget exactly: base share plus one of
+                // the remainder frames for the first `capacity % n`.
+                capacity: (capacity / n + usize::from(i < capacity % n)).max(1),
+            })
+            .collect();
         BufferPool {
             store,
-            capacity: capacity.max(1),
-            inner: Mutex::new(Inner {
-                frames: HashMap::new(),
-                tick: 0,
-            }),
+            capacity,
+            shards,
+            shard_shift: 64 - n.trailing_zeros(),
+            readahead: AtomicUsize::new(0),
             stats: BufferStats::default(),
         }
     }
@@ -86,9 +185,14 @@ impl BufferPool {
         &self.store
     }
 
-    /// Pool capacity in frames.
+    /// Pool capacity in frames (summed across shards).
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Number of shards the pool was split into.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
     }
 
     /// Hit/miss statistics.
@@ -96,52 +200,142 @@ impl BufferPool {
         &self.stats
     }
 
+    /// Arm (or disarm, with 0) the readahead hook: each demand miss on
+    /// page `p` also faults in pages `p+1..=p+k` that exist and aren't
+    /// already cached. Off by default so demand-fault accounting stays
+    /// exactly comparable across experiments.
+    pub fn set_readahead(&self, pages: usize) {
+        self.readahead.store(pages, Ordering::Relaxed);
+    }
+
+    /// Current readahead window (pages per demand miss; 0 = off).
+    pub fn readahead(&self) -> usize {
+        self.readahead.load(Ordering::Relaxed)
+    }
+
+    fn shard_of(&self, id: u64) -> &Shard {
+        if self.shard_shift >= 64 {
+            return &self.shards[0];
+        }
+        let h = id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> self.shard_shift;
+        &self.shards[h as usize]
+    }
+
     /// Run `f` over the contents of page `id`, faulting it in if
     /// needed.
     pub fn with_page<R>(&self, id: u64, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
-        let mut inner = self.inner.lock();
-        inner.tick += 1;
-        let tick = inner.tick;
+        let shard = self.shard_of(id);
+        let r = {
+            let mut inner = shard.inner.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
 
-        if let Some(frame) = inner.frames.get_mut(&id) {
-            frame.stamp = tick;
-            self.stats.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(f(&frame.data));
-        }
+            if let Some(frame) = inner.frames.get_mut(&id) {
+                frame.stamp = tick;
+                frame.demanded = true;
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(f(&frame.data));
+            }
 
-        self.stats.misses.fetch_add(1, Ordering::Relaxed);
-        let mut data = vec![0u8; self.store.page_size()];
-        self.store.read_page(id, &mut data)?;
-        self.evict_if_full(&mut inner)?;
-        let frame = Frame {
-            data,
-            stamp: tick,
-            dirty: false,
+            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+            let mut data = vec![0u8; self.store.page_size()];
+            self.store.read_page(id, &mut data)?;
+            self.evict_if_full(shard.capacity, &mut inner)?;
+            let frame = Frame {
+                data,
+                stamp: tick,
+                dirty: false,
+                demanded: true,
+            };
+            let r = f(&frame.data);
+            inner.frames.insert(id, frame);
+            r
         };
-        let r = f(&frame.data);
-        inner.frames.insert(id, frame);
+        // Readahead runs after the demand shard's lock is released so
+        // a pair of concurrent faulting readers can never hold one
+        // shard while waiting on another.
+        let window = self.readahead();
+        if window > 0 {
+            self.readahead_after(id, window)?;
+        }
         Ok(r)
+    }
+
+    /// Speculatively fault in up to `window` pages following `id`.
+    /// Readahead is a hint, never a cost: shards momentarily locked by
+    /// another thread are skipped, and a prefetch may only take a free
+    /// frame or recycle an earlier prefetch that was never demanded —
+    /// it never displaces the demand working set.
+    fn readahead_after(&self, id: u64, window: usize) -> Result<()> {
+        let n_pages = self.store.n_pages();
+        for next in (id + 1)..=(id + window as u64) {
+            if next >= n_pages {
+                break;
+            }
+            let shard = self.shard_of(next);
+            let Some(mut inner) = shard.inner.try_lock() else {
+                continue;
+            };
+            if inner.frames.contains_key(&next) {
+                continue;
+            }
+            if inner.frames.len() >= shard.capacity {
+                // Recycle the stalest never-demanded prefetch, if any.
+                let Some(victim) = inner
+                    .frames
+                    .iter()
+                    .filter(|(_, f)| !f.demanded)
+                    .min_by_key(|(vid, f)| (f.stamp, **vid))
+                    .map(|(vid, _)| *vid)
+                else {
+                    continue;
+                };
+                // Never-demanded frames are never written through, so
+                // there is nothing to write back.
+                inner.frames.remove(&victim);
+                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+            let mut data = vec![0u8; self.store.page_size()];
+            self.store.read_page(next, &mut data)?;
+            // Does NOT advance the LRU clock: the prefetched frame
+            // inherits the triggering miss's recency.
+            let stamp = inner.tick;
+            inner.frames.insert(
+                next,
+                Frame {
+                    data,
+                    stamp,
+                    dirty: false,
+                    demanded: false,
+                },
+            );
+            self.stats.readaheads.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
     }
 
     /// Write `data` to page `id` through the pool (write-back on
     /// eviction or [`BufferPool::flush`]).
     pub fn write_page(&self, id: u64, data: &[u8]) -> Result<()> {
-        let mut inner = self.inner.lock();
+        let shard = self.shard_of(id);
+        let mut inner = shard.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
         if let Some(frame) = inner.frames.get_mut(&id) {
             frame.data.copy_from_slice(data);
             frame.stamp = tick;
             frame.dirty = true;
+            frame.demanded = true;
             return Ok(());
         }
-        self.evict_if_full(&mut inner)?;
+        self.evict_if_full(shard.capacity, &mut inner)?;
         inner.frames.insert(
             id,
             Frame {
                 data: data.to_vec(),
                 stamp: tick,
                 dirty: true,
+                demanded: true,
             },
         );
         Ok(())
@@ -149,11 +343,13 @@ impl BufferPool {
 
     /// Write all dirty frames back to the store.
     pub fn flush(&self) -> Result<()> {
-        let mut inner = self.inner.lock();
-        for (id, frame) in inner.frames.iter_mut() {
-            if frame.dirty {
-                self.store.write_page(*id, &frame.data)?;
-                frame.dirty = false;
+        for shard in &self.shards {
+            let mut inner = shard.inner.lock();
+            for (id, frame) in inner.frames.iter_mut() {
+                if frame.dirty {
+                    self.store.write_page(*id, &frame.data)?;
+                    frame.dirty = false;
+                }
             }
         }
         Ok(())
@@ -164,16 +360,24 @@ impl BufferPool {
     /// measurements.
     pub fn clear(&self) -> Result<()> {
         self.flush()?;
-        self.inner.lock().frames.clear();
+        for shard in &self.shards {
+            shard.inner.lock().frames.clear();
+        }
         Ok(())
     }
 
-    fn evict_if_full(&self, inner: &mut Inner) -> Result<()> {
-        while inner.frames.len() >= self.capacity {
+    fn evict_if_full(&self, capacity: usize, inner: &mut Inner) -> Result<()> {
+        while inner.frames.len() >= capacity {
+            // Deterministic victim: oldest stamp, never-demanded frames
+            // before demanded ones on ties (a prefetch shares the stamp
+            // of the miss that triggered it), page id as final
+            // tie-break. Demand stamps are unique per shard, so with
+            // readahead off this is exactly the seed pool's pure-LRU
+            // choice.
             let victim = inner
                 .frames
                 .iter()
-                .min_by_key(|(_, f)| f.stamp)
+                .min_by_key(|(id, f)| (f.stamp, f.demanded, **id))
                 .map(|(id, _)| *id)
                 .expect("pool is non-empty when full");
             let frame = inner.frames.remove(&victim).expect("victim exists");
@@ -265,5 +469,124 @@ mod tests {
         pool.with_page(0, |_| ()).unwrap();
         pool.with_page(1, |_| ()).unwrap();
         assert_eq!(pool.stats().evictions(), 1);
+    }
+
+    #[test]
+    fn shard_count_scales_with_capacity() {
+        let store = store_with_pages(2, 64);
+        // below the threshold: single shard, seed-identical behaviour
+        assert_eq!(BufferPool::new(Arc::clone(&store), 8).n_shards(), 1);
+        assert_eq!(BufferPool::new(Arc::clone(&store), 127).n_shards(), 1);
+        assert_eq!(BufferPool::new(Arc::clone(&store), 128).n_shards(), 2);
+        assert_eq!(BufferPool::new(Arc::clone(&store), 512).n_shards(), 8);
+        assert_eq!(BufferPool::new(Arc::clone(&store), 4096).n_shards(), 16);
+        // explicit shard count is honoured (rounded to a power of two)
+        let p = BufferPool::with_shards(Arc::clone(&store), 64, 5);
+        assert_eq!(p.n_shards(), 8);
+        // capacity is exactly preserved across shards
+        let p = BufferPool::with_shards(store, 67, 4);
+        assert_eq!(p.n_shards(), 4);
+        assert_eq!(p.capacity(), 67);
+    }
+
+    #[test]
+    fn sharded_pool_serves_correct_data_and_exact_accounting() {
+        let n = 64;
+        let pool = BufferPool::with_shards(store_with_pages(n, 64), 32, 8);
+        assert_eq!(pool.n_shards(), 8);
+        // two passes over every page: second pass may hit or miss
+        // depending on per-shard eviction, but accounting stays exact
+        let mut logical = 0u64;
+        for _ in 0..2 {
+            for id in 0..n as u64 {
+                let v = pool.with_page(id, |p| p[0]).unwrap();
+                assert_eq!(v, id as u8);
+                logical += 1;
+            }
+        }
+        let s = pool.stats();
+        assert_eq!(s.hits() + s.misses(), logical);
+        assert_eq!(s.logical_reads(), logical);
+        assert_eq!(s.readaheads(), 0);
+    }
+
+    #[test]
+    fn readahead_faults_following_pages() {
+        let store = store_with_pages(8, 64);
+        let pool = BufferPool::new(Arc::clone(&store), 8);
+        pool.set_readahead(2);
+        assert_eq!(pool.readahead(), 2);
+        pool.with_page(0, |_| ()).unwrap(); // miss, prefetches 1 and 2
+        assert_eq!(pool.stats().misses(), 1);
+        assert_eq!(pool.stats().readaheads(), 2);
+        let (physical, _) = store.io_stats().snapshot();
+        // demanding a prefetched page is a hit with no new physical read
+        pool.with_page(1, |p| assert_eq!(p[0], 1)).unwrap();
+        pool.with_page(2, |p| assert_eq!(p[0], 2)).unwrap();
+        assert_eq!(pool.stats().hits(), 2);
+        assert_eq!(pool.stats().misses(), 1);
+        assert_eq!(store.io_stats().snapshot().0, physical);
+        // readahead stops at the end of the store
+        pool.set_readahead(100);
+        pool.with_page(6, |_| ()).unwrap();
+        assert_eq!(pool.stats().readaheads(), 3); // only page 7 exists
+    }
+
+    #[test]
+    fn concurrent_readers_exact_accounting() {
+        // Many threads hammer a sharded pool with interleaved page
+        // sets; after joining, every read must have returned the right
+        // bytes and hits + misses must equal the logical reads issued.
+        let n_pages = 64usize;
+        let n_threads = 8usize;
+        let reads_per_thread = 500usize;
+        let pool = Arc::new(BufferPool::with_shards(
+            store_with_pages(n_pages, 64),
+            16,
+            8,
+        ));
+        pool.set_readahead(2);
+        std::thread::scope(|s| {
+            for t in 0..n_threads {
+                let pool = Arc::clone(&pool);
+                s.spawn(move || {
+                    // deterministic per-thread LCG walk over the pages
+                    let mut x = t as u64 + 1;
+                    for _ in 0..reads_per_thread {
+                        x = x
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        let id = x % n_pages as u64;
+                        let v = pool.with_page(id, |p| p[0]).unwrap();
+                        assert_eq!(v, id as u8);
+                    }
+                });
+            }
+        });
+        let s = pool.stats();
+        assert_eq!(
+            s.hits() + s.misses(),
+            (n_threads * reads_per_thread) as u64,
+            "hits {} + misses {} must equal logical reads",
+            s.hits(),
+            s.misses()
+        );
+    }
+
+    #[test]
+    fn readahead_pages_evict_before_demanded_pages() {
+        let store = store_with_pages(8, 64);
+        let pool = BufferPool::with_shards(Arc::clone(&store), 2, 1);
+        pool.set_readahead(1);
+        pool.with_page(0, |_| ()).unwrap(); // faults 0, prefetches 1
+        pool.with_page(3, |_| ()).unwrap(); // pool full: must evict
+                                            // page 1 (prefetched, stale stamp) is the victim, not page 0
+        let (physical, _) = store.io_stats().snapshot();
+        pool.with_page(0, |_| ()).unwrap();
+        assert_eq!(
+            store.io_stats().snapshot().0,
+            physical,
+            "page 0 stayed cached"
+        );
     }
 }

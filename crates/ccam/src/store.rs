@@ -12,6 +12,13 @@ use crate::{CcamError, Result};
 
 /// Physical I/O counters for a [`BlockStore`] (monotonic; snapshot with
 /// [`IoStats::snapshot`]).
+///
+/// # Thread-safety contract
+///
+/// Counters use `Ordering::Relaxed`: increments are individually exact
+/// but carry no ordering with the I/O they describe, so totals are only
+/// guaranteed complete after the issuing threads have been joined (or
+/// otherwise provably stopped). Experiments always read them quiescent.
 #[derive(Debug, Default)]
 pub struct IoStats {
     reads: AtomicU64,

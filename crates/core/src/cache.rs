@@ -24,11 +24,32 @@
 //! float rounding well inside `pwl::EPS` — the equivalence golden test
 //! in `tests/equivalence.rs` checks this end to end).
 //!
+//! # Concurrency
+//!
 //! The cache is shared across queries and across the threads of
-//! [`Engine::run_batch`](crate::Engine::run_batch): lookups take a read
-//! lock, the one-time construction takes a short write lock, and
-//! hit/miss counters are atomics surfaced both per-query (in
-//! [`QueryStats`](crate::QueryStats)) and engine-wide.
+//! [`Engine::run_batch`](crate::Engine::run_batch). To keep it from
+//! becoming a serialization point it is organised in two levels:
+//!
+//! * **Sharded shared store.** The map is split into [`SHARD_COUNT`]
+//!   independent `RwLock<HashMap>` shards selected by a hash of the
+//!   key, so concurrent workers contend only when they touch the same
+//!   shard at the same time (and read locks never exclude each other).
+//! * **Per-worker L1 ([`CacheSession`]).** Each query (and each
+//!   `run_batch` worker, across all its queries) holds a private
+//!   lock-free map of recently used `Arc<Pwl>` full-period functions.
+//!   Steady-state lookups are served from the L1 without taking any
+//!   lock. This is *exact*, not approximate: the shared store's values
+//!   are immutable full-period functions keyed by everything that
+//!   determines them, so an L1 copy can never go stale.
+//!
+//! Hit/miss counters are engine-wide atomics aggregated across shards
+//! and sessions: sessions tally locally and flush on drop, so the
+//! steady-state lookup path touches no shared cache line either. The
+//! counters use `Ordering::Relaxed` — they are monotonic event counts
+//! with no ordering obligations to other memory; readers that need a
+//! consistent total (the tests, the bench report) read after the
+//! worker threads have been joined, and the join edge provides the
+//! happens-before.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -42,6 +63,22 @@ use traffic::{DayCategory, SpeedProfile};
 
 use crate::Result;
 
+/// Number of independent shards in the shared store (power of two).
+///
+/// Sixteen is comfortably above the worker counts the batch driver
+/// spawns, so the expected contention on any shard is low even when
+/// every worker misses at once (cold start).
+pub const SHARD_COUNT: usize = 16;
+const SHARD_BITS: u32 = SHARD_COUNT.trailing_zeros();
+
+/// Entries a [`CacheSession`] L1 holds before it resets itself.
+///
+/// Real road networks have few distinct `(pattern, category, length)`
+/// combinations per metro area relative to this bound, so the reset is
+/// a correctness backstop for adversarial workloads, not a steady-state
+/// event.
+const L1_CAPACITY: usize = 1024;
+
 /// Cache key: everything that determines an edge travel-time function.
 ///
 /// Distance is keyed by its bit pattern — edges with the same length
@@ -54,19 +91,38 @@ struct Key {
     distance_bits: u64,
 }
 
+impl Key {
+    /// Shard index: Fibonacci-hash the mixed fields and keep the top
+    /// bits (the multiplier diffuses low-entropy inputs like small
+    /// pattern ids into the high bits).
+    fn shard(&self) -> usize {
+        let mixed = self.distance_bits
+            ^ (u64::from(self.pattern.0) << 32)
+            ^ (u64::from(self.category.0) << 24);
+        (mixed.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - SHARD_BITS)) as usize
+    }
+}
+
 /// Engine-wide cache of full-period edge travel-time functions.
 #[derive(Debug)]
 pub struct TravelFnCache {
     enabled: bool,
-    map: RwLock<HashMap<Key, Arc<Pwl>>>,
+    shards: Vec<RwLock<HashMap<Key, Arc<Pwl>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
 /// A snapshot of the cache's lifetime counters.
+///
+/// Counters are `Ordering::Relaxed` atomics: individually exact and
+/// monotonic, but a snapshot taken while worker threads are still
+/// running may observe one counter ahead of the other. Snapshots taken
+/// after the workers have been joined (how every test and report reads
+/// them) are exact totals — the join provides the happens-before edge.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheCounters {
-    /// Requests served from a stored full-period function.
+    /// Requests served from a stored full-period function (shared
+    /// store or a session L1).
     pub hits: u64,
     /// Requests that had to build the full-period function first.
     pub misses: u64,
@@ -77,7 +133,9 @@ impl TravelFnCache {
     pub fn new() -> Self {
         TravelFnCache {
             enabled: true,
-            map: RwLock::new(HashMap::new()),
+            shards: (0..SHARD_COUNT)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -99,10 +157,64 @@ impl TravelFnCache {
     }
 
     /// Lifetime hit/miss counters (shared across queries and threads).
+    ///
+    /// Includes every lookup made through live [`CacheSession`]s that
+    /// have already flushed (sessions flush when dropped).
     pub fn counters(&self) -> CacheCounters {
         CacheCounters {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total entries across all shards (diagnostics / tests).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("cache lock").len())
+            .sum()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Open a per-worker session: a private L1 over this cache whose
+    /// steady-state lookups take no lock. Counters tallied by the
+    /// session are flushed into the cache-wide totals when the session
+    /// drops.
+    pub fn session(&self) -> CacheSession<'_> {
+        CacheSession {
+            cache: self,
+            l1: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Fetch (or build) the full-period function for `key` from the
+    /// sharded store. Returns the function and whether it was already
+    /// present. Does **not** touch the hit/miss counters — callers
+    /// tally.
+    fn full_fn(&self, key: Key, profile: &SpeedProfile, distance: f64) -> Result<(Arc<Pwl>, bool)> {
+        let shard = &self.shards[key.shard()];
+        // Take the read guard in its own statement so it is dropped
+        // before the miss path asks for the write lock (a match on the
+        // guarded lookup would keep it alive across the whole match and
+        // self-deadlock).
+        let cached = shard.read().expect("cache lock").get(&key).cloned();
+        match cached {
+            Some(f) => Ok((f, true)),
+            None => {
+                // Compute outside the write lock; a racing thread doing
+                // the same work is harmless (first insert wins, values
+                // are identical by construction).
+                let built = Arc::new(full_period_fn(profile, distance)?);
+                let mut map = shard.write().expect("cache lock");
+                let entry = map.entry(key).or_insert_with(|| Arc::clone(&built));
+                Ok((Arc::clone(entry), false))
+            }
         }
     }
 
@@ -111,6 +223,10 @@ impl TravelFnCache {
     ///
     /// Returns the function and whether the request was a cache hit.
     /// With the cache disabled, computes directly and reports a miss.
+    ///
+    /// This is the sessionless entry point (tallies the shared
+    /// counters on every call); the engine's hot path goes through
+    /// [`TravelFnCache::session`] instead.
     pub fn travel_fn(
         &self,
         pattern: PatternId,
@@ -123,48 +239,113 @@ impl TravelFnCache {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return Ok((travel_time_fn(profile, distance, leaving)?, false));
         }
-
         let key = Key {
             pattern,
             category,
             distance_bits: distance.to_bits(),
         };
-        // Take the read guard in its own statement so it is dropped
-        // before the miss path asks for the write lock (a match on the
-        // guarded lookup would keep it alive across the whole match and
-        // self-deadlock).
-        let cached = self.map.read().expect("cache lock").get(&key).cloned();
-        let (full, hit) = match cached {
-            Some(f) => (f, true),
-            None => {
-                // Compute outside the write lock; a racing thread doing
-                // the same work is harmless (last insert wins, values
-                // are identical by construction).
-                let built = Arc::new(full_period_fn(profile, distance)?);
-                let mut map = self.map.write().expect("cache lock");
-                let entry = map.entry(key).or_insert_with(|| Arc::clone(&built));
-                (Arc::clone(entry), false)
-            }
-        };
+        let (full, hit) = self.full_fn(key, profile, distance)?;
         if hit {
             self.hits.fetch_add(1, Ordering::Relaxed);
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
         }
-
-        match restrict_periodic(&full, leaving) {
-            Some(f) => Ok((f, hit)),
-            // Intervals the periodic view cannot serve (degenerate,
-            // wider than a day, numerically hairline at the seam) fall
-            // back to the direct construction — rare and still exact.
-            None => Ok((travel_time_fn(profile, distance, leaving)?, hit)),
-        }
+        serve(&full, profile, distance, leaving, hit)
     }
 }
 
 impl Default for TravelFnCache {
     fn default() -> Self {
         TravelFnCache::new()
+    }
+}
+
+/// A per-worker view of a [`TravelFnCache`]: a private map of recently
+/// used full-period functions in front of the sharded shared store.
+///
+/// L1 hits clone an `Arc` and take **no lock**. The L1 is exact under
+/// the periodic speed model: shared-store values are immutable and
+/// fully determined by the key, so a privately held `Arc` can never
+/// disagree with the store. Hit/miss tallies accumulate locally and
+/// flush into the cache-wide counters on drop.
+pub struct CacheSession<'c> {
+    cache: &'c TravelFnCache,
+    l1: HashMap<Key, Arc<Pwl>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl CacheSession<'_> {
+    /// Session equivalent of [`TravelFnCache::travel_fn`]; identical
+    /// results, lock-free on L1 hits.
+    pub fn travel_fn(
+        &mut self,
+        pattern: PatternId,
+        category: DayCategory,
+        profile: &SpeedProfile,
+        distance: f64,
+        leaving: &Interval,
+    ) -> Result<(Pwl, bool)> {
+        if !self.cache.enabled {
+            self.misses += 1;
+            return Ok((travel_time_fn(profile, distance, leaving)?, false));
+        }
+        let key = Key {
+            pattern,
+            category,
+            distance_bits: distance.to_bits(),
+        };
+        let (full, hit) = match self.l1.get(&key) {
+            Some(f) => (Arc::clone(f), true),
+            None => {
+                let (f, hit) = self.cache.full_fn(key, profile, distance)?;
+                if self.l1.len() >= L1_CAPACITY {
+                    self.l1.clear();
+                }
+                self.l1.insert(key, Arc::clone(&f));
+                (f, hit)
+            }
+        };
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        serve(&full, profile, distance, leaving, hit)
+    }
+
+    /// Lookups tallied by this session so far (hits, misses) — not yet
+    /// visible in [`TravelFnCache::counters`] until the session drops.
+    pub fn tallies(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+impl Drop for CacheSession<'_> {
+    fn drop(&mut self) {
+        if self.hits > 0 {
+            self.cache.hits.fetch_add(self.hits, Ordering::Relaxed);
+        }
+        if self.misses > 0 {
+            self.cache.misses.fetch_add(self.misses, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Serve `leaving` from the full-period function, falling back to the
+/// direct construction for intervals the periodic view cannot serve
+/// (degenerate, wider than a day, numerically hairline at the seam) —
+/// rare and still exact.
+fn serve(
+    full: &Pwl,
+    profile: &SpeedProfile,
+    distance: f64,
+    leaving: &Interval,
+    hit: bool,
+) -> Result<(Pwl, bool)> {
+    match restrict_periodic(full, leaving) {
+        Some(f) => Ok((f, hit)),
+        None => Ok((travel_time_fn(profile, distance, leaving)?, hit)),
     }
 }
 
@@ -301,6 +482,7 @@ mod tests {
             .travel_fn(PatternId(4), DayCategory::WORKDAY, &profile, 1.0, &iv)
             .unwrap();
         assert_eq!(cache.counters(), CacheCounters { hits: 0, misses: 4 });
+        assert_eq!(cache.len(), 4);
         cache
             .travel_fn(p, DayCategory::WORKDAY, &profile, 1.0, &iv)
             .unwrap();
@@ -324,6 +506,7 @@ mod tests {
             }
         }
         assert_eq!(cache.counters(), CacheCounters { hits: 0, misses: 3 });
+        assert!(cache.is_empty());
     }
 
     #[test]
@@ -373,5 +556,105 @@ mod tests {
         assert_eq!(c.hits + c.misses, 32);
         assert!(c.misses >= 1);
         assert!(c.hits >= 28, "at most one build per racing thread: {c:?}");
+    }
+
+    #[test]
+    fn session_serves_from_l1_and_flushes_on_drop() {
+        let cache = TravelFnCache::new();
+        let profile = rush_profile();
+        let iv = Interval::of(hm(6, 30), hm(8, 0));
+        {
+            let mut session = cache.session();
+            let (a, hit0) = session
+                .travel_fn(PatternId(1), DayCategory::WORKDAY, &profile, 3.0, &iv)
+                .unwrap();
+            assert!(!hit0);
+            let (b, hit1) = session
+                .travel_fn(PatternId(1), DayCategory::WORKDAY, &profile, 3.0, &iv)
+                .unwrap();
+            assert!(hit1, "second request served from the session L1");
+            for k in 0..=16 {
+                let l = iv.lo() + iv.len() * f64::from(k) / 16.0;
+                assert!(approx_eq(a.eval(l), b.eval(l)));
+            }
+            assert_eq!(session.tallies(), (1, 1));
+            // not yet flushed
+            assert_eq!(cache.counters(), CacheCounters::default());
+        }
+        // flushed on drop
+        assert_eq!(cache.counters(), CacheCounters { hits: 1, misses: 1 });
+        // a fresh session hits the shared store, not its (empty) L1
+        {
+            let mut session = cache.session();
+            let (_, hit) = session
+                .travel_fn(PatternId(1), DayCategory::WORKDAY, &profile, 3.0, &iv)
+                .unwrap();
+            assert!(hit);
+        }
+        assert_eq!(cache.counters(), CacheCounters { hits: 2, misses: 1 });
+    }
+
+    #[test]
+    fn session_matches_sessionless_and_direct() {
+        let cache = TravelFnCache::new();
+        let profile = rush_profile();
+        let mut session = cache.session();
+        for (d, lo, len) in [(1.0, 390.0, 90.0), (2.5, 1400.0, 90.0), (0.7, 417.3, 33.3)] {
+            let iv = Interval::of(lo, lo + len);
+            let (s, _) = session
+                .travel_fn(PatternId(2), DayCategory::WORKDAY, &profile, d, &iv)
+                .unwrap();
+            let (c, _) = cache
+                .travel_fn(PatternId(2), DayCategory::WORKDAY, &profile, d, &iv)
+                .unwrap();
+            let want = direct(&profile, d, &iv);
+            for k in 0..=32 {
+                let l = iv.lo() + iv.len() * f64::from(k) / 32.0;
+                assert!(approx_eq(s.eval(l), want.eval(l)), "session at {l}");
+                assert!(approx_eq(c.eval(l), want.eval(l)), "sessionless at {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_session_always_misses() {
+        let cache = TravelFnCache::disabled();
+        let profile = rush_profile();
+        let iv = Interval::of(hm(6, 0), hm(7, 0));
+        {
+            let mut session = cache.session();
+            for _ in 0..3 {
+                let (_, hit) = session
+                    .travel_fn(PatternId(1), DayCategory::WORKDAY, &profile, 2.0, &iv)
+                    .unwrap();
+                assert!(!hit);
+            }
+        }
+        assert_eq!(cache.counters(), CacheCounters { hits: 0, misses: 3 });
+    }
+
+    #[test]
+    fn keys_spread_over_shards() {
+        // Not a distribution-quality test — just that sharding is
+        // actually in effect (different keys land on more than one
+        // shard) and every shard index is in range.
+        let mut seen = std::collections::HashSet::new();
+        for p in 0..32u16 {
+            for d in 1..=8u64 {
+                let key = Key {
+                    pattern: PatternId(p),
+                    category: DayCategory::WORKDAY,
+                    distance_bits: (d as f64 * 0.25).to_bits(),
+                };
+                let s = key.shard();
+                assert!(s < SHARD_COUNT);
+                seen.insert(s);
+            }
+        }
+        assert!(
+            seen.len() > SHARD_COUNT / 2,
+            "only {} shards hit",
+            seen.len()
+        );
     }
 }

@@ -1,15 +1,17 @@
 //! The `IntAllFastestPaths` engine (§4).
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Mutex;
 
 use pwl::{compose_travel_simplified, Envelope, Interval, Pwl};
 use roadnet::{NetworkSource, NodeId, Point};
 
 use crate::baseline::astar_at;
-use crate::cache::{CacheCounters, TravelFnCache};
+use crate::cache::{CacheCounters, CacheSession, TravelFnCache};
 use crate::estimator::{EstimatorKind, LowerBoundEstimator, NaiveLb};
-use crate::query::{AllFpAnswer, FastestPath, QuerySpec, QueryStats, SingleFpAnswer};
+use crate::query::{AllFpAnswer, BatchStats, FastestPath, QuerySpec, QueryStats, SingleFpAnswer};
 use crate::{AllFpError, BoundaryLb, Result, WeightMode};
 
 /// Engine configuration.
@@ -189,34 +191,121 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
 
     /// Answer a batch of allFP queries, using every available core.
     ///
-    /// Queries are striped over `std::thread::scope` workers (the same
-    /// pattern `BoundaryLb::build` uses for its per-cell Dijkstra
-    /// runs); results come back in input order, one `Result` per query
-    /// so a failing query doesn't poison its batch-mates. The workers
-    /// share the engine immutably — the travel-function cache is the
-    /// only shared mutable state, and it is internally synchronized,
-    /// so a miss filled by one worker is a hit for every other.
+    /// Results come back in input order, one `Result` per query so a
+    /// failing query doesn't poison its batch-mates. See
+    /// [`Engine::run_batch_stats`] for the scheduling details and the
+    /// per-batch statistics roll-up.
     pub fn run_batch(&self, queries: &[QuerySpec]) -> Vec<Result<AllFpAnswer>>
     where
         S: Sync,
     {
-        let workers = std::thread::available_parallelism()
-            .map_or(1, |n| n.get())
-            .min(queries.len());
-        if workers <= 1 {
-            return queries.iter().map(|q| self.all_fastest_paths(q)).collect();
+        self.run_batch_stats(queries).0
+    }
+
+    /// [`Engine::run_batch`] plus the [`BatchStats`] roll-up, with the
+    /// worker count taken from `std::thread::available_parallelism`.
+    pub fn run_batch_stats(&self, queries: &[QuerySpec]) -> (Vec<Result<AllFpAnswer>>, BatchStats)
+    where
+        S: Sync,
+    {
+        let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+        self.run_batch_with_threads(queries, workers)
+    }
+
+    /// Answer a batch of allFP queries on exactly `workers` threads
+    /// (clamped to `1..=queries.len()`), returning results in input
+    /// order plus a [`BatchStats`] roll-up.
+    ///
+    /// # Scheduling
+    ///
+    /// The batch is split into contiguous per-worker chunks, one
+    /// double-ended queue per worker. A worker pops its own queue from
+    /// the front; when it runs dry it **steals the back half** of the
+    /// first non-empty victim queue, so skewed per-query costs (an
+    /// 8-mile allFP next to a 1-mile one) cannot leave workers idle the
+    /// way the old static striping did. Work is fixed up front — nobody
+    /// pushes after the scope starts — so "every queue empty" is a
+    /// stable termination condition.
+    ///
+    /// The workers share the engine immutably. The travel-function
+    /// cache is the only shared mutable state: each worker runs its
+    /// queries through a private [`CacheSession`] L1 (kept across all
+    /// the queries it processes) over the sharded shared store, so a
+    /// miss filled by one worker is a hit for every other while
+    /// steady-state lookups take no lock at all.
+    pub fn run_batch_with_threads(
+        &self,
+        queries: &[QuerySpec],
+        workers: usize,
+    ) -> (Vec<Result<AllFpAnswer>>, BatchStats)
+    where
+        S: Sync,
+    {
+        let workers = workers.max(1).min(queries.len());
+        if queries.is_empty() {
+            return (Vec::new(), BatchStats::default());
         }
-        let per_worker: Vec<Vec<(usize, Result<AllFpAnswer>)>> = std::thread::scope(|scope| {
+        if workers <= 1 {
+            let mut session = self.cache.session();
+            let mut stats = BatchStats::new(1);
+            let results: Vec<Result<AllFpAnswer>> = queries
+                .iter()
+                .map(|q| {
+                    let r = self
+                        .run_with_session(q, false, &mut session)
+                        .map(|(a, _)| a);
+                    stats.record(0, &r);
+                    r
+                })
+                .collect();
+            return (results, stats);
+        }
+
+        // One deque of query indices per worker, seeded with contiguous
+        // chunks (preserves whatever locality the caller's ordering
+        // has). `Mutex<VecDeque>` per worker: the owner and an
+        // occasional thief are the only contenders.
+        let chunk = queries.len().div_ceil(workers);
+        let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(queries.len());
+                Mutex::new((lo..hi.max(lo)).collect())
+            })
+            .collect();
+        let steals = AtomicU64::new(0);
+
+        let per_worker: Vec<WorkerYield> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
             for w in 0..workers {
+                let queues = &queues;
+                let steals = &steals;
                 handles.push(scope.spawn(move || {
-                    let mut out = Vec::new();
-                    let mut i = w;
-                    while i < queries.len() {
-                        out.push((i, self.all_fastest_paths(&queries[i])));
-                        i += workers;
+                    let mut session = self.cache.session();
+                    let mut out: Vec<(usize, Result<AllFpAnswer>)> = Vec::new();
+                    let mut processed = 0usize;
+                    let mut cache_stats = QueryStats::default();
+                    loop {
+                        let next = queues[w].lock().expect("queue lock").pop_front();
+                        let i = match next {
+                            Some(i) => i,
+                            None => match steal_into(queues, w, steals) {
+                                Some(i) => i,
+                                None => break,
+                            },
+                        };
+                        let r = self
+                            .run_with_session(&queries[i], false, &mut session)
+                            .map(|(a, _)| a);
+                        if let Ok(a) = &r {
+                            cache_stats.cache_lookups += a.stats.cache_lookups;
+                            cache_stats.cache_hits += a.stats.cache_hits;
+                            cache_stats.cache_misses += a.stats.cache_misses;
+                        }
+                        processed += 1;
+                        out.push((i, r));
                     }
-                    out
+                    (out, processed, cache_stats)
                 }));
             }
             handles
@@ -224,21 +313,33 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
                 .map(|h| h.join().expect("batch worker panicked"))
                 .collect()
         });
+
+        let mut stats = BatchStats::new(workers);
+        stats.steals = steals.load(AtomicOrdering::Relaxed);
         let mut results: Vec<Option<Result<AllFpAnswer>>> =
             (0..queries.len()).map(|_| None).collect();
-        for (i, r) in per_worker.into_iter().flatten() {
-            results[i] = Some(r);
+        for (w, (rs, processed, cache_stats)) in per_worker.into_iter().enumerate() {
+            stats.queries_per_worker[w] = processed;
+            stats.cache_lookups += cache_stats.cache_lookups;
+            stats.cache_hits += cache_stats.cache_hits;
+            stats.cache_misses += cache_stats.cache_misses;
+            for (i, r) in rs {
+                results[i] = Some(r);
+            }
         }
-        results
+        let results = results
             .into_iter()
-            .map(|r| r.expect("striping covers every query"))
-            .collect()
+            .map(|r| r.expect("chunking + stealing covers every query"))
+            .collect();
+        (results, stats)
     }
 
     /// Answer the **allFP query**: the full partitioning of the query
     /// interval into sub-intervals with their fastest paths.
     pub fn all_fastest_paths(&self, query: &QuerySpec) -> Result<AllFpAnswer> {
-        self.run(query, false).map(|(all, _)| all)
+        let mut session = self.cache.session();
+        self.run_with_session(query, false, &mut session)
+            .map(|(all, _)| all)
     }
 
     /// Answer the **singleFP query**: the best leaving instant(s) in
@@ -246,17 +347,23 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
     /// soon as the first path reaching the target is popped (§4.5) —
     /// no lower-border computation beyond that point.
     pub fn single_fastest_path(&self, query: &QuerySpec) -> Result<SingleFpAnswer> {
-        self.run(query, true)
+        let mut session = self.cache.session();
+        self.run_with_session(query, true, &mut session)
             .map(|(_, single)| single.expect("single answer on success"))
     }
 
     /// Shared search. When `single_only`, stops at the first popped
     /// target path. Otherwise runs to the paper's termination rule and
     /// assembles the partitioning.
-    fn run(
+    ///
+    /// The caller supplies the [`CacheSession`] so batch workers can
+    /// keep one warm L1 across every query they process; the serial
+    /// entry points open a fresh session per query.
+    fn run_with_session(
         &self,
         query: &QuerySpec,
         single_only: bool,
+        session: &mut CacheSession<'_>,
     ) -> Result<(AllFpAnswer, Option<SingleFpAnswer>)> {
         let interval = query.interval;
         let target_loc = self.source.find_node(query.target)?;
@@ -407,7 +514,7 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
                 }
 
                 let profile = self.source.pattern(edge.pattern)?.profile(query.category)?;
-                let (t_edge, hit) = self.cache.travel_fn(
+                let (t_edge, hit) = session.travel_fn(
                     edge.pattern,
                     query.category,
                     profile,
@@ -590,6 +697,46 @@ impl<'a> Engine<'a, roadnet::RoadNetwork> {
             cache,
         })
     }
+}
+
+/// One batch worker's output: `(query index, answer)` pairs in the
+/// order processed, the number of queries it ran, and its summed
+/// travel-function-cache tallies.
+type WorkerYield = (Vec<(usize, Result<AllFpAnswer>)>, usize, QueryStats);
+
+/// Steal the back half of the first non-empty victim queue into worker
+/// `w`'s own queue, returning one stolen index to run immediately.
+/// Returns `None` when every queue is empty (batch drained).
+///
+/// Locks are taken one at a time (victim released before the thief's
+/// own queue is touched), so there is no lock-ordering hazard. Stealing
+/// from the *back* keeps the victim's front — the indices it is about
+/// to pop — intact, minimizing contention on the hot end.
+fn steal_into(queues: &[Mutex<VecDeque<usize>>], w: usize, steals: &AtomicU64) -> Option<usize> {
+    let n = queues.len();
+    for off in 1..n {
+        let v = (w + off) % n;
+        let mut victim = queues[v].lock().expect("queue lock");
+        let len = victim.len();
+        if len == 0 {
+            continue;
+        }
+        let take = len.div_ceil(2);
+        let mut grabbed: Vec<usize> = Vec::with_capacity(take);
+        for _ in 0..take {
+            grabbed.push(victim.pop_back().expect("len checked under lock"));
+        }
+        drop(victim);
+        steals.fetch_add(1, AtomicOrdering::Relaxed);
+        // Popped back-to-front, so reverse to run in input order.
+        grabbed.reverse();
+        let mut it = grabbed.into_iter();
+        let first = it.next();
+        let mut own = queues[w].lock().expect("queue lock");
+        own.extend(it);
+        return first;
+    }
+    None
 }
 
 /// The travel-function cache matching a config's `use_travel_cache`.
@@ -925,6 +1072,142 @@ mod tests {
                 }
                 Err(_) => assert!(got.is_err()),
             }
+        }
+    }
+
+    #[test]
+    fn run_batch_with_threads_covers_every_query_at_any_width() {
+        let (net, ids) = paper_running_example();
+        let engine = Engine::new(&net, EngineConfig::default());
+        let queries: Vec<QuerySpec> = (0..7u32)
+            .map(|k| {
+                QuerySpec::new(
+                    ids.s,
+                    ids.e,
+                    Interval::of(hm(6, 40 + k), hm(7, 1 + k)),
+                    DayCategory::WORKDAY,
+                )
+            })
+            .collect();
+        let (serial, serial_stats) = engine.run_batch_with_threads(&queries, 1);
+        assert_eq!(serial_stats.workers, 1);
+        assert_eq!(serial_stats.total_queries(), queries.len());
+        assert_eq!(serial_stats.steals, 0);
+        // every thread width (including more workers than queries) must
+        // produce the serial answers in input order
+        for workers in [2usize, 3, 4, 16] {
+            let (got, stats) = engine.run_batch_with_threads(&queries, workers);
+            assert_eq!(stats.workers, workers.min(queries.len()));
+            assert_eq!(stats.total_queries(), queries.len());
+            assert_eq!(stats.queries_per_worker.len(), stats.workers);
+            assert_eq!(got.len(), serial.len());
+            for (g, s) in got.iter().zip(serial.iter()) {
+                let (g, s) = (g.as_ref().unwrap(), s.as_ref().unwrap());
+                assert_eq!(g.partition.len(), s.partition.len());
+                for (x, y) in g.partition.iter().zip(s.partition.iter()) {
+                    assert!(x.0.approx_eq(&y.0));
+                    assert_eq!(g.paths[x.1].nodes, s.paths[y.1].nodes);
+                }
+            }
+            // per-query stats survive the roll-up: lookups were tallied
+            // and split exactly into hits and misses
+            assert_eq!(stats.cache_lookups, stats.cache_hits + stats.cache_misses);
+            assert!(stats.cache_lookups > 0);
+            let rate = stats.cache_hit_rate();
+            assert!((0.0..=1.0).contains(&rate));
+        }
+    }
+
+    #[test]
+    fn run_batch_empty_and_error_handling() {
+        let (net, ids) = paper_running_example();
+        let engine = Engine::new(&net, EngineConfig::default());
+        let (results, stats) = engine.run_batch_with_threads(&[], 4);
+        assert!(results.is_empty());
+        assert_eq!(stats, BatchStats::default());
+        // a batch of only unreachable queries still returns one error
+        // per query and exact per-worker accounting
+        let bad: Vec<QuerySpec> = (0..4)
+            .map(|k| {
+                QuerySpec::new(
+                    ids.e,
+                    ids.s,
+                    Interval::of(hm(6, 40 + k), hm(7, 0)),
+                    DayCategory::WORKDAY,
+                )
+            })
+            .collect();
+        let (results, stats) = engine.run_batch_with_threads(&bad, 2);
+        assert_eq!(results.len(), 4);
+        assert!(results.iter().all(|r| r.is_err()));
+        assert_eq!(stats.total_queries(), 4);
+        // errors carry no stats, so the cache roll-up stays empty
+        assert_eq!(stats.cache_lookups, 0);
+        assert_eq!(stats.cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn steal_takes_back_half_and_preserves_order() {
+        let queues: Vec<Mutex<VecDeque<usize>>> = (0..3)
+            .map(|w| {
+                Mutex::new(if w == 1 {
+                    (10..15).collect() // victim: 10 11 12 13 14
+                } else {
+                    VecDeque::new()
+                })
+            })
+            .collect();
+        let steals = AtomicU64::new(0);
+        // worker 0 steals ceil(5/2)=3 from the back: 12 13 14
+        let first = steal_into(&queues, 0, &steals);
+        assert_eq!(first, Some(12));
+        let own: Vec<usize> = queues[0].lock().unwrap().iter().copied().collect();
+        assert_eq!(own, vec![13, 14], "remainder queued in input order");
+        let victim: Vec<usize> = queues[1].lock().unwrap().iter().copied().collect();
+        assert_eq!(victim, vec![10, 11], "victim keeps its front");
+        assert_eq!(steals.load(AtomicOrdering::Relaxed), 1);
+        // worker 2 scans victims in ring order starting after itself,
+        // so it hits worker 0 first and takes ceil(2/2)=1 off the back
+        assert_eq!(steal_into(&queues, 2, &steals), Some(14));
+        // worker 0's queue still counts as its own, never as its victim
+        queues[0].lock().unwrap().clear();
+        queues[1].lock().unwrap().clear();
+        assert_eq!(steal_into(&queues, 0, &steals), None);
+        assert_eq!(steals.load(AtomicOrdering::Relaxed), 2);
+    }
+
+    #[test]
+    fn work_stealing_rebalances_a_skewed_batch() {
+        // Even 3-query chunks per worker; a steal happens whenever one
+        // worker drains its chunk while another still holds work, which
+        // needs real interleaving — so the assertion is gated on the
+        // host actually having more than one core.
+        let (net, ids) = paper_running_example();
+        let engine = Engine::new(&net, EngineConfig::default());
+        let queries: Vec<QuerySpec> = (0..12u32)
+            .map(|k| {
+                QuerySpec::new(
+                    ids.s,
+                    ids.e,
+                    Interval::of(hm(6, 40 + k % 8), hm(7, 1 + k % 8)),
+                    DayCategory::WORKDAY,
+                )
+            })
+            .collect();
+        let mut saw_steal = false;
+        for _ in 0..20 {
+            let (_, stats) = engine.run_batch_with_threads(&queries, 4);
+            assert_eq!(stats.total_queries(), queries.len());
+            if stats.steals > 0 {
+                saw_steal = true;
+                break;
+            }
+        }
+        // On a single-core host the first worker may legitimately drain
+        // everything before the others get scheduled, so only assert
+        // when the host can actually interleave workers.
+        if std::thread::available_parallelism().map_or(1, |n| n.get()) > 1 {
+            assert!(saw_steal, "4 workers never stole from a 12-query batch");
         }
     }
 

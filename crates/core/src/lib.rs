@@ -52,10 +52,10 @@ pub mod baseline;
 
 pub use arrival::{ArrivalAllFpAnswer, ArrivalPlanner, ArrivalQuerySpec, ArrivalSingleFpAnswer};
 pub use boundary::{BoundaryLb, WeightMode};
-pub use cache::{CacheCounters, TravelFnCache};
+pub use cache::{CacheCounters, CacheSession, TravelFnCache};
 pub use engine::{build_estimator, Engine, EngineConfig};
 pub use estimator::{EstimatorKind, LowerBoundEstimator, MaxEstimator, NaiveLb, ZeroLb};
-pub use query::{AllFpAnswer, FastestPath, QuerySpec, QueryStats, SingleFpAnswer};
+pub use query::{AllFpAnswer, BatchStats, FastestPath, QuerySpec, QueryStats, SingleFpAnswer};
 
 /// Errors from query evaluation.
 #[derive(Debug)]

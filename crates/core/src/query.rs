@@ -51,6 +51,16 @@ impl FastestPath {
 
 /// Search-effort counters (the paper reports *expanded nodes* as its
 /// machine-independent cost metric, §6.2).
+///
+/// # Thread-safety contract
+///
+/// `QueryStats` is plain data, not atomics: each query accumulates its
+/// own instance on the thread that runs it, and the values only cross
+/// threads inside a returned answer — `std::thread::scope`'s join edge
+/// makes them visible to the reader without any ordering subtleties.
+/// Engine-wide counters that *are* shared across live threads (the
+/// travel-function cache, the buffer pool) use relaxed atomics and
+/// document their own read contract.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QueryStats {
     /// Paths popped from the priority queue and expanded.
@@ -74,6 +84,64 @@ pub struct QueryStats {
     /// Requests that computed the function from the speed profile
     /// (always equal to `cache_lookups` when the cache is disabled).
     pub cache_misses: usize,
+}
+
+/// Roll-up statistics for one [`Engine::run_batch`] invocation:
+/// how the work spread over workers, how often the work-stealing
+/// scheduler had to rebalance, and the aggregate travel-function cache
+/// behaviour across every successful query in the batch.
+///
+/// [`Engine::run_batch`]: crate::Engine::run_batch
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Worker threads the batch actually ran on.
+    pub workers: usize,
+    /// Queries processed by each worker (sums to the batch size).
+    pub queries_per_worker: Vec<usize>,
+    /// Successful steal operations (each moves half a victim's queue).
+    pub steals: u64,
+    /// Travel-function cache lookups summed over successful queries.
+    pub cache_lookups: usize,
+    /// Cache hits summed over successful queries.
+    pub cache_hits: usize,
+    /// Cache misses summed over successful queries.
+    pub cache_misses: usize,
+}
+
+impl BatchStats {
+    /// An empty roll-up for a batch run on `workers` threads.
+    pub fn new(workers: usize) -> Self {
+        BatchStats {
+            workers,
+            queries_per_worker: vec![0; workers],
+            ..BatchStats::default()
+        }
+    }
+
+    /// Tally one finished query for `worker`.
+    pub(crate) fn record(&mut self, worker: usize, r: &crate::Result<AllFpAnswer>) {
+        self.queries_per_worker[worker] += 1;
+        if let Ok(a) = r {
+            self.cache_lookups += a.stats.cache_lookups;
+            self.cache_hits += a.stats.cache_hits;
+            self.cache_misses += a.stats.cache_misses;
+        }
+    }
+
+    /// Queries processed across all workers.
+    pub fn total_queries(&self) -> usize {
+        self.queries_per_worker.iter().sum()
+    }
+
+    /// Aggregate cache hit rate in `[0, 1]` (0 when no lookups —
+    /// errors carry no stats, so failed queries are excluded).
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.cache_lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.cache_lookups as f64
+        }
+    }
 }
 
 /// Answer to a singleFP query.

@@ -16,4 +16,14 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+# The concurrency stress tests interleave differently depending on how
+# many tests run at once; rerun them with the test-thread pinning
+# removed so a developer's RUST_TEST_THREADS=1 cannot mask a race.
+echo "==> concurrency stress (RUST_TEST_THREADS unpinned)"
+env -u RUST_TEST_THREADS cargo test -q -p fp-allfp --test concurrency
+env -u RUST_TEST_THREADS cargo test -q -p fp-ccam concurrent
+
+echo "==> batch-driver smoke (answers + scaling regression gate)"
+cargo bench -p fp-bench --bench engine_hotpath -- --smoke
+
 echo "All checks passed."
