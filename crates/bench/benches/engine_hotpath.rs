@@ -12,12 +12,16 @@
 //!
 //! `--smoke` runs a reduced workload instead of the benchmarks: it
 //! verifies the batch driver returns exactly the serial answers at
-//! every swept width and fails (non-zero exit) on answer divergence or
-//! a gross batch-overhead regression, without touching the JSON
-//! report. `scripts/check.sh` runs it on every check.
+//! every swept width and fails (non-zero exit) on answer divergence,
+//! a gross batch-overhead regression, or page-checksum verification
+//! costing more than 3% on a cold-cache fault-free disk workload,
+//! without touching the JSON report. `scripts/check.sh` runs it on
+//! every check.
 
+use std::sync::Arc;
 use std::time::Instant;
 
+use ccam::{BlockStore, CcamStore, ChecksummedStore, MemStore, PlacementPolicy, DEFAULT_PAGE_SIZE};
 use criterion::{black_box, criterion_group, Criterion};
 use fpbench::{Scale, Scenario};
 
@@ -123,6 +127,72 @@ fn measure(
     }
 }
 
+/// Cold-cache wall times for the engine workload over a CCAM store
+/// with and without the checksum layer.
+struct ChecksumOverhead {
+    plain_wall_seconds: f64,
+    checksummed_wall_seconds: f64,
+    /// `checksummed / plain`; 1.0 = free, 1.03 = the budget ceiling.
+    overhead_ratio: f64,
+}
+
+/// Measure the fault-free cost of page checksumming: the same query
+/// workload over `CcamStore → MemStore` vs
+/// `CcamStore → ChecksummedStore → MemStore`, with the buffer pool
+/// dropped before every rep so each rep faults (and verifies) every
+/// page it touches. Best-of-`reps` per stack, interleaved so ambient
+/// load hits both alike.
+fn measure_checksum_overhead(
+    net: &RoadNetwork,
+    queries: &[QuerySpec],
+    reps: usize,
+) -> ChecksumOverhead {
+    let frames = 4096; // large enough that eviction never competes with the I/O under test
+    let plain = CcamStore::build(
+        net,
+        Arc::new(MemStore::new(DEFAULT_PAGE_SIZE)),
+        PlacementPolicy::ConnectivityClustered,
+        frames,
+    )
+    .expect("plain store builds");
+    let summed_inner: Arc<dyn BlockStore> = Arc::new(ChecksummedStore::new(Arc::new(
+        MemStore::new(DEFAULT_PAGE_SIZE),
+    )));
+    let summed = CcamStore::build(
+        net,
+        summed_inner,
+        PlacementPolicy::ConnectivityClustered,
+        frames,
+    )
+    .expect("checksummed store builds");
+
+    let time_stack = |disk: &CcamStore| -> f64 {
+        let engine = Engine::new(disk, EngineConfig::default());
+        // warm-up rep: fills the engine's travel-function cache so
+        // every timed rep of both stacks sees the same cache state
+        for q in queries {
+            let _ = engine.all_fastest_paths(q);
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            disk.clear_cache().expect("cache clears");
+            let start = Instant::now();
+            for q in queries {
+                let _ = engine.all_fastest_paths(q);
+            }
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let wall_plain = time_stack(&plain);
+    let wall_summed = time_stack(&summed);
+    ChecksumOverhead {
+        plain_wall_seconds: wall_plain,
+        checksummed_wall_seconds: wall_summed,
+        overhead_ratio: wall_summed / wall_plain,
+    }
+}
+
 /// One point on the batch scaling curve.
 struct SweepPoint {
     threads: usize,
@@ -133,7 +203,12 @@ struct SweepPoint {
 }
 
 /// Minimal JSON rendering (no serde in the workspace).
-fn to_json(rows: &[Measured], sweep: &[SweepPoint], speedup_cache: f64) -> String {
+fn to_json(
+    rows: &[Measured],
+    sweep: &[SweepPoint],
+    speedup_cache: f64,
+    checksum: &ChecksumOverhead,
+) -> String {
     let mut out = String::from("{\n  \"benchmark\": \"engine_hotpath\",\n");
     out.push_str("  \"workload\": \"fig9 morning rush, metro-medium, allFP\",\n");
     out.push_str(&format!("  \"host_cpus\": {},\n", host_cpus()));
@@ -171,7 +246,12 @@ fn to_json(rows: &[Measured], sweep: &[SweepPoint], speedup_cache: f64) -> Strin
     }
     out.push_str("  ],\n");
     out.push_str(&format!(
-        "  \"speedup_cache_on_vs_off\": {speedup_cache:.2}\n"
+        "  \"speedup_cache_on_vs_off\": {speedup_cache:.2},\n"
+    ));
+    out.push_str(&format!(
+        "  \"checksum_overhead\": {{\"plain_wall_seconds\": {:.6}, \
+         \"checksummed_wall_seconds\": {:.6}, \"overhead_ratio\": {:.4}, \"budget\": 1.03}}\n",
+        checksum.plain_wall_seconds, checksum.checksummed_wall_seconds, checksum.overhead_ratio,
     ));
     out.push_str("}\n");
     out
@@ -230,7 +310,8 @@ fn emit_report() {
         })
         .collect();
     let speedup_cache = rows[0].wall_seconds / rows[1].wall_seconds;
-    let json = to_json(&rows, &sweep, speedup_cache);
+    let checksum = measure_checksum_overhead(net, &queries, 3);
+    let json = to_json(&rows, &sweep, speedup_cache, &checksum);
 
     // CARGO_MANIFEST_DIR = crates/bench; the report lives at the root.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
@@ -339,6 +420,26 @@ fn smoke() -> i32 {
             failures += 1;
         }
     }
+    // Checksum budget: verifying a CRC on every buffer-pool fault-in
+    // must stay in the noise on a fault-free workload. Cold caches
+    // every rep, so the gate actually exercises verification.
+    const CHECKSUM_BUDGET: f64 = 1.03;
+    let checksum = measure_checksum_overhead(net, &queries, 5);
+    println!(
+        "smoke: checksum overhead {:.2}% (plain {:.4}s, checksummed {:.4}s, budget {:.0}%)",
+        (checksum.overhead_ratio - 1.0) * 100.0,
+        checksum.plain_wall_seconds,
+        checksum.checksummed_wall_seconds,
+        (CHECKSUM_BUDGET - 1.0) * 100.0,
+    );
+    if checksum.overhead_ratio > CHECKSUM_BUDGET {
+        eprintln!(
+            "SMOKE FAIL: checksum verification costs {:.2}x the plain stack (budget {CHECKSUM_BUDGET}x)",
+            checksum.overhead_ratio
+        );
+        failures += 1;
+    }
+
     if failures == 0 {
         println!("smoke: ok ({} widths verified)", THREAD_SWEEP.len());
         0
@@ -352,6 +453,9 @@ fn main() {
     if std::env::args().any(|a| a == "--smoke") {
         std::process::exit(smoke());
     }
-    benches();
+    // `--report`: refresh BENCH_engine.json without the Criterion runs.
+    if !std::env::args().any(|a| a == "--report") {
+        benches();
+    }
     emit_report();
 }

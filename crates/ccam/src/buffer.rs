@@ -34,10 +34,24 @@
 //! that is busy right now is simply skipped), and never displace the
 //! demand working set (a prefetch only takes a free frame or recycles
 //! an earlier prefetch that was never demanded).
+//!
+//! # Fault handling
+//!
+//! Every physical read and write the pool issues goes through bounded
+//! retry-with-backoff ([`IO_ATTEMPTS`]): transient faults — injected
+//! by a [`FaultInjectingStore`](crate::FaultInjectingStore) or an
+//! OS-interrupted syscall — are absorbed invisibly (counted in
+//! [`IoStats::retries`](crate::IoStats::retries)), while permanent
+//! failures such as a checksum mismatch
+//! ([`CcamError::Corruption`](crate::CcamError::Corruption)) propagate
+//! immediately. Readahead is the one exception: a speculative read
+//! that fails is simply skipped — the demand read that actually needs
+//! the page will retry and report.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
@@ -46,6 +60,14 @@ use crate::Result;
 
 /// Hard cap on the number of shards.
 pub const MAX_SHARDS: usize = 16;
+
+/// Attempts per physical page I/O (one initial try plus retries)
+/// before a transient fault is surfaced to the caller. Transient
+/// faults ([`CcamError::is_transient`](crate::CcamError::is_transient))
+/// are retried with exponential backoff and tallied in
+/// [`IoStats::retries`](crate::IoStats::retries); permanent failures —
+/// corruption above all — are never retried.
+pub const IO_ATTEMPTS: usize = 4;
 
 /// A shard must be worth at least this many frames, or the pool stays
 /// coarser-grained. Keeps per-shard LRU faithful to global LRU for the
@@ -221,6 +243,25 @@ impl BufferPool {
         &self.shards[h as usize]
     }
 
+    /// Run one physical I/O, absorbing transient faults with up to
+    /// [`IO_ATTEMPTS`]` - 1` retries (exponential backoff, starting at
+    /// 20µs). Each retry bumps the store's `retries` counter; permanent
+    /// errors (corruption, bad page ids) pass straight through.
+    fn io_with_retry(&self, mut op: impl FnMut() -> Result<()>) -> Result<()> {
+        let mut attempt = 0usize;
+        loop {
+            match op() {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_transient() && attempt + 1 < IO_ATTEMPTS => {
+                    attempt += 1;
+                    self.store.io_stats().bump_retry();
+                    std::thread::sleep(Duration::from_micros(20u64 << attempt));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     /// Run `f` over the contents of page `id`, faulting it in if
     /// needed.
     pub fn with_page<R>(&self, id: u64, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
@@ -239,7 +280,7 @@ impl BufferPool {
 
             self.stats.misses.fetch_add(1, Ordering::Relaxed);
             let mut data = vec![0u8; self.store.page_size()];
-            self.store.read_page(id, &mut data)?;
+            self.io_with_retry(|| self.store.read_page(id, &mut data))?;
             self.evict_if_full(shard.capacity, &mut inner)?;
             let frame = Frame {
                 data,
@@ -256,17 +297,19 @@ impl BufferPool {
         // shard while waiting on another.
         let window = self.readahead();
         if window > 0 {
-            self.readahead_after(id, window)?;
+            self.readahead_after(id, window);
         }
         Ok(r)
     }
 
     /// Speculatively fault in up to `window` pages following `id`.
     /// Readahead is a hint, never a cost: shards momentarily locked by
-    /// another thread are skipped, and a prefetch may only take a free
-    /// frame or recycle an earlier prefetch that was never demanded —
-    /// it never displaces the demand working set.
-    fn readahead_after(&self, id: u64, window: usize) -> Result<()> {
+    /// another thread are skipped, a page whose read fails (even
+    /// permanently) is skipped without retry or error — the demand read
+    /// that actually needs it will retry and report — and a prefetch
+    /// may only take a free frame or recycle an earlier prefetch that
+    /// was never demanded, never displacing the demand working set.
+    fn readahead_after(&self, id: u64, window: usize) {
         let n_pages = self.store.n_pages();
         for next in (id + 1)..=(id + window as u64) {
             if next >= n_pages {
@@ -296,7 +339,9 @@ impl BufferPool {
                 self.stats.evictions.fetch_add(1, Ordering::Relaxed);
             }
             let mut data = vec![0u8; self.store.page_size()];
-            self.store.read_page(next, &mut data)?;
+            if self.store.read_page(next, &mut data).is_err() {
+                continue;
+            }
             // Does NOT advance the LRU clock: the prefetched frame
             // inherits the triggering miss's recency.
             let stamp = inner.tick;
@@ -311,7 +356,6 @@ impl BufferPool {
             );
             self.stats.readaheads.fetch_add(1, Ordering::Relaxed);
         }
-        Ok(())
     }
 
     /// Write `data` to page `id` through the pool (write-back on
@@ -341,13 +385,14 @@ impl BufferPool {
         Ok(())
     }
 
-    /// Write all dirty frames back to the store.
+    /// Write all dirty frames back to the store (transient write
+    /// faults absorbed by bounded retry).
     pub fn flush(&self) -> Result<()> {
         for shard in &self.shards {
             let mut inner = shard.inner.lock();
             for (id, frame) in inner.frames.iter_mut() {
                 if frame.dirty {
-                    self.store.write_page(*id, &frame.data)?;
+                    self.io_with_retry(|| self.store.write_page(*id, &frame.data))?;
                     frame.dirty = false;
                 }
             }
@@ -374,15 +419,25 @@ impl BufferPool {
             // tie-break. Demand stamps are unique per shard, so with
             // readahead off this is exactly the seed pool's pure-LRU
             // choice.
-            let victim = inner
+            let Some(victim) = inner
                 .frames
                 .iter()
                 .min_by_key(|(id, f)| (f.stamp, f.demanded, **id))
                 .map(|(id, _)| *id)
-                .expect("pool is non-empty when full");
-            let frame = inner.frames.remove(&victim).expect("victim exists");
+            else {
+                break; // unreachable: len >= capacity >= 1
+            };
+            let Some(frame) = inner.frames.remove(&victim) else {
+                break;
+            };
             if frame.dirty {
-                self.store.write_page(victim, &frame.data)?;
+                // Keep the frame on write-back failure: the data is
+                // still only in memory, so losing it silently is worse
+                // than reporting a full pool.
+                if let Err(e) = self.io_with_retry(|| self.store.write_page(victim, &frame.data)) {
+                    inner.frames.insert(victim, frame);
+                    return Err(e);
+                }
             }
             self.stats.evictions.fetch_add(1, Ordering::Relaxed);
         }
@@ -571,6 +626,76 @@ mod tests {
             s.hits(),
             s.misses()
         );
+    }
+
+    #[test]
+    fn transient_read_faults_are_absorbed_by_retry() {
+        use crate::fault::{FaultInjectingStore, FaultPlan};
+        let raw = MemStore::new(64);
+        for i in 0..8 {
+            let id = raw.allocate().unwrap();
+            let mut buf = vec![0u8; 64];
+            buf[0] = i as u8;
+            raw.write_page(id, &buf).unwrap();
+        }
+        let store = Arc::new(FaultInjectingStore::new(
+            Arc::new(raw),
+            FaultPlan::quiet(42).with_transient_reads(3),
+        ));
+        let pool = BufferPool::new(Arc::clone(&store) as Arc<dyn BlockStore>, 2);
+        // small pool => constant demand misses => plenty of scheduled
+        // faults, every one absorbed
+        for round in 0..10 {
+            for id in 0..8u64 {
+                let v = pool.with_page(id, |p| p[0]).unwrap();
+                assert_eq!(v, id as u8, "round {round}");
+            }
+        }
+        assert!(store.n_faults() > 0, "schedule never fired");
+        assert_eq!(
+            store.io_stats().retries(),
+            store.n_faults() as u64,
+            "every injected transient fault cost exactly one retry"
+        );
+    }
+
+    #[test]
+    fn retry_exhaustion_surfaces_the_transient_error() {
+        use crate::fault::{FaultInjectingStore, FaultPlan};
+        let raw = MemStore::new(64);
+        raw.allocate().unwrap();
+        let store = Arc::new(FaultInjectingStore::new(
+            Arc::new(raw),
+            FaultPlan::quiet(1).with_transient_reads(1), // every read faults
+        ));
+        let pool = BufferPool::new(Arc::clone(&store) as Arc<dyn BlockStore>, 2);
+        let err = pool.with_page(0, |_| ()).unwrap_err();
+        assert!(err.is_transient(), "{err:?}");
+        assert_eq!(store.io_stats().retries(), (IO_ATTEMPTS - 1) as u64);
+        assert_eq!(store.n_faults(), IO_ATTEMPTS);
+    }
+
+    #[test]
+    fn corruption_is_never_retried() {
+        use crate::integrity::ChecksummedStore;
+        let raw = Arc::new(MemStore::new(64));
+        let checked = Arc::new(ChecksummedStore::new(
+            Arc::clone(&raw) as Arc<dyn BlockStore>
+        ));
+        let id = checked.allocate().unwrap();
+        // corrupt the raw page under the checksum layer
+        let mut full = vec![0u8; 64];
+        raw.read_page(id, &mut full).unwrap();
+        full[20] ^= 0x10;
+        raw.write_page(id, &full).unwrap();
+        let pool = BufferPool::new(Arc::clone(&checked) as Arc<dyn BlockStore>, 2);
+        let err = pool.with_page(id, |_| ()).unwrap_err();
+        assert!(
+            matches!(err, crate::CcamError::Corruption { .. }),
+            "{err:?}"
+        );
+        assert_eq!(checked.io_stats().retries(), 0, "corruption must not retry");
+        assert_eq!(checked.io_stats().corruptions(), 1);
     }
 
     #[test]

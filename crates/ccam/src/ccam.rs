@@ -99,7 +99,7 @@ impl CcamStore {
         debug_assert_eq!(sb_page, 0);
 
         // pattern table
-        let pattern_bytes = encode_patterns(net.patterns());
+        let pattern_bytes = encode_patterns(net.patterns())?;
         let pattern_start = pool.store().n_pages();
         let n_pattern_pages = pattern_bytes.len().div_ceil(page_size).max(1);
         for chunk_idx in 0..n_pattern_pages {
@@ -268,6 +268,32 @@ impl CcamStore {
     }
 }
 
+/// Map a storage failure onto the network-layer taxonomy so callers
+/// above (the query engine) can route on failure *class*: an index
+/// miss stays [`roadnet::NetworkError::UnknownNode`] — the node really
+/// isn't there — while I/O and integrity failures become
+/// [`roadnet::NetworkError::Storage`] tagged with a
+/// [`roadnet::StorageFaultKind`]. The seed code collapsed everything
+/// to `UnknownNode`, which made a corrupt page indistinguishable from
+/// a bad query.
+fn storage_error(e: CcamError, node: NodeId) -> roadnet::NetworkError {
+    use roadnet::{NetworkError, StorageFaultKind};
+    let kind = match &e {
+        CcamError::NotFound(_) => return NetworkError::UnknownNode(node),
+        CcamError::Network(inner) => return inner.clone(),
+        CcamError::Corruption { .. } | CcamError::Corrupt(_) | CcamError::BadPage(_) => {
+            StorageFaultKind::Corruption
+        }
+        CcamError::TransientIo { .. } => StorageFaultKind::Transient,
+        CcamError::Io(_) => StorageFaultKind::Io,
+        CcamError::RecordTooLarge { .. } => StorageFaultKind::Other,
+    };
+    NetworkError::Storage {
+        kind,
+        message: e.to_string(),
+    }
+}
+
 impl NetworkSource for CcamStore {
     fn n_nodes(&self) -> usize {
         self.n_nodes
@@ -276,13 +302,13 @@ impl NetworkSource for CcamStore {
     fn find_node(&self, node: NodeId) -> roadnet::Result<Point> {
         self.node_record(node)
             .map(|r| r.loc)
-            .map_err(|_| roadnet::NetworkError::UnknownNode(node))
+            .map_err(|e| storage_error(e, node))
     }
 
     fn successors(&self, node: NodeId) -> roadnet::Result<Vec<Edge>> {
         self.node_record(node)
             .map(|r| r.edges.iter().map(Edge::from).collect())
-            .map_err(|_| roadnet::NetworkError::UnknownNode(node))
+            .map_err(|e| storage_error(e, node))
     }
 
     fn successors_into(&self, node: NodeId, buf: &mut Vec<Edge>) -> roadnet::Result<()> {
@@ -292,7 +318,7 @@ impl NetworkSource for CcamStore {
                 buf.extend(r.edges.iter().map(Edge::from));
                 Ok(())
             }
-            Err(_) => Err(roadnet::NetworkError::UnknownNode(node)),
+            Err(e) => Err(storage_error(e, node)),
         }
     }
 
@@ -394,7 +420,7 @@ impl CcamStore {
         }
         self.max_speed = self.max_speed.max(pattern.max_speed());
         self.patterns[idx] = pattern;
-        let bytes = encode_patterns(&self.patterns);
+        let bytes = encode_patterns(&self.patterns)?;
         let page_size = self.pool.store().page_size();
         let needed = bytes.len().div_ceil(page_size).max(1);
         let (mut start, capacity) = self.pattern_region;
@@ -461,7 +487,7 @@ impl CcamStore {
     }
 
     fn persist_meta(&self) -> Result<()> {
-        let bytes_len = encode_patterns(&self.patterns).len();
+        let bytes_len = encode_patterns(&self.patterns)?.len();
         self.persist_meta_with_pattern_len(bytes_len)
     }
 
@@ -505,7 +531,7 @@ fn write_superblock(
 }
 
 /// Serialize the pattern table.
-fn encode_patterns(patterns: &[CapeCodPattern]) -> Vec<u8> {
+fn encode_patterns(patterns: &[CapeCodPattern]) -> Result<Vec<u8>> {
     let mut out = Vec::new();
     out.put_u16_le(patterns.len() as u16);
     for pat in patterns {
@@ -514,7 +540,7 @@ fn encode_patterns(patterns: &[CapeCodPattern]) -> Vec<u8> {
         for c in 0..n {
             let profile = pat
                 .profile(traffic::DayCategory(c as u8))
-                .expect("category < n_categories");
+                .map_err(|e| CcamError::Corrupt(format!("pattern table: {e}")))?;
             out.put_u16_le(profile.pieces().len() as u16);
             for p in profile.pieces() {
                 out.put_f64_le(p.start);
@@ -522,7 +548,7 @@ fn encode_patterns(patterns: &[CapeCodPattern]) -> Vec<u8> {
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// Inverse of [`encode_patterns`].
@@ -818,7 +844,7 @@ mod tests {
             CapeCodPattern::paper_example(),
             CapeCodPattern::uniform(0.75, 3).unwrap(),
         ];
-        let bytes = encode_patterns(&pats);
+        let bytes = encode_patterns(&pats).unwrap();
         let back = decode_patterns(&bytes).unwrap();
         assert_eq!(back, pats);
         assert!(decode_patterns(&bytes[..bytes.len() - 3]).is_err());

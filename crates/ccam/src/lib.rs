@@ -25,7 +25,15 @@
 //!   statistics;
 //! * [`CcamStore`] — the assembled access method implementing
 //!   [`roadnet::NetworkSource`] (`FindNode` / `GetSuccessor`), so the
-//!   query engine runs unchanged over disk-resident networks.
+//!   query engine runs unchanged over disk-resident networks;
+//! * [`integrity`] — per-page CRC32 checksums ([`ChecksummedStore`])
+//!   so a bit-flipped page is detected on read, never served as data;
+//! * [`fault`] — a deterministic seeded fault injector
+//!   ([`FaultInjectingStore`]) for exercising the retry and
+//!   corruption-detection paths under test.
+
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod btree;
 mod buffer;
@@ -36,10 +44,15 @@ mod partition;
 mod record;
 mod store;
 
+pub mod fault;
+pub mod integrity;
+
 pub use btree::BTree;
 pub use buffer::{BufferPool, BufferStats};
 pub use ccam::{CcamStore, StoreStats};
+pub use fault::{FaultEvent, FaultInjectingStore, FaultKind, FaultPlan};
 pub use hilbert::{hilbert_d2xy, hilbert_order, hilbert_xy2d};
+pub use integrity::{crc32, ChecksummedStore};
 pub use page::SlottedPage;
 pub use partition::{partition_nodes, Partitioning, PlacementPolicy};
 pub use record::{EdgeRecord, NodeRecord};
@@ -69,6 +82,48 @@ pub enum CcamError {
     NotFound(u64),
     /// Propagated network-layer error.
     Network(roadnet::NetworkError),
+    /// A page failed its CRC32 integrity check on read. The stored
+    /// bytes are wrong; this is never retryable (contrast
+    /// [`CcamError::TransientIo`]).
+    Corruption {
+        /// Page whose checksum failed.
+        page: u64,
+        /// CRC32 recorded in the page header.
+        stored: u32,
+        /// CRC32 recomputed over the payload read back.
+        computed: u32,
+    },
+    /// A transient I/O fault (injected or environmental) that may
+    /// succeed if retried; the buffer pool absorbs these with bounded
+    /// retry-with-backoff.
+    TransientIo {
+        /// Page whose access faulted.
+        page: u64,
+        /// Which operation faulted.
+        op: IoOp,
+    },
+}
+
+/// Which half of the block interface an I/O fault hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoOp {
+    /// `read_page`.
+    Read,
+    /// `write_page`.
+    Write,
+}
+
+impl CcamError {
+    /// Whether this failure is worth retrying: transient faults clear
+    /// on their own, and an OS-interrupted syscall may succeed if
+    /// reissued. Corruption and every other class are permanent.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            CcamError::TransientIo { .. } => true,
+            CcamError::Io(e) => e.kind() == std::io::ErrorKind::Interrupted,
+            _ => false,
+        }
+    }
 }
 
 impl std::fmt::Display for CcamError {
@@ -82,6 +137,17 @@ impl std::fmt::Display for CcamError {
             }
             CcamError::NotFound(k) => write!(f, "key {k} not found"),
             CcamError::Network(e) => write!(f, "network error: {e}"),
+            CcamError::Corruption {
+                page,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "page {page} failed integrity check: stored crc {stored:#010x}, computed {computed:#010x}"
+            ),
+            CcamError::TransientIo { page, op } => {
+                write!(f, "transient {op:?} fault on page {page}")
+            }
         }
     }
 }

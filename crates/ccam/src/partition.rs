@@ -56,7 +56,11 @@ impl Partitioning {
         let mut total = 0usize;
         let mut same = 0usize;
         for u in net.node_ids() {
-            for e in net.neighbors(u).expect("valid id") {
+            // node ids straight from the network are always valid
+            let Ok(edges) = net.neighbors(u) else {
+                continue;
+            };
+            for e in edges {
                 total += 1;
                 if page_of[u.index()] == page_of[e.to.index()] {
                     same += 1;
@@ -72,18 +76,13 @@ impl Partitioning {
 }
 
 /// Encoded record size of `node` (header + slot-directory entry).
-fn record_cost(net: &RoadNetwork, node: NodeId) -> usize {
+fn record_cost(net: &RoadNetwork, node: NodeId) -> Result<usize> {
     let rec = NodeRecord {
         id: node,
-        loc: *net.point(node).expect("valid id"),
-        edges: net
-            .neighbors(node)
-            .expect("valid id")
-            .iter()
-            .map(EdgeRecord::from)
-            .collect(),
+        loc: *net.point(node)?,
+        edges: net.neighbors(node)?.iter().map(EdgeRecord::from).collect(),
     };
-    rec.encoded_len() + 4 // slot entry
+    Ok(rec.encoded_len() + 4) // slot entry
 }
 
 /// Partition all nodes of `net` into pages of `page_size` bytes under
@@ -96,10 +95,10 @@ pub fn partition_nodes(
     let budget = page_size.saturating_sub(4); // page header
     let order: Vec<usize> = match policy {
         PlacementPolicy::ConnectivityClustered | PlacementPolicy::HilbertPacked => {
-            let pts: Vec<_> = net
-                .node_ids()
-                .map(|n| *net.point(n).expect("valid id"))
-                .collect();
+            let mut pts = Vec::with_capacity(net.n_nodes());
+            for n in net.node_ids() {
+                pts.push(*net.point(n)?);
+            }
             hilbert_order(&pts)
         }
         PlacementPolicy::Random { seed } => {
@@ -123,7 +122,7 @@ pub fn partition_nodes(
         let mut used = 0usize;
         for &i in &order {
             let n = NodeId(i as u32);
-            let cost = record_cost(net, n);
+            let cost = record_cost(net, n)?;
             if used + cost > budget && !page.is_empty() {
                 pages.push(std::mem::take(&mut page));
                 used = 0;
@@ -161,7 +160,7 @@ pub fn partition_nodes(
             if assigned[cand.index()] {
                 continue;
             }
-            let cost = record_cost(net, cand);
+            let cost = record_cost(net, cand)?;
             if used + cost > budget {
                 if page.is_empty() {
                     // a single record larger than a page: give it its own
@@ -227,7 +226,7 @@ mod tests {
         let page_size = 512;
         let p = partition_nodes(&net, PlacementPolicy::ConnectivityClustered, page_size).unwrap();
         for page in &p.pages {
-            let used: usize = page.iter().map(|&n| record_cost(&net, n)).sum();
+            let used: usize = page.iter().map(|&n| record_cost(&net, n).unwrap()).sum();
             assert!(used <= page_size - 4, "page overflows: {used}");
         }
     }

@@ -23,6 +23,8 @@ use crate::{CcamError, Result};
 pub struct IoStats {
     reads: AtomicU64,
     writes: AtomicU64,
+    retries: AtomicU64,
+    corruptions: AtomicU64,
 }
 
 impl IoStats {
@@ -36,6 +38,16 @@ impl IoStats {
         self.writes.load(Ordering::Relaxed)
     }
 
+    /// Transient-fault retries issued by the buffer pool so far.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Pages that failed their integrity check on read so far.
+    pub fn corruptions(&self) -> u64 {
+        self.corruptions.load(Ordering::Relaxed)
+    }
+
     /// `(reads, writes)` snapshot.
     pub fn snapshot(&self) -> (u64, u64) {
         (self.reads(), self.writes())
@@ -47,6 +59,14 @@ impl IoStats {
 
     fn bump_write(&self) {
         self.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_corruption(&self) {
+        self.corruptions.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -127,6 +147,12 @@ impl BlockStore for MemStore {
 }
 
 /// A file-backed block store.
+///
+/// The file starts with a 16-byte header — magic, format version, and
+/// page size — written by [`FileStore::create`] and validated by
+/// [`FileStore::open`], so opening a non-store file or one built with
+/// a different page size fails with [`CcamError::Corrupt`] instead of
+/// silently reading garbage. Pages follow the header back-to-back.
 pub struct FileStore {
     page_size: usize,
     file: Mutex<File>,
@@ -134,15 +160,34 @@ pub struct FileStore {
     stats: IoStats,
 }
 
+/// File magic: `b"CCFS"` (CCam File Store).
+const FILE_MAGIC: u32 = u32::from_be_bytes(*b"CCFS");
+/// On-disk format version. v2 introduced the validated file header
+/// (v1 files — bare page arrays — are no longer readable).
+const FILE_VERSION: u16 = 2;
+/// File header size in bytes; pages start at this offset.
+const FILE_HEADER: u64 = 16;
+
+fn encode_file_header(page_size: usize) -> [u8; FILE_HEADER as usize] {
+    let mut h = [0u8; FILE_HEADER as usize];
+    h[0..4].copy_from_slice(&FILE_MAGIC.to_be_bytes());
+    h[4..6].copy_from_slice(&FILE_VERSION.to_be_bytes());
+    // h[6..8] reserved
+    h[8..12].copy_from_slice(&(page_size as u32).to_be_bytes());
+    // h[12..16] reserved
+    h
+}
+
 impl FileStore {
     /// Create (truncating) a store at `path`.
     pub fn create(path: &Path, page_size: usize) -> Result<Self> {
-        let file = OpenOptions::new()
+        let mut file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(true)
             .open(path)?;
+        file.write_all(&encode_file_header(page_size))?;
         Ok(FileStore {
             page_size,
             file: Mutex::new(file),
@@ -151,21 +196,53 @@ impl FileStore {
         })
     }
 
-    /// Open an existing store at `path`.
+    /// Open an existing store at `path`, validating the file header
+    /// (magic, format version, page size) against what the caller
+    /// expects and the page area against the file length.
     pub fn open(path: &Path, page_size: usize) -> Result<Self> {
-        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
         let len = file.metadata()?.len();
-        if len % page_size as u64 != 0 {
+        if len < FILE_HEADER {
             return Err(CcamError::Corrupt(format!(
-                "file length {len} not a multiple of page size {page_size}"
+                "file too short ({len} bytes) to hold a store header"
+            )));
+        }
+        let mut header = [0u8; FILE_HEADER as usize];
+        file.read_exact(&mut header)?;
+        let magic = u32::from_be_bytes([header[0], header[1], header[2], header[3]]);
+        if magic != FILE_MAGIC {
+            return Err(CcamError::Corrupt(format!(
+                "bad file magic {magic:#010x}: not a ccam block store"
+            )));
+        }
+        let version = u16::from_be_bytes([header[4], header[5]]);
+        if version != FILE_VERSION {
+            return Err(CcamError::Corrupt(format!(
+                "unsupported store format version {version} (expected {FILE_VERSION})"
+            )));
+        }
+        let stored_page_size = u32::from_be_bytes([header[8], header[9], header[10], header[11]]);
+        if stored_page_size as usize != page_size {
+            return Err(CcamError::Corrupt(format!(
+                "store was built with page size {stored_page_size}, not {page_size}"
+            )));
+        }
+        if !(len - FILE_HEADER).is_multiple_of(page_size as u64) {
+            return Err(CcamError::Corrupt(format!(
+                "page area of {} bytes not a multiple of page size {page_size}",
+                len - FILE_HEADER
             )));
         }
         Ok(FileStore {
             page_size,
             file: Mutex::new(file),
-            n_pages: AtomicU64::new(len / page_size as u64),
+            n_pages: AtomicU64::new((len - FILE_HEADER) / page_size as u64),
             stats: IoStats::default(),
         })
+    }
+
+    fn offset(&self, id: u64) -> u64 {
+        FILE_HEADER + id * self.page_size as u64
     }
 }
 
@@ -181,7 +258,7 @@ impl BlockStore for FileStore {
     fn allocate(&self) -> Result<u64> {
         let mut file = self.file.lock();
         let id = self.n_pages.fetch_add(1, Ordering::Relaxed);
-        file.seek(SeekFrom::Start(id * self.page_size as u64))?;
+        file.seek(SeekFrom::Start(self.offset(id)))?;
         file.write_all(&vec![0u8; self.page_size])?;
         Ok(id)
     }
@@ -191,7 +268,7 @@ impl BlockStore for FileStore {
             return Err(CcamError::BadPage(id));
         }
         let mut file = self.file.lock();
-        file.seek(SeekFrom::Start(id * self.page_size as u64))?;
+        file.seek(SeekFrom::Start(self.offset(id)))?;
         file.read_exact(buf)?;
         self.stats.bump_read();
         Ok(())
@@ -202,7 +279,7 @@ impl BlockStore for FileStore {
             return Err(CcamError::BadPage(id));
         }
         let mut file = self.file.lock();
-        file.seek(SeekFrom::Start(id * self.page_size as u64))?;
+        file.seek(SeekFrom::Start(self.offset(id)))?;
         file.write_all(buf)?;
         self.stats.bump_write();
         Ok(())
@@ -277,13 +354,63 @@ mod tests {
     }
 
     #[test]
-    fn open_rejects_ragged_file() {
+    fn open_rejects_foreign_or_damaged_files() {
         let dir = std::env::temp_dir().join(format!("ccam-test-rag-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("ragged.db");
-        std::fs::write(&path, [0u8; 100]).unwrap();
+
+        // not a store at all: junk bytes where the magic should be
+        let junk = dir.join("junk.db");
+        std::fs::write(&junk, [7u8; 100]).unwrap();
         assert!(matches!(
-            FileStore::open(&path, 512),
+            FileStore::open(&junk, 512),
+            Err(CcamError::Corrupt(_))
+        ));
+
+        // too short to even hold a header
+        let short = dir.join("short.db");
+        std::fs::write(&short, [0u8; 4]).unwrap();
+        assert!(matches!(
+            FileStore::open(&short, 512),
+            Err(CcamError::Corrupt(_))
+        ));
+
+        // valid header but ragged page area
+        let ragged = dir.join("ragged.db");
+        let mut bytes = encode_file_header(512).to_vec();
+        bytes.extend_from_slice(&[0u8; 100]);
+        std::fs::write(&ragged, &bytes).unwrap();
+        assert!(matches!(
+            FileStore::open(&ragged, 512),
+            Err(CcamError::Corrupt(_))
+        ));
+
+        // wrong format version
+        let vers = dir.join("version.db");
+        let mut bytes = encode_file_header(512).to_vec();
+        bytes[4..6].copy_from_slice(&9u16.to_be_bytes());
+        std::fs::write(&vers, &bytes).unwrap();
+        assert!(matches!(
+            FileStore::open(&vers, 512),
+            Err(CcamError::Corrupt(_))
+        ));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_rejects_mismatched_page_size() {
+        let dir = std::env::temp_dir().join(format!("ccam-test-ps-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.db");
+        {
+            let s = FileStore::create(&path, 512).unwrap();
+            s.allocate().unwrap();
+        }
+        // opening with the page size the file was built with works ...
+        assert!(FileStore::open(&path, 512).is_ok());
+        // ... but any other page size is refused up front
+        assert!(matches!(
+            FileStore::open(&path, 1024),
             Err(CcamError::Corrupt(_))
         ));
         std::fs::remove_dir_all(&dir).ok();

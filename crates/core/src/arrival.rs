@@ -152,10 +152,13 @@ impl ArrivalPlanner {
                 Some(b) => b.merge_min(&p.travel, i)?,
             }
         }
+        let lower_border = border.ok_or(crate::AllFpError::Internal(
+            "mirrored allFP answer carried no paths",
+        ))?;
         Ok(ArrivalAllFpAnswer {
             paths,
             partition,
-            lower_border: border.expect("at least one path on success"),
+            lower_border,
             stats: ans.stats,
         })
     }
@@ -185,17 +188,17 @@ impl ArrivalPlanner {
     }
 
     fn mirror_query(&self, query: &ArrivalQuerySpec) -> QuerySpec {
-        QuerySpec {
-            // mirrored search starts at the *target* and walks reversed
-            // edges toward the source
-            source: query.target,
-            target: query.source,
-            interval: Interval::of(
+        // mirrored search starts at the *target* and walks reversed
+        // edges toward the source
+        QuerySpec::new(
+            query.target,
+            query.source,
+            Interval::of(
                 MINUTES_PER_DAY - query.arrival.hi(),
                 MINUTES_PER_DAY - query.arrival.lo(),
             ),
-            category: query.category,
-        }
+            query.category,
+        )
     }
 }
 

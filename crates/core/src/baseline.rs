@@ -25,6 +25,29 @@ use traffic::{travel::travel_time_at, DayCategory};
 use crate::estimator::LowerBoundEstimator;
 use crate::{AllFpError, Result};
 
+/// Min-heap item shared by the fixed-instant searches (`f` is the
+/// A\*/Dijkstra priority; `total_cmp` orders even NaN deterministically
+/// instead of panicking a batch worker).
+#[derive(PartialEq)]
+struct Item {
+    f: f64,
+    node: NodeId,
+}
+impl Eq for Item {}
+impl Ord for Item {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .f
+            .total_cmp(&self.f)
+            .then_with(|| other.node.0.cmp(&self.node.0))
+    }
+}
+impl PartialOrd for Item {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 /// Result of a fixed-instant query.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InstantAnswer {
@@ -51,27 +74,6 @@ pub fn astar_at<S: NetworkSource>(
     category: DayCategory,
     heuristic: &dyn LowerBoundEstimator,
 ) -> Result<InstantAnswer> {
-    #[derive(PartialEq)]
-    struct Item {
-        f: f64,
-        node: NodeId,
-    }
-    impl Eq for Item {}
-    impl Ord for Item {
-        fn cmp(&self, other: &Self) -> Ordering {
-            other
-                .f
-                .partial_cmp(&self.f)
-                .expect("no NaN priorities")
-                .then_with(|| other.node.0.cmp(&self.node.0))
-        }
-    }
-    impl PartialOrd for Item {
-        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-            Some(self.cmp(other))
-        }
-    }
-
     let target_loc = source.find_node(e)?;
     let mut arrival: HashMap<NodeId, f64> = HashMap::new();
     let mut parent: HashMap<NodeId, NodeId> = HashMap::new();
@@ -181,7 +183,8 @@ pub fn discrete_time<S: NetworkSource>(
         }
         l += step_minutes;
     }
-    let mut best = best.expect("at least one probe ran");
+    // `Interval` guarantees lo ≤ hi, so the loop always probes ≥ once.
+    let mut best = best.ok_or(AllFpError::Internal("discrete-time loop ran zero probes"))?;
     best.queries = queries;
     best.expanded_nodes = expanded;
     Ok(best)
@@ -223,27 +226,6 @@ pub fn constant_speed_plan<S: NetworkSource>(
     leave: f64,
     category: DayCategory,
 ) -> Result<(Vec<NodeId>, f64)> {
-    #[derive(PartialEq)]
-    struct Item {
-        f: f64,
-        node: NodeId,
-    }
-    impl Eq for Item {}
-    impl Ord for Item {
-        fn cmp(&self, other: &Self) -> Ordering {
-            other
-                .f
-                .partial_cmp(&self.f)
-                .expect("no NaN priorities")
-                .then_with(|| other.node.0.cmp(&self.node.0))
-        }
-    }
-    impl PartialOrd for Item {
-        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-            Some(self.cmp(other))
-        }
-    }
-
     let mut cost: HashMap<NodeId, f64> = HashMap::new();
     let mut parent: HashMap<NodeId, NodeId> = HashMap::new();
     let mut settled: HashMap<NodeId, bool> = HashMap::new();

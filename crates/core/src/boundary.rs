@@ -82,19 +82,14 @@ impl BoundaryLb {
         }
 
         // --- adjacency with weights -----------------------------------------
-        let weight = |e: &roadnet::Edge| -> f64 {
-            match mode {
-                WeightMode::Distance => e.distance,
-                WeightMode::BestTime => {
-                    e.distance / net.pattern(e.pattern).expect("valid pattern").max_speed()
-                }
-            }
-        };
         let mut fwd: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
         let mut rev: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
         for u in net.node_ids() {
             for e in net.neighbors(u)? {
-                let w = weight(e);
+                let w = match mode {
+                    WeightMode::Distance => e.distance,
+                    WeightMode::BestTime => e.distance / net.pattern(e.pattern)?.max_speed(),
+                };
                 fwd[u.index()].push((e.to.0, w));
                 rev[e.to.index()].push((u.0, w));
             }
@@ -122,7 +117,7 @@ impl BoundaryLb {
         let workers = std::thread::available_parallelism()
             .map_or(4, |p| p.get())
             .min(n_cells.max(1));
-        let results: Vec<CellResult> = std::thread::scope(|scope| {
+        let joined: Vec<std::thread::Result<Vec<CellResult>>> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
             for w in 0..workers {
                 let boundary = &boundary;
@@ -167,11 +162,14 @@ impl BoundaryLb {
                     out
                 }));
             }
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("worker panicked"))
-                .collect()
+            handles.into_iter().map(|h| h.join()).collect()
         });
+        let mut results: Vec<CellResult> = Vec::new();
+        for j in joined {
+            results.extend(j.map_err(|_| {
+                crate::AllFpError::Panicked("boundary precompute worker panicked".to_string())
+            })?);
+        }
 
         let mut d_out = vec![f64::INFINITY; n];
         let mut d_in = vec![f64::INFINITY; n];
@@ -259,11 +257,11 @@ impl Eq for HeapItem {}
 
 impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> Ordering {
-        // reversed: BinaryHeap is a max-heap
+        // reversed: BinaryHeap is a max-heap. `total_cmp` keeps even a
+        // NaN distance (impossible by construction) deterministic.
         other
             .dist
-            .partial_cmp(&self.dist)
-            .expect("distances are never NaN")
+            .total_cmp(&self.dist)
             .then_with(|| other.node.cmp(&self.node))
     }
 }

@@ -169,10 +169,7 @@ impl TravelFnCache {
 
     /// Total entries across all shards (diagnostics / tests).
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.read().expect("cache lock").len())
-            .sum()
+        self.shards.iter().map(|s| read_lock(s).len()).sum()
     }
 
     /// Is the cache empty?
@@ -203,7 +200,7 @@ impl TravelFnCache {
         // before the miss path asks for the write lock (a match on the
         // guarded lookup would keep it alive across the whole match and
         // self-deadlock).
-        let cached = shard.read().expect("cache lock").get(&key).cloned();
+        let cached = read_lock(shard).get(&key).cloned();
         match cached {
             Some(f) => Ok((f, true)),
             None => {
@@ -211,7 +208,7 @@ impl TravelFnCache {
                 // the same work is harmless (first insert wins, values
                 // are identical by construction).
                 let built = Arc::new(full_period_fn(profile, distance)?);
-                let mut map = shard.write().expect("cache lock");
+                let mut map = write_lock(shard);
                 let entry = map.entry(key).or_insert_with(|| Arc::clone(&built));
                 Ok((Arc::clone(entry), false))
             }
@@ -330,6 +327,25 @@ impl Drop for CacheSession<'_> {
             self.cache.misses.fetch_add(self.misses, Ordering::Relaxed);
         }
     }
+}
+
+/// Read-lock a shard, recovering from poison: entries are
+/// immutable-once-inserted `Arc`s and insertions happen fully inside
+/// one `entry().or_insert_with` call, so a map abandoned by a panicked
+/// thread is always in a consistent state. Recovery keeps one
+/// panicking query (isolated by the robust batch driver) from wedging
+/// the cache for every later query.
+fn read_lock<'l, K, V>(
+    l: &'l RwLock<HashMap<K, V>>,
+) -> std::sync::RwLockReadGuard<'l, HashMap<K, V>> {
+    l.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Write-lock a shard with the same poison recovery as [`read_lock`].
+fn write_lock<'l, K, V>(
+    l: &'l RwLock<HashMap<K, V>>,
+) -> std::sync::RwLockWriteGuard<'l, HashMap<K, V>> {
+    l.write().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Serve `leaving` from the full-period function, falling back to the

@@ -2,17 +2,28 @@
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
 
 use pwl::{compose_travel_simplified, Envelope, Interval, Pwl};
 use roadnet::{NetworkSource, NodeId, Point};
 
-use crate::baseline::astar_at;
+use crate::baseline::{astar_at, constant_speed_plan};
 use crate::cache::{CacheCounters, CacheSession, TravelFnCache};
 use crate::estimator::{EstimatorKind, LowerBoundEstimator, NaiveLb};
-use crate::query::{AllFpAnswer, BatchStats, FastestPath, QuerySpec, QueryStats, SingleFpAnswer};
-use crate::{AllFpError, BoundaryLb, Result, WeightMode};
+use crate::query::{
+    AllFpAnswer, BatchStats, CancelToken, DegradedAnswer, DegradedReason, FastestPath,
+    QueryOutcome, QuerySpec, QueryStats, SingleFpAnswer,
+};
+use crate::{AllFpError, BoundaryLb, EngineError, Result, WeightMode};
+
+/// How often (in heap pops) the search polls the wall-clock deadline
+/// and the cancellation token. The check runs on pop 0, so a
+/// `Duration::ZERO` deadline (or a pre-cancelled token) trips before
+/// any expansion work. Expansion caps are checked on **every** pop.
+const WATCH_EVERY: u64 = 32;
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -105,6 +116,52 @@ fn visits(paths: &[PathState], idx: usize, node: NodeId) -> bool {
     false
 }
 
+/// Read the partitioning off `border`, compact engine path ids into
+/// answer indices, and rebuild the tagged border over those indices by
+/// re-merging in identification order (same tie-break semantics as the
+/// search itself). Shared by normal termination and by best-so-far
+/// assembly when a budget trips.
+fn assemble_answer(
+    paths: &[PathState],
+    border: &Envelope<usize>,
+    stats: QueryStats,
+) -> Result<AllFpAnswer> {
+    let raw_partition = border.partition();
+    let mut path_index: Vec<usize> = Vec::new(); // engine path id → answer index
+    let mut answer_paths: Vec<FastestPath> = Vec::new();
+    let mut partition = Vec::with_capacity(raw_partition.len());
+    for (iv, engine_id) in raw_partition {
+        let idx = match path_index.iter().position(|&p| p == engine_id) {
+            Some(i) => i,
+            None => {
+                path_index.push(engine_id);
+                answer_paths.push(FastestPath {
+                    nodes: materialize(paths, engine_id),
+                    travel: paths[engine_id].travel.clone(),
+                });
+                answer_paths.len() - 1
+            }
+        };
+        partition.push((iv, idx));
+    }
+    let mut final_border: Option<Envelope<usize>> = None;
+    for (i, fp) in answer_paths.iter().enumerate() {
+        match &mut final_border {
+            None => final_border = Some(Envelope::new(fp.travel.clone(), i)),
+            Some(b) => b.merge_min(&fp.travel, i)?,
+        }
+    }
+    let lower_border = final_border.ok_or(AllFpError::Internal(
+        "lower border partitioned to zero paths",
+    ))?;
+    Ok(AllFpAnswer {
+        paths: answer_paths,
+        partition,
+        lower_border,
+        stats,
+    })
+}
+
 /// Max-heap adapter (min by `f_min`, FIFO on ties for determinism).
 struct QueueEntry {
     f_min: f64,
@@ -120,16 +177,95 @@ impl PartialEq for QueueEntry {
 impl Eq for QueueEntry {}
 impl Ord for QueueEntry {
     fn cmp(&self, other: &Self) -> Ordering {
+        // total_cmp: NaN priorities (impossible by construction — every
+        // f_min is a Pwl minimum plus a finite estimate) would order
+        // deterministically instead of panicking the worker.
         other
             .f_min
-            .partial_cmp(&self.f_min)
-            .expect("no NaN priorities")
+            .total_cmp(&self.f_min)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 impl PartialOrd for QueueEntry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
+    }
+}
+
+/// How one search run ended (internal; the public APIs map this onto
+/// either `Result<AllFpAnswer>` or [`QueryOutcome`]).
+enum SearchYield {
+    /// Terminated by the paper's rule — the answer is exact.
+    Done(AllFpAnswer, Option<SingleFpAnswer>),
+    /// A budget tripped first. `best` is the exact partitioning over
+    /// the target paths identified so far (`None` when none had
+    /// reached the target).
+    Exhausted {
+        reason: DegradedReason,
+        best: Option<AllFpAnswer>,
+        stats: QueryStats,
+    },
+}
+
+/// The per-search budget watcher: deadline, expansion cap, and
+/// cancellation, resolved once at search start.
+struct Watch<'t> {
+    deadline: Option<Instant>,
+    max_expansions: usize,
+    cancel: Option<&'t CancelToken>,
+    pops: u64,
+}
+
+impl<'t> Watch<'t> {
+    fn new(query: &QuerySpec, config: &EngineConfig, cancel: Option<&'t CancelToken>) -> Self {
+        let budget = query.budget.unwrap_or_default();
+        let max_expansions = budget
+            .max_expansions
+            .map_or(config.max_expansions, |b| b.min(config.max_expansions));
+        Watch {
+            deadline: budget.max_wall.map(|d| Instant::now() + d),
+            max_expansions,
+            cancel,
+            pops: 0,
+        }
+    }
+
+    /// Poll the cheap-but-not-free signals (cancellation, wall clock)
+    /// every [`WATCH_EVERY`] pops, including the very first. Returns
+    /// `Err` on cancellation, `Ok(Some(reason))` on an expired
+    /// deadline, `Ok(None)` to keep searching.
+    fn poll(&mut self) -> Result<Option<DegradedReason>> {
+        let due = self.pops.is_multiple_of(WATCH_EVERY);
+        self.pops += 1;
+        if !due {
+            return Ok(None);
+        }
+        if self.cancel.is_some_and(CancelToken::is_cancelled) {
+            return Err(AllFpError::Cancelled);
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Ok(Some(DegradedReason::DeadlineExpired));
+        }
+        Ok(None)
+    }
+}
+
+/// Lock a mutex, recovering the guard if a previous holder panicked.
+/// Every structure behind these locks (work queues) is valid after any
+/// interrupted operation — a lost entry at worst — so poison recovery
+/// keeps one panicked query from wedging its whole batch.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Render a caught panic payload for error reporting.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -241,6 +377,191 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
     where
         S: Sync,
     {
+        let (slots, stats) = self.drive_batch(
+            queries,
+            workers,
+            |q, session| self.run_with_session(q, false, session).map(|(a, _)| a),
+            |r| r.as_ref().ok().map(|a| a.stats),
+        );
+        // A `None` slot means its worker thread died before reporting
+        // (a panic that escaped a query). Error those slots instead of
+        // panicking the caller.
+        let results = slots
+            .into_iter()
+            .map(|slot| {
+                slot.unwrap_or_else(|| {
+                    Err(AllFpError::Panicked(
+                        "batch worker died before reporting this query".to_string(),
+                    ))
+                })
+            })
+            .collect();
+        (results, stats)
+    }
+
+    /// Answer one budget-aware query: exact if the search terminates
+    /// within [`QuerySpec::budget`], otherwise a [`QueryOutcome::
+    /// Degraded`] answer carrying the exact best-so-far partitioning
+    /// plus the constant-speed fallback route — a usable plan under a
+    /// deadline instead of an error.
+    pub fn run_robust(&self, query: &QuerySpec) -> std::result::Result<QueryOutcome, EngineError> {
+        let mut session = self.cache.session();
+        self.robust_with_session(query, &mut session, None)
+    }
+
+    /// Batch counterpart of [`Engine::run_robust`], on exactly
+    /// `workers` threads with the same work-stealing scheduler as
+    /// [`Engine::run_batch_with_threads`], plus two fault guarantees:
+    ///
+    /// * **Cancellation** — `cancel` is polled cooperatively by every
+    ///   in-flight search; cancelled queries report
+    ///   [`EngineError::Cancelled`] in their own slots.
+    /// * **Panic isolation** — each query runs under `catch_unwind`,
+    ///   so a poisoned query becomes [`EngineError::Panicked`] in its
+    ///   own slot while its batch-mates complete normally.
+    pub fn run_batch_robust(
+        &self,
+        queries: &[QuerySpec],
+        workers: usize,
+        cancel: &CancelToken,
+    ) -> (
+        Vec<std::result::Result<QueryOutcome, EngineError>>,
+        BatchStats,
+    )
+    where
+        S: Sync,
+    {
+        let (slots, stats) = self.drive_batch(
+            queries,
+            workers,
+            |q, session| {
+                // AssertUnwindSafe: the session (plain maps + tallies)
+                // and the shared cache (poison-recovering locks over
+                // immutable-once-inserted values) are both valid after
+                // an interrupted query.
+                catch_unwind(AssertUnwindSafe(|| {
+                    self.robust_with_session(q, session, Some(cancel))
+                }))
+                .unwrap_or_else(|payload| Err(EngineError::Panicked(panic_message(payload))))
+            },
+            |r| r.as_ref().ok().map(|o| *o.stats()),
+        );
+        let results = slots
+            .into_iter()
+            .map(|slot| {
+                slot.unwrap_or_else(|| {
+                    Err(EngineError::Panicked(
+                        "batch worker died before reporting this query".to_string(),
+                    ))
+                })
+            })
+            .collect();
+        (results, stats)
+    }
+
+    /// One budget-aware query on an existing session.
+    fn robust_with_session(
+        &self,
+        query: &QuerySpec,
+        session: &mut CacheSession<'_>,
+        cancel: Option<&CancelToken>,
+    ) -> std::result::Result<QueryOutcome, EngineError> {
+        match self.search(query, false, session, cancel) {
+            Ok(SearchYield::Done(all, _)) => Ok(QueryOutcome::Exact(all)),
+            Ok(SearchYield::Exhausted {
+                reason,
+                best,
+                stats,
+            }) => Ok(QueryOutcome::Degraded(
+                self.degraded_answer(query, reason, best, stats, session)?,
+            )),
+            Err(e) => Err(EngineError::from(e)),
+        }
+    }
+
+    /// Assemble the degraded answer for a tripped budget: keep the
+    /// exact best-so-far, and plan the constant-speed fallback route
+    /// (cheap: one time-independent A*), attaching its *exact*
+    /// travel-time function under the real patterns so the caller can
+    /// still read departure-time trade-offs off the degraded answer.
+    fn degraded_answer(
+        &self,
+        query: &QuerySpec,
+        reason: DegradedReason,
+        best: Option<AllFpAnswer>,
+        stats: QueryStats,
+        session: &mut CacheSession<'_>,
+    ) -> std::result::Result<DegradedAnswer, EngineError> {
+        let (nodes, _) = constant_speed_plan(
+            self.source,
+            query.source,
+            query.target,
+            query.interval.lo(),
+            query.category,
+        )
+        .map_err(EngineError::from)?;
+        let travel = self
+            .route_travel_fn(&nodes, query, session)
+            .map_err(EngineError::from)?;
+        let fallback_travel_minutes = travel.minimum().value;
+        Ok(DegradedAnswer {
+            reason,
+            best,
+            fallback: FastestPath { nodes, travel },
+            fallback_travel_minutes,
+            stats,
+        })
+    }
+
+    /// The exact travel-time function of the fixed route `nodes` over
+    /// the query interval, composed edge by edge through the session
+    /// cache (the same compound operation the search uses).
+    fn route_travel_fn(
+        &self,
+        nodes: &[NodeId],
+        query: &QuerySpec,
+        session: &mut CacheSession<'_>,
+    ) -> Result<Pwl> {
+        let mut travel = Pwl::constant(query.interval, 0.0)?;
+        for w in nodes.windows(2) {
+            let edges = self.source.successors(w[0])?;
+            let edge = edges
+                .iter()
+                .find(|e| e.to == w[1])
+                .ok_or(AllFpError::Unreachable {
+                    source: w[0],
+                    target: w[1],
+                })?;
+            let arrivals = pwl::compose::arrival_interval(&travel)?;
+            let profile = self.source.pattern(edge.pattern)?.profile(query.category)?;
+            let (t_edge, _) = session.travel_fn(
+                edge.pattern,
+                query.category,
+                profile,
+                edge.distance,
+                &arrivals,
+            )?;
+            travel = compose_travel_simplified(&travel, &t_edge)?;
+        }
+        Ok(travel)
+    }
+
+    /// The shared work-stealing batch driver: runs `run` once per
+    /// query (workers share the engine immutably, each holding one
+    /// warm [`CacheSession`] across all its queries) and returns the
+    /// per-query results in input order. A slot is `None` only if its
+    /// worker thread died before reporting — callers map that onto
+    /// their error type.
+    fn drive_batch<R: Send>(
+        &self,
+        queries: &[QuerySpec],
+        workers: usize,
+        run: impl Fn(&QuerySpec, &mut CacheSession<'_>) -> R + Sync,
+        stats_of: impl Fn(&R) -> Option<QueryStats> + Sync,
+    ) -> (Vec<Option<R>>, BatchStats)
+    where
+        S: Sync,
+    {
         let workers = workers.max(1).min(queries.len());
         if queries.is_empty() {
             return (Vec::new(), BatchStats::default());
@@ -248,14 +569,12 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
         if workers <= 1 {
             let mut session = self.cache.session();
             let mut stats = BatchStats::new(1);
-            let results: Vec<Result<AllFpAnswer>> = queries
+            let results: Vec<Option<R>> = queries
                 .iter()
                 .map(|q| {
-                    let r = self
-                        .run_with_session(q, false, &mut session)
-                        .map(|(a, _)| a);
-                    stats.record(0, &r);
-                    r
+                    let r = run(q, &mut session);
+                    stats.record(0, stats_of(&r).as_ref());
+                    Some(r)
                 })
                 .collect();
             return (results, stats);
@@ -275,18 +594,21 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
             .collect();
         let steals = AtomicU64::new(0);
 
-        let per_worker: Vec<WorkerYield> = std::thread::scope(|scope| {
+        type Yield<R> = (Vec<(usize, R)>, usize, QueryStats);
+        let per_worker: Vec<std::thread::Result<Yield<R>>> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
             for w in 0..workers {
                 let queues = &queues;
                 let steals = &steals;
+                let run = &run;
+                let stats_of = &stats_of;
                 handles.push(scope.spawn(move || {
                     let mut session = self.cache.session();
-                    let mut out: Vec<(usize, Result<AllFpAnswer>)> = Vec::new();
+                    let mut out: Vec<(usize, R)> = Vec::new();
                     let mut processed = 0usize;
                     let mut cache_stats = QueryStats::default();
                     loop {
-                        let next = queues[w].lock().expect("queue lock").pop_front();
+                        let next = lock(&queues[w]).pop_front();
                         let i = match next {
                             Some(i) => i,
                             None => match steal_into(queues, w, steals) {
@@ -294,13 +616,11 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
                                 None => break,
                             },
                         };
-                        let r = self
-                            .run_with_session(&queries[i], false, &mut session)
-                            .map(|(a, _)| a);
-                        if let Ok(a) = &r {
-                            cache_stats.cache_lookups += a.stats.cache_lookups;
-                            cache_stats.cache_hits += a.stats.cache_hits;
-                            cache_stats.cache_misses += a.stats.cache_misses;
+                        let r = run(&queries[i], &mut session);
+                        if let Some(qs) = stats_of(&r) {
+                            cache_stats.cache_lookups += qs.cache_lookups;
+                            cache_stats.cache_hits += qs.cache_hits;
+                            cache_stats.cache_misses += qs.cache_misses;
                         }
                         processed += 1;
                         out.push((i, r));
@@ -308,17 +628,18 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
                     (out, processed, cache_stats)
                 }));
             }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("batch worker panicked"))
-                .collect()
+            // Collect join *results*: a worker that died (panic that
+            // escaped `run`) loses its slots but cannot kill the batch.
+            handles.into_iter().map(|h| h.join()).collect()
         });
 
         let mut stats = BatchStats::new(workers);
         stats.steals = steals.load(AtomicOrdering::Relaxed);
-        let mut results: Vec<Option<Result<AllFpAnswer>>> =
-            (0..queries.len()).map(|_| None).collect();
-        for (w, (rs, processed, cache_stats)) in per_worker.into_iter().enumerate() {
+        let mut results: Vec<Option<R>> = (0..queries.len()).map(|_| None).collect();
+        for (w, yielded) in per_worker.into_iter().enumerate() {
+            let Ok((rs, processed, cache_stats)) = yielded else {
+                continue; // dead worker: its unreported slots stay None
+            };
             stats.queries_per_worker[w] = processed;
             stats.cache_lookups += cache_stats.cache_lookups;
             stats.cache_hits += cache_stats.cache_hits;
@@ -327,10 +648,6 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
                 results[i] = Some(r);
             }
         }
-        let results = results
-            .into_iter()
-            .map(|r| r.expect("chunking + stealing covers every query"))
-            .collect();
         (results, stats)
     }
 
@@ -349,30 +666,60 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
     pub fn single_fastest_path(&self, query: &QuerySpec) -> Result<SingleFpAnswer> {
         let mut session = self.cache.session();
         self.run_with_session(query, true, &mut session)
-            .map(|(_, single)| single.expect("single answer on success"))
+            .and_then(|(_, single)| {
+                single.ok_or(AllFpError::Internal("singleFP search returned no answer"))
+            })
     }
 
-    /// Shared search. When `single_only`, stops at the first popped
-    /// target path. Otherwise runs to the paper's termination rule and
-    /// assembles the partitioning.
-    ///
-    /// The caller supplies the [`CacheSession`] so batch workers can
-    /// keep one warm L1 across every query they process; the serial
-    /// entry points open a fresh session per query.
+    /// Legacy search surface: exactly the pre-robustness contract. A
+    /// tripped budget (engine-level valve *or* per-query budget) is an
+    /// [`AllFpError::BudgetExhausted`] error; use the robust entry
+    /// points to receive a degraded answer instead.
     fn run_with_session(
         &self,
         query: &QuerySpec,
         single_only: bool,
         session: &mut CacheSession<'_>,
     ) -> Result<(AllFpAnswer, Option<SingleFpAnswer>)> {
+        match self.search(query, single_only, session, None)? {
+            SearchYield::Done(all, single) => Ok((all, single)),
+            SearchYield::Exhausted { stats, .. } => Err(AllFpError::BudgetExhausted {
+                expansions: stats.expanded_paths,
+            }),
+        }
+    }
+
+    /// Shared search. When `single_only`, stops at the first popped
+    /// target path. Otherwise runs to the paper's termination rule and
+    /// assembles the partitioning — or, if a budget trips first,
+    /// yields [`SearchYield::Exhausted`] with the exact best-so-far.
+    ///
+    /// The caller supplies the [`CacheSession`] so batch workers can
+    /// keep one warm L1 across every query they process; the serial
+    /// entry points open a fresh session per query. `cancel` is polled
+    /// between pops (see [`WATCH_EVERY`]).
+    fn search(
+        &self,
+        query: &QuerySpec,
+        single_only: bool,
+        session: &mut CacheSession<'_>,
+        cancel: Option<&CancelToken>,
+    ) -> Result<SearchYield> {
         let interval = query.interval;
         let target_loc = self.source.find_node(query.target)?;
 
-        // Degenerate interval → the classic special case.
+        // Degenerate interval → the classic special case (delegated to
+        // fixed-instant A*, which is the cheap path: budgets are not
+        // consulted there, only cancellation before it starts).
         if interval.is_degenerate() {
-            return self.degenerate_instant(query, target_loc);
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                return Err(AllFpError::Cancelled);
+            }
+            let (all, single) = self.degenerate_instant(query, target_loc)?;
+            return Ok(SearchYield::Done(all, single));
         }
 
+        let mut watch = Watch::new(query, &self.config, cancel);
         let mut stats = QueryStats::default();
         let mut paths: Vec<PathState> = Vec::new();
         let mut heap: BinaryHeap<QueueEntry> = BinaryHeap::new();
@@ -433,12 +780,6 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
                 break;
             }
 
-            if stats.expanded_paths >= self.config.max_expansions {
-                return Err(AllFpError::BudgetExhausted {
-                    expansions: stats.expanded_paths,
-                });
-            }
-
             let head = paths[entry.path].head;
 
             if head == query.target {
@@ -475,6 +816,52 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
                     }
                 }
                 continue;
+            }
+
+            // Budget checks sit *after* target handling: merging an
+            // already-popped target path costs one envelope merge and
+            // only improves the (possibly degraded) answer, so the
+            // budget never forfeits it. Expansion — the expensive part
+            // — is what the caps meter.
+            let tripped = match watch.poll()? {
+                Some(reason) => Some(reason),
+                None if stats.expanded_paths >= watch.max_expansions => {
+                    Some(DegradedReason::ExpansionsExhausted)
+                }
+                None => None,
+            };
+            if let Some(reason) = tripped {
+                // Salvage before reporting: complete target paths
+                // still *queued* (A* pops them only after every
+                // optimistic incomplete path is exhausted, i.e. at the
+                // very end) merge into the border with envelope merges
+                // only — no composition work, so the overrun past the
+                // budget is small and bounded. Merge best-first for
+                // deterministic tie-breaks.
+                for e in std::mem::take(&mut heap)
+                    .into_sorted_vec()
+                    .into_iter()
+                    .rev()
+                {
+                    if paths[e.path].head != query.target {
+                        continue;
+                    }
+                    stats.border_merges += 1;
+                    match &mut border {
+                        None => border = Some(Envelope::new(paths[e.path].travel.clone(), e.path)),
+                        Some(b) => b.merge_min(&paths[e.path].travel, e.path)?,
+                    }
+                }
+                stats.expanded_nodes = expanded_node_count;
+                let best = match &border {
+                    Some(b) => Some(assemble_answer(&paths, b, stats)?),
+                    None => None,
+                };
+                return Ok(SearchYield::Exhausted {
+                    reason,
+                    best,
+                    stats,
+                });
             }
 
             // Expand.
@@ -550,7 +937,8 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
                 }
 
                 let idx = paths.len();
-                let parent = u32::try_from(entry.path).expect("arena outgrew u32 indices");
+                let parent = u32::try_from(entry.path)
+                    .map_err(|_| AllFpError::Internal("path arena outgrew u32 indices"))?;
                 paths.push(PathState {
                     parent: Some(parent),
                     head: edge.to,
@@ -587,58 +975,19 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
                 lower_border: border,
                 stats,
             };
-            return Ok((all, Some(s)));
+            return Ok(SearchYield::Done(all, Some(s)));
         }
 
         let border = border.ok_or(AllFpError::Unreachable {
             source: query.source,
             target: query.target,
         })?;
-
-        // Read the partitioning off the lower border; compact path ids.
-        let raw_partition = border.partition();
-        let mut path_index: Vec<usize> = Vec::new(); // engine path id → answer index
-        let mut answer_paths: Vec<FastestPath> = Vec::new();
-        let mut partition = Vec::with_capacity(raw_partition.len());
-        for (iv, engine_id) in raw_partition {
-            let idx = match path_index.iter().position(|&p| p == engine_id) {
-                Some(i) => i,
-                None => {
-                    path_index.push(engine_id);
-                    answer_paths.push(FastestPath {
-                        nodes: materialize(&paths, engine_id),
-                        travel: paths[engine_id].travel.clone(),
-                    });
-                    answer_paths.len() - 1
-                }
-            };
-            partition.push((iv, idx));
-        }
-
-        // Rebuild the border with answer indices as tags by re-merging
-        // the answer paths in identification order (same tie-break
-        // semantics as the search itself).
-        let mut final_border: Option<Envelope<usize>> = None;
-        for (i, fp) in answer_paths.iter().enumerate() {
-            match &mut final_border {
-                None => final_border = Some(Envelope::new(fp.travel.clone(), i)),
-                Some(b) => b.merge_min(&fp.travel, i)?,
-            }
-        }
-        let lower_border = final_border.expect("at least one answer path");
+        let all = assemble_answer(&paths, &border, stats)?;
 
         if let Some(s) = &mut single {
             s.stats = stats;
         }
-        Ok((
-            AllFpAnswer {
-                paths: answer_paths,
-                partition,
-                lower_border,
-                stats,
-            },
-            single,
-        ))
+        Ok(SearchYield::Done(all, single))
     }
 
     /// A degenerate (single-instant) interval: the classic special
@@ -699,11 +1048,6 @@ impl<'a> Engine<'a, roadnet::RoadNetwork> {
     }
 }
 
-/// One batch worker's output: `(query index, answer)` pairs in the
-/// order processed, the number of queries it ran, and its summed
-/// travel-function-cache tallies.
-type WorkerYield = (Vec<(usize, Result<AllFpAnswer>)>, usize, QueryStats);
-
 /// Steal the back half of the first non-empty victim queue into worker
 /// `w`'s own queue, returning one stolen index to run immediately.
 /// Returns `None` when every queue is empty (batch drained).
@@ -716,15 +1060,18 @@ fn steal_into(queues: &[Mutex<VecDeque<usize>>], w: usize, steals: &AtomicU64) -
     let n = queues.len();
     for off in 1..n {
         let v = (w + off) % n;
-        let mut victim = queues[v].lock().expect("queue lock");
+        let mut victim = lock(&queues[v]);
         let len = victim.len();
         if len == 0 {
             continue;
         }
         let take = len.div_ceil(2);
         let mut grabbed: Vec<usize> = Vec::with_capacity(take);
-        for _ in 0..take {
-            grabbed.push(victim.pop_back().expect("len checked under lock"));
+        while grabbed.len() < take {
+            match victim.pop_back() {
+                Some(i) => grabbed.push(i),
+                None => break,
+            }
         }
         drop(victim);
         steals.fetch_add(1, AtomicOrdering::Relaxed);
@@ -732,7 +1079,7 @@ fn steal_into(queues: &[Mutex<VecDeque<usize>>], w: usize, steals: &AtomicU64) -
         grabbed.reverse();
         let mut it = grabbed.into_iter();
         let first = it.next();
-        let mut own = queues[w].lock().expect("queue lock");
+        let mut own = lock(&queues[w]);
         own.extend(it);
         return first;
     }
@@ -1208,6 +1555,157 @@ mod tests {
         // when the host can actually interleave workers.
         if std::thread::available_parallelism().map_or(1, |n| n.get()) > 1 {
             assert!(saw_steal, "4 workers never stole from a 12-query batch");
+        }
+    }
+
+    #[test]
+    fn exhausted_query_budget_degrades_with_valid_fallback() {
+        use crate::query::{QueryBudget, QueryOutcome};
+        let (net, ids) = paper_running_example();
+        let engine = Engine::new(&net, EngineConfig::default());
+        // Zero expansions: nothing can reach the target, so best is
+        // None and only the constant-speed fallback is available.
+        let q = paper_query().with_budget(QueryBudget::default().with_max_expansions(0));
+        let out = engine.run_robust(&q).unwrap();
+        let QueryOutcome::Degraded(d) = out else {
+            panic!("expected degraded outcome");
+        };
+        assert_eq!(d.reason, crate::DegradedReason::ExpansionsExhausted);
+        assert!(d.best.is_none());
+        assert_eq!(d.fallback.nodes.first(), Some(&ids.s));
+        assert_eq!(d.fallback.nodes.last(), Some(&ids.e));
+        // the fallback's travel function is exact: driving the route
+        // under the real patterns must match it
+        for l in [hm(6, 50), hm(6, 57), hm(7, 2)] {
+            let driven =
+                crate::baseline::evaluate_path(&net, &d.fallback.nodes, l, q.category).unwrap();
+            assert!(
+                (d.fallback.travel.eval_clamped(l) - driven).abs() < 1e-9,
+                "fallback travel fn disagrees with driving at {l}"
+            );
+        }
+        assert!(d.fallback_travel_minutes > 0.0);
+        // the legacy API maps the same budget onto the legacy error
+        assert!(matches!(
+            engine.all_fastest_paths(&q),
+            Err(AllFpError::BudgetExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn partial_budget_keeps_best_so_far() {
+        use crate::query::{QueryBudget, QueryOutcome};
+        // The 3-node paper example merges its target paths only after
+        // the last expansion, so a partial border needs a network where
+        // expansions continue past the first merge: a grid.
+        let net = roadnet::generators::grid(5, 5, 0.3, traffic::RoadClass::LocalOutside).unwrap();
+        let engine = Engine::new(&net, EngineConfig::default());
+        let base = QuerySpec::new(
+            NodeId(0),
+            NodeId(24),
+            Interval::of(hm(6, 50), hm(7, 5)),
+            DayCategory::WORKDAY,
+        );
+        let exact = engine.all_fastest_paths(&base).unwrap();
+        let full = exact.stats.expanded_paths;
+        assert!(full > 2);
+        // Scan caps downward: the first just-under-full cap should trip
+        // after at least one target path has merged.
+        let mut saw_partial = false;
+        for cap in (1..full).rev() {
+            let q = base
+                .clone()
+                .with_budget(QueryBudget::default().with_max_expansions(cap));
+            let QueryOutcome::Degraded(d) = engine.run_robust(&q).unwrap() else {
+                continue;
+            };
+            assert_eq!(d.reason, crate::DegradedReason::ExpansionsExhausted);
+            assert!(d.stats.expanded_paths <= cap);
+            let Some(best) = d.best else { continue };
+            saw_partial = true;
+            // every best-so-far path is drivable and its travel
+            // function exact
+            for fp in &best.paths {
+                let l = fp.travel.domain().lo();
+                let driven =
+                    crate::baseline::evaluate_path(&net, &fp.nodes, l, q.category).unwrap();
+                assert!((fp.travel.eval_clamped(l) - driven).abs() < 1e-9);
+            }
+            break;
+        }
+        assert!(saw_partial, "no cap produced a partial best-so-far");
+    }
+
+    #[test]
+    fn zero_deadline_degrades_immediately() {
+        use crate::query::{QueryBudget, QueryOutcome};
+        let (net, _) = paper_running_example();
+        let engine = Engine::new(&net, EngineConfig::default());
+        let q = paper_query()
+            .with_budget(QueryBudget::default().with_deadline(std::time::Duration::ZERO));
+        let out = engine.run_robust(&q).unwrap();
+        let QueryOutcome::Degraded(d) = out else {
+            panic!("expected degraded outcome");
+        };
+        assert_eq!(d.reason, crate::DegradedReason::DeadlineExpired);
+        assert!(!d.fallback.nodes.is_empty());
+    }
+
+    #[test]
+    fn unbudgeted_robust_outcome_is_exact() {
+        let (net, _) = paper_running_example();
+        let engine = Engine::new(&net, EngineConfig::default());
+        let want = engine.all_fastest_paths(&paper_query()).unwrap();
+        let out = engine.run_robust(&paper_query()).unwrap();
+        let got = out.exact().expect("no budget → exact");
+        assert_eq!(got.partition.len(), want.partition.len());
+        for (x, y) in got.partition.iter().zip(want.partition.iter()) {
+            assert!(x.0.approx_eq(&y.0));
+            assert_eq!(got.paths[x.1].nodes, want.paths[y.1].nodes);
+        }
+    }
+
+    #[test]
+    fn cancelled_token_cancels_every_slot() {
+        use crate::query::CancelToken;
+        let (net, _) = paper_running_example();
+        let engine = Engine::new(&net, EngineConfig::default());
+        let queries: Vec<QuerySpec> = (0..6).map(|_| paper_query()).collect();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let (results, stats) = engine.run_batch_robust(&queries, 3, &cancel);
+        assert_eq!(results.len(), queries.len());
+        assert_eq!(stats.total_queries(), queries.len());
+        for r in results {
+            assert!(matches!(r, Err(crate::EngineError::Cancelled)));
+        }
+    }
+
+    #[test]
+    fn robust_batch_matches_exact_serial() {
+        let (net, ids) = paper_running_example();
+        let engine = Engine::new(&net, EngineConfig::default());
+        let queries: Vec<QuerySpec> = (0..8u32)
+            .map(|k| {
+                QuerySpec::new(
+                    ids.s,
+                    ids.e,
+                    Interval::of(hm(6, 40 + k), hm(7, 1 + k)),
+                    DayCategory::WORKDAY,
+                )
+            })
+            .collect();
+        let cancel = crate::CancelToken::new();
+        let (results, stats) = engine.run_batch_robust(&queries, 4, &cancel);
+        assert_eq!(stats.total_queries(), queries.len());
+        for (q, r) in queries.iter().zip(results.iter()) {
+            let want = engine.all_fastest_paths(q).unwrap();
+            let got = r.as_ref().unwrap().exact().expect("unbudgeted → exact");
+            assert_eq!(got.partition.len(), want.partition.len());
+            for (x, y) in got.partition.iter().zip(want.partition.iter()) {
+                assert!(x.0.approx_eq(&y.0));
+                assert_eq!(got.paths[x.1].nodes, want.paths[y.1].nodes);
+            }
         }
     }
 

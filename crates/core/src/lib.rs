@@ -40,6 +40,21 @@
 //! "degraded" special case), the **discrete-time model** (one A\* per
 //! time instant), and the **constant-speed** commercial-navigation
 //! model, all used by the experiment harness.
+//!
+//! # Robustness (extension)
+//!
+//! Queries can carry a [`QueryBudget`] (wall-clock deadline and/or an
+//! expansion cap); [`Engine::run_robust`] and
+//! [`Engine::run_batch_robust`] answer such queries with a
+//! [`QueryOutcome`] that **degrades instead of erroring** when the
+//! budget trips — best-so-far exact paths plus a constant-speed
+//! fallback route ([`DegradedAnswer`]). Batches accept a cooperative
+//! [`CancelToken`], isolate panicking queries to their own result slot,
+//! and surface storage faults through the typed [`EngineError`]
+//! taxonomy. See `DESIGN.md` §9 for the full fault model.
+
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod boundary;
 mod cache;
@@ -55,7 +70,10 @@ pub use boundary::{BoundaryLb, WeightMode};
 pub use cache::{CacheCounters, CacheSession, TravelFnCache};
 pub use engine::{build_estimator, Engine, EngineConfig};
 pub use estimator::{EstimatorKind, LowerBoundEstimator, MaxEstimator, NaiveLb, ZeroLb};
-pub use query::{AllFpAnswer, BatchStats, FastestPath, QuerySpec, QueryStats, SingleFpAnswer};
+pub use query::{
+    AllFpAnswer, BatchStats, CancelToken, DegradedAnswer, DegradedReason, FastestPath, QueryBudget,
+    QueryOutcome, QuerySpec, QueryStats, SingleFpAnswer,
+};
 
 /// Errors from query evaluation.
 #[derive(Debug)]
@@ -72,6 +90,16 @@ pub enum AllFpError {
         /// Paths expanded before giving up.
         expansions: usize,
     },
+    /// The search was cancelled through a [`CancelToken`].
+    Cancelled,
+    /// A worker observed a panic (its own query's, or a teammate's
+    /// that took the whole worker thread down) and converted it to an
+    /// error instead of propagating it.
+    Panicked(String),
+    /// An internal invariant failed — a bug in this crate, reported as
+    /// an error rather than a panic so one bad query cannot take down
+    /// a batch.
+    Internal(&'static str),
     /// Propagated network error.
     Network(roadnet::NetworkError),
     /// Propagated traffic error.
@@ -89,6 +117,9 @@ impl std::fmt::Display for AllFpError {
             AllFpError::BudgetExhausted { expansions } => {
                 write!(f, "expansion budget exhausted after {expansions} paths")
             }
+            AllFpError::Cancelled => write!(f, "query cancelled"),
+            AllFpError::Panicked(msg) => write!(f, "query panicked: {msg}"),
+            AllFpError::Internal(what) => write!(f, "internal invariant violated: {what}"),
             AllFpError::Network(e) => write!(f, "network error: {e}"),
             AllFpError::Traffic(e) => write!(f, "traffic error: {e}"),
             AllFpError::Pwl(e) => write!(f, "pwl error: {e}"),
@@ -127,3 +158,76 @@ impl From<pwl::PwlError> for AllFpError {
 
 /// Convenient `Result` alias for this crate.
 pub type Result<T> = std::result::Result<T, AllFpError>;
+
+/// The unified error taxonomy of the robust query APIs
+/// ([`Engine::run_robust`], [`Engine::run_batch_robust`]).
+///
+/// It separates the conditions a caller handles differently: storage
+/// faults (retryable or not, classified by
+/// [`roadnet::StorageFaultKind`]), exhausted budgets that did *not*
+/// degrade (legacy engine-level valve on the non-robust APIs),
+/// cooperative cancellation, isolated query panics, and plain query
+/// errors (unreachable targets and propagated algebra errors).
+#[derive(Debug)]
+pub enum EngineError {
+    /// The storage layer failed; `kind` distinguishes detected
+    /// corruption (never retried) from transient I/O (already retried
+    /// by the buffer pool before surfacing here).
+    Storage {
+        /// Fault classification from the storage stack.
+        kind: roadnet::StorageFaultKind,
+        /// Human-readable description of the underlying fault.
+        message: String,
+    },
+    /// An expansion budget was exhausted where degradation was not
+    /// possible.
+    Budget {
+        /// Paths expanded before giving up.
+        expansions: usize,
+    },
+    /// The query was cancelled through a [`CancelToken`].
+    Cancelled,
+    /// The query panicked; its batch-mates were unaffected.
+    Panicked(String),
+    /// Any other query-evaluation error.
+    Query(AllFpError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Storage { kind, message } => {
+                write!(f, "storage fault ({kind:?}): {message}")
+            }
+            EngineError::Budget { expansions } => {
+                write!(f, "expansion budget exhausted after {expansions} paths")
+            }
+            EngineError::Cancelled => write!(f, "query cancelled"),
+            EngineError::Panicked(msg) => write!(f, "query panicked: {msg}"),
+            EngineError::Query(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AllFpError> for EngineError {
+    fn from(e: AllFpError) -> Self {
+        match e {
+            AllFpError::Network(roadnet::NetworkError::Storage { kind, message }) => {
+                EngineError::Storage { kind, message }
+            }
+            AllFpError::BudgetExhausted { expansions } => EngineError::Budget { expansions },
+            AllFpError::Cancelled => EngineError::Cancelled,
+            AllFpError::Panicked(msg) => EngineError::Panicked(msg),
+            other => EngineError::Query(other),
+        }
+    }
+}

@@ -1,5 +1,9 @@
 //! Query specifications, answers, and search statistics.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
 use pwl::{Envelope, Interval, Pwl};
 use roadnet::NodeId;
 use traffic::DayCategory;
@@ -16,16 +20,168 @@ pub struct QuerySpec {
     pub interval: Interval,
     /// The day category (e.g. workday).
     pub category: DayCategory,
+    /// Optional per-query budget. `None` leaves only the engine-level
+    /// safety valve ([`EngineConfig::max_expansions`]) in force.
+    ///
+    /// [`EngineConfig::max_expansions`]: crate::EngineConfig::max_expansions
+    pub budget: Option<QueryBudget>,
 }
 
 impl QuerySpec {
-    /// Convenience constructor.
+    /// Convenience constructor (no per-query budget).
     pub fn new(source: NodeId, target: NodeId, interval: Interval, category: DayCategory) -> Self {
         QuerySpec {
             source,
             target,
             interval,
             category,
+            budget: None,
+        }
+    }
+
+    /// This query with a per-query budget attached.
+    pub fn with_budget(mut self, budget: QueryBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+}
+
+/// A per-query resource budget.
+///
+/// When either limit trips mid-search, [`Engine::run_robust`] returns
+/// a [`QueryOutcome::Degraded`] answer (best paths found so far plus a
+/// constant-speed fallback route) instead of an error; the legacy
+/// `Result<AllFpAnswer>` entry points map the same event to
+/// [`AllFpError::BudgetExhausted`].
+///
+/// [`Engine::run_robust`]: crate::Engine::run_robust
+/// [`AllFpError::BudgetExhausted`]: crate::AllFpError::BudgetExhausted
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryBudget {
+    /// Wall-clock deadline measured from the start of the search.
+    pub max_wall: Option<Duration>,
+    /// Maximum path expansions (combined with the engine-level valve
+    /// by `min`).
+    pub max_expansions: Option<usize>,
+}
+
+impl QueryBudget {
+    /// An unlimited budget (both limits off).
+    pub fn unlimited() -> Self {
+        QueryBudget::default()
+    }
+
+    /// This budget with a wall-clock deadline.
+    pub fn with_deadline(mut self, max_wall: Duration) -> Self {
+        self.max_wall = Some(max_wall);
+        self
+    }
+
+    /// This budget with an expansion cap.
+    pub fn with_max_expansions(mut self, max_expansions: usize) -> Self {
+        self.max_expansions = Some(max_expansions);
+        self
+    }
+}
+
+/// A cooperative cancellation flag shared between a batch caller and
+/// the engine's workers.
+///
+/// Cloning shares the flag. The engine polls it between path pops, so
+/// cancellation takes effect within a bounded number of expansions —
+/// it never interrupts a composition mid-flight.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Request cancellation: every search polling this token stops at
+    /// its next check and reports [`EngineError::Cancelled`].
+    ///
+    /// [`EngineError::Cancelled`]: crate::EngineError::Cancelled
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Why a query degraded instead of completing exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradedReason {
+    /// The [`QueryBudget::max_wall`] deadline expired.
+    DeadlineExpired,
+    /// The expansion cap (per-query or engine-level) was reached.
+    ExpansionsExhausted,
+}
+
+/// The answer a budget-limited query returns when its budget runs out:
+/// everything exact the search had already proven, plus an always-valid
+/// fallback route.
+///
+/// `best` carries the *exact* partitioning over every complete
+/// source-to-target path the search had discovered when the budget
+/// tripped — popped from the queue **or still queued** (queued target
+/// paths are salvaged with cheap envelope merges, no further search
+/// work). Each path's travel-time function is exact; the partitioning
+/// is an **upper bound** on the true lower border, since an unexplored
+/// path might still have beaten it somewhere. `None` if no complete
+/// path had been discovered yet. `fallback` is the
+/// commercial-navigation (constant speed-limit) route with its exact
+/// travel-time function over the query interval — always a drivable
+/// plan, never optimal by construction.
+#[derive(Debug, Clone)]
+pub struct DegradedAnswer {
+    /// What tripped.
+    pub reason: DegradedReason,
+    /// Best-so-far exact answer over the paths that had reached the
+    /// target (an upper bound on the true lower border).
+    pub best: Option<AllFpAnswer>,
+    /// The constant-speed fallback route with its exact travel-time
+    /// function under the real speed patterns.
+    pub fallback: FastestPath,
+    /// Minimum of the fallback's travel-time function, minutes.
+    pub fallback_travel_minutes: f64,
+    /// Search statistics up to the point the budget tripped.
+    pub stats: QueryStats,
+}
+
+/// Outcome of a budget-aware query: exact, or degraded-but-usable.
+#[derive(Debug, Clone)]
+pub enum QueryOutcome {
+    /// The search terminated by the paper's rule: the full exact
+    /// partitioning.
+    Exact(AllFpAnswer),
+    /// The budget tripped first: best-so-far plus a fallback route.
+    Degraded(DegradedAnswer),
+}
+
+impl QueryOutcome {
+    /// Did the search complete exactly?
+    pub fn is_exact(&self) -> bool {
+        matches!(self, QueryOutcome::Exact(_))
+    }
+
+    /// The exact answer, if this outcome is one.
+    pub fn exact(&self) -> Option<&AllFpAnswer> {
+        match self {
+            QueryOutcome::Exact(a) => Some(a),
+            QueryOutcome::Degraded(_) => None,
+        }
+    }
+
+    /// The search statistics, whichever way the query ended.
+    pub fn stats(&self) -> &QueryStats {
+        match self {
+            QueryOutcome::Exact(a) => &a.stats,
+            QueryOutcome::Degraded(d) => &d.stats,
         }
     }
 }
@@ -118,13 +274,14 @@ impl BatchStats {
         }
     }
 
-    /// Tally one finished query for `worker`.
-    pub(crate) fn record(&mut self, worker: usize, r: &crate::Result<AllFpAnswer>) {
+    /// Tally one finished query for `worker`; `stats` is `None` for
+    /// queries that failed without producing statistics.
+    pub(crate) fn record(&mut self, worker: usize, stats: Option<&QueryStats>) {
         self.queries_per_worker[worker] += 1;
-        if let Ok(a) = r {
-            self.cache_lookups += a.stats.cache_lookups;
-            self.cache_hits += a.stats.cache_hits;
-            self.cache_misses += a.stats.cache_misses;
+        if let Some(s) = stats {
+            self.cache_lookups += s.cache_lookups;
+            self.cache_hits += s.cache_hits;
+            self.cache_misses += s.cache_misses;
         }
     }
 

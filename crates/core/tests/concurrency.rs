@@ -18,7 +18,7 @@
 //! the point — run under an unpinned `RUST_TEST_THREADS` to let the
 //! interleavings vary (`scripts/check.sh` does).
 
-use allfp::{Engine, EngineConfig, QuerySpec, TravelFnCache};
+use allfp::{CancelToken, Engine, EngineConfig, QueryOutcome, QuerySpec, TravelFnCache};
 use pwl::time::hm;
 use pwl::Interval;
 use roadnet::generators::random_geometric;
@@ -155,6 +155,52 @@ fn batch_stress_matches_serial_across_widths() {
                         if b.is_ok() { "succeeded" } else { "failed" },
                     ),
                 }
+            }
+        }
+    }
+}
+
+#[test]
+fn robust_batch_is_exact_across_widths() {
+    // the fault-tolerant entry point must preserve the plain batch's
+    // exactness guarantee at every width when nothing goes wrong
+    let net = random_geometric(100, 5.0, 3, 11).unwrap();
+    let engine = Engine::new(&net, EngineConfig::default());
+    let n = net.n_nodes() as u32;
+
+    let mut x = 0x000B_0B5E_u64;
+    let queries: Vec<QuerySpec> = (0..16)
+        .map(|_| {
+            let s = NodeId((lcg(&mut x) % u64::from(n)) as u32);
+            let e = NodeId((lcg(&mut x) % u64::from(n)) as u32);
+            let lo = hm(7, 0) + (lcg(&mut x) % 90) as f64;
+            QuerySpec::new(s, e, Interval::of(lo, lo + 20.0), DayCategory::WORKDAY)
+        })
+        .collect();
+
+    let serial: Vec<_> = queries
+        .iter()
+        .map(|q| engine.all_fastest_paths(q))
+        .collect();
+
+    for workers in [2usize, 4, 8] {
+        let (batch, stats) = engine.run_batch_robust(&queries, workers, &CancelToken::new());
+        assert_eq!(stats.total_queries(), queries.len());
+        for (i, (s, b)) in serial.iter().zip(batch.iter()).enumerate() {
+            match (s, b) {
+                (Ok(s), Ok(QueryOutcome::Exact(b))) => {
+                    assert_eq!(s.partition.len(), b.partition.len(), "query {i}");
+                    for (x, y) in s.partition.iter().zip(b.partition.iter()) {
+                        assert!(x.0.approx_eq(&y.0));
+                        assert_eq!(s.paths[x.1].nodes, b.paths[y.1].nodes);
+                    }
+                }
+                (Err(_), Err(_)) => {}
+                (s, b) => panic!(
+                    "query {i} workers {workers}: serial {:?} vs robust {:?}",
+                    s.is_ok(),
+                    b.is_ok()
+                ),
             }
         }
     }

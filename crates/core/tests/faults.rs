@@ -1,0 +1,357 @@
+//! End-to-end fault tolerance: the query engine over a CCAM store
+//! with deterministic faults injected below it.
+//!
+//! The storage stack under test is the full production layering
+//!
+//! ```text
+//! CcamStore → BufferPool (bounded retry) → ChecksummedStore
+//!           → FaultInjectingStore (seeded schedule) → MemStore
+//! ```
+//!
+//! and the properties asserted are the ISSUE's acceptance criteria:
+//!
+//! * under seeded transient-read faults, a concurrent batch completes
+//!   **every** query with answers identical to a fault-free serial run
+//!   (the retry layer absorbs the faults; nothing leaks upward);
+//! * the same seed replays the same fault schedule byte-for-byte;
+//! * a bit-flipped page is detected as `Corruption` and surfaces as a
+//!   typed [`EngineError::Storage`] — flipped bytes are never served
+//!   as route data;
+//! * an exhausted per-query budget yields a [`QueryOutcome::Degraded`]
+//!   answer whose constant-speed fallback is a real, drivable path;
+//! * a query that panics mid-search fails in its own slot while its
+//!   batch siblings complete exactly;
+//! * a pre-cancelled batch reports `Cancelled` for every slot.
+
+use std::sync::Arc;
+
+use allfp::baseline::evaluate_path;
+use allfp::{
+    CancelToken, DegradedReason, Engine, EngineConfig, EngineError, QueryBudget, QueryOutcome,
+    QuerySpec,
+};
+use ccam::{
+    BlockStore, CcamStore, ChecksummedStore, FaultInjectingStore, FaultPlan, MemStore,
+    PlacementPolicy, DEFAULT_PAGE_SIZE,
+};
+use pwl::time::hm;
+use pwl::Interval;
+use roadnet::generators::{grid, random_geometric};
+use roadnet::{NetworkSource, NodeId, RoadNetwork, StorageFaultKind};
+use traffic::{DayCategory, RoadClass};
+
+/// Deterministic 64-bit LCG (same constants as `MMIX`).
+fn lcg(x: &mut u64) -> u64 {
+    *x = x
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *x
+}
+
+/// The production storage layering with a fault schedule at the
+/// bottom: returns the raw store, the injector (for its event log),
+/// and the checksummed top of the stack.
+fn faulty_stack(plan: FaultPlan) -> (Arc<MemStore>, Arc<FaultInjectingStore>, Arc<dyn BlockStore>) {
+    let raw = Arc::new(MemStore::new(DEFAULT_PAGE_SIZE));
+    let injected = Arc::new(FaultInjectingStore::new(
+        Arc::clone(&raw) as Arc<dyn BlockStore>,
+        plan,
+    ));
+    let top: Arc<dyn BlockStore> = Arc::new(ChecksummedStore::new(
+        Arc::clone(&injected) as Arc<dyn BlockStore>
+    ));
+    (raw, injected, top)
+}
+
+fn sample_queries(net: &RoadNetwork, n: usize, seed: u64) -> Vec<QuerySpec> {
+    let nodes = net.n_nodes() as u64;
+    let mut x = seed ^ 0xFA17_FA17;
+    (0..n)
+        .map(|_| {
+            let s = NodeId((lcg(&mut x) % nodes) as u32);
+            let e = loop {
+                let c = NodeId((lcg(&mut x) % nodes) as u32);
+                if c != s {
+                    break c;
+                }
+            };
+            let lo = hm(6, 30) + (lcg(&mut x) % 120) as f64;
+            QuerySpec::new(s, e, Interval::of(lo, lo + 25.0), DayCategory::WORKDAY)
+        })
+        .collect()
+}
+
+/// Batch answers over a store with scheduled transient read faults
+/// must be identical to a fault-free serial run: the buffer pool's
+/// bounded retry absorbs every injected fault and no query fails.
+#[test]
+fn batch_over_faulty_store_matches_fault_free_serial() {
+    let net = random_geometric(100, 4.0, 3, 9).unwrap();
+    // every-5th read fails transiently (period >= 2, so a single retry
+    // always lands — see the FaultInjectingStore schedule model)
+    let (_raw, injected, top) = faulty_stack(FaultPlan::quiet(21).with_transient_reads(5));
+    let disk = CcamStore::build(&net, top, PlacementPolicy::ConnectivityClustered, 64).unwrap();
+    disk.clear_cache().unwrap();
+
+    let queries = sample_queries(&net, 12, 77);
+    let oracle = Engine::new(&net, EngineConfig::default());
+    let serial: Vec<_> = queries
+        .iter()
+        .map(|q| oracle.all_fastest_paths(q))
+        .collect();
+
+    let engine = Engine::new(&disk, EngineConfig::default());
+    let (batch, stats) = engine.run_batch_with_threads(&queries, 4);
+    assert_eq!(stats.total_queries(), queries.len());
+
+    for (i, (s, b)) in serial.iter().zip(batch.iter()).enumerate() {
+        match (s, b) {
+            (Ok(s), Ok(b)) => {
+                assert_eq!(s.partition.len(), b.partition.len(), "query {i}");
+                for (x, y) in s.partition.iter().zip(b.partition.iter()) {
+                    assert!(x.0.approx_eq(&y.0), "query {i}");
+                    assert_eq!(s.paths[x.1].nodes, b.paths[y.1].nodes, "query {i}");
+                }
+            }
+            // only structural failures (unreachable pair) may agree to
+            // fail; a storage fault must never surface
+            (
+                Err(allfp::AllFpError::Unreachable { .. }),
+                Err(allfp::AllFpError::Unreachable { .. }),
+            ) => {}
+            (s, b) => panic!(
+                "query {i}: serial {:?} vs faulty batch {:?}",
+                s.as_ref().map(|_| "ok"),
+                b.as_ref().map(|_| "ok"),
+            ),
+        }
+    }
+
+    // faults really fired, and the pool really retried through them
+    assert!(injected.n_faults() > 0, "schedule never fired");
+    let io = disk.pool().store().io_stats();
+    assert!(io.retries() > 0, "no retries recorded");
+    assert_eq!(io.corruptions(), 0, "transient faults must not corrupt");
+}
+
+/// The same seed over the same workload replays the identical fault
+/// schedule — event for event — which is what makes a faulty failure
+/// reproducible offline.
+#[test]
+fn same_seed_replays_identical_fault_schedule() {
+    let net = grid(8, 8, 0.25, RoadClass::LocalBoston).unwrap();
+    let queries = sample_queries(&net, 6, 3);
+
+    let run = |seed: u64| {
+        let (_raw, injected, top) = faulty_stack(FaultPlan::quiet(seed).with_transient_reads(4));
+        let disk = CcamStore::build(&net, top, PlacementPolicy::HilbertPacked, 32).unwrap();
+        disk.clear_cache().unwrap();
+        let engine = Engine::new(&disk, EngineConfig::default());
+        // serial, so the physical-operation order is deterministic
+        for q in &queries {
+            let _ = engine.all_fastest_paths(q);
+        }
+        injected.events()
+    };
+
+    let a = run(5);
+    assert!(!a.is_empty(), "schedule never fired");
+    assert_eq!(a, run(5), "same seed must replay the identical log");
+    assert_ne!(a, run(6), "a different seed must phase-shift the schedule");
+}
+
+/// A bit flipped beneath the checksum layer is detected on the next
+/// fault-in and surfaces as a typed `Corruption` storage error — the
+/// engine never sees (let alone routes on) the damaged bytes.
+#[test]
+fn bit_flipped_page_is_detected_never_served() {
+    let net = grid(6, 6, 0.3, RoadClass::LocalOutside).unwrap();
+    let raw: Arc<dyn BlockStore> = Arc::new(MemStore::new(DEFAULT_PAGE_SIZE));
+    let top: Arc<dyn BlockStore> = Arc::new(ChecksummedStore::new(Arc::clone(&raw)));
+    let disk = CcamStore::build(&net, top, PlacementPolicy::ConnectivityClustered, 64).unwrap();
+
+    let queries = sample_queries(&net, 4, 13);
+    let engine = Engine::new(&disk, EngineConfig::default());
+    // sanity: the pristine store answers exactly
+    for q in &queries {
+        assert!(matches!(engine.run_robust(q), Ok(QueryOutcome::Exact(_))));
+    }
+
+    // flip one payload bit in every page, bypassing the checksum layer
+    // (modelling at-rest media corruption), then drop the clean cache
+    let page_size = raw.page_size();
+    for id in 0..raw.n_pages() {
+        let mut page = vec![0u8; page_size];
+        raw.read_page(id, &mut page).unwrap();
+        page[page_size / 2] ^= 0x10;
+        raw.write_page(id, &page).unwrap();
+    }
+    disk.clear_cache().unwrap();
+
+    for q in &queries {
+        match engine.run_robust(q) {
+            Err(EngineError::Storage { kind, .. }) => {
+                assert_eq!(kind, StorageFaultKind::Corruption)
+            }
+            other => panic!("corrupt store served an answer: {other:?}"),
+        }
+    }
+    // batch slots report the same typed failure; none succeed
+    let (results, _) = engine.run_batch_robust(&queries, 2, &CancelToken::new());
+    for r in &results {
+        assert!(
+            matches!(
+                r,
+                Err(EngineError::Storage {
+                    kind: StorageFaultKind::Corruption,
+                    ..
+                })
+            ),
+            "slot over corrupt store: {r:?}"
+        );
+    }
+    assert!(
+        disk.pool().store().io_stats().corruptions() > 0,
+        "checksum layer never counted the corruption"
+    );
+}
+
+/// Exhausting a per-query expansion budget over the disk store yields
+/// a `Degraded` answer whose constant-speed fallback is a real path
+/// that drives from source to target.
+#[test]
+fn exhausted_budget_over_disk_store_degrades_with_fallback() {
+    let net = grid(5, 5, 0.3, RoadClass::LocalOutside).unwrap();
+    let (_raw, _injected, top) = faulty_stack(FaultPlan::quiet(17).with_transient_reads(6));
+    let disk = CcamStore::build(&net, top, PlacementPolicy::ConnectivityClustered, 64).unwrap();
+    let engine = Engine::new(&disk, EngineConfig::default());
+
+    let q = QuerySpec::new(
+        NodeId(0),
+        NodeId(24),
+        Interval::of(hm(7, 0), hm(7, 30)),
+        DayCategory::WORKDAY,
+    )
+    .with_budget(QueryBudget::unlimited().with_max_expansions(2));
+
+    match engine.run_robust(&q).unwrap() {
+        QueryOutcome::Degraded(d) => {
+            assert_eq!(d.reason, DegradedReason::ExpansionsExhausted);
+            let nodes = &d.fallback.nodes;
+            assert_eq!(nodes.first(), Some(&q.source));
+            assert_eq!(nodes.last(), Some(&q.target));
+            // the fallback's travel function matches actually driving
+            // the route on the (time-dependent) network
+            for l in [q.interval.lo(), q.interval.mid(), q.interval.hi()] {
+                let driven = evaluate_path(&net, nodes, l, q.category).unwrap();
+                let claimed = d.fallback.travel.eval_clamped(l);
+                assert!(
+                    (driven - claimed).abs() <= 1e-6 * (1.0 + driven),
+                    "fallback claims {claimed} but drives {driven} at l={l}"
+                );
+            }
+            assert!(d.fallback_travel_minutes > 0.0);
+        }
+        other => panic!("expected a degraded answer, got {other:?}"),
+    }
+}
+
+/// A `NetworkSource` whose adjacency read panics for one poisoned
+/// node. The node has no incoming edges, so only a search *starting*
+/// there ever expands it — sibling queries are deterministic.
+struct PanicSource<'a> {
+    inner: &'a RoadNetwork,
+    poison: NodeId,
+}
+
+impl NetworkSource for PanicSource<'_> {
+    fn n_nodes(&self) -> usize {
+        NetworkSource::n_nodes(self.inner)
+    }
+
+    fn find_node(&self, node: NodeId) -> roadnet::Result<roadnet::Point> {
+        self.inner.find_node(node)
+    }
+
+    fn successors(&self, node: NodeId) -> roadnet::Result<Vec<roadnet::Edge>> {
+        assert!(node != self.poison, "poisoned adjacency read");
+        self.inner.successors(node)
+    }
+
+    fn pattern(&self, id: roadnet::PatternId) -> roadnet::Result<&traffic::CapeCodPattern> {
+        self.inner.pattern(id)
+    }
+
+    fn max_speed(&self) -> f64 {
+        NetworkSource::max_speed(self.inner)
+    }
+}
+
+/// A deliberately panicking query errors in its own batch slot while
+/// every sibling completes with the exact answer.
+#[test]
+fn panicking_query_fails_in_its_own_slot() {
+    let mut net = grid(4, 4, 0.3, RoadClass::LocalOutside).unwrap();
+    // poison node: outgoing edge only, so no sibling search can reach
+    // (and therefore never expands) it
+    let poison = net.add_node(2.0, 2.0).unwrap();
+    net.add_class_edge(poison, NodeId(15), 2.0, RoadClass::LocalOutside)
+        .unwrap();
+
+    let iv = Interval::of(hm(7, 0), hm(7, 20));
+    let queries = vec![
+        QuerySpec::new(NodeId(0), NodeId(15), iv, DayCategory::WORKDAY),
+        QuerySpec::new(NodeId(3), NodeId(12), iv, DayCategory::WORKDAY),
+        QuerySpec::new(poison, NodeId(0), iv, DayCategory::WORKDAY),
+        QuerySpec::new(NodeId(5), NodeId(10), iv, DayCategory::WORKDAY),
+        QuerySpec::new(NodeId(12), NodeId(3), iv, DayCategory::WORKDAY),
+    ];
+
+    let src = PanicSource {
+        inner: &net,
+        poison,
+    };
+    let engine = Engine::new(&src, EngineConfig::default());
+    let clean = Engine::new(&net, EngineConfig::default());
+
+    let (results, stats) = engine.run_batch_robust(&queries, 3, &CancelToken::new());
+    assert_eq!(stats.total_queries(), queries.len());
+    for (i, (q, r)) in queries.iter().zip(results.iter()).enumerate() {
+        if q.source == poison {
+            assert!(
+                matches!(r, Err(EngineError::Panicked(_))),
+                "poisoned slot {i}: {r:?}"
+            );
+            continue;
+        }
+        let got = match r {
+            Ok(QueryOutcome::Exact(a)) => a,
+            other => panic!("sibling slot {i} did not complete exactly: {other:?}"),
+        };
+        let want = clean.all_fastest_paths(q).unwrap();
+        assert_eq!(want.partition.len(), got.partition.len(), "slot {i}");
+        for (x, y) in want.partition.iter().zip(got.partition.iter()) {
+            assert!(x.0.approx_eq(&y.0), "slot {i}");
+            assert_eq!(want.paths[x.1].nodes, got.paths[y.1].nodes, "slot {i}");
+        }
+    }
+}
+
+/// Cancelling before the batch starts cancels every slot — over the
+/// real disk stack, not just the in-memory engine.
+#[test]
+fn pre_cancelled_batch_cancels_every_slot_over_disk() {
+    let net = grid(5, 5, 0.3, RoadClass::LocalBoston).unwrap();
+    let (_raw, _injected, top) = faulty_stack(FaultPlan::quiet(2).with_transient_reads(7));
+    let disk = CcamStore::build(&net, top, PlacementPolicy::HilbertPacked, 32).unwrap();
+    let engine = Engine::new(&disk, EngineConfig::default());
+
+    let queries = sample_queries(&net, 6, 99);
+    let token = CancelToken::new();
+    token.cancel();
+    let (results, stats) = engine.run_batch_robust(&queries, 3, &token);
+    assert_eq!(stats.total_queries(), queries.len());
+    for r in &results {
+        assert!(matches!(r, Err(EngineError::Cancelled)), "{r:?}");
+    }
+}

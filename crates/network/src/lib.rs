@@ -41,6 +41,26 @@ pub use graph::{Edge, NodeId, PatternId, Point, RoadNetwork};
 pub use source::NetworkSource;
 pub use stats::NetworkStats;
 
+/// Failure class of a storage-layer error surfaced through a
+/// [`NetworkSource`] backed by disk (see `fp-ccam`).
+///
+/// The network crate knows nothing about pages or checksums; it only
+/// carries the *class* so engine-level callers can route on it —
+/// retry transients, refuse corrupted data, report I/O.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageFaultKind {
+    /// Data failed an integrity check (checksum/format mismatch).
+    /// Never retryable: the bytes on disk are wrong.
+    Corruption,
+    /// A transient fault (interrupted read/write) that exhausted the
+    /// storage layer's bounded retries. Safe to retry the whole query.
+    Transient,
+    /// A hard I/O failure from the operating system.
+    Io,
+    /// Any other storage-layer failure.
+    Other,
+}
+
 /// Errors from network construction and lookup.
 #[derive(Debug, Clone, PartialEq)]
 pub enum NetworkError {
@@ -67,6 +87,15 @@ pub enum NetworkError {
     },
     /// Propagated traffic-layer error.
     Traffic(traffic::TrafficError),
+    /// A storage-layer failure from a disk-backed [`NetworkSource`]
+    /// (classified so callers can route on the failure class rather
+    /// than pattern-match on message text).
+    Storage {
+        /// What class of failure this is.
+        kind: StorageFaultKind,
+        /// Human-readable detail from the storage layer.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for NetworkError {
@@ -83,6 +112,9 @@ impl std::fmt::Display for NetworkError {
                 write!(f, "parse error at line {line}: {message}")
             }
             NetworkError::Traffic(e) => write!(f, "traffic error: {e}"),
+            NetworkError::Storage { kind, message } => {
+                write!(f, "storage failure ({kind:?}): {message}")
+            }
         }
     }
 }

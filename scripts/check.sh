@@ -23,7 +23,13 @@ echo "==> concurrency stress (RUST_TEST_THREADS unpinned)"
 env -u RUST_TEST_THREADS cargo test -q -p fp-allfp --test concurrency
 env -u RUST_TEST_THREADS cargo test -q -p fp-ccam concurrent
 
-echo "==> batch-driver smoke (answers + scaling regression gate)"
+# Fault tolerance end to end: seeded fault schedules under the live
+# query stack, corruption detection, budget degradation, panic
+# isolation. Unpinned for the same reason as the concurrency stress.
+echo "==> fault-injection stress (RUST_TEST_THREADS unpinned)"
+env -u RUST_TEST_THREADS cargo test -q -p fp-allfp --test faults
+
+echo "==> batch-driver smoke (answers + scaling + checksum-overhead gates)"
 cargo bench -p fp-bench --bench engine_hotpath -- --smoke
 
 echo "All checks passed."
