@@ -13,8 +13,12 @@
 //! `--smoke` runs a reduced workload instead of the benchmarks: it
 //! verifies the batch driver returns exactly the serial answers at
 //! every swept width and fails (non-zero exit) on answer divergence,
-//! a gross batch-overhead regression, or page-checksum verification
-//! costing more than 3% on a cold-cache fault-free disk workload,
+//! a gross batch-overhead regression, page-checksum verification
+//! costing more than 3% on a cold-cache fault-free disk workload, or
+//! an allocation regression — the pooled PWL kernels (compose +
+//! envelope merge) must run their steady-state loop with **zero** heap
+//! allocations under the crate's counting allocator, and the whole
+//! engine must stay under a per-expansion allocation budget — all
 //! without touching the JSON report. `scripts/check.sh` runs it on
 //! every check.
 
@@ -26,8 +30,9 @@ use criterion::{black_box, criterion_group, Criterion};
 use fpbench::{Scale, Scenario};
 
 use allfp::{BatchStats, Engine, EngineConfig, QuerySpec};
+use fpbench::alloc::snapshot;
 use pwl::time::hm;
-use pwl::Interval;
+use pwl::{compose_travel_into, Envelope, Interval, Pwl, PwlScratch};
 use roadnet::workload::sample_pairs;
 use roadnet::RoadNetwork;
 use traffic::DayCategory;
@@ -193,6 +198,84 @@ fn measure_checksum_overhead(
     }
 }
 
+/// Allocation profile of the serial engine workload.
+struct AllocProfile {
+    allocs_per_expansion: f64,
+    bytes_per_query: f64,
+}
+
+/// Measure allocator traffic of a warm width-1 batch (one persistent
+/// session, no helper threads — the counting allocator is
+/// process-wide, so the measured region must be single-threaded).
+///
+/// The warm-up batch fills the shared travel-function cache; the
+/// session (and with it the scratch pool and L1) is still private to
+/// each batch call, so the measured numbers include the per-batch
+/// warm-up of those — an honest end-to-end budget, not a best case.
+fn measure_allocs(engine: &Engine<'_, RoadNetwork>, queries: &[QuerySpec]) -> AllocProfile {
+    let _ = engine.run_batch_with_threads(queries, 1);
+    let before = snapshot();
+    let (results, _) = engine.run_batch_with_threads(queries, 1);
+    let delta = snapshot().since(&before);
+    let expanded: usize = results
+        .iter()
+        .flatten()
+        .map(|a| a.stats.expanded_paths)
+        .sum();
+    AllocProfile {
+        allocs_per_expansion: delta.allocs as f64 / expanded.max(1) as f64,
+        bytes_per_query: delta.bytes as f64 / queries.len().max(1) as f64,
+    }
+}
+
+/// The steady-state kernel loop the zero-allocation gate measures:
+/// one §4.4 compound composition plus one lower-border merge, with the
+/// composed function recycled back into the pool — exactly the work
+/// the engine does per surviving candidate expansion.
+fn kernel_step(scratch: &mut PwlScratch, env: &mut Envelope<usize>, t1: &Pwl, t2: &Pwl) {
+    let composed = compose_travel_into(scratch, t1, t2).expect("compose succeeds");
+    env.merge_min_with(scratch, &composed, 1)
+        .expect("merge succeeds");
+    scratch.recycle(composed);
+}
+
+/// Zero-allocation gate for the pooled PWL kernels: after a short
+/// warm-up (pool fills, buffers reach capacity), [`kernel_step`] must
+/// not allocate at all. Returns the allocation count the measured loop
+/// observed (0 = pass).
+fn kernel_steady_state_allocs() -> u64 {
+    const WARMUP: usize = 8;
+    const ITERS: usize = 100;
+    // A path function with rush-hour shape (slopes > −1, FIFO-safe)...
+    let t1 = Pwl::from_points(&[
+        (hm(7, 0), 10.0),
+        (hm(8, 0), 16.0),
+        (hm(9, 0), 9.0),
+        (hm(10, 0), 12.0),
+    ])
+    .expect("t1 well formed");
+    // ...and an edge function covering every arrival `l + t1(l)`.
+    let t2 = Pwl::from_points(&[
+        (hm(7, 0), 8.0),
+        (hm(8, 20), 12.0),
+        (hm(9, 20), 6.0),
+        (hm(10, 40), 10.0),
+    ])
+    .expect("t2 well formed");
+    let base = Pwl::constant(Interval::of(hm(7, 0), hm(10, 0)), 14.0).expect("base well formed");
+
+    let mut scratch = PwlScratch::new();
+    let mut env = Envelope::new(base, 0usize);
+    for _ in 0..WARMUP {
+        kernel_step(&mut scratch, &mut env, &t1, &t2);
+    }
+    let before = snapshot();
+    for _ in 0..ITERS {
+        kernel_step(&mut scratch, &mut env, &t1, &t2);
+    }
+    snapshot().since(&before).allocs
+}
+
 /// One point on the batch scaling curve.
 struct SweepPoint {
     threads: usize,
@@ -208,6 +291,8 @@ fn to_json(
     sweep: &[SweepPoint],
     speedup_cache: f64,
     checksum: &ChecksumOverhead,
+    alloc: &AllocProfile,
+    kernel_allocs: u64,
 ) -> String {
     let mut out = String::from("{\n  \"benchmark\": \"engine_hotpath\",\n");
     out.push_str("  \"workload\": \"fig9 morning rush, metro-medium, allFP\",\n");
@@ -250,8 +335,15 @@ fn to_json(
     ));
     out.push_str(&format!(
         "  \"checksum_overhead\": {{\"plain_wall_seconds\": {:.6}, \
-         \"checksummed_wall_seconds\": {:.6}, \"overhead_ratio\": {:.4}, \"budget\": 1.03}}\n",
+         \"checksummed_wall_seconds\": {:.6}, \"overhead_ratio\": {:.4}, \"budget\": 1.03}},\n",
         checksum.plain_wall_seconds, checksum.checksummed_wall_seconds, checksum.overhead_ratio,
+    ));
+    out.push_str(&format!(
+        "  \"alloc\": {{\"allocs_per_expansion\": {:.2}, \"bytes_per_query\": {:.0}, \
+         \"kernel_steady_state_allocs\": {kernel_allocs}, \
+         \"note\": \"counting global allocator over a warm width-1 batch; kernel loop \
+         (compose + envelope merge on pooled scratch) must stay at 0\"}}\n",
+        alloc.allocs_per_expansion, alloc.bytes_per_query,
     ));
     out.push_str("}\n");
     out
@@ -311,7 +403,16 @@ fn emit_report() {
         .collect();
     let speedup_cache = rows[0].wall_seconds / rows[1].wall_seconds;
     let checksum = measure_checksum_overhead(net, &queries, 3);
-    let json = to_json(&rows, &sweep, speedup_cache, &checksum);
+    let alloc = measure_allocs(&cached, &queries);
+    let kernel_allocs = kernel_steady_state_allocs();
+    let json = to_json(
+        &rows,
+        &sweep,
+        speedup_cache,
+        &checksum,
+        &alloc,
+        kernel_allocs,
+    );
 
     // CARGO_MANIFEST_DIR = crates/bench; the report lives at the root.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
@@ -420,6 +521,37 @@ fn smoke() -> i32 {
             failures += 1;
         }
     }
+    // Allocation gates. Strict zero for the pooled kernels: the
+    // steady-state compose + envelope-merge loop must never touch the
+    // heap once the scratch pool is warm. The whole-engine number is a
+    // budget, not a zero: per-query setup (visited bitmap, answer
+    // materialization, heap/arena growth) legitimately allocates and
+    // amortizes over the dozens-to-hundreds of expansions per query —
+    // the budget trips when someone reintroduces per-expansion
+    // allocations into the inner loop. Measured ~2.9 on this workload
+    // with the pooled kernels; the budget leaves ~2x headroom.
+    const MAX_ALLOCS_PER_EXPANSION: f64 = 6.0;
+    let kernel_allocs = kernel_steady_state_allocs();
+    println!("smoke: pooled-kernel steady-state allocations: {kernel_allocs} (must be 0)");
+    if kernel_allocs != 0 {
+        eprintln!(
+            "SMOKE FAIL: pooled PWL kernels allocated {kernel_allocs} time(s) in the warm loop"
+        );
+        failures += 1;
+    }
+    let alloc = measure_allocs(&engine, &queries);
+    println!(
+        "smoke: {:.2} allocs/expansion, {:.0} bytes/query (budget {MAX_ALLOCS_PER_EXPANSION} allocs/expansion)",
+        alloc.allocs_per_expansion, alloc.bytes_per_query
+    );
+    if alloc.allocs_per_expansion > MAX_ALLOCS_PER_EXPANSION {
+        eprintln!(
+            "SMOKE FAIL: engine allocates {:.2} times per expansion (budget {MAX_ALLOCS_PER_EXPANSION})",
+            alloc.allocs_per_expansion
+        );
+        failures += 1;
+    }
+
     // Checksum budget: verifying a CRC on every buffer-pool fault-in
     // must stay in the noise on a fault-free workload. Cold caches
     // every rep, so the gate actually exercises verification.
@@ -449,9 +581,37 @@ fn smoke() -> i32 {
     }
 }
 
+/// `--spin`: run the warm serial cache-on loop for ~5 seconds and
+/// nothing else — a steady target for sampling profilers (the report
+/// interleaves six configurations, so profiles of it mostly show the
+/// cold-cache storage stacks).
+fn spin() {
+    let scenario = Scenario::new(Scale::Medium, 0x5EED);
+    let net = &scenario.net;
+    let queries = workload(net, 24);
+    let cached = Engine::new(net, EngineConfig::default());
+    let start = Instant::now();
+    let mut reps = 0usize;
+    while start.elapsed().as_secs_f64() < 5.0 {
+        for q in &queries {
+            std::hint::black_box(cached.all_fastest_paths(q).ok());
+        }
+        reps += 1;
+    }
+    println!(
+        "spin: {reps} reps x {} queries in {:.2}s",
+        queries.len(),
+        start.elapsed().as_secs_f64()
+    );
+}
+
 fn main() {
     if std::env::args().any(|a| a == "--smoke") {
         std::process::exit(smoke());
+    }
+    if std::env::args().any(|a| a == "--spin") {
+        spin();
+        return;
     }
     // `--report`: refresh BENCH_engine.json without the Criterion runs.
     if !std::env::args().any(|a| a == "--report") {

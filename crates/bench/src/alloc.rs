@@ -1,0 +1,124 @@
+//! A counting global allocator for allocation-gated benchmarks.
+//!
+//! Every binary, bench and test in this crate runs under
+//! [`CountingAlloc`]: a thin wrapper over the system allocator that
+//! counts allocation events and requested bytes in relaxed atomics.
+//! [`snapshot`] reads the counters; subtracting two snapshots bounds
+//! the allocator traffic of the code between them — this is how
+//! `engine_hotpath --smoke` proves the pooled PWL kernels run the
+//! steady-state expansion loop without touching the heap, and how the
+//! report computes `allocs_per_expansion` / `bytes_per_query`.
+//!
+//! Counting is *events on this thread or any other* — the counters are
+//! process-wide. Measured regions in the gates therefore run
+//! single-threaded (the width-1 batch driver spawns no threads).
+//!
+//! Deallocations are deliberately not counted: the gates care about
+//! pressure on the allocator's fast path, and every steady-state
+//! dealloc has a matching alloc anyway.
+
+// The one place in the workspace that must implement `GlobalAlloc`,
+// which is an `unsafe` trait by definition. The implementation adds
+// nothing to the system allocator's contract: it forwards every call
+// verbatim and only touches two atomics on the side.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// System allocator wrapper that tallies allocation events and bytes.
+#[derive(Debug)]
+pub struct CountingAlloc;
+
+// SAFETY: defers every allocation verbatim to `System`, which upholds
+// the `GlobalAlloc` contract; the counter updates have no effect on
+// the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// A point-in-time reading of the process-wide allocation counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    /// Allocation events (alloc + alloc_zeroed + realloc) so far.
+    pub allocs: u64,
+    /// Bytes requested across those events.
+    pub bytes: u64,
+}
+
+impl AllocSnapshot {
+    /// Counter deltas from `earlier` to `self` (saturating, in case the
+    /// caller swaps the operands).
+    pub fn since(&self, earlier: &AllocSnapshot) -> AllocSnapshot {
+        AllocSnapshot {
+            allocs: self.allocs.saturating_sub(earlier.allocs),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+        }
+    }
+}
+
+/// Read the current allocation counters.
+pub fn snapshot() -> AllocSnapshot {
+    AllocSnapshot {
+        allocs: ALLOCS.load(Ordering::Relaxed),
+        bytes: BYTES.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_vec_growth() {
+        let before = snapshot();
+        let mut v: Vec<u64> = Vec::with_capacity(0);
+        for i in 0..1024u64 {
+            v.push(i);
+        }
+        let delta = snapshot().since(&before);
+        assert!(delta.allocs >= 1, "vec growth must register: {delta:?}");
+        assert!(delta.bytes >= 1024 * 8);
+        drop(v);
+    }
+
+    #[test]
+    fn reused_capacity_is_free() {
+        let mut v: Vec<u64> = Vec::with_capacity(4096);
+        let before = snapshot();
+        for _ in 0..8 {
+            v.clear();
+            for i in 0..4096u64 {
+                v.push(i);
+            }
+        }
+        let delta = snapshot().since(&before);
+        assert_eq!(delta.allocs, 0, "no growth, no allocations: {delta:?}");
+    }
+}

@@ -17,6 +17,7 @@
 //! | A-3 CCAM placement / buffer pool | [`ablations::ccam_placement`] | `ablation-ccam` |
 
 pub mod ablations;
+pub mod alloc;
 pub mod const_speed;
 pub mod fig10;
 pub mod fig9;

@@ -143,11 +143,25 @@ impl BTree {
     pub fn get(&self, key: u64) -> Result<Option<u64>> {
         let leaf = self.descend_to_leaf(key)?;
         self.pool.with_page(leaf, |page| {
-            let (entries, _) = parse_leaf(page)?;
-            Ok(entries
-                .binary_search_by_key(&key, |&(k, _)| k)
-                .ok()
-                .map(|i| entries[i].1))
+            // Binary-search the fixed-width entry array in place; the
+            // full `parse_leaf` materialization is reserved for
+            // structural edits and range scans. This is the hot read
+            // path — one call per `node_record`.
+            let n = check_leaf(page)?;
+            let entries = &page[LEAF_HDR..LEAF_HDR + n * LEAF_ENTRY];
+            let (mut lo, mut hi) = (0usize, n);
+            while lo < hi {
+                let mid = usize::midpoint(lo, hi);
+                if read_u64_at(entries, mid * LEAF_ENTRY) < key {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            if lo < n && read_u64_at(entries, lo * LEAF_ENTRY) == key {
+                return Ok(Some(read_u64_at(entries, lo * LEAF_ENTRY + 8)));
+            }
+            Ok(None)
         })?
     }
 
@@ -343,22 +357,33 @@ impl BTree {
         let mut page_id = self.root;
         for _ in 1..self.height {
             page_id = self.pool.with_page(page_id, |page| {
-                let mut buf = page;
-                let kind = buf.get_u8();
-                if kind != KIND_INTERNAL {
+                // In-place binary search over the key array (children
+                // follow right after it) — no materialized key Vec on
+                // the read path.
+                if page.len() < INTERNAL_HDR || page[0] != KIND_INTERNAL {
                     return Err(CcamError::Corrupt(format!(
-                        "expected internal node, found kind {kind}"
+                        "expected internal node, found kind {}",
+                        page.first().copied().unwrap_or(0)
                     )));
                 }
-                let n = buf.get_u16_le() as usize;
-                let mut keys = Vec::with_capacity(n);
-                for _ in 0..n {
-                    keys.push(buf.get_u64_le());
+                let n = u16::from_le_bytes([page[1], page[2]]) as usize;
+                if INTERNAL_HDR + n * 8 + (n + 1) * 8 > page.len() {
+                    return Err(CcamError::Corrupt(format!(
+                        "internal node claims {n} keys beyond the page"
+                    )));
                 }
-                let idx = keys.partition_point(|&k| k <= key);
-                // skip idx children
-                buf.advance(idx * 8);
-                Ok(buf.get_u64_le())
+                let keys = &page[INTERNAL_HDR..INTERNAL_HDR + n * 8];
+                // partition_point(|k| k <= key) over the raw key array.
+                let (mut lo, mut hi) = (0usize, n);
+                while lo < hi {
+                    let mid = usize::midpoint(lo, hi);
+                    if read_u64_at(keys, mid * 8) <= key {
+                        lo = mid + 1;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                Ok(read_u64_at(page, INTERNAL_HDR + n * 8 + lo * 8))
             })??;
         }
         Ok(page_id)
@@ -376,6 +401,37 @@ fn write_leaf(buf: &mut Vec<u8>, entries: &[(u64, u64)], next: u64, page_size: u
         buf.put_u64_le(*v);
     }
     buf.resize(page_size, 0);
+}
+
+/// Leaf header bytes: kind (1) + entry count (2) + next pointer (8).
+const LEAF_HDR: usize = 11;
+/// Bytes per leaf entry: key (8) + value (8).
+const LEAF_ENTRY: usize = 16;
+/// Internal-node header bytes: kind (1) + key count (2).
+const INTERNAL_HDR: usize = 3;
+
+/// Validate a leaf header and return its entry count.
+fn check_leaf(page: &[u8]) -> Result<usize> {
+    if page.len() < LEAF_HDR || page[0] != KIND_LEAF {
+        return Err(CcamError::Corrupt(format!(
+            "expected leaf, found kind {}",
+            page.first().copied().unwrap_or(0)
+        )));
+    }
+    let n = u16::from_le_bytes([page[1], page[2]]) as usize;
+    if LEAF_HDR + n * LEAF_ENTRY > page.len() {
+        return Err(CcamError::Corrupt(format!(
+            "leaf claims {n} entries beyond the page"
+        )));
+    }
+    Ok(n)
+}
+
+/// Read a little-endian `u64` at byte offset `at`.
+fn read_u64_at(b: &[u8], at: usize) -> u64 {
+    let mut w = [0u8; 8];
+    w.copy_from_slice(&b[at..at + 8]);
+    u64::from_le_bytes(w)
 }
 
 /// Parse a leaf page into its entries and next pointer.

@@ -224,15 +224,38 @@ impl CcamStore {
 
     /// Full node record (`FindNode` + adjacency, one logical access).
     pub fn node_record(&self, node: NodeId) -> Result<NodeRecord> {
+        let (page_id, slot) = self.record_addr(node)?;
+        self.pool.with_page(page_id, |bytes| {
+            NodeRecord::decode(crate::page::slot_in(bytes, slot)?)
+        })?
+    }
+
+    /// Location-only lookup: decodes just the record header, skipping
+    /// the adjacency list (the engine asks for locations once per
+    /// candidate edge to evaluate its lower-bound estimator).
+    pub fn node_loc(&self, node: NodeId) -> Result<Point> {
+        let (page_id, slot) = self.record_addr(node)?;
+        self.pool.with_page(page_id, |bytes| {
+            NodeRecord::decode_loc(crate::page::slot_in(bytes, slot)?)
+        })?
+    }
+
+    /// Decode a node's adjacency list straight into `out` (cleared
+    /// first), with no intermediate record allocation.
+    pub fn edges_into(&self, node: NodeId, out: &mut Vec<Edge>) -> Result<()> {
+        let (page_id, slot) = self.record_addr(node)?;
+        self.pool.with_page(page_id, |bytes| {
+            NodeRecord::decode_edges_into(crate::page::slot_in(bytes, slot)?, out)
+        })?
+    }
+
+    /// B-tree lookup of a node's record address as `(page, slot)`.
+    fn record_addr(&self, node: NodeId) -> Result<(u64, u16)> {
         let addr = self
             .btree
             .get(u64::from(node.0))?
             .ok_or(CcamError::NotFound(u64::from(node.0)))?;
-        let (page_id, slot) = (addr >> 16, (addr & 0xFFFF) as u16);
-        self.pool.with_page(page_id, |bytes| {
-            let page = SlottedPage::from_bytes(bytes.to_vec())?;
-            NodeRecord::decode(page.get(slot)?)
-        })?
+        Ok((addr >> 16, (addr & 0xFFFF) as u16))
     }
 
     /// Current access statistics.
@@ -300,26 +323,19 @@ impl NetworkSource for CcamStore {
     }
 
     fn find_node(&self, node: NodeId) -> roadnet::Result<Point> {
-        self.node_record(node)
-            .map(|r| r.loc)
-            .map_err(|e| storage_error(e, node))
+        self.node_loc(node).map_err(|e| storage_error(e, node))
     }
 
     fn successors(&self, node: NodeId) -> roadnet::Result<Vec<Edge>> {
-        self.node_record(node)
-            .map(|r| r.edges.iter().map(Edge::from).collect())
-            .map_err(|e| storage_error(e, node))
+        let mut out = Vec::new();
+        self.edges_into(node, &mut out)
+            .map_err(|e| storage_error(e, node))?;
+        Ok(out)
     }
 
     fn successors_into(&self, node: NodeId, buf: &mut Vec<Edge>) -> roadnet::Result<()> {
-        buf.clear();
-        match self.node_record(node) {
-            Ok(r) => {
-                buf.extend(r.edges.iter().map(Edge::from));
-                Ok(())
-            }
-            Err(e) => Err(storage_error(e, node)),
-        }
+        self.edges_into(node, buf)
+            .map_err(|e| storage_error(e, node))
     }
 
     fn pattern(&self, id: PatternId) -> roadnet::Result<&CapeCodPattern> {

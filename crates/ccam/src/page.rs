@@ -147,6 +147,33 @@ impl SlottedPage {
     }
 }
 
+/// Read the record in `slot` straight from a borrowed page image —
+/// the hot read path of `CcamStore::node_record`, which would
+/// otherwise copy the whole page into an owned [`SlottedPage`] per
+/// lookup. Performs the same bounds checks as
+/// [`SlottedPage::from_bytes`] followed by [`SlottedPage::get`].
+pub fn slot_in(page: &[u8], slot: u16) -> Result<&[u8]> {
+    if page.len() < HEADER {
+        return Err(CcamError::Corrupt("page smaller than header".into()));
+    }
+    let n = read_u16(page, 0) as usize;
+    if HEADER + n * SLOT > page.len() {
+        return Err(CcamError::Corrupt(format!("bad page header: n_slots={n}")));
+    }
+    if usize::from(slot) >= n {
+        return Err(CcamError::Corrupt(format!("slot {slot} beyond {n} slots")));
+    }
+    let dir = page.len() - (usize::from(slot) + 1) * SLOT;
+    let off = read_u16(page, dir) as usize;
+    let len = read_u16(page, dir + 2) as usize;
+    if off + len > page.len() {
+        return Err(CcamError::Corrupt(format!(
+            "slot {slot} points outside the page ({off}+{len})"
+        )));
+    }
+    Ok(&page[off..off + len])
+}
+
 fn write_u16(buf: &mut [u8], at: usize, v: u16) {
     buf[at..at + 2].copy_from_slice(&v.to_le_bytes());
 }

@@ -82,6 +82,62 @@ impl NodeRecord {
         }
     }
 
+    /// Decode only the location of a record, skipping its adjacency
+    /// list — the fast path behind `find_node`, which the engine calls
+    /// once per candidate edge and which needs neither the edges nor
+    /// their allocation.
+    pub fn decode_loc(buf: &[u8]) -> Result<Point> {
+        if buf.len() < 4 + 8 + 8 + 2 {
+            return Err(CcamError::Corrupt("truncated node record".into()));
+        }
+        Ok(Point {
+            x: read_f64_at(buf, 4),
+            y: read_f64_at(buf, 12),
+        })
+    }
+
+    /// Decode a record's adjacency list directly into `out` (cleared
+    /// first) as network-layer [`Edge`]s, skipping the intermediate
+    /// [`EdgeRecord`] vector — the fast path behind `successors_into`,
+    /// whose caller reuses `out` across expansions. Validates exactly
+    /// what [`decode`](Self::decode) validates.
+    pub fn decode_edges_into(mut buf: &[u8], out: &mut Vec<Edge>) -> Result<()> {
+        out.clear();
+        let need = |n: usize, buf: &[u8]| -> Result<()> {
+            if buf.remaining() < n {
+                Err(CcamError::Corrupt("truncated node record".into()))
+            } else {
+                Ok(())
+            }
+        };
+        need(4 + 8 + 8 + 2, buf)?;
+        buf.advance(4 + 8 + 8);
+        let n = buf.get_u16_le() as usize;
+        out.reserve(n);
+        for _ in 0..n {
+            need(4 + 8 + 1 + 2, buf)?;
+            let to = NodeId(buf.get_u32_le());
+            let distance = buf.get_f64_le();
+            let class_idx = buf.get_u8();
+            let class = RoadClass::from_index(usize::from(class_idx))
+                .ok_or_else(|| CcamError::Corrupt(format!("bad road class index {class_idx}")))?;
+            let pattern = PatternId(buf.get_u16_le());
+            out.push(Edge {
+                to,
+                distance,
+                class,
+                pattern,
+            });
+        }
+        if buf.has_remaining() {
+            return Err(CcamError::Corrupt(format!(
+                "{} trailing bytes after node record",
+                buf.remaining()
+            )));
+        }
+        Ok(())
+    }
+
     /// Decode a record from `buf` (must consume it exactly).
     pub fn decode(mut buf: &[u8]) -> Result<NodeRecord> {
         let need = |n: usize, buf: &[u8]| -> Result<()> {
@@ -124,6 +180,13 @@ impl NodeRecord {
             edges,
         })
     }
+}
+
+/// Read a little-endian `f64` at byte offset `at`.
+fn read_f64_at(b: &[u8], at: usize) -> f64 {
+    let mut w = [0u8; 8];
+    w.copy_from_slice(&b[at..at + 8]);
+    f64::from_le_bytes(w)
 }
 
 #[cfg(test)]

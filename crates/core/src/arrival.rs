@@ -22,6 +22,8 @@
 //! each with the path that minimizes travel time (equivalently:
 //! maximizes the departure time) for every arrival instant in it.
 
+use std::sync::Arc;
+
 use pwl::time::MINUTES_PER_DAY;
 use pwl::{Envelope, Interval};
 use roadnet::{NodeId, RoadNetwork};
@@ -129,7 +131,7 @@ impl ArrivalPlanner {
             .iter()
             .map(|p| FastestPath {
                 nodes: p.nodes.iter().rev().copied().collect(),
-                travel: p.travel.reflect_x(MINUTES_PER_DAY),
+                travel: Arc::new(p.travel.reflect_x(MINUTES_PER_DAY)),
             })
             .collect();
         let partition: Vec<(Interval, usize)> = ans
@@ -148,7 +150,7 @@ impl ArrivalPlanner {
         let mut border: Option<Envelope<usize>> = None;
         for (i, p) in paths.iter().enumerate() {
             match &mut border {
-                None => border = Some(Envelope::new(p.travel.clone(), i)),
+                None => border = Some(Envelope::new(Arc::clone(&p.travel), i)),
                 Some(b) => b.merge_min(&p.travel, i)?,
             }
         }
@@ -169,7 +171,7 @@ impl ArrivalPlanner {
         let mirrored_query = self.mirror_query(query);
         let engine = self.engine();
         let single = engine.single_fastest_path(&mirrored_query)?;
-        let travel = single.path.travel.reflect_x(MINUTES_PER_DAY);
+        let travel = Arc::new(single.path.travel.reflect_x(MINUTES_PER_DAY));
         let best_arrival = Interval::of(
             MINUTES_PER_DAY - single.best_leaving.hi(),
             MINUTES_PER_DAY - single.best_leaving.lo(),

@@ -52,11 +52,12 @@
 //! happens-before.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasher, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
 
 use pwl::time::MINUTES_PER_DAY;
-use pwl::{Interval, Pwl};
+use pwl::{Interval, Pwl, PwlScratch};
 use roadnet::PatternId;
 use traffic::travel::travel_time_fn;
 use traffic::{DayCategory, SpeedProfile};
@@ -73,11 +74,15 @@ const SHARD_BITS: u32 = SHARD_COUNT.trailing_zeros();
 
 /// Entries a [`CacheSession`] L1 holds before it resets itself.
 ///
-/// Real road networks have few distinct `(pattern, category, length)`
-/// combinations per metro area relative to this bound, so the reset is
-/// a correctness backstop for adversarial workloads, not a steady-state
-/// event.
-const L1_CAPACITY: usize = 1024;
+/// Distances key the cache by bit pattern, and generated networks
+/// perturb edge lengths individually — the key space is close to *one
+/// key per edge*, not per `(pattern, category)` pair. The bound must
+/// therefore sit above the edge count of a metro-scale network, or the
+/// L1 thrashes (clear + reinsert + shared-store round trip) in the
+/// middle of every query. An entry is a 16-byte key and an `Arc`, so
+/// even full this is ~2 MB per worker; the reset stays as a backstop
+/// for truly unbounded key streams.
+const L1_CAPACITY: usize = 65_536;
 
 /// Cache key: everything that determines an edge travel-time function.
 ///
@@ -103,13 +108,103 @@ impl Key {
     }
 }
 
+/// Multiply-xor hasher for the small fixed-width [`Key`]: the L1 is
+/// probed once per candidate edge, where SipHash's per-hash setup cost
+/// is most of a lookup. Not DoS-resistant — fine for keys derived from
+/// the network's own pattern ids and edge lengths, not external input.
+#[derive(Debug, Default)]
+struct KeyHasher(u64);
+
+impl KeyHasher {
+    fn mix(&mut self, v: u64) {
+        self.0 = (self.0 ^ v)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(5);
+    }
+}
+
+impl Hasher for KeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.mix(u64::from(b));
+        }
+    }
+
+    fn write_u8(&mut self, v: u8) {
+        self.mix(u64::from(v));
+    }
+
+    fn write_u16(&mut self, v: u16) {
+        self.mix(u64::from(v));
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.mix(u64::from(v));
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+}
+
+/// `BuildHasher` for [`KeyHasher`]-keyed maps.
+#[derive(Debug, Clone, Copy, Default)]
+struct KeyHashBuilder;
+
+impl BuildHasher for KeyHashBuilder {
+    type Hasher = KeyHasher;
+
+    fn build_hasher(&self) -> KeyHasher {
+        KeyHasher::default()
+    }
+}
+
+/// The cache's map type: [`Key`]-keyed, cheaply hashed.
+type KeyMap<V> = HashMap<Key, V, KeyHashBuilder>;
+
+/// Retired per-worker state — a warm L1 and a warm scratch pool —
+/// parked between sessions.
+///
+/// Reviving it is exact for the same reason the L1 itself is: entries
+/// are immutable full-period functions fully determined by their key,
+/// and [`PwlScratch`] carries no state between calls (its contract),
+/// so a revived session differs from a fresh one only in how little it
+/// allocates.
+#[derive(Default)]
+struct SessionState {
+    l1: KeyMap<Arc<Pwl>>,
+    scratch: PwlScratch,
+}
+
+/// Retired session states kept for revival; beyond this they are
+/// dropped. Sized above the batch driver's worker counts, and idle
+/// states are bounded (L1 entries are `Arc`s, scratch pools cap
+/// themselves), so this is megabytes, not unbounded growth.
+const RETIRED_CAP: usize = 32;
+
 /// Engine-wide cache of full-period edge travel-time functions.
-#[derive(Debug)]
 pub struct TravelFnCache {
     enabled: bool,
-    shards: Vec<RwLock<HashMap<Key, Arc<Pwl>>>>,
+    shards: Vec<RwLock<KeyMap<Arc<Pwl>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Warm state of closed sessions, revived by [`Self::session`] so
+    /// the one-shot query APIs (which open a session per call) keep
+    /// their L1 and scratch pool warm across queries.
+    retired: Mutex<Vec<SessionState>>,
+}
+
+impl std::fmt::Debug for TravelFnCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TravelFnCache")
+            .field("enabled", &self.enabled)
+            .field("entries", &self.len())
+            .finish_non_exhaustive()
+    }
 }
 
 /// A snapshot of the cache's lifetime counters.
@@ -134,10 +229,11 @@ impl TravelFnCache {
         TravelFnCache {
             enabled: true,
             shards: (0..SHARD_COUNT)
-                .map(|_| RwLock::new(HashMap::new()))
+                .map(|_| RwLock::new(KeyMap::default()))
                 .collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            retired: Mutex::new(Vec::new()),
         }
     }
 
@@ -181,10 +277,17 @@ impl TravelFnCache {
     /// steady-state lookups take no lock. Counters tallied by the
     /// session are flushed into the cache-wide totals when the session
     /// drops.
+    ///
+    /// Sessions are *revived*, not built: a closing session parks its
+    /// L1 and scratch pool here, and the next `session()` call picks
+    /// them up warm. The one-shot query APIs open a session per query,
+    /// so without revival every serial query would rebuild its L1 from
+    /// the shared store and re-grow its buffer pool from nothing.
     pub fn session(&self) -> CacheSession<'_> {
+        let state = lock_retired(&self.retired).pop().unwrap_or_default();
         CacheSession {
             cache: self,
-            l1: HashMap::new(),
+            state,
             hits: 0,
             misses: 0,
         }
@@ -265,9 +368,16 @@ impl Default for TravelFnCache {
 /// fully determined by the key, so a privately held `Arc` can never
 /// disagree with the store. Hit/miss tallies accumulate locally and
 /// flush into the cache-wide counters on drop.
+///
+/// The session also owns the worker's [`PwlScratch`]: the buffer pool
+/// all pooled PWL kernels on this worker draw from — the session is the
+/// one object that already lives exactly as long as a worker, so the
+/// pool warms across every query the worker processes. When the
+/// session drops, both the L1 and the scratch park in the cache's
+/// retired pool for the next session to revive.
 pub struct CacheSession<'c> {
     cache: &'c TravelFnCache,
-    l1: HashMap<Key, Arc<Pwl>>,
+    state: SessionState,
     hits: u64,
     misses: u64,
 }
@@ -292,14 +402,14 @@ impl CacheSession<'_> {
             category,
             distance_bits: distance.to_bits(),
         };
-        let (full, hit) = match self.l1.get(&key) {
+        let (full, hit) = match self.state.l1.get(&key) {
             Some(f) => (Arc::clone(f), true),
             None => {
                 let (f, hit) = self.cache.full_fn(key, profile, distance)?;
-                if self.l1.len() >= L1_CAPACITY {
-                    self.l1.clear();
+                if self.state.l1.len() >= L1_CAPACITY {
+                    self.state.l1.clear();
                 }
-                self.l1.insert(key, Arc::clone(&f));
+                self.state.l1.insert(key, Arc::clone(&f));
                 (f, hit)
             }
         };
@@ -308,7 +418,16 @@ impl CacheSession<'_> {
         } else {
             self.misses += 1;
         }
-        serve(&full, profile, distance, leaving, hit)
+        match restrict_periodic_with(&mut self.state.scratch, &full, leaving) {
+            Some(f) => Ok((f, hit)),
+            None => Ok((travel_time_fn(profile, distance, leaving)?, hit)),
+        }
+    }
+
+    /// The worker's scratch pool, for pooled PWL kernels outside the
+    /// cache itself (composition, envelope merges, recycling).
+    pub fn scratch_mut(&mut self) -> &mut PwlScratch {
+        &mut self.state.scratch
     }
 
     /// Lookups tallied by this session so far (hits, misses) — not yet
@@ -326,7 +445,20 @@ impl Drop for CacheSession<'_> {
         if self.misses > 0 {
             self.cache.misses.fetch_add(self.misses, Ordering::Relaxed);
         }
+        // Park the warm state for the next session to revive.
+        let state = std::mem::take(&mut self.state);
+        let mut retired = lock_retired(&self.cache.retired);
+        if retired.len() < RETIRED_CAP {
+            retired.push(state);
+        }
     }
+}
+
+/// Lock the retired-state pool, recovering from poison: states are
+/// pushed and popped whole, so the vector is consistent even if a
+/// panicking query abandoned the lock mid-call.
+fn lock_retired(l: &Mutex<Vec<SessionState>>) -> MutexGuard<'_, Vec<SessionState>> {
+    l.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Read-lock a shard, recovering from poison: entries are
@@ -335,17 +467,17 @@ impl Drop for CacheSession<'_> {
 /// thread is always in a consistent state. Recovery keeps one
 /// panicking query (isolated by the robust batch driver) from wedging
 /// the cache for every later query.
-fn read_lock<'l, K, V>(
-    l: &'l RwLock<HashMap<K, V>>,
-) -> std::sync::RwLockReadGuard<'l, HashMap<K, V>> {
-    l.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+fn read_lock<'l, K, V, H>(
+    l: &'l RwLock<HashMap<K, V, H>>,
+) -> std::sync::RwLockReadGuard<'l, HashMap<K, V, H>> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Write-lock a shard with the same poison recovery as [`read_lock`].
-fn write_lock<'l, K, V>(
-    l: &'l RwLock<HashMap<K, V>>,
-) -> std::sync::RwLockWriteGuard<'l, HashMap<K, V>> {
-    l.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+fn write_lock<'l, K, V, H>(
+    l: &'l RwLock<HashMap<K, V, H>>,
+) -> std::sync::RwLockWriteGuard<'l, HashMap<K, V, H>> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Serve `leaving` from the full-period function, falling back to the
@@ -415,6 +547,27 @@ fn shifted(f: Pwl, dx: f64) -> Pwl {
     } else {
         f.shift_x(dx)
     }
+}
+
+/// Pooled twin of [`restrict_periodic`]: the common within-day case
+/// builds its restriction into buffers recycled through `scratch` and
+/// shifts in place — bit-identical output, no steady-state allocation.
+/// Wrap-around requests (interval straddles the day seam) are rare and
+/// fall back to the allocating splice.
+fn restrict_periodic_with(scratch: &mut PwlScratch, full: &Pwl, leaving: &Interval) -> Option<Pwl> {
+    if leaving.is_degenerate() || leaving.len() >= MINUTES_PER_DAY {
+        return None;
+    }
+    let period = (leaving.lo() / MINUTES_PER_DAY).floor();
+    let shift = period * MINUTES_PER_DAY;
+    let lo = leaving.lo() - shift;
+    let hi = leaving.hi() - shift;
+    if hi <= MINUTES_PER_DAY {
+        let mut r = full.restrict_with(scratch, &Interval::of(lo, hi)).ok()?;
+        r.shift_x_in_place(shift);
+        return Some(r);
+    }
+    restrict_periodic(full, leaving)
 }
 
 #[cfg(test)]

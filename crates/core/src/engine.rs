@@ -4,10 +4,12 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
-use pwl::{compose_travel_simplified, Envelope, Interval, Pwl};
+use pwl::{
+    compose_travel_into, compose_travel_simplified, Envelope, Interval, Pwl, PwlRef, PwlScratch,
+};
 use roadnet::{NetworkSource, NodeId, Point};
 
 use crate::baseline::{astar_at, constant_speed_plan};
@@ -82,14 +84,34 @@ struct PathState {
     parent: Option<u32>,
     /// Last node of the path.
     head: NodeId,
+    /// Bloom filter of the nodes on the path (parent's filter plus
+    /// `head`'s bit). An unset bit proves the node is *not* on the
+    /// path, letting the cycle check skip the parent-chain walk for
+    /// most candidates; a set bit still walks the chain, so hash
+    /// collisions cost time but never change the answer.
+    bloom: u128,
     /// Number of edges in the path (root is 0); pre-sizes
     /// materialization buffers.
     depth: u32,
-    /// Cached `travel.minimum().value` — the O(pieces) scan is done
-    /// once at push time and reused by the early border prune of every
+    /// Cached `travel.min_value()` — the O(pieces) scan is done once
+    /// at push time and reused by the early border prune of every
     /// expansion of this path.
     travel_min: f64,
-    travel: Pwl,
+    /// The path's travel function. Owned while the path only lives in
+    /// the arena; promoted to shared (`Arc`) the first time an answer
+    /// path or border member needs to keep it — every further "copy"
+    /// is a refcount bump, and still-owned functions recycle their
+    /// buffers into the worker scratch when the arena drains.
+    travel: PwlRef,
+}
+
+/// Recycle every arena path's travel-function buffers into the worker
+/// scratch so the next query on this session reuses their capacity
+/// (shared functions just drop their reference).
+fn drain_arena(paths: &mut Vec<PathState>, scratch: &mut PwlScratch) {
+    for p in paths.drain(..) {
+        scratch.recycle_ref(p.travel);
+    }
 }
 
 /// The node sequence of arena path `idx`, root first.
@@ -104,8 +126,17 @@ fn materialize(paths: &[PathState], idx: usize) -> Vec<NodeId> {
     nodes
 }
 
+/// The [`PathState::bloom`] bit for `node`.
+#[inline]
+fn bloom_bit(node: NodeId) -> u128 {
+    1u128 << (node.index() & 127)
+}
+
 /// Does arena path `idx` visit `node`? (Cycle check for expansion.)
 fn visits(paths: &[PathState], idx: usize, node: NodeId) -> bool {
+    if paths[idx].bloom & bloom_bit(node) == 0 {
+        return false;
+    }
     let mut cur = Some(idx);
     while let Some(i) = cur {
         if paths[i].head == node {
@@ -122,9 +153,10 @@ fn visits(paths: &[PathState], idx: usize, node: NodeId) -> bool {
 /// search itself). Shared by normal termination and by best-so-far
 /// assembly when a budget trips.
 fn assemble_answer(
-    paths: &[PathState],
+    paths: &mut [PathState],
     border: &Envelope<usize>,
     stats: QueryStats,
+    scratch: &mut PwlScratch,
 ) -> Result<AllFpAnswer> {
     let raw_partition = border.partition();
     let mut path_index: Vec<usize> = Vec::new(); // engine path id → answer index
@@ -135,10 +167,11 @@ fn assemble_answer(
             Some(i) => i,
             None => {
                 path_index.push(engine_id);
-                answer_paths.push(FastestPath {
-                    nodes: materialize(paths, engine_id),
-                    travel: paths[engine_id].travel.clone(),
-                });
+                let nodes = materialize(paths, engine_id);
+                // Promote to shared storage: the arena, the answer
+                // path, and the border below all reference one `Pwl`.
+                let travel = paths[engine_id].travel.share();
+                answer_paths.push(FastestPath { nodes, travel });
                 answer_paths.len() - 1
             }
         };
@@ -147,8 +180,8 @@ fn assemble_answer(
     let mut final_border: Option<Envelope<usize>> = None;
     for (i, fp) in answer_paths.iter().enumerate() {
         match &mut final_border {
-            None => final_border = Some(Envelope::new(fp.travel.clone(), i)),
-            Some(b) => b.merge_min(&fp.travel, i)?,
+            None => final_border = Some(Envelope::new(Arc::clone(&fp.travel), i)),
+            Some(b) => b.merge_min_with(scratch, &fp.travel, i)?,
         }
     }
     let lower_border = final_border.ok_or(AllFpError::Internal(
@@ -260,12 +293,14 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 
 /// Render a caught panic payload for error reporting.
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
+    // Take `String` payloads by value instead of cloning them out of
+    // the box.
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => payload.downcast_ref::<&str>().map_or_else(
+            || "non-string panic payload".to_string(),
+            |s| (*s).to_string(),
+        ),
     }
 }
 
@@ -500,9 +535,10 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
             query.category,
         )
         .map_err(EngineError::from)?;
-        let travel = self
-            .route_travel_fn(&nodes, query, session)
-            .map_err(EngineError::from)?;
+        let travel = Arc::new(
+            self.route_travel_fn(&nodes, query, session)
+                .map_err(EngineError::from)?,
+        );
         let fallback_travel_minutes = travel.minimum().value;
         Ok(DegradedAnswer {
             reason,
@@ -726,6 +762,12 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
         let mut seq = 0u64;
         let mut expanded_nodes: Vec<bool> = vec![false; self.source.n_nodes()];
         let mut expanded_node_count = 0usize;
+        // Lazily memoized per-node lower-bound estimates: the estimate
+        // depends only on (node, target), and candidate edges revisit
+        // the same nodes many times per query — each memo hit skips a
+        // `find_node` and an estimator evaluation (NaN = not yet
+        // computed; real estimates are finite and non-negative).
+        let mut node_est: Vec<f64> = vec![f64::NAN; self.source.n_nodes()];
         // per-node travel functions for optional dominance pruning
         let mut node_fns: Vec<Vec<usize>> = if self.config.prune_dominated {
             vec![Vec::new(); self.source.n_nodes()]
@@ -755,14 +797,15 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
             let est =
                 self.estimator
                     .travel_lower_bound(query.source, s_loc, query.target, target_loc);
-            let travel_min = travel.minimum().value;
+            let travel_min = travel.min_value();
             let f_min = travel_min + est;
             paths.push(PathState {
                 parent: None,
                 head: query.source,
+                bloom: bloom_bit(query.source),
                 depth: 0,
                 travel_min,
-                travel,
+                travel: travel.into(),
             });
             heap.push(QueueEntry {
                 f_min,
@@ -783,17 +826,18 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
             let head = paths[entry.path].head;
 
             if head == query.target {
-                // Identified a target path. Its travel function stays
-                // in the arena: the single answer clones it once, and
-                // the border either takes one clone (first entry) or
-                // merges by reference — the seed engine cloned it
-                // unconditionally and then again for the single answer.
+                // Identified a target path. Its travel function is
+                // promoted to shared storage: the arena, the single
+                // answer and the border all hold the same `Arc<Pwl>` —
+                // no deep copies at all (the seed engine cloned it for
+                // the border and again for the single answer).
                 if single.is_none() {
                     let m = paths[entry.path].travel.minimum();
+                    let nodes = materialize(&paths, entry.path);
                     single = Some(SingleFpAnswer {
                         path: FastestPath {
-                            nodes: materialize(&paths, entry.path),
-                            travel: paths[entry.path].travel.clone(),
+                            nodes,
+                            travel: paths[entry.path].travel.share(),
                         },
                         travel_minutes: m.value,
                         best_leaving: m.at,
@@ -806,12 +850,16 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
                 stats.border_merges += 1;
                 match &mut border {
                     None => {
-                        let b = Envelope::new(paths[entry.path].travel.clone(), entry.path);
+                        let b = Envelope::new(paths[entry.path].travel.share(), entry.path);
                         border_max = b.max_value();
                         border = Some(b);
                     }
                     Some(b) => {
-                        b.merge_min(&paths[entry.path].travel, entry.path)?;
+                        b.merge_min_with(
+                            session.scratch_mut(),
+                            &paths[entry.path].travel,
+                            entry.path,
+                        )?;
                         border_max = b.max_value();
                     }
                 }
@@ -848,15 +896,26 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
                     }
                     stats.border_merges += 1;
                     match &mut border {
-                        None => border = Some(Envelope::new(paths[e.path].travel.clone(), e.path)),
-                        Some(b) => b.merge_min(&paths[e.path].travel, e.path)?,
+                        None => border = Some(Envelope::new(paths[e.path].travel.share(), e.path)),
+                        Some(b) => {
+                            b.merge_min_with(session.scratch_mut(), &paths[e.path].travel, e.path)?;
+                        }
                     }
                 }
                 stats.expanded_nodes = expanded_node_count;
                 let best = match &border {
-                    Some(b) => Some(assemble_answer(&paths, b, stats)?),
+                    Some(b) => Some(assemble_answer(
+                        &mut paths,
+                        b,
+                        stats,
+                        session.scratch_mut(),
+                    )?),
                     None => None,
                 };
+                drain_arena(&mut paths, session.scratch_mut());
+                if let Some(b) = border {
+                    b.recycle_into(session.scratch_mut());
+                }
                 return Ok(SearchYield::Exhausted {
                     reason,
                     best,
@@ -881,10 +940,19 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
                     continue;
                 }
 
-                let v_loc = self.source.find_node(edge.to)?;
-                let est =
-                    self.estimator
-                        .travel_lower_bound(edge.to, v_loc, query.target, target_loc);
+                let est = {
+                    let slot = &mut node_est[edge.to.index()];
+                    if slot.is_nan() {
+                        let v_loc = self.source.find_node(edge.to)?;
+                        *slot = self.estimator.travel_lower_bound(
+                            edge.to,
+                            v_loc,
+                            query.target,
+                            target_loc,
+                        );
+                    }
+                    *slot
+                };
 
                 // Early border bound, before the expensive composition:
                 // the extended path's travel function is everywhere ≥
@@ -914,24 +982,33 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
                 } else {
                     stats.cache_misses += 1;
                 }
-                let travel = compose_travel_simplified(&paths[entry.path].travel, &t_edge)?;
-                let travel_min = travel.minimum().value;
+                let travel =
+                    compose_travel_into(session.scratch_mut(), &paths[entry.path].travel, &t_edge)?;
+                session.scratch_mut().recycle(t_edge);
+                let n = travel.n_pieces();
+                stats.pieces_total += n as u64;
+                stats.pieces_max = stats.pieces_max.max(n as u64);
+                stats.bytes_allocated += (8 * (n + 1) + 16 * n) as u64;
+                let travel_min = travel.min_value();
                 let f_min = travel_min + est;
 
                 // Border bound: a path whose best possible outcome cannot
                 // beat the border anywhere is dead.
                 if border_max.is_finite() && pwl::approx_le(border_max, f_min) {
                     stats.pruned_by_border += 1;
+                    session.scratch_mut().recycle(travel);
                     continue;
                 }
 
                 // Optional per-node dominance pruning (extension).
                 if self.config.prune_dominated {
+                    let scratch = session.scratch_mut();
                     let dominated = node_fns[edge.to.index()]
                         .iter()
-                        .any(|&p| travel.dominated_by(&paths[p].travel));
+                        .any(|&p| travel.dominated_by_with(scratch, &paths[p].travel));
                     if dominated {
                         stats.pruned_dominated += 1;
+                        session.scratch_mut().recycle(travel);
                         continue;
                     }
                 }
@@ -942,9 +1019,10 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
                 paths.push(PathState {
                     parent: Some(parent),
                     head: edge.to,
+                    bloom: paths[entry.path].bloom | bloom_bit(edge.to),
                     depth: paths[entry.path].depth + 1,
                     travel_min,
-                    travel,
+                    travel: travel.into(),
                 });
                 if self.config.prune_dominated {
                     node_fns[edge.to.index()].push(idx);
@@ -967,14 +1045,19 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
                 target: query.target,
             })?;
             s.stats = stats;
-            // fabricate a minimal answer shell for the shared return type
-            let border = Envelope::new(s.path.travel.clone(), 0usize);
+            // fabricate a minimal answer shell for the shared return
+            // type — the shell shares the single path's function
+            let shell = Envelope::new(Arc::clone(&s.path.travel), 0usize);
             let all = AllFpAnswer {
                 paths: vec![s.path.clone()],
                 partition: vec![(interval, 0)],
-                lower_border: border,
+                lower_border: shell,
                 stats,
             };
+            drain_arena(&mut paths, session.scratch_mut());
+            if let Some(b) = border {
+                b.recycle_into(session.scratch_mut());
+            }
             return Ok(SearchYield::Done(all, Some(s)));
         }
 
@@ -982,7 +1065,9 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
             source: query.source,
             target: query.target,
         })?;
-        let all = assemble_answer(&paths, &border, stats)?;
+        let all = assemble_answer(&mut paths, &border, stats, session.scratch_mut())?;
+        drain_arena(&mut paths, session.scratch_mut());
+        border.recycle_into(session.scratch_mut());
 
         if let Some(s) = &mut single {
             s.stats = stats;
@@ -1012,10 +1097,10 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
             ..QueryStats::default()
         };
         let shown = Interval::of(l, l + 1e-3);
-        let travel = Pwl::constant(shown, ans.travel_minutes)?;
+        let travel = Arc::new(Pwl::constant(shown, ans.travel_minutes)?);
         let fp = FastestPath {
             nodes: ans.nodes,
-            travel: travel.clone(),
+            travel: Arc::clone(&travel),
         };
         let single = SingleFpAnswer {
             path: fp.clone(),

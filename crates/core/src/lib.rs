@@ -53,7 +53,7 @@
 //! and surface storage faults through the typed [`EngineError`]
 //! taxonomy. See `DESIGN.md` §9 for the full fault model.
 
-#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![warn(clippy::unwrap_used, clippy::expect_used, clippy::redundant_clone)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod boundary;

@@ -18,6 +18,7 @@
 //!    `T₁` with a 135° line through `(t, 0)`; the exact inverse of the
 //!    monotone arrival function computes the same instant).
 
+use crate::scratch::PwlScratch;
 use crate::{Interval, MonotonePwl, Pwl, PwlError, Result};
 
 /// Compute the leaving-time interval at the head of an edge (the
@@ -85,21 +86,37 @@ pub fn compose_travel(t1: &Pwl, t2: &Pwl) -> Result<Pwl> {
 /// [`compose_travel`] fused with [`Pwl::simplify`]: identical output
 /// function, one building pass.
 ///
+/// Convenience wrapper over [`compose_travel_into`] with a throwaway
+/// cold scratch — same result bit for bit, but each call pays its own
+/// buffer allocations. The engine's hot loop uses
+/// [`compose_travel_into`] with a per-worker [`PwlScratch`] instead.
+pub fn compose_travel_simplified(t1: &Pwl, t2: &Pwl) -> Result<Pwl> {
+    let mut scratch = PwlScratch::new();
+    compose_travel_into(&mut scratch, t1, t2)
+}
+
+/// The compound `T(l) = T₁(l) + T₂(l + T₁(l))`, fused with
+/// [`Pwl::simplify`] and built out of pooled buffers.
+///
 /// The engine composes once per expanded edge and always simplifies the
-/// result, so this variant avoids the per-call overheads of the
-/// two-pass form:
+/// result, so this kernel avoids the per-call overheads of the two-pass
+/// form:
 ///
 /// * no intermediate unsimplified function — collinear pieces are
 ///   dropped while building;
 /// * no materialized arrival function — `A₁` shares `T₁`'s breakpoints
 ///   with each slope shifted by one, so evals and inverses read `T₁`'s
-///   piece table directly (`MonotonePwl::arrival_from_travel` clones
-///   the function, and its `inverse_at` allocates the point list on
-///   every call — once per `T₂` breakpoint);
+///   piece table directly (preimages come from a cursor sweep; the
+///   equivalent [`MonotonePwl::inverse_at`] calls would each binary
+///   search, though neither allocates);
 /// * no per-piece binary searches — the subdivision midpoints and
 ///   their images under the increasing `A₁` are both nondecreasing, as
-///   are `T₂`'s breakpoints, so advancing cursors find every piece.
-pub fn compose_travel_simplified(t1: &Pwl, t2: &Pwl) -> Result<Pwl> {
+///   are `T₂`'s breakpoints, so advancing cursors find every piece;
+/// * no steady-state allocations — the breakpoint workspaces live in
+///   `scratch` and the output buffers come from its pool, so once the
+///   pool is warm (see the scratch-reuse contract on [`PwlScratch`])
+///   composing is allocation-free.
+pub fn compose_travel_into(scratch: &mut PwlScratch, t1: &Pwl, t2: &Pwl) -> Result<Pwl> {
     let (x1, f1) = (t1.breakpoints(), t1.linears());
     let n1 = f1.len();
     // Arrival piece over x1[i]..x1[i+1]: same arithmetic as
@@ -131,8 +148,12 @@ pub fn compose_travel_simplified(t1: &Pwl, t2: &Pwl) -> Result<Pwl> {
 
     // Breakpoint set: T₁'s own, plus A₁⁻¹ of T₂'s interior breakpoints
     // that land strictly inside the domain. T₂'s breakpoints ascend and
-    // A₁ is increasing, so one cursor sweep finds each preimage's piece.
-    let mut xs: Vec<f64> = x1.to_vec();
+    // A₁ is increasing, so one cursor sweep finds each preimage's piece,
+    // and the preimages form a nondecreasing run. Stably merging that
+    // run with the (sorted) `x1` — ties taken from `x1` first — yields
+    // exactly what the stable `sort_dedupe` of `[x1…, preimages…]` in
+    // the two-pass form produces.
+    scratch.aux.clear();
     let mut p = 0usize;
     for &t in t2.breakpoints() {
         if !arrivals.contains_approx(t) {
@@ -144,11 +165,27 @@ pub fn compose_travel_simplified(t1: &Pwl, t2: &Pwl) -> Result<Pwl> {
         let piece = arr(p);
         let l = domain.clamp((t - piece.b) / piece.a);
         if crate::definitely_lt(domain.lo(), l) && crate::definitely_lt(l, domain.hi()) {
-            xs.push(l);
+            scratch.aux.push(l);
         }
     }
-    crate::pwl::sort_dedupe(&mut xs);
-    if xs.len() < 2 {
+    {
+        let (knots, aux) = (&mut scratch.knots, &scratch.aux);
+        knots.clear();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < x1.len() && j < aux.len() {
+            if x1[i] <= aux[j] {
+                knots.push(x1[i]);
+                i += 1;
+            } else {
+                knots.push(aux[j]);
+                j += 1;
+            }
+        }
+        knots.extend_from_slice(&x1[i..]);
+        knots.extend_from_slice(&aux[j..]);
+        crate::pwl::dedupe_eps(knots);
+    }
+    if scratch.knots.len() < 2 {
         return Err(PwlError::BadBreakpoints(
             "empty elementary subdivision".into(),
         ));
@@ -157,8 +194,8 @@ pub fn compose_travel_simplified(t1: &Pwl, t2: &Pwl) -> Result<Pwl> {
     let (x2, f2) = (t2.breakpoints(), t2.linears());
     let t2dom = t2.domain();
 
-    let mut out_xs: Vec<f64> = Vec::with_capacity(xs.len());
-    let mut out_fs: Vec<crate::Linear> = Vec::with_capacity(xs.len() - 1);
+    let (mut out_xs, mut out_fs) = scratch.take_buffers();
+    let xs = &scratch.knots;
     out_xs.push(xs[0]);
     let (mut i1, mut i2) = (0usize, 0usize);
     for w in xs.windows(2) {
@@ -182,7 +219,9 @@ pub fn compose_travel_simplified(t1: &Pwl, t2: &Pwl) -> Result<Pwl> {
         out_fs.push(g);
     }
     out_xs.push(xs[xs.len() - 1]);
-    Pwl::new(out_xs, out_fs)
+    // Breakpoints are a strictly-increasing subset of the deduped knot
+    // set; skip the re-validation passes (debug builds still check).
+    Ok(Pwl::from_sorted_parts(out_xs, out_fs))
 }
 
 #[cfg(test)]

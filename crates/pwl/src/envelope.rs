@@ -7,6 +7,7 @@
 //! sub-intervals, each with its fastest path — is read off the envelope
 //! directly.
 
+use crate::scratch::{PwlRef, PwlScratch};
 use crate::{approx_le, definitely_lt, Interval, Linear, Pwl, PwlError, Result};
 
 /// One piece of an [`Envelope`]: a sub-interval, the linear function on
@@ -27,26 +28,75 @@ pub struct EnvelopePiece<T> {
 /// Ties are broken in favour of the **earlier-inserted** function,
 /// matching the paper's semantics where the first identified path keeps
 /// its sub-interval unless a strictly faster path appears.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The envelope function is held as a [`PwlRef`], so an envelope can be
+/// seeded from a shared `Arc<Pwl>` without deep-copying it; merging
+/// always produces an owned function. Retired buffers are kept as
+/// internal spares, making repeated [`merge_min_with`](Self::merge_min_with)
+/// calls allocation-free once warm.
+#[derive(Debug)]
 pub struct Envelope<T> {
-    pwl: Pwl,
+    pwl: PwlRef,
     tags: Vec<T>, // one per piece of `pwl`
+    spare: Spare<T>,
+}
+
+/// Retired buffers from the previous merge, reused by the next one.
+/// Never observable: always empty outside [`Envelope::merge_min_with`].
+#[derive(Debug)]
+struct Spare<T> {
+    xs: Vec<f64>,
+    fs: Vec<Linear>,
+    tags: Vec<T>,
+}
+
+impl<T> Default for Spare<T> {
+    fn default() -> Self {
+        Spare {
+            xs: Vec::new(),
+            fs: Vec::new(),
+            tags: Vec::new(),
+        }
+    }
+}
+
+impl<T: Clone> Clone for Envelope<T> {
+    /// Clones function and tags; spare buffer capacity is not carried
+    /// over.
+    fn clone(&self) -> Self {
+        Envelope {
+            pwl: self.pwl.clone(),
+            tags: self.tags.clone(),
+            spare: Spare::default(),
+        }
+    }
+}
+
+impl<T: PartialEq> PartialEq for Envelope<T> {
+    /// Compares the envelope function (by value, regardless of owned vs
+    /// shared storage) and the tags; spare buffers are ignored.
+    fn eq(&self, other: &Self) -> bool {
+        self.pwl == other.pwl && self.tags == other.tags
+    }
 }
 
 impl<T: Clone + PartialEq> Envelope<T> {
-    /// Start an envelope from a single function.
-    pub fn new(f: Pwl, tag: T) -> Self {
-        let n = f.n_pieces();
+    /// Start an envelope from a single function — owned or shared
+    /// (`Pwl`, `Arc<Pwl>`, or `PwlRef`).
+    pub fn new(f: impl Into<PwlRef>, tag: T) -> Self {
+        let pwl = f.into();
+        let n = pwl.n_pieces();
         Envelope {
-            pwl: f,
+            pwl,
             tags: vec![tag; n],
+            spare: Spare::default(),
         }
     }
 
     /// The envelope as a plain [`Pwl`].
     #[inline]
     pub fn as_pwl(&self) -> &Pwl {
-        &self.pwl
+        self.pwl.as_pwl()
     }
 
     /// Domain of the envelope.
@@ -107,7 +157,26 @@ impl<T: Clone + PartialEq> Envelope<T> {
 
     /// Fold another function into the envelope, keeping the pointwise
     /// minimum. `f` must cover the envelope's domain.
+    ///
+    /// Convenience wrapper over [`merge_min_with`](Self::merge_min_with)
+    /// with a throwaway cold scratch — identical result, per-call
+    /// workspace allocations.
     pub fn merge_min(&mut self, f: &Pwl, tag: T) -> Result<()> {
+        let mut scratch = PwlScratch::new();
+        self.merge_min_with(&mut scratch, f, tag)
+    }
+
+    /// [`merge_min`](Self::merge_min) with pooled buffers: the
+    /// elementary subdivision lives in `scratch` and the rebuilt
+    /// envelope double-buffers against the previous merge's retired
+    /// arrays, so steady-state merging is allocation-free.
+    ///
+    /// Equivalent to the fold-then-coalesce formulation bit for bit:
+    /// pieces are coalesced while being appended, and at the moment a
+    /// piece is appended the last kept breakpoint equals that piece's
+    /// raw span start, so each collinearity test sees exactly the span
+    /// a post-hoc coalesce pass would use.
+    pub fn merge_min_with(&mut self, scratch: &mut PwlScratch, f: &Pwl, tag: T) -> Result<()> {
         let domain = self.domain();
         if !f.domain().covers(&domain) {
             return Err(PwlError::DomainMismatch {
@@ -119,32 +188,55 @@ impl<T: Clone + PartialEq> Envelope<T> {
         // Elementary subdivision: both current envelope and `f` are
         // single lines on each cell; a cell splits at most once where
         // the two lines cross.
-        let xs = crate::pwl::merged_breakpoints(&[&self.pwl, f], &domain);
-        let mut new_xs: Vec<f64> = Vec::with_capacity(xs.len() * 2);
-        let mut new_fs: Vec<Linear> = Vec::with_capacity(xs.len() * 2);
-        let mut new_tags: Vec<T> = Vec::with_capacity(xs.len() * 2);
+        crate::pwl::merged_breakpoints_into(scratch, &[self.pwl.as_pwl(), f], &domain);
+        let mut new_xs = std::mem::take(&mut self.spare.xs);
+        let mut new_fs = std::mem::take(&mut self.spare.fs);
+        let mut new_tags = std::mem::take(&mut self.spare.tags);
+        new_xs.clear();
+        new_fs.clear();
+        new_tags.clear();
         new_xs.push(domain.lo());
 
+        // Append a piece ending at `hi`, extending the previous piece
+        // instead when it has the same tag and the same line over the
+        // new piece's raw span (the inline coalesce).
         let push = |hi: f64,
                     lin: Linear,
                     t: T,
                     new_xs: &mut Vec<f64>,
                     new_fs: &mut Vec<Linear>,
                     new_tags: &mut Vec<T>| {
+            if let (Some(pf), Some(pt)) = (new_fs.last(), new_tags.last()) {
+                let span = Interval::of(new_xs[new_xs.len() - 1], hi);
+                if *pt == t && pf.approx_same_over(&lin, &span) {
+                    let last = new_xs.len() - 1;
+                    new_xs[last] = hi;
+                    return;
+                }
+            }
             new_xs.push(hi);
             new_fs.push(lin);
             new_tags.push(t);
         };
 
-        for w in xs.windows(2) {
+        // Cell midpoints ascend, so locate the covering piece of each
+        // function with an advancing cursor instead of a binary search
+        // per cell (same indices `piece_index_at` would return).
+        let e_pwl = self.pwl.as_pwl();
+        let (e_xs, e_lins) = (e_pwl.breakpoints(), e_pwl.linears());
+        let (f_xs, f_lins) = (f.breakpoints(), f.linears());
+        let (mut ei, mut fi) = (0usize, 0usize);
+        for w in scratch.knots.windows(2) {
             let cell = Interval::of(w[0], w[1]);
             let mid = cell.mid();
-            let ei = self
-                .pwl
-                .piece_index_at(mid)
-                .expect("mid in envelope domain");
-            let (e_lin, e_tag) = (self.pwl.linears()[ei], self.tags[ei].clone());
-            let f_lin = f.linears()[f.piece_index_at(mid).expect("mid in f domain")];
+            while ei + 1 < e_lins.len() && e_xs[ei + 1] <= mid {
+                ei += 1;
+            }
+            let (e_lin, e_tag) = (e_lins[ei], self.tags[ei].clone());
+            while fi + 1 < f_lins.len() && f_xs[fi + 1] <= mid {
+                fi += 1;
+            }
+            let f_lin = f_lins[fi];
 
             match e_lin.intersection_within(&f_lin, &cell) {
                 Some(x) => {
@@ -215,42 +307,30 @@ impl<T: Clone + PartialEq> Envelope<T> {
             }
         }
 
-        // Coalesce adjacent pieces with the same tag and the same line.
-        let (xs, fs, tags) = coalesce(new_xs, new_fs, new_tags);
-        self.pwl = Pwl::new(xs, fs)?;
-        self.tags = tags;
+        // The coalescing append keeps breakpoints strictly increasing;
+        // skip the re-validation passes (debug builds still check).
+        let new_pwl = Pwl::from_sorted_parts(new_xs, new_fs);
+        // Retire the previous envelope's buffers as the next merge's
+        // spares (a shared function just drops its reference).
+        let old = std::mem::replace(&mut self.pwl, PwlRef::Owned(new_pwl));
+        if let PwlRef::Owned(p) = old {
+            let (xs, fs) = p.into_parts();
+            self.spare.xs = xs;
+            self.spare.fs = fs;
+            self.spare.xs.clear();
+            self.spare.fs.clear();
+        }
+        self.spare.tags = std::mem::replace(&mut self.tags, new_tags);
+        self.spare.tags.clear();
         Ok(())
     }
-}
 
-/// Merge adjacent pieces that share both tag and (approximately) line.
-fn coalesce<T: Clone + PartialEq>(
-    xs: Vec<f64>,
-    fs: Vec<Linear>,
-    tags: Vec<T>,
-) -> (Vec<f64>, Vec<Linear>, Vec<T>) {
-    debug_assert_eq!(xs.len(), fs.len() + 1);
-    debug_assert_eq!(fs.len(), tags.len());
-    let mut out_xs = vec![xs[0]];
-    let mut out_fs: Vec<Linear> = Vec::with_capacity(fs.len());
-    let mut out_tags: Vec<T> = Vec::with_capacity(tags.len());
-    for i in 0..fs.len() {
-        let span = Interval::of(xs[i], xs[i + 1]);
-        let mergeable = match (out_fs.last(), out_tags.last()) {
-            (Some(pf), Some(pt)) => *pt == tags[i] && pf.approx_same_over(&fs[i], &span),
-            _ => false,
-        };
-        if mergeable {
-            continue;
-        }
-        if !out_fs.is_empty() {
-            out_xs.push(xs[i]);
-        }
-        out_fs.push(fs[i]);
-        out_tags.push(tags[i].clone());
+    /// Retire this envelope's buffers into `scratch` so a later query
+    /// on the same worker can reuse their capacity.
+    pub fn recycle_into(self, scratch: &mut PwlScratch) {
+        scratch.recycle_ref(self.pwl);
+        scratch.recycle_buffers(self.spare.xs, self.spare.fs);
     }
-    out_xs.push(xs[xs.len() - 1]);
-    (out_xs, out_fs, out_tags)
 }
 
 #[cfg(test)]

@@ -40,12 +40,24 @@
 //! [`EPS`] through [`approx_eq`] / [`approx_le`]; quantities in this
 //! workspace are minutes-of-day (≤ 10⁴), where `f64` leaves ~10⁻¹⁰
 //! of slack, so `EPS = 1e-7` is conservative and stable.
+//!
+//! # Hot-path variants
+//!
+//! The kernels the allFP engine runs per edge expansion have pooled
+//! twins that produce bit-identical results without steady-state
+//! allocations: [`compose_travel_into`], [`Pwl::restrict_with`],
+//! [`Pwl::dominated_by_with`] and [`Envelope::merge_min_with`], all fed
+//! from a per-worker [`PwlScratch`]. [`PwlRef`] shares finished
+//! functions by reference count instead of deep copy.
+
+#![warn(clippy::redundant_clone)]
 
 mod envelope;
 mod interval;
 mod linear;
 mod monotone;
 mod pwl;
+mod scratch;
 
 pub mod compose;
 pub mod time;
@@ -55,8 +67,9 @@ pub use interval::Interval;
 pub use linear::Linear;
 pub use monotone::MonotonePwl;
 pub use pwl::{MinResult, Pwl};
+pub use scratch::{PwlRef, PwlScratch};
 
-pub use compose::{compose_travel, compose_travel_simplified};
+pub use compose::{compose_travel, compose_travel_into, compose_travel_simplified};
 
 /// Crate-wide absolute tolerance for breakpoint and value comparisons.
 ///

@@ -79,6 +79,8 @@ impl MonotonePwl {
     }
 
     /// Evaluate the inverse at `y`; `None` if `y` is outside the range.
+    /// Allocation-free: a binary search over the piece table, no
+    /// intermediate point list.
     ///
     /// This is the paper's 135°-line construction: for an arrival
     /// function `A` and a breakpoint `t` of the next edge's travel-time
@@ -88,10 +90,29 @@ impl MonotonePwl {
         if !self.range().contains_approx(y) {
             return None;
         }
-        // Binary search on breakpoint values (increasing).
-        let pts = self.inner.points();
-        let idx = pts.partition_point(|&(_, v)| v <= y);
-        let piece = idx.saturating_sub(1).min(self.inner.n_pieces() - 1);
+        // Binary search on breakpoint values (strictly increasing, since
+        // the function is continuous with positive slopes): find the
+        // first breakpoint whose value exceeds `y` — the same partition
+        // point `points().partition_point(|(_, v)| v <= y)` used to
+        // compute via a materialized point list.
+        let n = self.inner.breakpoints().len();
+        let value = |i: usize| {
+            if i == 0 {
+                self.inner.right_value(0)
+            } else {
+                self.inner.left_value(i)
+            }
+        };
+        let (mut lo, mut hi) = (0usize, n);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if value(mid) <= y {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let piece = lo.saturating_sub(1).min(self.inner.n_pieces() - 1);
         let f = &self.inner.linears()[piece];
         let x = (y - f.b) / f.a;
         Some(self.domain().clamp(x))

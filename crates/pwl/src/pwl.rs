@@ -1,5 +1,6 @@
 //! Piecewise-linear functions over a closed interval.
 
+use crate::scratch::PwlScratch;
 use crate::{approx_eq, approx_le, definitely_lt, Interval, Linear, PwlError, Result, EPS};
 
 /// A piecewise-linear function defined on a closed interval.
@@ -239,6 +240,22 @@ impl Pwl {
             .expect("domain is always valid")
     }
 
+    /// Minimum value over the whole domain, without locating the argmin
+    /// interval.
+    ///
+    /// Same fold as the first pass of [`min_over`](Self::min_over) —
+    /// bit-identical to `minimum().value` — but a single sweep of the
+    /// piece table with no interval intersections. The engine calls
+    /// this once per composed candidate path (the priority-queue key),
+    /// where the argmin is not needed.
+    pub fn min_value(&self) -> f64 {
+        let mut min = f64::INFINITY;
+        for (i, f) in self.fs.iter().enumerate() {
+            min = min.min(f.eval(self.xs[i])).min(f.eval(self.xs[i + 1]));
+        }
+        min
+    }
+
     /// Maximum value over the whole domain.
     pub fn maximum(&self) -> f64 {
         self.max_over(&self.domain())
@@ -377,6 +394,41 @@ impl Pwl {
         })
     }
 
+    /// Pooled [`restrict`](Self::restrict): bit-identical result, but
+    /// the output buffers come from `scratch`'s pool and the breakpoint
+    /// workspace is reused, so a warm scratch makes this allocation-free.
+    pub fn restrict_with(&self, scratch: &mut PwlScratch, to: &Interval) -> Result<Pwl> {
+        let domain = self
+            .domain()
+            .intersect(to)
+            .filter(|d| !d.is_degenerate())
+            .ok_or(PwlError::DomainMismatch {
+                left: self.domain(),
+                right: *to,
+            })?;
+        merged_breakpoints_into(scratch, &[self], &domain);
+        if scratch.knots.len() < 2 {
+            return Err(PwlError::BadBreakpoints(
+                "empty elementary subdivision".into(),
+            ));
+        }
+        let (mut xs, mut fs) = scratch.take_buffers();
+        xs.extend_from_slice(&scratch.knots);
+        // Window midpoints ascend, so an advancing cursor finds the
+        // same piece indices `piece_index_at` would.
+        let mut i = 0usize;
+        for w in scratch.knots.windows(2) {
+            let mid = 0.5 * (w[0] + w[1]);
+            while i + 1 < self.fs.len() && self.xs[i + 1] <= mid {
+                i += 1;
+            }
+            fs.push(self.fs[i]);
+        }
+        // The knots are already deduped and strictly increasing; skip
+        // the re-validation passes (debug builds still check).
+        Ok(Pwl::from_sorted_parts(xs, fs))
+    }
+
     /// Concatenate with `next`, whose domain must begin (within
     /// [`EPS`]) where this one ends. The result covers both domains;
     /// at the seam the left function's endpoint wins the breakpoint
@@ -469,6 +521,20 @@ impl Pwl {
         }
     }
 
+    /// In-place [`shift_x`](Self::shift_x): same arithmetic
+    /// (`x + dx`, `b − a·dx`) without allocating new buffers.
+    pub fn shift_x_in_place(&mut self, dx: f64) {
+        if dx == 0.0 {
+            return;
+        }
+        for x in &mut self.xs {
+            *x += dx;
+        }
+        for f in &mut self.fs {
+            f.b -= f.a * dx;
+        }
+    }
+
     /// `true` if `self(x) ≥ other(x) − EPS` for all `x` in the
     /// intersection of the domains (i.e. `self` is dominated by
     /// `other`: it can never offer a smaller value).
@@ -491,6 +557,75 @@ impl Pwl {
             }
         }
         true
+    }
+
+    /// Pooled [`dominated_by`](Self::dominated_by): identical verdict,
+    /// with the merged-breakpoint workspace borrowed from `scratch`
+    /// instead of allocated per call, and the per-knot evaluations done
+    /// by advancing piece cursors instead of one binary search per knot
+    /// (the knots ascend, so the cursors find the same piece indices).
+    pub fn dominated_by_with(&self, scratch: &mut PwlScratch, other: &Pwl) -> bool {
+        let Some(domain) = self.domain().intersect(&other.domain()) else {
+            return false;
+        };
+        if domain.is_degenerate() {
+            let x = domain.lo();
+            return approx_le(other.eval_clamped(x), self.eval_clamped(x));
+        }
+        merged_breakpoints_into(scratch, &[self, other], &domain);
+        let (sdom, odom) = (self.domain(), other.domain());
+        let (mut i, mut j) = (0usize, 0usize);
+        for &x in &scratch.knots {
+            let sx = sdom.clamp(x);
+            while i + 1 < self.fs.len() && self.xs[i + 1] <= sx {
+                i += 1;
+            }
+            let ox = odom.clamp(x);
+            while j + 1 < other.fs.len() && other.xs[j + 1] <= ox {
+                j += 1;
+            }
+            if definitely_lt(self.fs[i].eval(sx), other.fs[j].eval(ox)) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// An empty placeholder `Pwl` used only as a transient value while
+    /// moving a function out of a [`PwlRef`](crate::PwlRef); it violates
+    /// the ≥ 2 breakpoints invariant and must never be observed.
+    pub(crate) fn shell() -> Pwl {
+        Pwl {
+            xs: Vec::new(),
+            fs: Vec::new(),
+        }
+    }
+
+    /// Decompose into the raw breakpoint and piece buffers so their
+    /// capacity can be recycled through a [`PwlScratch`] pool.
+    pub(crate) fn into_parts(self) -> (Vec<f64>, Vec<Linear>) {
+        (self.xs, self.fs)
+    }
+
+    /// Construct from buffers the pooled kernels built themselves:
+    /// breakpoints already strictly increasing (they come out of
+    /// [`dedupe_eps`] or a coalescing append) and coefficients finite
+    /// by construction. Skips the [`Pwl::new`] validation passes in
+    /// release builds; debug builds (and thus the test suite) still
+    /// verify every invariant.
+    pub(crate) fn from_sorted_parts(xs: Vec<f64>, fs: Vec<Linear>) -> Pwl {
+        debug_assert!(xs.len() >= 2, "need at least 2 breakpoints");
+        debug_assert_eq!(xs.len(), fs.len() + 1, "piece count mismatch");
+        debug_assert!(
+            xs.windows(2).all(|w| w[0] < w[1]),
+            "breakpoints not strictly increasing"
+        );
+        debug_assert!(
+            xs.iter().all(|x| x.is_finite())
+                && fs.iter().all(|f| f.a.is_finite() && f.b.is_finite()),
+            "non-finite breakpoint or coefficient"
+        );
+        Pwl { xs, fs }
     }
 }
 
@@ -515,10 +650,71 @@ pub(crate) fn merged_breakpoints(fns: &[&Pwl], domain: &Interval) -> Vec<f64> {
 /// Sort and remove near-duplicate breakpoints in place.
 pub(crate) fn sort_dedupe(xs: &mut Vec<f64>) {
     xs.sort_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
+    dedupe_eps(xs);
+}
+
+/// Remove near-duplicate breakpoints from a sorted list in place,
+/// keeping the earlier (smaller) of each [`EPS`]-close pair. This is
+/// the dedupe half of [`sort_dedupe`], shared with the pooled kernels
+/// that produce their knots already sorted.
+pub(crate) fn dedupe_eps(xs: &mut Vec<f64>) {
     xs.dedup_by(|a, b| {
         // `a` is removed when true; keep the earlier (smaller) value.
         (*a - *b).abs() <= EPS * (1.0 + a.abs().max(b.abs()))
     });
+}
+
+/// Pooled [`merged_breakpoints`]: fill `scratch.knots` with the same
+/// sorted, deduped elementary breakpoints without allocating once the
+/// scratch buffers are warm. Supports at most two functions.
+///
+/// Equivalence to the sorting version: each function's qualifying
+/// breakpoints already form an ascending run (`f.xs` is strictly
+/// increasing), `domain.lo()` is strictly below and `domain.hi()`
+/// strictly above every qualifying point (`definitely_lt` filter), and
+/// a stable two-run merge that prefers the first run on exact ties
+/// produces exactly the permutation a stable sort of
+/// `[lo, hi, run₀…, run₁…]` would. The dedupe pass is shared.
+pub(crate) fn merged_breakpoints_into(scratch: &mut PwlScratch, fns: &[&Pwl], domain: &Interval) {
+    debug_assert!(fns.len() <= 2, "pooled merge supports at most two fns");
+    scratch.aux.clear();
+    let mut split = 0;
+    for (k, f) in fns.iter().enumerate() {
+        // Candidates outside (lo, hi) can never pass the filter
+        // (`definitely_lt(lo, x)` needs `x > lo`, and symmetrically at
+        // `hi`), so binary-search the candidate window first instead of
+        // running the two epsilon comparisons on every breakpoint —
+        // restriction of a full-period function to a narrow leaving
+        // window skips almost the whole table this way.
+        let i0 = f.xs.partition_point(|&x| x <= domain.lo());
+        let i1 = f.xs.partition_point(|&x| x < domain.hi());
+        for &x in &f.xs[i0..i1] {
+            if definitely_lt(domain.lo(), x) && definitely_lt(x, domain.hi()) {
+                scratch.aux.push(x);
+            }
+        }
+        if k == 0 {
+            split = scratch.aux.len();
+        }
+    }
+    let (a, b) = scratch.aux.split_at(split);
+    let knots = &mut scratch.knots;
+    knots.clear();
+    knots.push(domain.lo());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            knots.push(a[i]);
+            i += 1;
+        } else {
+            knots.push(b[j]);
+            j += 1;
+        }
+    }
+    knots.extend_from_slice(&a[i..]);
+    knots.extend_from_slice(&b[j..]);
+    knots.push(domain.hi());
+    dedupe_eps(knots);
 }
 
 /// Build a [`Pwl`] from elementary breakpoints by asking `pick` for the

@@ -4,8 +4,13 @@
 //! with bounded values; every algebraic operation is checked against
 //! its pointwise definition on a dense sample grid.
 
+use std::cell::RefCell;
+
 use proptest::prelude::*;
-use pwl::{approx_eq, approx_le, compose_travel, Envelope, Interval, MonotonePwl, Pwl};
+use pwl::{
+    approx_eq, approx_le, compose_travel, compose_travel_into, compose_travel_simplified, Envelope,
+    Interval, MonotonePwl, Pwl, PwlScratch,
+};
 
 /// Generate a continuous piecewise-linear function on a random domain:
 /// 2..=8 points, x-gaps in [0.5, 10], values in [0, 50].
@@ -188,6 +193,40 @@ proptest! {
             prop_assert!(approx_eq(w[0].0.hi(), w[1].0.lo()));
             prop_assert!(w[0].1 != w[1].1, "adjacent partitions share a tag");
         }
+    }
+
+    #[test]
+    fn pooled_compose_is_bit_identical(t1 in arb_travel(0.0)) {
+        // The scratch-reuse contract: a scratch carries no state between
+        // calls, so a dirty pool (shared here across *all* generated
+        // cases) must produce the same bits as a cold one.
+        thread_local! {
+            static DIRTY: RefCell<PwlScratch> = RefCell::new(PwlScratch::new());
+        }
+        let arrivals = pwl::compose::arrival_interval(&t1).unwrap();
+        let t2_domain = Interval::of(arrivals.lo() - 1.0, arrivals.hi() + 1.0);
+        let t2 = Pwl::from_points(&[
+            (t2_domain.lo(), 7.0),
+            (t2_domain.lo() + t2_domain.len() * 0.4, 2.0),
+            (t2_domain.lo() + t2_domain.len() * 0.6, 2.0),
+            (t2_domain.hi(), 9.0),
+        ]).unwrap();
+        let cold = compose_travel_simplified(&t1, &t2).unwrap();
+        let pooled = DIRTY.with(|s| {
+            let mut s = s.borrow_mut();
+            let out = compose_travel_into(&mut s, &t1, &t2).unwrap();
+            // recycle a clone's buffers so later cases see a warm,
+            // genuinely dirty pool
+            s.recycle(out.clone());
+            out
+        });
+        // exact equality, not approx: same breakpoints, same coefficients
+        prop_assert_eq!(pooled.breakpoints(), cold.breakpoints());
+        prop_assert_eq!(pooled.linears(), cold.linears());
+        // and both match the two-pass compose + simplify bit for bit
+        let two_pass = compose_travel(&t1, &t2).unwrap().simplify();
+        prop_assert_eq!(pooled.breakpoints(), two_pass.breakpoints());
+        prop_assert_eq!(pooled.linears(), two_pass.linears());
     }
 
     #[test]
