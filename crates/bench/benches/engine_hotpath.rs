@@ -18,7 +18,10 @@
 //! an allocation regression — the pooled PWL kernels (compose +
 //! envelope merge) must run their steady-state loop with **zero** heap
 //! allocations under the crate's counting allocator, and the whole
-//! engine must stay under a per-expansion allocation budget — all
+//! engine must stay under a per-expansion allocation budget — or an
+//! overload regression — the seeded 2× virtual-time overload scenario
+//! (`fpbench::overload`) must replay deterministically, keep its queue
+//! bounded, reconcile its stats, and hold goodput while shedding — all
 //! without touching the JSON report. `scripts/check.sh` runs it on
 //! every check.
 
@@ -293,6 +296,7 @@ fn to_json(
     checksum: &ChecksumOverhead,
     alloc: &AllocProfile,
     kernel_allocs: u64,
+    overload: &fpbench::overload::OverloadReport,
 ) -> String {
     let mut out = String::from("{\n  \"benchmark\": \"engine_hotpath\",\n");
     out.push_str("  \"workload\": \"fig9 morning rush, metro-medium, allFP\",\n");
@@ -337,6 +341,27 @@ fn to_json(
         "  \"checksum_overhead\": {{\"plain_wall_seconds\": {:.6}, \
          \"checksummed_wall_seconds\": {:.6}, \"overhead_ratio\": {:.4}, \"budget\": 1.03}},\n",
         checksum.plain_wall_seconds, checksum.checksummed_wall_seconds, checksum.overhead_ratio,
+    ));
+    out.push_str(&format!(
+        "  \"overload\": {{\"seed\": {}, \"submissions\": {}, \"offered_ratio\": {:.1}, \
+         \"queue_capacity\": {}, \"queue_depth_high_water\": {}, \"admitted\": {}, \
+         \"rejected\": {}, \"answered\": {}, \"degraded\": {}, \"shed\": {}, \
+         \"goodput_ratio\": {:.4}, \"reconciled\": {}, \"deterministic\": {}, \
+         \"note\": \"seeded 2x open-loop overload in virtual time; goodput is the \
+         fraction of capacity kept on useful work while shedding the excess\"}},\n",
+        overload.seed,
+        overload.submissions,
+        overload.offered_ratio,
+        overload.queue_capacity,
+        overload.queue_depth_high_water,
+        overload.admitted,
+        overload.rejected,
+        overload.answered,
+        overload.degraded,
+        overload.shed,
+        overload.goodput_ratio,
+        overload.reconciled,
+        overload.deterministic,
     ));
     out.push_str(&format!(
         "  \"alloc\": {{\"allocs_per_expansion\": {:.2}, \"bytes_per_query\": {:.0}, \
@@ -405,6 +430,7 @@ fn emit_report() {
     let checksum = measure_checksum_overhead(net, &queries, 3);
     let alloc = measure_allocs(&cached, &queries);
     let kernel_allocs = kernel_steady_state_allocs();
+    let overload = fpbench::overload::run(0x5EED, 100);
     let json = to_json(
         &rows,
         &sweep,
@@ -412,6 +438,7 @@ fn emit_report() {
         &checksum,
         &alloc,
         kernel_allocs,
+        &overload,
     );
 
     // CARGO_MANIFEST_DIR = crates/bench; the report lives at the root.
@@ -568,6 +595,49 @@ fn smoke() -> i32 {
         eprintln!(
             "SMOKE FAIL: checksum verification costs {:.2}x the plain stack (budget {CHECKSUM_BUDGET}x)",
             checksum.overhead_ratio
+        );
+        failures += 1;
+    }
+
+    // Overload gates: the seeded 2x overload scenario must replay
+    // deterministically, keep its queue bounded, balance its books,
+    // and hold goodput while shedding — the service-level promises the
+    // admission/shedding machinery exists for.
+    const MIN_GOODPUT: f64 = 0.4;
+    let ov = fpbench::overload::run(0x5EED, 100);
+    println!(
+        "smoke: overload {}/{} admitted, {} rejected, {} shed, goodput {:.2}, hiwater {}/{}",
+        ov.admitted,
+        ov.submissions,
+        ov.rejected,
+        ov.shed,
+        ov.goodput_ratio,
+        ov.queue_depth_high_water,
+        ov.queue_capacity
+    );
+    if !ov.reconciled {
+        eprintln!("SMOKE FAIL: overload stats do not reconcile: {ov:?}");
+        failures += 1;
+    }
+    if !ov.deterministic {
+        eprintln!("SMOKE FAIL: overload scenario did not replay identically");
+        failures += 1;
+    }
+    if ov.queue_depth_high_water > ov.queue_capacity {
+        eprintln!(
+            "SMOKE FAIL: overload queue reached {} past its bound {}",
+            ov.queue_depth_high_water, ov.queue_capacity
+        );
+        failures += 1;
+    }
+    if ov.rejected == 0 || ov.shed == 0 {
+        eprintln!("SMOKE FAIL: 2x overload never rejected/shed — the scenario lost its teeth");
+        failures += 1;
+    }
+    if ov.goodput_ratio < MIN_GOODPUT {
+        eprintln!(
+            "SMOKE FAIL: overload goodput {:.2} under {MIN_GOODPUT}",
+            ov.goodput_ratio
         );
         failures += 1;
     }

@@ -20,8 +20,11 @@
 // The one place in the workspace that must implement `GlobalAlloc`,
 // which is an `unsafe` trait by definition. The implementation adds
 // nothing to the system allocator's contract: it forwards every call
-// verbatim and only touches two atomics on the side.
+// verbatim and only touches two atomics on the side. Each interior
+// unsafe operation still needs its own `unsafe {}` block with a
+// per-site SAFETY justification — enforced by the deny below.
 #![allow(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -40,22 +43,34 @@ unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        // SAFETY: `layout` is the caller's, passed through unmodified,
+        // and the caller's `GlobalAlloc::alloc` obligations (non-zero
+        // size) are exactly `System::alloc`'s.
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was returned by `self` (i.e. by `System` —
+        // every alloc path above forwards to it) with this same
+        // `layout`, which is precisely `System::dealloc`'s contract.
         unsafe { System.dealloc(ptr, layout) }
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        // SAFETY: as in `alloc` — the caller's obligations are
+        // forwarded verbatim to `System::alloc_zeroed`.
         unsafe { System.alloc_zeroed(layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        // SAFETY: `ptr` came from `self`/`System` with `layout`, and
+        // `new_size` obligations (non-zero, no overflow when rounded
+        // up to `layout.align()`) are the caller's — forwarded
+        // verbatim to `System::realloc`.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

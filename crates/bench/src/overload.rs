@@ -1,0 +1,246 @@
+//! Deterministic overload harness for the report and smoke gates.
+//!
+//! Drives a [`QueryService`] at a seeded 2× offered load in virtual
+//! time ([`ManualClock`] advanced by measured work units), with tight
+//! per-submission deadlines so every overload mechanism — typed
+//! admission rejections, queue-head deadline sheds, priority classes —
+//! actually fires. No storage faults here: the chaos composition lives
+//! in `fp-allfp`'s `tests/overload.rs`; this runner measures the
+//! steady-state shedding behavior the report tracks over time.
+//!
+//! The simulation is a pure function of the seed, and [`run`] executes
+//! it twice to certify that (the `deterministic` field of the report —
+//! a CI gate, not an aspiration).
+
+use allfp::service::{
+    ArrivalSchedule, DrainMode, ManualClock, Priority, QueryService, ServiceClock, ServiceConfig,
+    ServiceOutcome, ServiceStats, Submission,
+};
+use allfp::{Engine, EngineConfig, QuerySpec};
+use pwl::time::hm;
+use pwl::Interval;
+use roadnet::generators::grid;
+use roadnet::{NodeId, RoadNetwork};
+use traffic::{DayCategory, RoadClass};
+
+/// What one overload run produced, in report-ready form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverloadReport {
+    /// Scenario seed.
+    pub seed: u64,
+    /// Total submissions offered.
+    pub submissions: usize,
+    /// Configured queue bound.
+    pub queue_capacity: usize,
+    /// Offered load relative to service capacity (2.0 = arrivals at
+    /// twice the sustainable rate).
+    pub offered_ratio: f64,
+    /// Admission-accepted submissions.
+    pub admitted: u64,
+    /// Typed [`allfp::service::Overloaded`] rejections.
+    pub rejected: u64,
+    /// Exact answers delivered.
+    pub answered: u64,
+    /// Degraded answers delivered.
+    pub degraded: u64,
+    /// Cancelled admissions (here: deadline sheds).
+    pub cancelled: u64,
+    /// Queue-head deadline sheds (subset of `cancelled`).
+    pub shed: u64,
+    /// Highest queue depth observed.
+    pub queue_depth_high_water: usize,
+    /// Work units spent executing queries.
+    pub executed_units: u64,
+    /// Total virtual time of the run.
+    pub elapsed_units: u64,
+    /// `executed_units / elapsed_units`: the fraction of capacity the
+    /// service kept on useful work while shedding the excess.
+    pub goodput_ratio: f64,
+    /// Did [`ServiceStats::reconciles`] hold at the end of the run?
+    pub reconciled: bool,
+    /// Did a second run of the same seed reproduce the run, outcome
+    /// for outcome?
+    pub deterministic: bool,
+}
+
+/// One run's comparable residue: final stats plus the terminal
+/// outcome kind of every ticket, in completion order.
+#[derive(Debug, PartialEq)]
+struct SimOutcome {
+    stats: ServiceStats,
+    terminals: Vec<(u64, &'static str)>,
+    executed_units: u64,
+    elapsed: u64,
+}
+
+fn sample_specs(net: &RoadNetwork, n: usize, seed: u64) -> Vec<QuerySpec> {
+    let nodes = net.n_nodes() as u64;
+    let mut x = seed ^ 0x0EE2_10AD;
+    let mut lcg = move || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        x
+    };
+    (0..n)
+        .map(|_| {
+            let s = NodeId((lcg() % nodes) as u32);
+            let e = loop {
+                let c = NodeId((lcg() % nodes) as u32);
+                if c != s {
+                    break c;
+                }
+            };
+            let lo = hm(6, 30) + (lcg() % 90) as f64;
+            QuerySpec::new(s, e, Interval::of(lo, lo + 20.0), DayCategory::WORKDAY)
+        })
+        .collect()
+}
+
+const QUEUE_CAPACITY: usize = 10;
+const OFFERED_RATIO: f64 = 2.0;
+
+fn simulate(seed: u64, submissions: usize) -> SimOutcome {
+    let net = grid(6, 6, 0.3, RoadClass::LocalOutside).expect("generator is infallible here");
+    let specs = sample_specs(&net, 10, seed);
+    let engine = Engine::new(&net, EngineConfig::default());
+
+    // Calibrate work units (expansions) per spec so arrival pacing and
+    // admission estimates are honest.
+    let costs: Vec<u64> = specs
+        .iter()
+        .map(|q| {
+            engine
+                .all_fastest_paths(q)
+                .map(|a| a.stats.expanded_paths.max(1) as u64)
+                .unwrap_or(1)
+        })
+        .collect();
+    let mean_cost = (costs.iter().sum::<u64>() / costs.len() as u64).max(1);
+
+    let clock = ManualClock::new();
+    let config = ServiceConfig {
+        queue_capacity: QUEUE_CAPACITY,
+        shed_expired: true,
+        default_cost: mean_cost,
+        initial_units_per_cost: 1.0,
+        ..ServiceConfig::default()
+    };
+    let svc = QueryService::new(&engine, &clock, config);
+
+    // Service capacity is one work unit per clock unit; a mean gap of
+    // `mean_cost / OFFERED_RATIO` offers twice that.
+    let gap = ((mean_cost as f64 / OFFERED_RATIO) as u64).max(1);
+    let schedule = ArrivalSchedule::open_loop(seed ^ 0x0F_F3_4D, submissions, gap);
+
+    let mut executed_units = 0u64;
+    let mut next = 0usize;
+    loop {
+        let now = clock.now();
+        if next < schedule.len() && schedule.times()[next] <= now {
+            let idx = next % specs.len();
+            let sub = Submission::new(specs[idx].clone())
+                .with_class(if next % 4 == 3 {
+                    Priority::Batch
+                } else {
+                    Priority::Interactive
+                })
+                .with_deadline(now + 5 * mean_cost)
+                .with_cost_hint(costs[idx]);
+            let _ = svc.submit(sub);
+            next += 1;
+            continue;
+        }
+        match svc.step() {
+            Some(rep) => {
+                executed_units += rep.cost;
+                clock.advance(rep.cost);
+            }
+            None => {
+                if next >= schedule.len() {
+                    break;
+                }
+                clock.set(schedule.times()[next]);
+            }
+        }
+    }
+    svc.begin_drain(DrainMode::Finish);
+    while let Some(rep) = svc.step() {
+        executed_units += rep.cost;
+        clock.advance(rep.cost);
+    }
+
+    let terminals = svc
+        .take_outcomes()
+        .iter()
+        .map(|(id, out)| {
+            (
+                *id,
+                match out {
+                    ServiceOutcome::Answered(_) => "answered",
+                    ServiceOutcome::Degraded(_) => "degraded",
+                    ServiceOutcome::Failed(_) => "failed",
+                    ServiceOutcome::Cancelled(_) => "cancelled",
+                },
+            )
+        })
+        .collect();
+    SimOutcome {
+        stats: svc.stats(),
+        terminals,
+        executed_units,
+        elapsed: clock.now(),
+    }
+}
+
+/// Run the seeded overload scenario (twice, to certify determinism)
+/// and fold it into an [`OverloadReport`].
+pub fn run(seed: u64, submissions: usize) -> OverloadReport {
+    let a = simulate(seed, submissions);
+    let b = simulate(seed, submissions);
+    let deterministic = a == b;
+    let s = a.stats;
+    OverloadReport {
+        seed,
+        submissions,
+        queue_capacity: QUEUE_CAPACITY,
+        offered_ratio: OFFERED_RATIO,
+        admitted: s.admitted,
+        rejected: s.rejected,
+        answered: s.answered,
+        degraded: s.degraded,
+        cancelled: s.cancelled,
+        shed: s.shed,
+        queue_depth_high_water: s.queue_depth_high_water,
+        executed_units: a.executed_units,
+        elapsed_units: a.elapsed,
+        goodput_ratio: if a.elapsed > 0 {
+            a.executed_units as f64 / a.elapsed as f64
+        } else {
+            0.0
+        },
+        reconciled: s.reconciles(),
+        deterministic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overload_run_is_reconciled_and_deterministic() {
+        let r = run(0x0BAD_10AD, 80);
+        assert!(r.reconciled);
+        assert!(r.deterministic);
+        assert!(r.rejected > 0, "2x overload must reject: {r:?}");
+        assert!(r.shed > 0, "tight deadlines must shed: {r:?}");
+        assert!(r.queue_depth_high_water <= r.queue_capacity);
+        assert!((0.4..=1.0).contains(&r.goodput_ratio), "{r:?}");
+        assert_eq!(
+            r.admitted + r.rejected,
+            r.submissions as u64,
+            "every submission accounted for: {r:?}"
+        );
+    }
+}

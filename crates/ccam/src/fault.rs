@@ -119,8 +119,9 @@ pub struct FaultEvent {
 }
 
 /// SplitMix64 — a tiny, high-quality 64-bit mixer; used to derive
-/// per-kind phases and bit positions from the plan seed.
-fn splitmix64(x: u64) -> u64 {
+/// per-kind phases and bit positions from the plan seed (and, in the
+/// buffer pool, per-retry backoff jitter).
+pub(crate) fn splitmix64(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -138,7 +139,7 @@ fn fires(n: u64, every: u64, salt: u64) -> bool {
 /// (builds stay deterministic; faults target steady-state I/O).
 pub struct FaultInjectingStore {
     inner: Arc<dyn BlockStore>,
-    plan: FaultPlan,
+    plan: Mutex<FaultPlan>,
     reads: AtomicU64,
     writes: AtomicU64,
     log: Mutex<Vec<FaultEvent>>,
@@ -149,7 +150,7 @@ impl FaultInjectingStore {
     pub fn new(inner: Arc<dyn BlockStore>, plan: FaultPlan) -> Self {
         FaultInjectingStore {
             inner,
-            plan,
+            plan: Mutex::new(plan),
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             log: Mutex::new(Vec::new()),
@@ -157,8 +158,17 @@ impl FaultInjectingStore {
     }
 
     /// The active schedule.
-    pub fn plan(&self) -> &FaultPlan {
-        &self.plan
+    pub fn plan(&self) -> FaultPlan {
+        *self.plan.lock()
+    }
+
+    /// Replace the schedule mid-run. Operation counters and the event
+    /// log are untouched, so a scripted harness can switch between
+    /// quiet windows and fault storms at deterministic points (e.g.
+    /// virtual-time boundaries) and the combined run still replays
+    /// exactly from the seed.
+    pub fn set_plan(&self, plan: FaultPlan) {
+        *self.plan.lock() = plan;
     }
 
     /// The wrapped store.
@@ -199,8 +209,9 @@ impl BlockStore for FaultInjectingStore {
     }
 
     fn read_page(&self, id: u64, buf: &mut [u8]) -> Result<()> {
+        let plan = self.plan();
         let n = self.reads.fetch_add(1, Ordering::Relaxed) + 1;
-        if fires(n, self.plan.transient_read_every, self.plan.seed ^ 0x7EAD) {
+        if fires(n, plan.transient_read_every, plan.seed ^ 0x7EAD) {
             self.record(FaultKind::TransientRead, id, n);
             return Err(CcamError::TransientIo {
                 page: id,
@@ -208,8 +219,8 @@ impl BlockStore for FaultInjectingStore {
             });
         }
         self.inner.read_page(id, buf)?;
-        if fires(n, self.plan.bit_flip_every, self.plan.seed ^ 0xF11B) {
-            let bit = splitmix64(self.plan.seed ^ n) % (buf.len() as u64 * 8);
+        if fires(n, plan.bit_flip_every, plan.seed ^ 0xF11B) {
+            let bit = splitmix64(plan.seed ^ n) % (buf.len() as u64 * 8);
             buf[(bit / 8) as usize] ^= 1 << (bit % 8);
             self.record(FaultKind::BitFlip, id, n);
         }
@@ -217,15 +228,16 @@ impl BlockStore for FaultInjectingStore {
     }
 
     fn write_page(&self, id: u64, buf: &[u8]) -> Result<()> {
+        let plan = self.plan();
         let n = self.writes.fetch_add(1, Ordering::Relaxed) + 1;
-        if fires(n, self.plan.transient_write_every, self.plan.seed ^ 0x3717) {
+        if fires(n, plan.transient_write_every, plan.seed ^ 0x3717) {
             self.record(FaultKind::TransientWrite, id, n);
             return Err(CcamError::TransientIo {
                 page: id,
                 op: IoOp::Write,
             });
         }
-        if fires(n, self.plan.torn_write_every, self.plan.seed ^ 0x70A1) {
+        if fires(n, plan.torn_write_every, plan.seed ^ 0x70A1) {
             // Land only the first half of the buffer, keeping whatever
             // the page held beyond it, then report a transient failure
             // so a retry rewrites the page whole.

@@ -25,6 +25,7 @@ pub struct IoStats {
     writes: AtomicU64,
     retries: AtomicU64,
     corruptions: AtomicU64,
+    exhausted: AtomicU64,
 }
 
 impl IoStats {
@@ -48,6 +49,15 @@ impl IoStats {
         self.corruptions.load(Ordering::Relaxed)
     }
 
+    /// Transient-fault retry rounds that gave up (all
+    /// [`crate::IO_ATTEMPTS`] attempts faulted and the error
+    /// surfaced). The health signal a serving layer's circuit
+    /// breaker watches: retries absorb blips, exhaustions mean the
+    /// store is genuinely sick.
+    pub fn exhausted(&self) -> u64 {
+        self.exhausted.load(Ordering::Relaxed)
+    }
+
     /// `(reads, writes)` snapshot.
     pub fn snapshot(&self) -> (u64, u64) {
         (self.reads(), self.writes())
@@ -67,6 +77,10 @@ impl IoStats {
 
     pub(crate) fn bump_corruption(&self) {
         self.corruptions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_exhausted(&self) {
+        self.exhausted.fetch_add(1, Ordering::Relaxed);
     }
 }
 

@@ -281,6 +281,28 @@ impl<'t> Watch<'t> {
         }
         Ok(None)
     }
+
+    /// Unconditional poll, placed immediately before each target-path
+    /// compound (`session.travel_fn` + `compose_travel_into`) — the
+    /// most expensive single step in the search. Pop-granularity
+    /// polling alone lets one heavy expansion (hundreds of compounds on
+    /// a dense node over a long interval) overshoot the deadline by the
+    /// full expansion cost; this bounds the overshoot to roughly one
+    /// compound. No-op (not even a clock read) when neither a deadline
+    /// nor a cancel token is set, so unbudgeted queries pay one branch
+    /// per compound.
+    fn poll_compound(&self) -> Result<Option<DegradedReason>> {
+        if self.cancel.is_none() && self.deadline.is_none() {
+            return Ok(None);
+        }
+        if self.cancel.is_some_and(CancelToken::is_cancelled) {
+            return Err(AllFpError::Cancelled);
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Ok(Some(DegradedReason::DeadlineExpired));
+        }
+        Ok(None)
+    }
 }
 
 /// Lock a mutex, recovering the guard if a previous holder panicked.
@@ -444,6 +466,12 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
         self.robust_with_session(query, &mut session, None)
     }
 
+    /// Open a fresh cache session for a caller that runs many queries
+    /// back to back on one thread (the service worker loop).
+    pub(crate) fn cache_session(&self) -> CacheSession<'_> {
+        self.cache.session()
+    }
+
     /// Batch counterpart of [`Engine::run_robust`], on exactly
     /// `workers` threads with the same work-stealing scheduler as
     /// [`Engine::run_batch_with_threads`], plus two fault guarantees:
@@ -494,8 +522,10 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
         (results, stats)
     }
 
-    /// One budget-aware query on an existing session.
-    fn robust_with_session(
+    /// One budget-aware query on an existing session. `pub(crate)` for
+    /// the [`crate::service`] layer, whose workers keep one warm
+    /// session across every query they serve.
+    pub(crate) fn robust_with_session(
         &self,
         query: &QuerySpec,
         session: &mut CacheSession<'_>,
@@ -816,7 +846,13 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
             stats.pushed += 1;
         }
 
-        while let Some(entry) = heap.pop() {
+        // Set when a budget trips (deadline, expansion cap) either at a
+        // pop boundary or mid-expansion before a compound; the salvage +
+        // degraded assembly lives after the loop so both trip sites
+        // share it.
+        let mut trip: Option<DegradedReason> = None;
+
+        'search: while let Some(entry) = heap.pop() {
             // Termination (§4.6): the next candidate can no longer beat
             // the border anywhere.
             if border_max.is_finite() && pwl::approx_le(border_max, entry.f_min) {
@@ -879,48 +915,8 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
                 None => None,
             };
             if let Some(reason) = tripped {
-                // Salvage before reporting: complete target paths
-                // still *queued* (A* pops them only after every
-                // optimistic incomplete path is exhausted, i.e. at the
-                // very end) merge into the border with envelope merges
-                // only — no composition work, so the overrun past the
-                // budget is small and bounded. Merge best-first for
-                // deterministic tie-breaks.
-                for e in std::mem::take(&mut heap)
-                    .into_sorted_vec()
-                    .into_iter()
-                    .rev()
-                {
-                    if paths[e.path].head != query.target {
-                        continue;
-                    }
-                    stats.border_merges += 1;
-                    match &mut border {
-                        None => border = Some(Envelope::new(paths[e.path].travel.share(), e.path)),
-                        Some(b) => {
-                            b.merge_min_with(session.scratch_mut(), &paths[e.path].travel, e.path)?;
-                        }
-                    }
-                }
-                stats.expanded_nodes = expanded_node_count;
-                let best = match &border {
-                    Some(b) => Some(assemble_answer(
-                        &mut paths,
-                        b,
-                        stats,
-                        session.scratch_mut(),
-                    )?),
-                    None => None,
-                };
-                drain_arena(&mut paths, session.scratch_mut());
-                if let Some(b) = border {
-                    b.recycle_into(session.scratch_mut());
-                }
-                return Ok(SearchYield::Exhausted {
-                    reason,
-                    best,
-                    stats,
-                });
+                trip = Some(reason);
+                break 'search;
             }
 
             // Expand.
@@ -966,6 +962,16 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
                         stats.pruned_by_border += 1;
                         continue;
                     }
+                }
+
+                // Deadline/cancel check at compound granularity: the
+                // prunes above are O(1), but the travel-function +
+                // composition work below is the expensive step, so a
+                // heavy expansion must not run all its compounds after
+                // the deadline has already passed.
+                if let Some(reason) = watch.poll_compound()? {
+                    trip = Some(reason);
+                    break 'search;
                 }
 
                 let profile = self.source.pattern(edge.pattern)?.profile(query.category)?;
@@ -1035,6 +1041,51 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
                 seq += 1;
                 stats.pushed += 1;
             }
+        }
+
+        if let Some(reason) = trip {
+            // Salvage before reporting: complete target paths still
+            // *queued* (A* pops them only after every optimistic
+            // incomplete path is exhausted, i.e. at the very end) merge
+            // into the border with envelope merges only — no
+            // composition work, so the overrun past the budget is
+            // small and bounded. Merge best-first for deterministic
+            // tie-breaks.
+            for e in std::mem::take(&mut heap)
+                .into_sorted_vec()
+                .into_iter()
+                .rev()
+            {
+                if paths[e.path].head != query.target {
+                    continue;
+                }
+                stats.border_merges += 1;
+                match &mut border {
+                    None => border = Some(Envelope::new(paths[e.path].travel.share(), e.path)),
+                    Some(b) => {
+                        b.merge_min_with(session.scratch_mut(), &paths[e.path].travel, e.path)?;
+                    }
+                }
+            }
+            stats.expanded_nodes = expanded_node_count;
+            let best = match &border {
+                Some(b) => Some(assemble_answer(
+                    &mut paths,
+                    b,
+                    stats,
+                    session.scratch_mut(),
+                )?),
+                None => None,
+            };
+            drain_arena(&mut paths, session.scratch_mut());
+            if let Some(b) = border {
+                b.recycle_into(session.scratch_mut());
+            }
+            return Ok(SearchYield::Exhausted {
+                reason,
+                best,
+                stats,
+            });
         }
 
         stats.expanded_nodes = expanded_node_count;

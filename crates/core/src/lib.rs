@@ -52,6 +52,16 @@
 //! [`CancelToken`], isolate panicking queries to their own result slot,
 //! and surface storage faults through the typed [`EngineError`]
 //! taxonomy. See `DESIGN.md` §9 for the full fault model.
+//!
+//! # Service (extension)
+//!
+//! [`service::QueryService`] wraps the engine behind a bounded
+//! admission queue for long-running deployments: deadline-aware load
+//! shedding with a typed [`service::Overloaded`] rejection, two
+//! priority classes, a storage circuit breaker that routes queries to
+//! a constant-speed fallback while the CCAM layer is unhealthy,
+//! graceful drain, and a [`service::ServiceStats`] roll-up whose
+//! counters reconcile exactly. See `DESIGN.md` §11.
 
 #![warn(clippy::unwrap_used, clippy::expect_used, clippy::redundant_clone)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
@@ -64,6 +74,7 @@ mod query;
 
 pub mod arrival;
 pub mod baseline;
+pub mod service;
 
 pub use arrival::{ArrivalAllFpAnswer, ArrivalPlanner, ArrivalQuerySpec, ArrivalSingleFpAnswer};
 pub use boundary::{BoundaryLb, WeightMode};

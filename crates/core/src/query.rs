@@ -120,6 +120,12 @@ pub enum DegradedReason {
     DeadlineExpired,
     /// The expansion cap (per-query or engine-level) was reached.
     ExpansionsExhausted,
+    /// The storage layer was unhealthy (the service's circuit breaker
+    /// was open, or the query itself hit a storage fault) and the
+    /// answer was served from the constant-speed fallback instead of
+    /// the exact search. Produced only by the [`crate::service`]
+    /// layer, never by the engine itself.
+    StorageUnavailable,
 }
 
 /// The answer a budget-limited query returns when its budget runs out:

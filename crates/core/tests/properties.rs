@@ -127,3 +127,65 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        ..ProptestConfig::default()
+    })]
+
+    /// The constant-speed degraded fallback is a *sound upper bound*:
+    /// at every leaving instant in the window, the fallback path's
+    /// exact travel time is at least the true fastest travel time.
+    /// This is what makes degraded answers safe to serve — they may be
+    /// slower than optimal, never optimistic.
+    #[test]
+    fn degraded_fallback_upper_bounds_exact_border(
+        seed in 0u64..400,
+        src in 0u32..30,
+        dst in 0u32..30,
+        lo_frac in 0.0f64..0.8,
+        len in 20.0f64..120.0,
+    ) {
+        prop_assume!(src != dst);
+        let net = random_geometric(30, 2.0, 3, seed).unwrap();
+        let lo = hm(6, 0) + lo_frac * 240.0;
+        let interval = Interval::of(lo, lo + len);
+        let q = QuerySpec::new(NodeId(src), NodeId(dst), interval, DayCategory::WORKDAY);
+        let engine = Engine::new(&net, EngineConfig::default());
+
+        let exact = engine.all_fastest_paths(&q).unwrap();
+        // A zero-expansion budget forces the constant-speed fallback
+        // immediately — the same route the service's breaker serves
+        // while storage is unhealthy.
+        let starved = q.clone().with_budget(
+            allfp::QueryBudget::unlimited().with_max_expansions(0),
+        );
+        let degraded = match engine.run_robust(&starved).unwrap() {
+            allfp::QueryOutcome::Degraded(d) => d,
+            allfp::QueryOutcome::Exact(_) => {
+                return Err(TestCaseError::fail("zero budget cannot finish exactly"));
+            }
+        };
+        prop_assert_eq!(degraded.fallback.nodes.first(), Some(&q.source));
+        prop_assert_eq!(degraded.fallback.nodes.last(), Some(&q.target));
+
+        for k in 0..=16 {
+            let l = interval.lo() + interval.len() * (k as f64) / 16.0;
+            let best = exact.travel_at(l).unwrap();
+            let fb = degraded.fallback.travel.eval_clamped(l);
+            prop_assert!(
+                fb >= best - 1e-6 * (1.0 + best),
+                "l={l}: fallback {fb} beats the exact border {best}"
+            );
+        }
+        // And the advertised minimum matches its own function.
+        let mins = (0..=64)
+            .map(|k| {
+                let l = interval.lo() + interval.len() * (k as f64) / 64.0;
+                degraded.fallback.travel.eval_clamped(l)
+            })
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!(degraded.fallback_travel_minutes <= mins + 1e-9);
+    }
+}

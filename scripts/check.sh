@@ -29,11 +29,17 @@ env -u RUST_TEST_THREADS cargo test -q -p fp-ccam concurrent
 echo "==> fault-injection stress (RUST_TEST_THREADS unpinned)"
 env -u RUST_TEST_THREADS cargo test -q -p fp-allfp --test faults
 
+# Overload resilience: the seeded chaos scenario (2x overload + fault
+# storm, virtual time) plus the service-behavior tests. The threaded
+# serve test interleaves; unpinned like the other stress suites.
+echo "==> overload-chaos stress (RUST_TEST_THREADS unpinned)"
+env -u RUST_TEST_THREADS cargo test -q -p fp-allfp --test overload
+
 # Allocation gates ride along with the batch smoke: the pooled PWL
 # kernel loop must allocate exactly zero in steady state, and the
 # whole engine must stay under the allocs-per-expansion budget (both
 # measured by a counting global allocator inside fp-bench).
-echo "==> batch-driver smoke (answers + scaling + checksum-overhead + allocation gates)"
+echo "==> batch-driver smoke (answers + scaling + checksum + allocation + overload gates)"
 cargo bench -p fp-bench --bench engine_hotpath -- --smoke
 
 echo "All checks passed."
