@@ -1,14 +1,15 @@
 //! CLI regenerating every table and figure of the paper's §6.
 //!
 //! ```text
-//! experiments <subcommand> [--scale small|medium|full] [--seed N]
-//!             [--queries N] [--csv DIR]
+//! experiments <subcommand> [--scale small|medium|full|large] [--seed N]
+//!             [--queries N] [--csv DIR] [--backend flat|ch]
 //!
 //! subcommands:
 //!   table1            the CapeCod pattern schema (Table 1)
 //!   fig9              expanded nodes vs distance, naiveLB vs bdLB
 //!   fig10             Discrete Time vs CapeCod ratios
 //!   const-speed       the constant-speed (speed-limit) comparison
+//!   overload          the seeded virtual-time overload twin
 //!   ablation-grid     bdLB grid granularity sweep (A-1)
 //!   ablation-pruning  basic vs dominance-pruned expansion (A-2)
 //!   ablation-ccam     CCAM placement vs buffer size (A-3)
@@ -16,25 +17,31 @@
 //! ```
 //!
 //! Defaults: medium scale (≈3–4k nodes, full 8-mile extent), seed
-//! 0x5EED, 20 queries per cell. `--scale full --queries 100` matches
-//! the paper's setup (14.5k nodes, 100 queries) at several minutes of
-//! runtime.
+//! 0x5EED, 20 queries per cell, flat backend. `--scale full
+//! --queries 100` matches the paper's setup (14.5k nodes, 100
+//! queries) at several minutes of runtime. `--backend ch` replays
+//! fig9, fig10 and the overload twin over the contraction-hierarchy
+//! backend (`fp-hierarchy`): same answers, preprocessing-speed query
+//! work.
 
 use std::process::ExitCode;
 
-use fpbench::{ablations, const_speed, fig10, fig9, table1, Scale, Scenario, Table};
+use fpbench::{
+    ablations, const_speed, fig10, fig9, overload, table1, BackendKind, Scale, Scenario, Table,
+};
 
 struct Options {
     scale: Scale,
     seed: u64,
     queries: usize,
     csv_dir: Option<std::path::PathBuf>,
+    backend: BackendKind,
 }
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(cmd) = args.next() else {
-        eprintln!("usage: experiments <table1|fig9|fig10|const-speed|ablation-grid|ablation-pruning|ablation-ccam|all> [--scale small|medium|full] [--seed N] [--queries N] [--csv DIR]");
+        eprintln!("usage: experiments <table1|fig9|fig10|const-speed|overload|ablation-grid|ablation-pruning|ablation-ccam|all> [--scale small|medium|full|large] [--seed N] [--queries N] [--csv DIR] [--backend flat|ch]");
         return ExitCode::FAILURE;
     };
     let mut opts = Options {
@@ -42,6 +49,7 @@ fn main() -> ExitCode {
         seed: 0x5EED,
         queries: 20,
         csv_dir: None,
+        backend: BackendKind::Flat,
     };
     let rest: Vec<String> = args.collect();
     let mut i = 0;
@@ -75,6 +83,20 @@ fn main() -> ExitCode {
                 opts.csv_dir = value().map(|v| v.into());
                 i += 2;
             }
+            "--backend" => {
+                let Some(v) = value() else {
+                    eprintln!("--backend needs a value");
+                    return ExitCode::FAILURE;
+                };
+                match v.parse() {
+                    Ok(b) => opts.backend = b,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                i += 2;
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 return ExitCode::FAILURE;
@@ -92,6 +114,14 @@ fn main() -> ExitCode {
         emit(&opts, "table1", table1::render());
     }
 
+    // The overload twin builds its own small grid (virtual-time
+    // calibration needs a fixed substrate, not the scenario network).
+    if wants("overload") {
+        matched = true;
+        let r = overload::run_with_backend(opts.seed, opts.queries.max(80), opts.backend);
+        emit(&opts, "overload", overload::render(&r));
+    }
+
     if [
         "fig9",
         "fig10",
@@ -105,6 +135,7 @@ fn main() -> ExitCode {
     {
         let scenario = Scenario::new(opts.scale, opts.seed);
         println!("{}", scenario.describe());
+        println!("backend: {}\n", opts.backend.label());
 
         if wants("fig9") {
             matched = true;
@@ -114,6 +145,7 @@ fn main() -> ExitCode {
                 scenario.max_query_miles(),
                 8,
                 opts.seed,
+                opts.backend,
             );
             emit(&opts, "fig9", fig9::render(&rows));
         }
@@ -124,7 +156,7 @@ fn main() -> ExitCode {
                 Scale::Small => (2.0, 3.0),
                 Scale::Medium | Scale::Full => (7.0, 8.0),
             };
-            let result = fig10::run(&scenario.net, opts.queries, lo, hi, opts.seed);
+            let result = fig10::run(&scenario.net, opts.queries, lo, hi, opts.seed, opts.backend);
             emit(&opts, "fig10", fig10::render(&result));
         }
         if wants("const-speed") {

@@ -17,6 +17,7 @@ use roadnet::RoadNetwork;
 use traffic::DayCategory;
 
 use crate::report::{fnum, Table};
+use crate::scenario::BackendKind;
 
 /// The probed discretization steps, minutes (1h, 10m, 1m, 10s).
 pub const STEPS: [f64; 4] = [60.0, 10.0, 1.0, 1.0 / 6.0];
@@ -60,9 +61,12 @@ pub fn run(
     dist_lo: f64,
     dist_hi: f64,
     seed: u64,
+    backend: BackendKind,
 ) -> Fig10Result {
     let interval = Interval::of(hm(8, 15), hm(10, 10));
-    let engine = Engine::new(net, EngineConfig::default());
+    let engine = backend
+        .wrap(Engine::new(net, EngineConfig::default()))
+        .expect("backend builds");
     let lb = NaiveLb::new(net.max_speed());
 
     let pairs = sample_pairs(net, n_queries, dist_lo, dist_hi, seed).expect("sampling succeeds");
@@ -154,7 +158,7 @@ mod tests {
     #[test]
     fn ratios_behave_like_the_paper() {
         let s = Scenario::new(Scale::Small, 77);
-        let result = run(&s.net, 4, 1.5, 3.0, 11);
+        let result = run(&s.net, 4, 1.5, 3.0, 11, BackendKind::Flat);
         assert!(result.queries >= 2);
         assert_eq!(result.rows.len(), 4);
         // travel ratio never below 1 and non-increasing as steps refine

@@ -23,6 +23,7 @@ use roadnet::RoadNetwork;
 use traffic::DayCategory;
 
 use crate::report::{fnum, Table};
+use crate::scenario::BackendKind;
 
 /// One distance bucket's mean expanded-node counts.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,32 +50,48 @@ pub struct Fig9Row {
 ///
 /// `per_bucket` queries per whole-mile distance in `1..=max_miles`;
 /// `grid` is the bdLB granularity (the paper does not state theirs; 8
-/// is the ablation A-1 sweet spot here).
+/// is the ablation A-1 sweet spot here). `backend` selects the search
+/// strategy: with [`BackendKind::Ch`] each estimator configuration is
+/// wrapped in a contraction hierarchy (the overlay search uses its own
+/// exact scalar bounds, so the three estimator columns converge — the
+/// run then measures the hierarchy's insensitivity to the estimator,
+/// and the estimator still serves any flat-engine fallbacks).
 pub fn run(
     net: &RoadNetwork,
     per_bucket: usize,
     max_miles: usize,
     grid: usize,
     seed: u64,
+    backend: BackendKind,
 ) -> Vec<Fig9Row> {
     let interval = Interval::of(hm(7, 0), hm(10, 0)); // the morning rush
-    let naive = Engine::for_network(net, EngineConfig::default()).expect("estimator builds");
-    let bd = Engine::for_network(
-        net,
-        EngineConfig {
-            estimator: EstimatorKind::Boundary { grid },
-            ..Default::default()
-        },
-    )
-    .expect("precomputation succeeds");
-    let bdt = Engine::for_network(
-        net,
-        EngineConfig {
-            estimator: EstimatorKind::BoundaryTime { grid },
-            ..Default::default()
-        },
-    )
-    .expect("precomputation succeeds");
+    let naive = backend
+        .wrap(Engine::for_network(net, EngineConfig::default()).expect("estimator builds"))
+        .expect("backend builds");
+    let bd = backend
+        .wrap(
+            Engine::for_network(
+                net,
+                EngineConfig {
+                    estimator: EstimatorKind::Boundary { grid },
+                    ..Default::default()
+                },
+            )
+            .expect("precomputation succeeds"),
+        )
+        .expect("backend builds");
+    let bdt = backend
+        .wrap(
+            Engine::for_network(
+                net,
+                EngineConfig {
+                    estimator: EstimatorKind::BoundaryTime { grid },
+                    ..Default::default()
+                },
+            )
+            .expect("precomputation succeeds"),
+        )
+        .expect("backend builds");
 
     let buckets =
         distance_buckets(net, per_bucket, max_miles, 0.25, seed).expect("sampling succeeds");
@@ -181,7 +198,7 @@ mod tests {
     #[test]
     fn bd_never_expands_more_and_counts_grow_with_distance() {
         let s = Scenario::new(Scale::Small, 33);
-        let rows = run(&s.net, 4, 3, 6, 5);
+        let rows = run(&s.net, 4, 3, 6, 5, BackendKind::Flat);
         assert_eq!(rows.len(), 3);
         let mut any_queries = false;
         for r in &rows {
@@ -205,5 +222,18 @@ mod tests {
         assert!(any_queries);
         let t = render(&rows);
         assert_eq!(t.rows.len(), 3);
+    }
+
+    #[test]
+    fn ch_backend_runs_the_same_experiment() {
+        let s = Scenario::new(Scale::Small, 33);
+        let flat = run(&s.net, 2, 2, 6, 5, BackendKind::Flat);
+        let ch = run(&s.net, 2, 2, 6, 5, BackendKind::Ch);
+        assert_eq!(flat.len(), ch.len());
+        for (f, c) in flat.iter().zip(ch.iter()) {
+            // Same pairs complete under either backend (answers are
+            // equivalent, so reachability classifications match too).
+            assert_eq!(f.queries, c.queries, "flat {f:?} vs ch {c:?}");
+        }
     }
 }

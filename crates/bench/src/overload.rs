@@ -23,9 +23,14 @@ use roadnet::generators::grid;
 use roadnet::{NodeId, RoadNetwork};
 use traffic::{DayCategory, RoadClass};
 
+use crate::report::Table;
+use crate::scenario::BackendKind;
+
 /// What one overload run produced, in report-ready form.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OverloadReport {
+    /// Which backend served the queries (`"flat"` or `"ch"`).
+    pub backend: &'static str,
     /// Scenario seed.
     pub seed: u64,
     /// Total submissions offered.
@@ -100,10 +105,13 @@ fn sample_specs(net: &RoadNetwork, n: usize, seed: u64) -> Vec<QuerySpec> {
 const QUEUE_CAPACITY: usize = 10;
 const OFFERED_RATIO: f64 = 2.0;
 
-fn simulate(seed: u64, submissions: usize) -> SimOutcome {
+fn simulate(seed: u64, submissions: usize, backend: BackendKind) -> SimOutcome {
     let net = grid(6, 6, 0.3, RoadClass::LocalOutside).expect("generator is infallible here");
     let specs = sample_specs(&net, 10, seed);
-    let engine = Engine::new(&net, EngineConfig::default());
+    let engine = backend
+        .wrap(Engine::new(&net, EngineConfig::default()))
+        .expect("backend builds");
+    let engine = engine.as_ref();
 
     // Calibrate work units (expansions) per spec so arrival pacing and
     // admission estimates are honest.
@@ -126,7 +134,7 @@ fn simulate(seed: u64, submissions: usize) -> SimOutcome {
         initial_units_per_cost: 1.0,
         ..ServiceConfig::default()
     };
-    let svc = QueryService::new(&engine, &clock, config);
+    let svc = QueryService::new(engine, &clock, config);
 
     // Service capacity is one work unit per clock unit; a mean gap of
     // `mean_cost / OFFERED_RATIO` offers twice that.
@@ -194,13 +202,22 @@ fn simulate(seed: u64, submissions: usize) -> SimOutcome {
 }
 
 /// Run the seeded overload scenario (twice, to certify determinism)
-/// and fold it into an [`OverloadReport`].
+/// and fold it into an [`OverloadReport`], on the flat backend.
 pub fn run(seed: u64, submissions: usize) -> OverloadReport {
-    let a = simulate(seed, submissions);
-    let b = simulate(seed, submissions);
+    run_with_backend(seed, submissions, BackendKind::Flat)
+}
+
+/// [`run`] against an explicit backend: the same virtual-time overload
+/// twin replayed over the flat engine or the contraction hierarchy —
+/// the service-level promises (bounded queue, typed rejections,
+/// deterministic replay) must hold regardless of search strategy.
+pub fn run_with_backend(seed: u64, submissions: usize, backend: BackendKind) -> OverloadReport {
+    let a = simulate(seed, submissions, backend);
+    let b = simulate(seed, submissions, backend);
     let deterministic = a == b;
     let s = a.stats;
     OverloadReport {
+        backend: backend.label(),
         seed,
         submissions,
         queue_capacity: QUEUE_CAPACITY,
@@ -224,6 +241,35 @@ pub fn run(seed: u64, submissions: usize) -> OverloadReport {
     }
 }
 
+/// Render a report as a key/value table for the experiments CLI.
+pub fn render(r: &OverloadReport) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Overload twin - seeded {}x open-loop overload in virtual time ({} backend)",
+            r.offered_ratio, r.backend
+        ),
+        &["metric", "value"],
+    );
+    let rows: [(&str, String); 12] = [
+        ("submissions", r.submissions.to_string()),
+        ("queue capacity", r.queue_capacity.to_string()),
+        ("admitted", r.admitted.to_string()),
+        ("rejected", r.rejected.to_string()),
+        ("answered", r.answered.to_string()),
+        ("degraded", r.degraded.to_string()),
+        ("shed", r.shed.to_string()),
+        ("queue high water", r.queue_depth_high_water.to_string()),
+        ("executed units", r.executed_units.to_string()),
+        ("goodput ratio", format!("{:.4}", r.goodput_ratio)),
+        ("reconciled", r.reconciled.to_string()),
+        ("deterministic replay", r.deterministic.to_string()),
+    ];
+    for (k, v) in rows {
+        t.push_row(vec![k.to_string(), v]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,5 +288,15 @@ mod tests {
             r.submissions as u64,
             "every submission accounted for: {r:?}"
         );
+    }
+
+    #[test]
+    fn overload_holds_on_the_hierarchy_backend() {
+        let r = run_with_backend(0x0BAD_10AD, 60, BackendKind::Ch);
+        assert_eq!(r.backend, "ch");
+        assert!(r.reconciled, "{r:?}");
+        assert!(r.deterministic, "{r:?}");
+        assert!(r.queue_depth_high_water <= r.queue_capacity, "{r:?}");
+        assert_eq!(r.admitted + r.rejected, r.submissions as u64, "{r:?}");
     }
 }

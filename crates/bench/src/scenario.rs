@@ -1,7 +1,10 @@
-//! Experiment scenarios: the network under test.
+//! Experiment scenarios: the network under test and the query backend
+//! driving it.
 
+use allfp::{Engine, PathfindBackend};
+use hierarchy::{HierarchyConfig, HierarchyEngine};
 use roadnet::generators::{suffolk_like, MetroConfig};
-use roadnet::{NetworkStats, RoadNetwork};
+use roadnet::{NetworkSource, NetworkStats, RoadNetwork};
 
 /// How large a network to run the experiments on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,9 +26,64 @@ impl std::str::FromStr for Scale {
         match s {
             "small" => Ok(Scale::Small),
             "medium" => Ok(Scale::Medium),
-            "full" => Ok(Scale::Full),
-            other => Err(format!("unknown scale '{other}' (small|medium|full)")),
+            // "large" is the colloquial name the hierarchy speedup gate
+            // uses for the paper-magnitude network; accept both.
+            "full" | "large" => Ok(Scale::Full),
+            other => Err(format!("unknown scale '{other}' (small|medium|full|large)")),
         }
+    }
+}
+
+/// Which query strategy an experiment drives: the flat best-first
+/// engine, or the time-dependent contraction hierarchy built on top
+/// of it (`fp-hierarchy`). Both answer bit-identically; only the work
+/// per query differs, which is exactly what the figures measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// Best-first interval search over the original network.
+    #[default]
+    Flat,
+    /// Up–down search over a contracted overlay, answers re-composed
+    /// through the flat pipeline (so they stay bit-identical).
+    Ch,
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "flat" => Ok(BackendKind::Flat),
+            "ch" | "hierarchy" => Ok(BackendKind::Ch),
+            other => Err(format!("unknown backend '{other}' (flat|ch)")),
+        }
+    }
+}
+
+impl BackendKind {
+    /// Short name for table titles and report rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::Flat => "flat",
+            BackendKind::Ch => "ch",
+        }
+    }
+
+    /// Wrap an already-configured flat engine in the chosen backend.
+    /// `Ch` runs preprocessing here (contraction of every configured
+    /// day category), so callers should wrap once per engine, not per
+    /// query.
+    pub fn wrap<'a, S: NetworkSource>(
+        self,
+        engine: Engine<'a, S>,
+    ) -> allfp::Result<Box<dyn PathfindBackend + 'a>> {
+        Ok(match self {
+            BackendKind::Flat => Box::new(engine),
+            BackendKind::Ch => Box::new(HierarchyEngine::with_flat(
+                engine,
+                HierarchyConfig::default(),
+            )?),
+        })
     }
 }
 

@@ -2,7 +2,6 @@
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
@@ -314,7 +313,7 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 /// Render a caught panic payload for error reporting.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     // Take `String` payloads by value instead of cloning them out of
     // the box.
     match payload.downcast::<String>() {
@@ -434,7 +433,8 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
     where
         S: Sync,
     {
-        let (slots, stats) = self.drive_batch(
+        let (slots, stats) = drive_batch(
+            || self.cache.session(),
             queries,
             workers,
             |q, session| self.run_with_session(q, false, session).map(|(a, _)| a),
@@ -467,9 +467,26 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
     }
 
     /// Open a fresh cache session for a caller that runs many queries
-    /// back to back on one thread (the service worker loop).
-    pub(crate) fn cache_session(&self) -> CacheSession<'_> {
+    /// back to back on one thread (the service worker loop, a batch
+    /// worker, or a [`crate::backend::PathfindBackend`] wrapper that
+    /// shares this engine's travel-function cache).
+    pub fn cache_session(&self) -> CacheSession<'_> {
         self.cache.session()
+    }
+
+    /// The engine's lower-bound estimator, for backends that run their
+    /// own prioritized search over a structure derived from this
+    /// engine's network (estimates depend only on `(node, target)`
+    /// positions, so they lower-bound travel on any overlay whose arcs
+    /// represent real paths).
+    pub fn estimator(&self) -> &dyn LowerBoundEstimator {
+        self.estimator.as_ref()
+    }
+
+    /// Shared read access to the network source this engine answers
+    /// queries over.
+    pub fn source(&self) -> &'a S {
+        self.source
     }
 
     /// Batch counterpart of [`Engine::run_robust`], on exactly
@@ -494,38 +511,14 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
     where
         S: Sync,
     {
-        let (slots, stats) = self.drive_batch(
-            queries,
-            workers,
-            |q, session| {
-                // AssertUnwindSafe: the session (plain maps + tallies)
-                // and the shared cache (poison-recovering locks over
-                // immutable-once-inserted values) are both valid after
-                // an interrupted query.
-                catch_unwind(AssertUnwindSafe(|| {
-                    self.robust_with_session(q, session, Some(cancel))
-                }))
-                .unwrap_or_else(|payload| Err(EngineError::Panicked(panic_message(payload))))
-            },
-            |r| r.as_ref().ok().map(|o| *o.stats()),
-        );
-        let results = slots
-            .into_iter()
-            .map(|slot| {
-                slot.unwrap_or_else(|| {
-                    Err(EngineError::Panicked(
-                        "batch worker died before reporting this query".to_string(),
-                    ))
-                })
-            })
-            .collect();
-        (results, stats)
+        crate::backend::run_batch_robust(self, queries, workers, cancel)
     }
 
-    /// One budget-aware query on an existing session. `pub(crate)` for
-    /// the [`crate::service`] layer, whose workers keep one warm
-    /// session across every query they serve.
-    pub(crate) fn robust_with_session(
+    /// One budget-aware query on an existing session: the entry point
+    /// for callers that keep one warm session across many queries (the
+    /// [`crate::service`] worker loop, batch workers, hierarchy
+    /// backends falling back to the flat search).
+    pub fn robust_with_session(
         &self,
         query: &QuerySpec,
         session: &mut CacheSession<'_>,
@@ -581,8 +574,14 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
 
     /// The exact travel-time function of the fixed route `nodes` over
     /// the query interval, composed edge by edge through the session
-    /// cache (the same compound operation the search uses).
-    fn route_travel_fn(
+    /// cache — **bit-identical** to what the search itself would
+    /// compute for this node sequence ([`compose_travel_simplified`]
+    /// and the pooled [`compose_travel_into`] agree bit for bit, and
+    /// the session serves the same full-period restrictions). Public
+    /// so alternative backends (the contraction-hierarchy overlay) can
+    /// select a winning node sequence their own way and then reproduce
+    /// the flat engine's answer function exactly.
+    pub fn route_travel_fn(
         &self,
         nodes: &[NodeId],
         query: &QuerySpec,
@@ -610,111 +609,6 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
             travel = compose_travel_simplified(&travel, &t_edge)?;
         }
         Ok(travel)
-    }
-
-    /// The shared work-stealing batch driver: runs `run` once per
-    /// query (workers share the engine immutably, each holding one
-    /// warm [`CacheSession`] across all its queries) and returns the
-    /// per-query results in input order. A slot is `None` only if its
-    /// worker thread died before reporting — callers map that onto
-    /// their error type.
-    fn drive_batch<R: Send>(
-        &self,
-        queries: &[QuerySpec],
-        workers: usize,
-        run: impl Fn(&QuerySpec, &mut CacheSession<'_>) -> R + Sync,
-        stats_of: impl Fn(&R) -> Option<QueryStats> + Sync,
-    ) -> (Vec<Option<R>>, BatchStats)
-    where
-        S: Sync,
-    {
-        let workers = workers.max(1).min(queries.len());
-        if queries.is_empty() {
-            return (Vec::new(), BatchStats::default());
-        }
-        if workers <= 1 {
-            let mut session = self.cache.session();
-            let mut stats = BatchStats::new(1);
-            let results: Vec<Option<R>> = queries
-                .iter()
-                .map(|q| {
-                    let r = run(q, &mut session);
-                    stats.record(0, stats_of(&r).as_ref());
-                    Some(r)
-                })
-                .collect();
-            return (results, stats);
-        }
-
-        // One deque of query indices per worker, seeded with contiguous
-        // chunks (preserves whatever locality the caller's ordering
-        // has). `Mutex<VecDeque>` per worker: the owner and an
-        // occasional thief are the only contenders.
-        let chunk = queries.len().div_ceil(workers);
-        let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
-            .map(|w| {
-                let lo = w * chunk;
-                let hi = ((w + 1) * chunk).min(queries.len());
-                Mutex::new((lo..hi.max(lo)).collect())
-            })
-            .collect();
-        let steals = AtomicU64::new(0);
-
-        type Yield<R> = (Vec<(usize, R)>, usize, QueryStats);
-        let per_worker: Vec<std::thread::Result<Yield<R>>> = std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(workers);
-            for w in 0..workers {
-                let queues = &queues;
-                let steals = &steals;
-                let run = &run;
-                let stats_of = &stats_of;
-                handles.push(scope.spawn(move || {
-                    let mut session = self.cache.session();
-                    let mut out: Vec<(usize, R)> = Vec::new();
-                    let mut processed = 0usize;
-                    let mut cache_stats = QueryStats::default();
-                    loop {
-                        let next = lock(&queues[w]).pop_front();
-                        let i = match next {
-                            Some(i) => i,
-                            None => match steal_into(queues, w, steals) {
-                                Some(i) => i,
-                                None => break,
-                            },
-                        };
-                        let r = run(&queries[i], &mut session);
-                        if let Some(qs) = stats_of(&r) {
-                            cache_stats.cache_lookups += qs.cache_lookups;
-                            cache_stats.cache_hits += qs.cache_hits;
-                            cache_stats.cache_misses += qs.cache_misses;
-                        }
-                        processed += 1;
-                        out.push((i, r));
-                    }
-                    (out, processed, cache_stats)
-                }));
-            }
-            // Collect join *results*: a worker that died (panic that
-            // escaped `run`) loses its slots but cannot kill the batch.
-            handles.into_iter().map(|h| h.join()).collect()
-        });
-
-        let mut stats = BatchStats::new(workers);
-        stats.steals = steals.load(AtomicOrdering::Relaxed);
-        let mut results: Vec<Option<R>> = (0..queries.len()).map(|_| None).collect();
-        for (w, yielded) in per_worker.into_iter().enumerate() {
-            let Ok((rs, processed, cache_stats)) = yielded else {
-                continue; // dead worker: its unreported slots stay None
-            };
-            stats.queries_per_worker[w] = processed;
-            stats.cache_lookups += cache_stats.cache_lookups;
-            stats.cache_hits += cache_stats.cache_hits;
-            stats.cache_misses += cache_stats.cache_misses;
-            for (i, r) in rs {
-                results[i] = Some(r);
-            }
-        }
-        (results, stats)
     }
 
     /// Answer the **allFP query**: the full partitioning of the query
@@ -1182,6 +1076,110 @@ impl<'a> Engine<'a, roadnet::RoadNetwork> {
             cache,
         })
     }
+}
+
+/// The shared work-stealing batch driver: runs `run` once per query
+/// (workers share the backend immutably, each holding one warm
+/// [`CacheSession`] from `open_session` across all its queries) and
+/// returns the per-query results in input order. A slot is `None` only
+/// if its worker thread died before reporting — callers map that onto
+/// their error type. Free-standing so every [`crate::backend::
+/// PathfindBackend`] batch entry point shares one scheduler.
+pub(crate) fn drive_batch<'c, R: Send>(
+    open_session: impl Fn() -> CacheSession<'c> + Sync,
+    queries: &[QuerySpec],
+    workers: usize,
+    run: impl Fn(&QuerySpec, &mut CacheSession<'c>) -> R + Sync,
+    stats_of: impl Fn(&R) -> Option<QueryStats> + Sync,
+) -> (Vec<Option<R>>, BatchStats) {
+    let workers = workers.max(1).min(queries.len());
+    if queries.is_empty() {
+        return (Vec::new(), BatchStats::default());
+    }
+    if workers <= 1 {
+        let mut session = open_session();
+        let mut stats = BatchStats::new(1);
+        let results: Vec<Option<R>> = queries
+            .iter()
+            .map(|q| {
+                let r = run(q, &mut session);
+                stats.record(0, stats_of(&r).as_ref());
+                Some(r)
+            })
+            .collect();
+        return (results, stats);
+    }
+
+    // One deque of query indices per worker, seeded with contiguous
+    // chunks (preserves whatever locality the caller's ordering
+    // has). `Mutex<VecDeque>` per worker: the owner and an
+    // occasional thief are the only contenders.
+    let chunk = queries.len().div_ceil(workers);
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| {
+            let lo = w * chunk;
+            let hi = ((w + 1) * chunk).min(queries.len());
+            Mutex::new((lo..hi.max(lo)).collect())
+        })
+        .collect();
+    let steals = AtomicU64::new(0);
+
+    type Yield<R> = (Vec<(usize, R)>, usize, QueryStats);
+    let per_worker: Vec<std::thread::Result<Yield<R>>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let queues = &queues;
+            let steals = &steals;
+            let run = &run;
+            let stats_of = &stats_of;
+            let open_session = &open_session;
+            handles.push(scope.spawn(move || {
+                let mut session = open_session();
+                let mut out: Vec<(usize, R)> = Vec::new();
+                let mut processed = 0usize;
+                let mut cache_stats = QueryStats::default();
+                loop {
+                    let next = lock(&queues[w]).pop_front();
+                    let i = match next {
+                        Some(i) => i,
+                        None => match steal_into(queues, w, steals) {
+                            Some(i) => i,
+                            None => break,
+                        },
+                    };
+                    let r = run(&queries[i], &mut session);
+                    if let Some(qs) = stats_of(&r) {
+                        cache_stats.cache_lookups += qs.cache_lookups;
+                        cache_stats.cache_hits += qs.cache_hits;
+                        cache_stats.cache_misses += qs.cache_misses;
+                    }
+                    processed += 1;
+                    out.push((i, r));
+                }
+                (out, processed, cache_stats)
+            }));
+        }
+        // Collect join *results*: a worker that died (panic that
+        // escaped `run`) loses its slots but cannot kill the batch.
+        handles.into_iter().map(|h| h.join()).collect()
+    });
+
+    let mut stats = BatchStats::new(workers);
+    stats.steals = steals.load(AtomicOrdering::Relaxed);
+    let mut results: Vec<Option<R>> = (0..queries.len()).map(|_| None).collect();
+    for (w, yielded) in per_worker.into_iter().enumerate() {
+        let Ok((rs, processed, cache_stats)) = yielded else {
+            continue; // dead worker: its unreported slots stay None
+        };
+        stats.queries_per_worker[w] = processed;
+        stats.cache_lookups += cache_stats.cache_lookups;
+        stats.cache_hits += cache_stats.cache_hits;
+        stats.cache_misses += cache_stats.cache_misses;
+        for (i, r) in rs {
+            results[i] = Some(r);
+        }
+    }
+    (results, stats)
 }
 
 /// Steal the back half of the first non-empty victim queue into worker

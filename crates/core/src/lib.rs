@@ -73,10 +73,12 @@ mod estimator;
 mod query;
 
 pub mod arrival;
+pub mod backend;
 pub mod baseline;
 pub mod service;
 
 pub use arrival::{ArrivalAllFpAnswer, ArrivalPlanner, ArrivalQuerySpec, ArrivalSingleFpAnswer};
+pub use backend::PathfindBackend;
 pub use boundary::{BoundaryLb, WeightMode};
 pub use cache::{CacheCounters, CacheSession, TravelFnCache};
 pub use engine::{build_estimator, Engine, EngineConfig};

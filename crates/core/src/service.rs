@@ -51,8 +51,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::Instant;
 
-use roadnet::NetworkSource;
-
+use crate::backend::PathfindBackend;
 use crate::cache::CacheSession;
 use crate::engine::Engine;
 use crate::query::{
@@ -678,12 +677,14 @@ impl ServiceState {
 /// full behavioral contract and `DESIGN.md` §11 for the design
 /// rationale.
 ///
-/// `S` is the primary engine's network source (typically the CCAM
-/// disk stack). The optional fallback engine always runs over the
+/// `B` is the primary query backend — the flat [`Engine`] over any
+/// network source (typically the CCAM disk stack), or any other
+/// [`PathfindBackend`] such as the contraction-hierarchy engine from
+/// `fp-hierarchy`. The optional fallback engine always runs over the
 /// in-memory [`roadnet::RoadNetwork`] snapshot: when the breaker
 /// declares storage sick, answers must not depend on the sick store.
-pub struct QueryService<'e, S: NetworkSource> {
-    primary: &'e Engine<'e, S>,
+pub struct QueryService<'e, B: PathfindBackend + ?Sized> {
+    primary: &'e B,
     fallback: Option<&'e Engine<'e, roadnet::RoadNetwork>>,
     clock: &'e dyn ServiceClock,
     config: ServiceConfig,
@@ -695,17 +696,13 @@ pub struct QueryService<'e, S: NetworkSource> {
     work: Condvar,
 }
 
-impl<'e, S: NetworkSource> QueryService<'e, S> {
+impl<'e, B: PathfindBackend + ?Sized> QueryService<'e, B> {
     /// Build a service over `primary` with no dedicated fallback
     /// engine: breaker-rerouted queries run a zero-expansion budget
-    /// against the primary source instead (cheap, but still touching
+    /// against the primary backend instead (cheap, but still touching
     /// the possibly-sick store — prefer [`QueryService::with_fallback`]
     /// in production).
-    pub fn new(
-        primary: &'e Engine<'e, S>,
-        clock: &'e dyn ServiceClock,
-        config: ServiceConfig,
-    ) -> Self {
+    pub fn new(primary: &'e B, clock: &'e dyn ServiceClock, config: ServiceConfig) -> Self {
         QueryService {
             primary,
             fallback: None,
@@ -1069,7 +1066,7 @@ impl<'e, S: NetworkSource> QueryService<'e, S> {
     /// call blocks until every admitted submission has resolved.
     pub fn serve<R>(&self, workers: usize, driver: impl FnOnce(&Self) -> R) -> R
     where
-        S: Sync,
+        B: Sync,
     {
         std::thread::scope(|scope| {
             for _ in 0..workers.max(1) {

@@ -1,0 +1,581 @@
+//! Time-dependent contraction hierarchy for CapeCod road networks.
+//!
+//! The flat `allfp` engine answers every query by best-first path
+//! expansion over the original network — thousands of expansions per
+//! query on a metro-scale graph. This crate trades a one-time
+//! preprocessing pass for orders-of-magnitude cheaper queries:
+//!
+//! 1. **Node ordering** — a lazy-updated priority queue over the
+//!    classic edge-difference heuristic plus a travel-minimum term
+//!    (contract residential grid nodes before arterials).
+//! 2. **Contraction** — removing node `v` inserts shortcut arcs
+//!    `u → w` whose weights are full piecewise-linear travel-time
+//!    functions composed with the same pooled kernels the flat engine
+//!    uses ([`pwl::compose_travel_into`]); a bounded **witness search**
+//!    (max-weight Dijkstra versus min-of-via) proves most candidate
+//!    shortcuts unnecessary, and parallel arcs are deduplicated by
+//!    pointwise domination.
+//! 3. **Query** — an up–down best-first search over the overlay
+//!    selects the winning routes; shortcuts unpack to original edge
+//!    sequences; every answer function is then **re-composed through
+//!    the flat engine's own pipeline**
+//!    ([`allfp::Engine::route_travel_fn`]), so answers are
+//!    bit-identical to the flat engine's (the golden suite in
+//!    `core/tests/hierarchy_equivalence.rs` pins this).
+//!
+//! [`HierarchyEngine`] implements [`allfp::PathfindBackend`], so the
+//! admission-controlled `QueryService`, robust batches, deadlines,
+//! cancellation and degraded fallbacks all work against it unchanged.
+//! Queries the overlay cannot serve exactly (degenerate intervals,
+//! day categories that were not preprocessed, leaving windows outside
+//! `[0, 1440]`, multi-day arrival windows) transparently fall back to
+//! the embedded flat engine — exactness before speed, always.
+//!
+//! DESIGN.md §12 documents the algebra-closure and witness-soundness
+//! arguments in full.
+
+#![warn(clippy::unwrap_used, clippy::expect_used, clippy::redundant_clone)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+mod overlay;
+mod search;
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use allfp::baseline::constant_speed_plan;
+use allfp::{
+    AllFpAnswer, AllFpError, BatchStats, CacheCounters, CacheSession, CancelToken, DegradedAnswer,
+    Engine, EngineConfig, EngineError, FastestPath, PathfindBackend, QueryOutcome, QuerySpec,
+    QueryStats, Result, SingleFpAnswer,
+};
+use pwl::time::MINUTES_PER_DAY;
+use pwl::{Envelope, Interval, Pwl};
+use roadnet::overlay::{HierarchySnapshot, OverlaySnapshot, SnapshotArc};
+use roadnet::{NetworkSource, NodeId};
+use traffic::DayCategory;
+
+use crate::overlay::{build_overlay, extend_periodic, finish_overlay, Overlay, OverlayArc};
+
+/// Preprocessing configuration.
+#[derive(Debug, Clone)]
+pub struct HierarchyConfig {
+    /// Day categories to contract an overlay for. Queries in other
+    /// categories fall back to the flat engine.
+    pub categories: Vec<DayCategory>,
+    /// Settled-node cap per witness search. Higher caps prove more
+    /// shortcuts unnecessary (smaller overlay, slower build); the
+    /// answer is exact at any cap.
+    pub witness_settle_cap: usize,
+    /// Engine-level expansion valve for the overlay search, mirroring
+    /// [`EngineConfig::max_expansions`].
+    pub max_expansions: usize,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        HierarchyConfig {
+            categories: vec![DayCategory::WORKDAY],
+            witness_settle_cap: 64,
+            max_expansions: 2_000_000,
+        }
+    }
+}
+
+/// What preprocessing cost and produced — the numbers the benchmark
+/// report prints next to the query-time speedup.
+#[derive(Debug, Clone)]
+pub struct BuildReport {
+    /// Wall-clock time of the whole preprocessing pass (all
+    /// categories).
+    pub build_wall: Duration,
+    /// Nodes in the network.
+    pub n_nodes: usize,
+    /// Original (non-shortcut) arcs, summed over categories.
+    pub n_original_arcs: usize,
+    /// Shortcut arcs inserted, summed over categories.
+    pub n_shortcuts: usize,
+    /// Arcs disabled by parallel-arc domination.
+    pub n_disabled: usize,
+    /// Total stored pieces across all overlay travel functions
+    /// (full + periodic extensions).
+    pub overlay_pieces: u64,
+    /// Estimated bytes of overlay function storage (24 bytes per
+    /// piece: one breakpoint + one linear).
+    pub bytes_estimate: u64,
+}
+
+/// A preprocessing-based [`PathfindBackend`]: answers singleFP/allFP
+/// bit-identically to the flat [`Engine`] it embeds, via an up–down
+/// search over the contracted overlay. See the crate docs.
+pub struct HierarchyEngine<'a, S: NetworkSource> {
+    flat: Engine<'a, S>,
+    overlays: Vec<Overlay>,
+    config: HierarchyConfig,
+    report: BuildReport,
+}
+
+impl<'a, S: NetworkSource> HierarchyEngine<'a, S> {
+    /// Build the hierarchy over `source` with a default (naive-
+    /// estimator) flat engine for fallbacks and recomposition.
+    pub fn build(source: &'a S, engine: EngineConfig, config: HierarchyConfig) -> Result<Self> {
+        Self::with_flat(Engine::new(source, engine), config)
+    }
+
+    /// Build the hierarchy around an existing flat engine (its
+    /// estimator still serves fallback queries; the overlay search
+    /// itself computes exact scalar lower bounds per query with a
+    /// backward Dijkstra over the overlay's arc minima, which
+    /// dominate any geometric estimate).
+    pub fn with_flat(flat: Engine<'a, S>, config: HierarchyConfig) -> Result<Self> {
+        let t0 = Instant::now();
+        let mut overlays = Vec::with_capacity(config.categories.len());
+        for &cat in &config.categories {
+            overlays.push(build_overlay(
+                flat.source(),
+                cat,
+                config.witness_settle_cap,
+            )?);
+        }
+        let mut engine = HierarchyEngine {
+            flat,
+            overlays,
+            config,
+            report: BuildReport {
+                build_wall: Duration::ZERO,
+                n_nodes: 0,
+                n_original_arcs: 0,
+                n_shortcuts: 0,
+                n_disabled: 0,
+                overlay_pieces: 0,
+                bytes_estimate: 0,
+            },
+        };
+        engine.report = engine.tally_report(t0.elapsed());
+        Ok(engine)
+    }
+
+    fn tally_report(&self, build_wall: Duration) -> BuildReport {
+        let mut r = BuildReport {
+            build_wall,
+            n_nodes: self.flat.source().n_nodes(),
+            n_original_arcs: 0,
+            n_shortcuts: 0,
+            n_disabled: 0,
+            overlay_pieces: 0,
+            bytes_estimate: 0,
+        };
+        for o in &self.overlays {
+            r.n_original_arcs += o.n_base;
+            r.n_shortcuts += o.arcs.len() - o.n_base;
+            r.n_disabled += o.n_disabled;
+            for a in &o.arcs {
+                r.overlay_pieces += (a.full.n_pieces() + a.ext.n_pieces()) as u64;
+            }
+        }
+        r.bytes_estimate = r.overlay_pieces * 24;
+        r
+    }
+
+    /// Preprocessing statistics.
+    pub fn report(&self) -> &BuildReport {
+        &self.report
+    }
+
+    /// The embedded flat engine (fallbacks, recomposition, cache).
+    pub fn flat(&self) -> &Engine<'a, S> {
+        &self.flat
+    }
+
+    fn overlay_for(&self, category: DayCategory) -> Option<&Overlay> {
+        self.overlays.iter().find(|o| o.category == category)
+    }
+
+    /// Can the overlay serve this query, or must it go to the flat
+    /// engine wholesale?
+    fn overlay_query(&self, query: &QuerySpec) -> Option<&Overlay> {
+        if query.interval.is_degenerate()
+            || query.interval.lo() < 0.0
+            || query.interval.hi() > MINUTES_PER_DAY
+        {
+            return None;
+        }
+        self.overlay_for(query.category)
+    }
+
+    /// Exact singleFP answer for a selected route: re-composed through
+    /// the flat pipeline, bit-identical to the flat engine's answer
+    /// for the same node sequence.
+    fn exact_single(
+        &self,
+        route: Vec<NodeId>,
+        query: &QuerySpec,
+        session: &mut CacheSession<'_>,
+        stats: QueryStats,
+    ) -> Result<SingleFpAnswer> {
+        let travel = Arc::new(self.flat.route_travel_fn(&route, query, session)?);
+        let m = travel.minimum();
+        Ok(SingleFpAnswer {
+            path: FastestPath {
+                nodes: route,
+                travel,
+            },
+            travel_minutes: m.value,
+            best_leaving: m.at,
+            stats,
+        })
+    }
+
+    /// Exact allFP answer from candidate routes (identification
+    /// order): recompute each exactly, merge the lower envelope, read
+    /// the partitioning off it, and compact paths by first appearance
+    /// — the same assembly the flat engine performs, over the same
+    /// functions, so boundaries and path order agree bit for bit.
+    /// Candidates that win nowhere simply drop out.
+    fn exact_all(
+        &self,
+        routes: &[Vec<NodeId>],
+        query: &QuerySpec,
+        session: &mut CacheSession<'_>,
+        stats: QueryStats,
+    ) -> Result<AllFpAnswer> {
+        let mut fns: Vec<Arc<Pwl>> = Vec::with_capacity(routes.len());
+        for route in routes {
+            fns.push(Arc::new(self.flat.route_travel_fn(route, query, session)?));
+        }
+        let mut env: Option<Envelope<usize>> = None;
+        for (i, f) in fns.iter().enumerate() {
+            match &mut env {
+                None => env = Some(Envelope::new(Arc::clone(f), i)),
+                Some(e) => e.merge_min_with(session.scratch_mut(), f, i)?,
+            }
+        }
+        let env = env.ok_or(AllFpError::Unreachable {
+            source: query.source,
+            target: query.target,
+        })?;
+        let raw = env.partition();
+        env.recycle_into(session.scratch_mut());
+        let mut order: Vec<usize> = Vec::new();
+        let mut paths: Vec<FastestPath> = Vec::new();
+        let mut partition = Vec::with_capacity(raw.len());
+        for (iv, route_id) in raw {
+            let idx = match order.iter().position(|&p| p == route_id) {
+                Some(i) => i,
+                None => {
+                    order.push(route_id);
+                    paths.push(FastestPath {
+                        nodes: routes[route_id].clone(),
+                        travel: Arc::clone(&fns[route_id]),
+                    });
+                    paths.len() - 1
+                }
+            };
+            partition.push((iv, idx));
+        }
+        let mut border: Option<Envelope<usize>> = None;
+        for (i, fp) in paths.iter().enumerate() {
+            match &mut border {
+                None => border = Some(Envelope::new(Arc::clone(&fp.travel), i)),
+                Some(b) => b.merge_min_with(session.scratch_mut(), &fp.travel, i)?,
+            }
+        }
+        let lower_border = border.ok_or(AllFpError::Internal(
+            "lower border partitioned to zero paths",
+        ))?;
+        Ok(AllFpAnswer {
+            paths,
+            partition,
+            lower_border,
+            stats,
+        })
+    }
+
+    /// Run the overlay search for this query. `Ok(None)` means the
+    /// overlay cannot serve it exactly — fall back to the flat engine.
+    fn overlay_search(
+        &self,
+        query: &QuerySpec,
+        single_only: bool,
+        session: &mut CacheSession<'_>,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Option<search::SearchRun>> {
+        let Some(overlay) = self.overlay_query(query) else {
+            return Ok(None);
+        };
+        search::run(
+            overlay,
+            self.flat.source(),
+            query,
+            single_only,
+            self.config.max_expansions,
+            session.scratch_mut(),
+            cancel,
+        )
+    }
+
+    /// Batch counterpart of [`PathfindBackend::run_robust`] with the
+    /// shared work-stealing scheduler, panic isolation and
+    /// cancellation — identical semantics to
+    /// [`Engine::run_batch_robust`].
+    pub fn run_batch_robust(
+        &self,
+        queries: &[QuerySpec],
+        workers: usize,
+        cancel: &CancelToken,
+    ) -> (
+        Vec<std::result::Result<QueryOutcome, EngineError>>,
+        BatchStats,
+    )
+    where
+        S: Sync,
+    {
+        allfp::backend::run_batch_robust(self, queries, workers, cancel)
+    }
+
+    /// Serialize the contracted structure (ranks, arc topology,
+    /// via pairs) — everything that is expensive to recompute. Travel
+    /// functions are *not* stored; [`HierarchyEngine::from_snapshot`]
+    /// rebuilds them by deterministic re-composition.
+    pub fn snapshot(&self) -> HierarchySnapshot {
+        HierarchySnapshot {
+            overlays: self
+                .overlays
+                .iter()
+                .map(|o| OverlaySnapshot {
+                    category: o.category.0,
+                    ranks: o.rank.clone(),
+                    arcs: o
+                        .arcs
+                        .iter()
+                        .map(|a| SnapshotArc {
+                            from: a.from,
+                            to: a.to,
+                            via: a.via,
+                            disabled: a.disabled,
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Restore a hierarchy from a snapshot taken over the *same*
+    /// network: skips node ordering and witness searches entirely and
+    /// rebuilds each arc's travel function by re-composing in arc
+    /// order (base arcs from the network, shortcuts from their via
+    /// pairs — deterministic, so functions come back bit-identical to
+    /// the original build's).
+    pub fn from_snapshot(
+        flat: Engine<'a, S>,
+        config: HierarchyConfig,
+        snapshot: &HierarchySnapshot,
+    ) -> Result<Self> {
+        let t0 = Instant::now();
+        let source = flat.source();
+        let n = source.n_nodes();
+        let mut overlays = Vec::with_capacity(snapshot.overlays.len());
+        let mut scratch = pwl::PwlScratch::new();
+        for snap in &snapshot.overlays {
+            if snap.ranks.len() != n {
+                return Err(AllFpError::Internal(
+                    "overlay snapshot does not match network size",
+                ));
+            }
+            let category = DayCategory(snap.category);
+            let day = Interval::of(0.0, MINUTES_PER_DAY);
+            let mut arcs: Vec<OverlayArc> = Vec::with_capacity(snap.arcs.len());
+            let n_base_snap = snap.arcs.iter().take_while(|a| a.via.is_none()).count();
+            let mut edges: Vec<roadnet::Edge> = Vec::new();
+            let mut expect = 0usize;
+            for u in 0..n {
+                source.successors_into(NodeId(u as u32), &mut edges)?;
+                for e in edges.drain(..) {
+                    if e.to.index() == u {
+                        continue;
+                    }
+                    let rec = snap
+                        .arcs
+                        .get(expect)
+                        .ok_or(AllFpError::Internal("overlay snapshot missing base arcs"))?;
+                    if rec.via.is_some() || rec.from != u as u32 || rec.to != e.to.index() as u32 {
+                        return Err(AllFpError::Internal(
+                            "overlay snapshot does not match network edges",
+                        ));
+                    }
+                    let profile = source.pattern(e.pattern)?.profile(category)?;
+                    let full = traffic::travel::travel_time_fn(profile, e.distance, &day)?;
+                    arcs.push(arc_from_full(full, rec)?);
+                    expect += 1;
+                }
+            }
+            if expect != n_base_snap {
+                return Err(AllFpError::Internal(
+                    "overlay snapshot base arc count mismatch",
+                ));
+            }
+            for rec in &snap.arcs[expect..] {
+                let Some((a, b)) = rec.via else {
+                    return Err(AllFpError::Internal(
+                        "overlay snapshot interleaves base arcs after shortcuts",
+                    ));
+                };
+                if a as usize >= arcs.len() || b as usize >= arcs.len() {
+                    return Err(AllFpError::Internal(
+                        "overlay snapshot shortcut references a later arc",
+                    ));
+                }
+                let full = crate::overlay::recompose(&mut scratch, &arcs, a, b)?;
+                arcs.push(arc_from_full(full, rec)?);
+            }
+            overlays.push(finish_overlay(
+                category,
+                snap.ranks.clone(),
+                arcs,
+                expect,
+                snap.arcs.iter().filter(|a| a.disabled).count(),
+            ));
+        }
+        let mut engine = HierarchyEngine {
+            flat,
+            overlays,
+            config,
+            report: BuildReport {
+                build_wall: Duration::ZERO,
+                n_nodes: 0,
+                n_original_arcs: 0,
+                n_shortcuts: 0,
+                n_disabled: 0,
+                overlay_pieces: 0,
+                bytes_estimate: 0,
+            },
+        };
+        engine.report = engine.tally_report(t0.elapsed());
+        Ok(engine)
+    }
+}
+
+/// Materialize a stored arc record around its rebuilt full-period
+/// function.
+fn arc_from_full(full: Pwl, rec: &SnapshotArc) -> Result<OverlayArc> {
+    let ext = extend_periodic(&full, 2)?;
+    Ok(OverlayArc {
+        from: rec.from,
+        to: rec.to,
+        min: full.min_value(),
+        max: full.maximum(),
+        full: Arc::new(full),
+        ext: Arc::new(ext),
+        via: rec.via,
+        disabled: rec.disabled,
+    })
+}
+
+impl<'a, S: NetworkSource> PathfindBackend for HierarchyEngine<'a, S> {
+    fn backend_name(&self) -> &'static str {
+        "hierarchy"
+    }
+
+    fn cache_session(&self) -> CacheSession<'_> {
+        self.flat.cache_session()
+    }
+
+    fn cache_counters(&self) -> CacheCounters {
+        self.flat.cache_counters()
+    }
+
+    fn all_fastest_paths(&self, query: &QuerySpec) -> Result<AllFpAnswer> {
+        let mut session = self.flat.cache_session();
+        match self.overlay_search(query, false, &mut session, None)? {
+            None => self.flat.all_fastest_paths(query),
+            Some(run) => {
+                if run.trip.is_some() {
+                    return Err(AllFpError::BudgetExhausted {
+                        expansions: run.stats.expanded_paths,
+                    });
+                }
+                self.exact_all(&run.routes, query, &mut session, run.stats)
+            }
+        }
+    }
+
+    fn single_fastest_path(&self, query: &QuerySpec) -> Result<SingleFpAnswer> {
+        let mut session = self.flat.cache_session();
+        match self.overlay_search(query, true, &mut session, None)? {
+            None => self.flat.single_fastest_path(query),
+            Some(run) => {
+                if run.trip.is_some() {
+                    return Err(AllFpError::BudgetExhausted {
+                        expansions: run.stats.expanded_paths,
+                    });
+                }
+                let mut routes = run.routes;
+                if routes.is_empty() {
+                    return Err(AllFpError::Unreachable {
+                        source: query.source,
+                        target: query.target,
+                    });
+                }
+                self.exact_single(routes.swap_remove(0), query, &mut session, run.stats)
+            }
+        }
+    }
+
+    fn robust_with_session(
+        &self,
+        query: &QuerySpec,
+        session: &mut CacheSession<'_>,
+        cancel: Option<&CancelToken>,
+    ) -> std::result::Result<QueryOutcome, EngineError> {
+        let run = match self.overlay_search(query, false, session, cancel) {
+            Ok(Some(run)) => run,
+            Ok(None) => return self.flat.robust_with_session(query, session, cancel),
+            Err(e) => return Err(EngineError::from(e)),
+        };
+        match run.trip {
+            None => {
+                if run.routes.is_empty() {
+                    return Err(EngineError::Query(AllFpError::Unreachable {
+                        source: query.source,
+                        target: query.target,
+                    }));
+                }
+                Ok(QueryOutcome::Exact(
+                    self.exact_all(&run.routes, query, session, run.stats)
+                        .map_err(EngineError::from)?,
+                ))
+            }
+            Some(reason) => {
+                let best = if run.routes.is_empty() {
+                    None
+                } else {
+                    Some(
+                        self.exact_all(&run.routes, query, session, run.stats)
+                            .map_err(EngineError::from)?,
+                    )
+                };
+                let (nodes, _) = constant_speed_plan(
+                    self.flat.source(),
+                    query.source,
+                    query.target,
+                    query.interval.lo(),
+                    query.category,
+                )
+                .map_err(EngineError::from)?;
+                let travel = Arc::new(
+                    self.flat
+                        .route_travel_fn(&nodes, query, session)
+                        .map_err(EngineError::from)?,
+                );
+                let fallback_travel_minutes = travel.minimum().value;
+                Ok(QueryOutcome::Degraded(DegradedAnswer {
+                    reason,
+                    best,
+                    fallback: FastestPath { nodes, travel },
+                    fallback_travel_minutes,
+                    stats: run.stats,
+                }))
+            }
+        }
+    }
+}

@@ -1,0 +1,556 @@
+//! Overlay construction: node ordering and time-dependent contraction.
+//!
+//! Contraction removes nodes one by one (cheapest first by a
+//! lazy-updated edge-difference priority) and patches the remaining
+//! graph with **shortcut arcs** whose weights are full piecewise-linear
+//! travel-time functions, so that every fastest path of the original
+//! network survives as an *up-then-down* path over the final arc set
+//! (ranks ascend, then descend). Shortcut functions are built with the
+//! same pooled [`compose_travel_into`] kernel the flat engine uses per
+//! expansion, so the algebra is closed: a shortcut's function is a real
+//! path's function, bit for bit.
+//!
+//! A candidate shortcut `u → v → w` is **omitted** only on proof: a
+//! bounded Dijkstra from `u` over the remainder graph (without `v`)
+//! under per-arc *maximum* travel times finds a witness path whose
+//! worst case is no worse than the via pair's best case
+//! (`dist_max(w) ≤ min(T_a) + min(T_b)`). Sum-of-max upper-bounds the
+//! true travel of any path at every leaving instant (FIFO), and
+//! min-of-sums lower-bounds the via travel, so dropped shortcuts can
+//! never carry a strictly fastest path. Parallel arcs between the same
+//! endpoints are deduplicated by pointwise domination
+//! ([`Pwl::dominated_by_with`]) — the same ε-tolerant rule the flat
+//! engine's dominance pruning already applies.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use allfp::Result;
+use pwl::compose::arrival_interval;
+use pwl::time::MINUTES_PER_DAY;
+use pwl::{compose_travel_into, Interval, Pwl, PwlScratch};
+use roadnet::{NetworkSource, NodeId};
+use traffic::DayCategory;
+
+/// One arc of the overlay graph: an original edge or a shortcut.
+///
+/// Storage is append-only and arcs are referenced by index, so a
+/// shortcut's `via` pair stays valid even after the arc it supersedes
+/// is disabled by domination (disabled arcs leave the query adjacency
+/// but remain unpackable).
+pub(crate) struct OverlayArc {
+    /// Tail node.
+    pub from: u32,
+    /// Head node.
+    pub to: u32,
+    /// Travel-time function over one full period `[0, 1440]`.
+    pub full: Arc<Pwl>,
+    /// The same function extended periodically (domain `[0, k·1440]`,
+    /// `k ≥ 2`) so it covers arrivals of any same-day departure.
+    pub ext: Arc<Pwl>,
+    /// `full.min_value()` — lower bound at any leaving instant.
+    pub min: f64,
+    /// `full.maximum()` — upper bound at any leaving instant.
+    pub max: f64,
+    /// `Some((a, b))` when this is a shortcut composing arcs `a` then
+    /// `b`; `None` for an original edge.
+    pub via: Option<(u32, u32)>,
+    /// Dominated by a parallel arc: excluded from query adjacency but
+    /// kept for unpacking.
+    pub disabled: bool,
+}
+
+/// The contracted overlay for one day category.
+pub(crate) struct Overlay {
+    /// Day category the travel functions were built for.
+    pub category: DayCategory,
+    /// Contraction order: `rank[v]` is the step at which `v` was
+    /// contracted (higher = more important).
+    pub rank: Vec<u32>,
+    /// Append-only arc storage (original edges first, then shortcuts).
+    pub arcs: Vec<OverlayArc>,
+    /// Enabled arcs `u → v` with `rank[v] > rank[u]`, indexed by `u`.
+    pub up_out: Vec<Vec<u32>>,
+    /// Enabled arcs `u → v` with `rank[v] < rank[u]`, indexed by `u`.
+    pub down_out: Vec<Vec<u32>>,
+    /// Enabled down arcs indexed by their *head*, for the reverse
+    /// reachability sweep of the query search.
+    pub down_into: Vec<Vec<u32>>,
+    /// Every enabled arc indexed by its *head*, for the per-query
+    /// backward min-weight Dijkstra that seeds the search with exact
+    /// scalar lower bounds to the target.
+    pub live_into: Vec<Vec<u32>>,
+    /// Number of original (non-shortcut) arcs.
+    pub n_base: usize,
+    /// Arcs disabled by parallel-arc domination.
+    pub n_disabled: usize,
+}
+
+/// `full` repeated over `periods` consecutive days (periodic
+/// extension: `T(l + 1440) = T(l)`). `concat` tolerates the ~ε seam
+/// mismatch composed functions accumulate at the period boundary.
+pub(crate) fn extend_periodic(full: &Pwl, periods: usize) -> Result<Pwl> {
+    let mut ext = full.clone();
+    for k in 1..periods.max(2) {
+        ext = ext.concat(&full.shift_x(k as f64 * MINUTES_PER_DAY))?;
+    }
+    Ok(ext)
+}
+
+/// Append an arc built from its full-period function, wiring the
+/// working in/out adjacency used during contraction.
+fn push_arc(
+    arcs: &mut Vec<OverlayArc>,
+    out: &mut [Vec<u32>],
+    inn: &mut [Vec<u32>],
+    from: u32,
+    to: u32,
+    full: Pwl,
+    via: Option<(u32, u32)>,
+) -> Result<u32> {
+    let ext = extend_periodic(&full, 2)?;
+    let id = u32::try_from(arcs.len())
+        .map_err(|_| allfp::AllFpError::Internal("overlay arc storage outgrew u32 indices"))?;
+    arcs.push(OverlayArc {
+        from,
+        to,
+        min: full.min_value(),
+        max: full.maximum(),
+        full: Arc::new(full),
+        ext: Arc::new(ext),
+        via,
+        disabled: false,
+    });
+    out[from as usize].push(id);
+    inn[to as usize].push(id);
+    Ok(id)
+}
+
+/// Min-heap entry for the witness Dijkstra (`total_cmp`, node id ties).
+struct WitnessEntry {
+    d: f64,
+    node: u32,
+}
+
+impl PartialEq for WitnessEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.d == other.d && self.node == other.node
+    }
+}
+impl Eq for WitnessEntry {}
+impl Ord for WitnessEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .d
+            .total_cmp(&self.d)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+impl PartialOrd for WitnessEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Epoch-stamped distance array for witness searches: reset is O(1),
+/// tentative values remain valid path-length upper bounds even when the
+/// search stops before settling them.
+struct Witness {
+    dist: Vec<f64>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    heap: BinaryHeap<WitnessEntry>,
+}
+
+impl Witness {
+    fn new(n: usize) -> Self {
+        Witness {
+            dist: vec![f64::INFINITY; n],
+            stamp: vec![0; n],
+            epoch: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    fn get(&self, node: u32) -> f64 {
+        if self.stamp[node as usize] == self.epoch {
+            self.dist[node as usize]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn set(&mut self, node: u32, d: f64) {
+        self.dist[node as usize] = d;
+        self.stamp[node as usize] = self.epoch;
+    }
+
+    /// Bounded Dijkstra from `source` over the enabled remainder graph
+    /// excluding `skip`, under per-arc `max` weights. Stops once the
+    /// frontier exceeds `bound` or `settle_cap` nodes were settled;
+    /// distances recorded up to that point are exact or tentative —
+    /// both are valid upper bounds for the witness test.
+    #[allow(clippy::too_many_arguments)]
+    fn run(
+        &mut self,
+        source: u32,
+        skip: u32,
+        bound: f64,
+        settle_cap: usize,
+        arcs: &[OverlayArc],
+        out: &[Vec<u32>],
+        contracted: &[bool],
+    ) {
+        self.epoch = self.epoch.wrapping_add(1);
+        self.heap.clear();
+        self.set(source, 0.0);
+        self.heap.push(WitnessEntry {
+            d: 0.0,
+            node: source,
+        });
+        let mut settled = 0usize;
+        while let Some(WitnessEntry { d, node }) = self.heap.pop() {
+            if d > self.get(node) {
+                continue; // stale entry
+            }
+            if d > bound || settled >= settle_cap {
+                break;
+            }
+            settled += 1;
+            for &aid in &out[node as usize] {
+                let arc = &arcs[aid as usize];
+                if arc.disabled || arc.to == skip || contracted[arc.to as usize] {
+                    continue;
+                }
+                let nd = d + arc.max;
+                if nd < self.get(arc.to) {
+                    self.set(arc.to, nd);
+                    self.heap.push(WitnessEntry {
+                        d: nd,
+                        node: arc.to,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Is `id` part of the live remainder graph?
+fn alive(arcs: &[OverlayArc], contracted: &[bool], id: u32) -> bool {
+    let a = &arcs[id as usize];
+    !a.disabled && !contracted[a.from as usize] && !contracted[a.to as usize]
+}
+
+/// The shortcut pairs `(in-arc, out-arc)` that contracting `v` *must*
+/// add — every (a, b) combination minus the witness-proved ones.
+#[allow(clippy::too_many_arguments)]
+fn plan_contraction(
+    v: u32,
+    arcs: &[OverlayArc],
+    out: &mut [Vec<u32>],
+    inn: &mut [Vec<u32>],
+    contracted: &[bool],
+    witness: &mut Witness,
+    settle_cap: usize,
+    need: &mut Vec<(u32, u32)>,
+) {
+    need.clear();
+    inn[v as usize].retain(|&id| alive(arcs, contracted, id));
+    out[v as usize].retain(|&id| alive(arcs, contracted, id));
+    if inn[v as usize].is_empty() || out[v as usize].is_empty() {
+        return;
+    }
+    let ins = inn[v as usize].clone();
+    let outs = out[v as usize].clone();
+    for &a in &ins {
+        let u = arcs[a as usize].from;
+        let mut bound = f64::NEG_INFINITY;
+        let mut any = false;
+        for &b in &outs {
+            let w = arcs[b as usize].to;
+            if w == u {
+                continue;
+            }
+            bound = bound.max(arcs[a as usize].min + arcs[b as usize].min);
+            any = true;
+        }
+        if !any {
+            continue;
+        }
+        witness.run(u, v, bound, settle_cap, arcs, out, contracted);
+        for &b in &outs {
+            let w = arcs[b as usize].to;
+            if w == u {
+                continue;
+            }
+            let via_min = arcs[a as usize].min + arcs[b as usize].min;
+            if witness.get(w) <= via_min {
+                continue; // proved unnecessary
+            }
+            need.push((a, b));
+        }
+    }
+}
+
+/// Lazy-update contraction priority: weighted edge difference plus the
+/// deleted-neighbors level term, plus a quantized travel-minimum term
+/// that contracts short local arcs (residential grids) before long
+/// arterials — the time-dependent analogue of the classic
+/// distance-based tie-break.
+fn priority(
+    v: u32,
+    n_need: usize,
+    arcs: &[OverlayArc],
+    out: &[Vec<u32>],
+    inn: &[Vec<u32>],
+    deleted: &[u32],
+) -> i64 {
+    let degree = inn[v as usize].len() + out[v as usize].len();
+    let edge_diff = n_need as i64 - degree as i64;
+    let mut travel_sum = 0.0;
+    for &id in inn[v as usize].iter().chain(out[v as usize].iter()) {
+        travel_sum += arcs[id as usize].min;
+    }
+    let travel_term = if degree == 0 {
+        0
+    } else {
+        (travel_sum / degree as f64 * 4.0) as i64
+    };
+    16 * edge_diff + 4 * i64::from(deleted[v as usize]) + travel_term
+}
+
+/// Compose the shortcut function for the via pair `(a, b)`: the exact
+/// travel function of `a` followed by `b`, over one full period.
+/// Deterministic in its inputs — snapshot restore re-runs exactly this
+/// to rebuild shortcut functions bit-identically.
+pub(crate) fn recompose(
+    scratch: &mut PwlScratch,
+    arcs: &[OverlayArc],
+    a: u32,
+    b: u32,
+) -> Result<Pwl> {
+    let arrivals = arrival_interval(&arcs[a as usize].full)?;
+    if arcs[b as usize].ext.domain().covers(&arrivals) {
+        return Ok(compose_travel_into(
+            scratch,
+            &arcs[a as usize].full,
+            &arcs[b as usize].ext,
+        )?);
+    }
+    // Slow leg: one period of slack was not enough (multi-day travel
+    // through the first arc). Extend further, never losing exactness.
+    let periods = (arrivals.hi() / MINUTES_PER_DAY).ceil() as usize + 1;
+    let ext = extend_periodic(&arcs[b as usize].full, periods)?;
+    Ok(compose_travel_into(scratch, &arcs[a as usize].full, &ext)?)
+}
+
+/// Build the contracted overlay for one day category.
+pub(crate) fn build_overlay<S: NetworkSource>(
+    source: &S,
+    category: DayCategory,
+    witness_settle_cap: usize,
+) -> Result<Overlay> {
+    let n = source.n_nodes();
+    let mut arcs: Vec<OverlayArc> = Vec::new();
+    let mut out: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut inn: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let day = Interval::of(0.0, MINUTES_PER_DAY);
+
+    let mut edges: Vec<roadnet::Edge> = Vec::new();
+    for u in 0..n {
+        let uid = NodeId(u as u32);
+        source.successors_into(uid, &mut edges)?;
+        for e in edges.drain(..) {
+            if e.to.index() == u {
+                continue; // self-loops never help (positive travel)
+            }
+            let profile = source.pattern(e.pattern)?.profile(category)?;
+            let full = traffic::travel::travel_time_fn(profile, e.distance, &day)?;
+            push_arc(
+                &mut arcs,
+                &mut out,
+                &mut inn,
+                u as u32,
+                e.to.index() as u32,
+                full,
+                None,
+            )?;
+        }
+    }
+    let n_base = arcs.len();
+
+    let mut contracted = vec![false; n];
+    let mut rank = vec![0u32; n];
+    let mut deleted = vec![0u32; n];
+    let mut scratch = PwlScratch::new();
+    let mut witness = Witness::new(n);
+    let mut need: Vec<(u32, u32)> = Vec::new();
+    let mut n_disabled = 0usize;
+
+    let mut heap: BinaryHeap<Reverse<(i64, u32)>> = BinaryHeap::with_capacity(n);
+    for v in 0..n as u32 {
+        plan_contraction(
+            v,
+            &arcs,
+            &mut out,
+            &mut inn,
+            &contracted,
+            &mut witness,
+            witness_settle_cap,
+            &mut need,
+        );
+        heap.push(Reverse((
+            priority(v, need.len(), &arcs, &out, &inn, &deleted),
+            v,
+        )));
+    }
+
+    let mut next_rank = 0u32;
+    while let Some(Reverse((p, v))) = heap.pop() {
+        if contracted[v as usize] {
+            continue;
+        }
+        // Lazy update: recompute; if the node is no longer cheapest,
+        // push it back and try the new front-runner.
+        plan_contraction(
+            v,
+            &arcs,
+            &mut out,
+            &mut inn,
+            &contracted,
+            &mut witness,
+            witness_settle_cap,
+            &mut need,
+        );
+        let cur = priority(v, need.len(), &arcs, &out, &inn, &deleted);
+        if cur > p {
+            if let Some(&Reverse((top, _))) = heap.peek() {
+                if cur > top {
+                    heap.push(Reverse((cur, v)));
+                    continue;
+                }
+            }
+        }
+
+        // Contract: add the needed shortcuts.
+        for &(a, b) in &need {
+            let (u, w) = (arcs[a as usize].from, arcs[b as usize].to);
+            let composed = recompose(&mut scratch, &arcs, a, b)?;
+            // Parallel-arc domination, both directions.
+            let mut dominated = false;
+            let mut to_disable: Vec<u32> = Vec::new();
+            for &cid in &out[u as usize] {
+                if arcs[cid as usize].to != w || !alive(&arcs, &contracted, cid) {
+                    continue;
+                }
+                if composed.dominated_by_with(&mut scratch, &arcs[cid as usize].full) {
+                    dominated = true;
+                    break;
+                }
+                if arcs[cid as usize]
+                    .full
+                    .dominated_by_with(&mut scratch, &composed)
+                {
+                    to_disable.push(cid);
+                }
+            }
+            if dominated {
+                scratch.recycle(composed);
+                continue;
+            }
+            for cid in to_disable {
+                arcs[cid as usize].disabled = true;
+                n_disabled += 1;
+            }
+            push_arc(&mut arcs, &mut out, &mut inn, u, w, composed, Some((a, b)))?;
+        }
+
+        // Retire the node and bump its neighbors' deleted counters.
+        contracted[v as usize] = true;
+        rank[v as usize] = next_rank;
+        next_rank += 1;
+        let mut neighbors: Vec<u32> = Vec::new();
+        for &id in inn[v as usize].iter() {
+            let f = arcs[id as usize].from;
+            if !arcs[id as usize].disabled && !contracted[f as usize] {
+                neighbors.push(f);
+            }
+        }
+        for &id in out[v as usize].iter() {
+            let t = arcs[id as usize].to;
+            if !arcs[id as usize].disabled && !contracted[t as usize] {
+                neighbors.push(t);
+            }
+        }
+        neighbors.sort_unstable();
+        neighbors.dedup();
+        for x in neighbors {
+            deleted[x as usize] += 1;
+        }
+    }
+
+    Ok(finish_overlay(category, rank, arcs, n_base, n_disabled))
+}
+
+/// Split the final arc set into the query adjacency (up arcs by tail,
+/// down arcs by tail and by head).
+pub(crate) fn finish_overlay(
+    category: DayCategory,
+    rank: Vec<u32>,
+    arcs: Vec<OverlayArc>,
+    n_base: usize,
+    n_disabled: usize,
+) -> Overlay {
+    let n = rank.len();
+    let mut up_out: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut down_out: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut down_into: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut live_into: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (id, arc) in arcs.iter().enumerate() {
+        if arc.disabled {
+            continue;
+        }
+        let id = id as u32;
+        live_into[arc.to as usize].push(id);
+        if rank[arc.from as usize] < rank[arc.to as usize] {
+            up_out[arc.from as usize].push(id);
+        } else {
+            down_out[arc.from as usize].push(id);
+            down_into[arc.to as usize].push(id);
+        }
+    }
+    Overlay {
+        category,
+        rank,
+        arcs,
+        up_out,
+        down_out,
+        down_into,
+        live_into,
+        n_base,
+        n_disabled,
+    }
+}
+
+/// Expand a popped label's top-level arc chain into the original node
+/// sequence, recursively unpacking shortcuts (iterative stack — nested
+/// shortcut depth is unbounded in adversarial contraction orders).
+pub(crate) fn unpack_route(overlay: &Overlay, source: NodeId, arc_ids: &[u32]) -> Vec<NodeId> {
+    let mut nodes = vec![source];
+    let mut stack: Vec<u32> = Vec::new();
+    for &top in arc_ids {
+        stack.push(top);
+        while let Some(id) = stack.pop() {
+            let arc = &overlay.arcs[id as usize];
+            match arc.via {
+                Some((a, b)) => {
+                    stack.push(b);
+                    stack.push(a);
+                }
+                None => nodes.push(NodeId(arc.to)),
+            }
+        }
+    }
+    nodes
+}

@@ -1,0 +1,502 @@
+//! The up–down overlay search.
+//!
+//! Every fastest path of the original network survives contraction as
+//! an **up-then-down** path over the overlay (ranks strictly ascend,
+//! then strictly descend — see `overlay.rs` for why). The query search
+//! is therefore the flat engine's best-first path expansion restricted
+//! to that shape: ascending labels relax up arcs; a label may begin
+//! descending through any down arc whose head can still reach the
+//! target by down arcs alone (the *D-set*, one reverse sweep per
+//! query); descending labels stay in the D-set. Rank monotonicity
+//! makes cycles impossible, so labels need no cycle check at all.
+//!
+//! Before the expansion starts, one scalar backward Dijkstra over the
+//! enabled arcs' *minimum* weights computes an exact lower bound from
+//! every node to the target. Those bounds steer the best-first order
+//! and — crucially — gate each relaxation *before* the expensive PWL
+//! composition: shortcut travel functions carry tens of pieces, so
+//! skipping a composition the border already beats is where the
+//! hierarchy's wall-clock win actually comes from. The bounds are
+//! admissible (travel through an arc is never below its minimum), so
+//! only never-winning candidates are pruned and answers are unchanged.
+//!
+//! The search only **selects** winning node sequences. Every returned
+//! route is afterwards re-composed edge by edge through the flat
+//! engine's own pipeline ([`allfp::Engine::route_travel_fn`]), so the
+//! answer functions are bit-identical to the flat engine's — the
+//! overlay's label functions (exact too, but built from restricted
+//! periodic extensions) never reach the caller.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use allfp::{AllFpError, CancelToken, DegradedReason, QuerySpec, QueryStats, Result};
+use pwl::compose::arrival_interval;
+use pwl::{compose_travel_into, Envelope, Pwl, PwlRef, PwlScratch};
+use roadnet::{NetworkSource, NodeId};
+
+use crate::overlay::{unpack_route, Overlay};
+
+/// Poll cadence for deadline/cancellation, matching the flat engine.
+const WATCH_EVERY: u64 = 32;
+
+/// One label of the overlay search: a path `s ⇒ node` over overlay
+/// arcs, with its exact travel function and phase flag.
+struct Label {
+    /// Arena index of the label this one extends (`None` for the seed).
+    parent: Option<u32>,
+    /// Head node.
+    node: u32,
+    /// Overlay arc taken to get here (`None` for the seed).
+    arc: Option<u32>,
+    /// Has the path taken a down arc yet? Once descending, always
+    /// descending.
+    desc: bool,
+    /// Cached `travel.min_value()`.
+    travel_min: f64,
+    /// The label's travel function over the query interval.
+    travel: PwlRef,
+}
+
+/// Min-heap entry (FIFO on ties, like the flat engine).
+struct Entry {
+    f_min: f64,
+    seq: u64,
+    label: usize,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.f_min == other.f_min && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .f_min
+            .total_cmp(&self.f_min)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Min-heap entry of the scalar bound Dijkstra (no ties to break —
+/// a stale entry is simply skipped).
+struct BoundEntry {
+    dist: f64,
+    node: u32,
+}
+
+impl PartialEq for BoundEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist && self.node == other.node
+    }
+}
+impl Eq for BoundEntry {}
+impl Ord for BoundEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+impl PartialOrd for BoundEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Exact scalar lower bounds to `target`: one backward Dijkstra over
+/// every enabled overlay arc under its *minimum* travel weight. Any
+/// path the profile search can take is a sequence of enabled overlay
+/// arcs, and travel through an arc is never below `arc.min`, so
+/// `bound[v]` is admissible at every node — and far tighter than a
+/// geometric estimate, because it prices the actual road topology
+/// (including which shortcuts exist). Nodes that cannot reach the
+/// target at all stay at `∞` and are pruned outright.
+fn scalar_bounds(overlay: &Overlay, target: NodeId) -> Vec<f64> {
+    let n = overlay.rank.len();
+    let mut bound = vec![f64::INFINITY; n];
+    bound[target.index()] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(BoundEntry {
+        dist: 0.0,
+        node: target.index() as u32,
+    });
+    while let Some(BoundEntry { dist, node }) = heap.pop() {
+        if dist > bound[node as usize] {
+            continue;
+        }
+        for &aid in &overlay.live_into[node as usize] {
+            let arc = &overlay.arcs[aid as usize];
+            let next = dist + arc.min;
+            if next < bound[arc.from as usize] {
+                bound[arc.from as usize] = next;
+                heap.push(BoundEntry {
+                    dist: next,
+                    node: arc.from,
+                });
+            }
+        }
+    }
+    bound
+}
+
+/// What the overlay search hands back: winning routes (original node
+/// sequences, identification order) for exact re-composition.
+pub(crate) struct SearchRun {
+    /// Deduplicated target routes in identification order; for
+    /// singleFP the first one is the answer.
+    pub routes: Vec<Vec<NodeId>>,
+    /// `Some` when a budget tripped before the termination rule.
+    pub trip: Option<DegradedReason>,
+    /// Search-effort statistics (expansions here are label
+    /// expansions — the speedup metric versus the flat engine).
+    pub stats: QueryStats,
+}
+
+/// The top-level arc chain of label `idx`, root first.
+fn arc_chain(labels: &[Label], idx: usize) -> Vec<u32> {
+    let mut chain = Vec::new();
+    let mut cur = Some(idx);
+    while let Some(i) = cur {
+        if let Some(a) = labels[i].arc {
+            chain.push(a);
+        }
+        cur = labels[i].parent.map(|p| p as usize);
+    }
+    chain.reverse();
+    chain
+}
+
+/// Budget watcher mirroring the flat engine's cadence.
+struct Watch<'t> {
+    deadline: Option<Instant>,
+    max_expansions: usize,
+    cancel: Option<&'t CancelToken>,
+    pops: u64,
+}
+
+impl<'t> Watch<'t> {
+    fn new(query: &QuerySpec, engine_cap: usize, cancel: Option<&'t CancelToken>) -> Self {
+        let budget = query.budget.unwrap_or_default();
+        Watch {
+            deadline: budget.max_wall.map(|d| Instant::now() + d),
+            max_expansions: budget
+                .max_expansions
+                .map_or(engine_cap, |b| b.min(engine_cap)),
+            cancel,
+            pops: 0,
+        }
+    }
+
+    fn poll(&mut self) -> Result<Option<DegradedReason>> {
+        let due = self.pops.is_multiple_of(WATCH_EVERY);
+        self.pops += 1;
+        if !due {
+            return Ok(None);
+        }
+        self.poll_now()
+    }
+
+    fn poll_now(&self) -> Result<Option<DegradedReason>> {
+        if self.cancel.is_some_and(CancelToken::is_cancelled) {
+            return Err(AllFpError::Cancelled);
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Ok(Some(DegradedReason::DeadlineExpired));
+        }
+        Ok(None)
+    }
+
+    fn poll_compound(&self) -> Result<Option<DegradedReason>> {
+        if self.cancel.is_none() && self.deadline.is_none() {
+            return Ok(None);
+        }
+        self.poll_now()
+    }
+}
+
+/// Run the up–down search. Returns `Ok(None)` when a label's arrival
+/// window escapes an arc's periodic extension — the caller falls back
+/// to the flat engine for that query (exactness before speed).
+pub(crate) fn run<S: NetworkSource>(
+    overlay: &Overlay,
+    source: &S,
+    query: &QuerySpec,
+    single_only: bool,
+    engine_cap: usize,
+    scratch: &mut PwlScratch,
+    cancel: Option<&CancelToken>,
+) -> Result<Option<SearchRun>> {
+    let n = overlay.rank.len();
+    let target = query.target;
+    // Endpoint validation only — UnknownNode parity with the flat
+    // engine (the search itself never needs coordinates).
+    source.find_node(target)?;
+    source.find_node(query.source)?;
+    let mut watch = Watch::new(query, engine_cap, cancel);
+    let mut stats = QueryStats::default();
+
+    // D-set: nodes that can reach the target over down arcs alone.
+    let mut in_d = vec![false; n];
+    in_d[target.index()] = true;
+    let mut bfs = vec![target.index() as u32];
+    while let Some(x) = bfs.pop() {
+        for &aid in &overlay.down_into[x as usize] {
+            let f = overlay.arcs[aid as usize].from;
+            if !in_d[f as usize] {
+                in_d[f as usize] = true;
+                bfs.push(f);
+            }
+        }
+    }
+
+    // Exact scalar lower bounds to the target (per-query backward
+    // Dijkstra over arc minima). `∞` means the node cannot reach the
+    // target over enabled arcs at all.
+    let bound = scalar_bounds(overlay, target);
+
+    let mut labels: Vec<Label> = Vec::new();
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut expanded_nodes = vec![false; n];
+    let mut expanded_node_count = 0usize;
+    // Dominance buckets per (node, phase). An ascending label can do
+    // everything a descending one can, so ascending labels prune new
+    // labels of both phases; descending labels prune only descending.
+    let mut asc_fns: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut desc_fns: Vec<Vec<u32>> = vec![Vec::new(); n];
+
+    let mut border: Option<Envelope<usize>> = None;
+    let mut border_max = f64::INFINITY;
+    let mut routes: Vec<Vec<NodeId>> = Vec::new();
+
+    // Seed. An infinite bound (target unreachable) still seeds: the
+    // search pops once, relaxes nothing useful, and returns the same
+    // empty route set the flat engine would.
+    {
+        let travel = Pwl::constant(query.interval, 0.0)?;
+        let est = bound[query.source.index()];
+        let travel_min = travel.min_value();
+        labels.push(Label {
+            parent: None,
+            node: query.source.index() as u32,
+            arc: None,
+            desc: false,
+            travel_min,
+            travel: travel.into(),
+        });
+        heap.push(Entry {
+            f_min: travel_min + est,
+            seq,
+            label: 0,
+        });
+        seq += 1;
+        stats.pushed += 1;
+    }
+
+    let mut trip: Option<DegradedReason> = None;
+    // Arc ids to relax from the current label (reused buffer).
+    let mut relax: Vec<(u32, bool)> = Vec::new();
+
+    'search: while let Some(entry) = heap.pop() {
+        if border_max.is_finite() && pwl::approx_le(border_max, entry.f_min) {
+            break;
+        }
+        let node = labels[entry.label].node;
+
+        if node == target.index() as u32 {
+            // Identified a target label: record its route (dedup — two
+            // distinct arc chains can unpack to one node sequence) and
+            // fold its function into the border.
+            let chain = arc_chain(&labels, entry.label);
+            let route = unpack_route(overlay, query.source, &chain);
+            if !routes.contains(&route) {
+                routes.push(route);
+            }
+            stats.border_merges += 1;
+            match &mut border {
+                None => {
+                    let b = Envelope::new(labels[entry.label].travel.share(), entry.label);
+                    border_max = b.max_value();
+                    border = Some(b);
+                }
+                Some(b) => {
+                    b.merge_min_with(scratch, &labels[entry.label].travel, entry.label)?;
+                    border_max = b.max_value();
+                }
+            }
+            if single_only {
+                break;
+            }
+            continue;
+        }
+
+        let tripped = match watch.poll()? {
+            Some(reason) => Some(reason),
+            None if stats.expanded_paths >= watch.max_expansions => {
+                Some(DegradedReason::ExpansionsExhausted)
+            }
+            None => None,
+        };
+        if let Some(reason) = tripped {
+            trip = Some(reason);
+            break 'search;
+        }
+
+        stats.expanded_paths += 1;
+        if !expanded_nodes[node as usize] {
+            expanded_nodes[node as usize] = true;
+            expanded_node_count += 1;
+        }
+
+        let desc = labels[entry.label].desc;
+        relax.clear();
+        if !desc {
+            for &aid in &overlay.up_out[node as usize] {
+                relax.push((aid, false));
+            }
+        }
+        for &aid in &overlay.down_out[node as usize] {
+            if in_d[overlay.arcs[aid as usize].to as usize] {
+                relax.push((aid, true));
+            }
+        }
+
+        let arrivals = arrival_interval(&labels[entry.label].travel)?;
+        for &(aid, to_desc) in &relax {
+            let arc = &overlay.arcs[aid as usize];
+            let to = arc.to;
+
+            let est = bound[to as usize];
+            if est.is_infinite() {
+                // The head cannot reach the target over enabled arcs;
+                // nothing through it can ever win.
+                stats.pruned_by_border += 1;
+                continue;
+            }
+
+            // Early border bound before the expensive composition.
+            if border_max.is_finite() {
+                let optimistic = labels[entry.label].travel_min + arc.min + est;
+                if pwl::approx_le(border_max, optimistic) {
+                    stats.pruned_by_border += 1;
+                    continue;
+                }
+            }
+
+            if let Some(reason) = watch.poll_compound()? {
+                trip = Some(reason);
+                break 'search;
+            }
+
+            if !arc.ext.domain().covers(&arrivals) {
+                // Arrival window escapes the periodic extension
+                // (multi-day travel): hand the whole query to the flat
+                // engine rather than extend on the hot path.
+                drain(&mut labels, scratch, border);
+                return Ok(None);
+            }
+            let t_arc = arc.ext.restrict_with(scratch, &arrivals)?;
+            let travel = compose_travel_into(scratch, &labels[entry.label].travel, &t_arc)?;
+            scratch.recycle(t_arc);
+            let np = travel.n_pieces();
+            stats.pieces_total += np as u64;
+            stats.pieces_max = stats.pieces_max.max(np as u64);
+            stats.bytes_allocated += (8 * (np + 1) + 16 * np) as u64;
+            let travel_min = travel.min_value();
+            let f_min = travel_min + est;
+
+            if border_max.is_finite() && pwl::approx_le(border_max, f_min) {
+                stats.pruned_by_border += 1;
+                scratch.recycle(travel);
+                continue;
+            }
+
+            // Phase-aware dominance pruning (see bucket comment above).
+            let mut dominated = asc_fns[to as usize]
+                .iter()
+                .any(|&l| travel.dominated_by_with(scratch, &labels[l as usize].travel));
+            if !dominated && to_desc {
+                dominated = desc_fns[to as usize]
+                    .iter()
+                    .any(|&l| travel.dominated_by_with(scratch, &labels[l as usize].travel));
+            }
+            if dominated {
+                stats.pruned_dominated += 1;
+                scratch.recycle(travel);
+                continue;
+            }
+
+            let idx = labels.len();
+            let parent = u32::try_from(entry.label)
+                .map_err(|_| AllFpError::Internal("overlay label arena outgrew u32 indices"))?;
+            labels.push(Label {
+                parent: Some(parent),
+                node: to,
+                arc: Some(aid),
+                desc: to_desc,
+                travel_min,
+                travel: travel.into(),
+            });
+            if to_desc {
+                desc_fns[to as usize].push(idx as u32);
+            } else {
+                asc_fns[to as usize].push(idx as u32);
+            }
+            heap.push(Entry {
+                f_min,
+                seq,
+                label: idx,
+            });
+            seq += 1;
+            stats.pushed += 1;
+        }
+    }
+
+    if trip.is_some() {
+        // Salvage: complete target labels still queued become answer
+        // candidates (envelope merges only, no composition work).
+        for e in std::mem::take(&mut heap)
+            .into_sorted_vec()
+            .into_iter()
+            .rev()
+        {
+            if labels[e.label].node != target.index() as u32 {
+                continue;
+            }
+            let chain = arc_chain(&labels, e.label);
+            let route = unpack_route(overlay, query.source, &chain);
+            if !routes.contains(&route) {
+                routes.push(route);
+            }
+            stats.border_merges += 1;
+        }
+    }
+
+    stats.expanded_nodes = expanded_node_count;
+    drain(&mut labels, scratch, border);
+    Ok(Some(SearchRun {
+        routes,
+        trip,
+        stats,
+    }))
+}
+
+/// Recycle the label arena and border into the scratch pool.
+fn drain(labels: &mut Vec<Label>, scratch: &mut PwlScratch, border: Option<Envelope<usize>>) {
+    for l in labels.drain(..) {
+        scratch.recycle_ref(l.travel);
+    }
+    if let Some(b) = border {
+        b.recycle_into(scratch);
+    }
+}

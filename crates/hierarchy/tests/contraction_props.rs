@@ -1,0 +1,98 @@
+//! Property tests for contraction: on random seeded networks, the
+//! overlay must preserve **all-pairs** travel functions — for every
+//! source/target pair and every probed leaving instant, the hierarchy's
+//! answer equals the flat engine's, and the full answer structure
+//! (paths, partition, functions) matches bit for bit.
+
+use allfp::{Engine, EngineConfig, PathfindBackend, QuerySpec};
+use hierarchy::{HierarchyConfig, HierarchyEngine};
+use proptest::prelude::*;
+use pwl::time::hm;
+use pwl::Interval;
+use roadnet::generators::random_geometric;
+use roadnet::NodeId;
+use traffic::DayCategory;
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 6,
+        ..ProptestConfig::default()
+    })]
+
+    /// Contraction of a random seeded graph preserves all-pairs travel
+    /// functions: every (s, t) pair answers identically to the flat
+    /// engine across the whole leaving interval.
+    #[test]
+    fn contraction_preserves_all_pairs_travel(
+        seed in 0u64..500,
+        lo_frac in 0.0f64..0.7,
+        len in 30.0f64..120.0,
+    ) {
+        const N: usize = 14;
+        let net = random_geometric(N, 1.5, 3, seed).unwrap();
+        let lo = hm(6, 0) + lo_frac * 240.0;
+        let interval = Interval::of(lo, lo + len);
+        let flat = Engine::new(&net, EngineConfig::default());
+        let ch = HierarchyEngine::build(
+            &net,
+            EngineConfig::default(),
+            HierarchyConfig::default(),
+        )
+        .unwrap();
+        for s in 0..N as u32 {
+            for t in 0..N as u32 {
+                if s == t {
+                    continue;
+                }
+                let q = QuerySpec::new(NodeId(s), NodeId(t), interval, DayCategory::WORKDAY);
+                let fa = flat.all_fastest_paths(&q).unwrap();
+                let ha = ch.all_fastest_paths(&q).unwrap();
+                prop_assert_eq!(fa.partition.len(), ha.partition.len());
+                for ((fi, fp), (hi, hp)) in fa.partition.iter().zip(ha.partition.iter()) {
+                    prop_assert_eq!(fi.lo().to_bits(), hi.lo().to_bits());
+                    prop_assert_eq!(fi.hi().to_bits(), hi.hi().to_bits());
+                    prop_assert_eq!(&fa.paths[*fp].nodes, &ha.paths[*hp].nodes);
+                }
+                for (f, h) in fa.paths.iter().zip(ha.paths.iter()) {
+                    prop_assert_eq!(f.travel.breakpoints(), h.travel.breakpoints());
+                    prop_assert_eq!(f.travel.linears(), h.travel.linears());
+                }
+            }
+        }
+    }
+
+    /// Snapshot round-trip: serialize the contracted structure, decode
+    /// it, rebuild the engine, and get identical answers and counts.
+    #[test]
+    fn snapshot_roundtrip_preserves_answers(seed in 0u64..200) {
+        const N: usize = 16;
+        let net = random_geometric(N, 1.5, 3, seed).unwrap();
+        let ch = HierarchyEngine::build(
+            &net,
+            EngineConfig::default(),
+            HierarchyConfig::default(),
+        )
+        .unwrap();
+        let bytes = ch.snapshot().to_bytes();
+        let snap = roadnet::overlay::HierarchySnapshot::from_bytes(&bytes).unwrap();
+        let restored = HierarchyEngine::from_snapshot(
+            Engine::new(&net, EngineConfig::default()),
+            HierarchyConfig::default(),
+            &snap,
+        )
+        .unwrap();
+        prop_assert_eq!(ch.report().n_shortcuts, restored.report().n_shortcuts);
+        prop_assert_eq!(ch.report().n_original_arcs, restored.report().n_original_arcs);
+        prop_assert_eq!(ch.report().overlay_pieces, restored.report().overlay_pieces);
+
+        let interval = Interval::of(hm(7, 0), hm(9, 0));
+        for (s, t) in [(0u32, N as u32 - 1), (3, 9), (7, 2)] {
+            let q = QuerySpec::new(NodeId(s), NodeId(t), interval, DayCategory::WORKDAY);
+            let a = ch.single_fastest_path(&q).unwrap();
+            let b = restored.single_fastest_path(&q).unwrap();
+            prop_assert_eq!(&a.path.nodes, &b.path.nodes);
+            prop_assert_eq!(a.travel_minutes.to_bits(), b.travel_minutes.to_bits());
+            prop_assert_eq!(a.path.travel.breakpoints(), b.path.travel.breakpoints());
+        }
+    }
+}

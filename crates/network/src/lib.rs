@@ -35,6 +35,7 @@ mod stats;
 pub mod examples;
 pub mod generators;
 pub mod io;
+pub mod overlay;
 pub mod workload;
 
 pub use graph::{Edge, NodeId, PatternId, Point, RoadNetwork};

@@ -35,11 +35,22 @@ env -u RUST_TEST_THREADS cargo test -q -p fp-allfp --test faults
 echo "==> overload-chaos stress (RUST_TEST_THREADS unpinned)"
 env -u RUST_TEST_THREADS cargo test -q -p fp-allfp --test overload
 
+# Hierarchy exactness: the golden equivalence suite pins the
+# contraction hierarchy's answers bit-for-bit to the flat engine's
+# (routes, partitions, travel functions), and the contraction property
+# tests fuzz overlay soundness on random networks.
+echo "==> hierarchy equivalence (golden suite + contraction proptests)"
+cargo test -q -p fp-allfp --release --test hierarchy_equivalence
+cargo test -q -p fp-hierarchy --release --test contraction_props
+
 # Allocation gates ride along with the batch smoke: the pooled PWL
 # kernel loop must allocate exactly zero in steady state, and the
 # whole engine must stay under the allocs-per-expansion budget (both
-# measured by a counting global allocator inside fp-bench).
-echo "==> batch-driver smoke (answers + scaling + checksum + allocation + overload gates)"
+# measured by a counting global allocator inside fp-bench). The smoke
+# also races the hierarchy against the flat engine and gates the
+# >=10x singleFP expansion speedup (wall-clock twin on multi-core
+# hosts only).
+echo "==> batch-driver smoke (answers + scaling + checksum + allocation + overload + hierarchy gates)"
 cargo bench -p fp-bench --bench engine_hotpath -- --smoke
 
 echo "All checks passed."

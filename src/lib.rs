@@ -9,7 +9,10 @@
 //! * [`roadnet`] — the road-network model and synthetic generators,
 //! * [`ccam`] — the Connectivity-Clustered Access Method disk substrate,
 //! * [`allfp`] — the `IntAllFastestPaths` engine, estimators, and
-//!   baselines.
+//!   baselines,
+//! * [`hierarchy`] — the time-dependent contraction hierarchy
+//!   (preprocessing-based [`allfp::PathfindBackend`] with bit-identical
+//!   answers).
 //!
 //! # Quickstart
 //!
@@ -39,6 +42,7 @@
 
 pub use allfp;
 pub use ccam;
+pub use hierarchy;
 pub use pwl;
 pub use roadnet;
 pub use traffic;
@@ -46,9 +50,10 @@ pub use traffic;
 /// The most common imports, bundled.
 pub mod prelude {
     pub use allfp::{
-        AllFpAnswer, Engine, EngineConfig, EstimatorKind, FastestPath, QuerySpec, QueryStats,
-        SingleFpAnswer,
+        AllFpAnswer, Engine, EngineConfig, EstimatorKind, FastestPath, PathfindBackend, QuerySpec,
+        QueryStats, SingleFpAnswer,
     };
+    pub use hierarchy::{HierarchyConfig, HierarchyEngine};
     pub use pwl::time::{fmt_duration, fmt_minutes, hm, hms};
     pub use pwl::{Interval, Pwl};
     pub use roadnet::{NetworkSource, NodeId, RoadNetwork};
