@@ -3,6 +3,7 @@
 //! ```text
 //! experiments <subcommand> [--scale small|medium|full|large] [--seed N]
 //!             [--queries N] [--csv DIR] [--backend flat|ch]
+//!             [--threads N] [--overlay-compress EPS|off]
 //!
 //! subcommands:
 //!   table1            the CapeCod pattern schema (Table 1)
@@ -22,13 +23,19 @@
 //! queries) at several minutes of runtime. `--backend ch` replays
 //! fig9, fig10 and the overload twin over the contraction-hierarchy
 //! backend (`fp-hierarchy`): same answers, preprocessing-speed query
-//! work.
+//! work. `--threads N` parallelizes the contraction preprocessing
+//! over N workers (0 = one per core; the overlay is identical at any
+//! width) and `--overlay-compress EPS` stores shortcut functions as
+//! bounded-error approximations within EPS minutes (`off` stores
+//! exact functions); both knobs only matter with `--backend ch`.
 
 use std::process::ExitCode;
 
 use fpbench::{
-    ablations, const_speed, fig10, fig9, overload, table1, BackendKind, Scale, Scenario, Table,
+    ablations, const_speed, fig10, fig9, overload, table1, BackendKind, BackendSpec, Scale,
+    Scenario, Table,
 };
+use hierarchy::HierarchyConfig;
 
 struct Options {
     scale: Scale,
@@ -36,12 +43,29 @@ struct Options {
     queries: usize,
     csv_dir: Option<std::path::PathBuf>,
     backend: BackendKind,
+    threads: usize,
+    overlay_compress: Option<f64>,
+}
+
+impl Options {
+    /// Backend spec the runners consume: the chosen kind plus the
+    /// hierarchy knobs from `--threads` / `--overlay-compress`.
+    fn backend_spec(&self) -> BackendSpec {
+        BackendSpec {
+            kind: self.backend,
+            hierarchy: HierarchyConfig {
+                threads: self.threads,
+                overlay_compress: self.overlay_compress,
+                ..HierarchyConfig::default()
+            },
+        }
+    }
 }
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(cmd) = args.next() else {
-        eprintln!("usage: experiments <table1|fig9|fig10|const-speed|overload|ablation-grid|ablation-pruning|ablation-ccam|all> [--scale small|medium|full|large] [--seed N] [--queries N] [--csv DIR] [--backend flat|ch]");
+        eprintln!("usage: experiments <table1|fig9|fig10|const-speed|overload|ablation-grid|ablation-pruning|ablation-ccam|all> [--scale small|medium|full|large] [--seed N] [--queries N] [--csv DIR] [--backend flat|ch] [--threads N] [--overlay-compress EPS|off]");
         return ExitCode::FAILURE;
     };
     let mut opts = Options {
@@ -50,6 +74,8 @@ fn main() -> ExitCode {
         queries: 20,
         csv_dir: None,
         backend: BackendKind::Flat,
+        threads: HierarchyConfig::default().threads,
+        overlay_compress: HierarchyConfig::default().overlay_compress,
     };
     let rest: Vec<String> = args.collect();
     let mut i = 0;
@@ -97,6 +123,36 @@ fn main() -> ExitCode {
                 }
                 i += 2;
             }
+            "--threads" => {
+                let Some(v) = value().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--threads needs a worker count (0 = one per core)");
+                    return ExitCode::FAILURE;
+                };
+                opts.threads = v;
+                i += 2;
+            }
+            "--overlay-compress" => {
+                let Some(v) = value() else {
+                    eprintln!("--overlay-compress needs an error band in minutes, or 'off'");
+                    return ExitCode::FAILURE;
+                };
+                if v == "off" || v == "none" {
+                    opts.overlay_compress = None;
+                } else {
+                    match v.parse::<f64>() {
+                        Ok(eps) if eps > 0.0 && eps.is_finite() => {
+                            opts.overlay_compress = Some(eps);
+                        }
+                        _ => {
+                            eprintln!(
+                                "--overlay-compress needs a positive number of minutes, or 'off'"
+                            );
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                i += 2;
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 return ExitCode::FAILURE;
@@ -118,7 +174,7 @@ fn main() -> ExitCode {
     // calibration needs a fixed substrate, not the scenario network).
     if wants("overload") {
         matched = true;
-        let r = overload::run_with_backend(opts.seed, opts.queries.max(80), opts.backend);
+        let r = overload::run_with_spec(opts.seed, opts.queries.max(80), &opts.backend_spec());
         emit(&opts, "overload", overload::render(&r));
     }
 
@@ -134,8 +190,19 @@ fn main() -> ExitCode {
     .any(|n| wants(n))
     {
         let scenario = Scenario::new(opts.scale, opts.seed);
+        let spec = opts.backend_spec();
         println!("{}", scenario.describe());
-        println!("backend: {}\n", opts.backend.label());
+        match (opts.backend, opts.overlay_compress) {
+            (BackendKind::Ch, Some(eps)) => println!(
+                "backend: ch ({} contraction thread(s), overlay eps {eps} min)\n",
+                opts.threads
+            ),
+            (BackendKind::Ch, None) => println!(
+                "backend: ch ({} contraction thread(s), exact overlay)\n",
+                opts.threads
+            ),
+            _ => println!("backend: {}\n", opts.backend.label()),
+        }
 
         if wants("fig9") {
             matched = true;
@@ -145,7 +212,7 @@ fn main() -> ExitCode {
                 scenario.max_query_miles(),
                 8,
                 opts.seed,
-                opts.backend,
+                &spec,
             );
             emit(&opts, "fig9", fig9::render(&rows));
         }
@@ -156,7 +223,7 @@ fn main() -> ExitCode {
                 Scale::Small => (2.0, 3.0),
                 Scale::Medium | Scale::Full => (7.0, 8.0),
             };
-            let result = fig10::run(&scenario.net, opts.queries, lo, hi, opts.seed, opts.backend);
+            let result = fig10::run(&scenario.net, opts.queries, lo, hi, opts.seed, &spec);
             emit(&opts, "fig10", fig10::render(&result));
         }
         if wants("const-speed") {

@@ -24,7 +24,7 @@ use roadnet::{NodeId, RoadNetwork};
 use traffic::{DayCategory, RoadClass};
 
 use crate::report::Table;
-use crate::scenario::BackendKind;
+use crate::scenario::{BackendKind, BackendSpec};
 
 /// What one overload run produced, in report-ready form.
 #[derive(Debug, Clone, PartialEq)]
@@ -105,7 +105,7 @@ fn sample_specs(net: &RoadNetwork, n: usize, seed: u64) -> Vec<QuerySpec> {
 const QUEUE_CAPACITY: usize = 10;
 const OFFERED_RATIO: f64 = 2.0;
 
-fn simulate(seed: u64, submissions: usize, backend: BackendKind) -> SimOutcome {
+fn simulate(seed: u64, submissions: usize, backend: &BackendSpec) -> SimOutcome {
     let net = grid(6, 6, 0.3, RoadClass::LocalOutside).expect("generator is infallible here");
     let specs = sample_specs(&net, 10, seed);
     let engine = backend
@@ -212,6 +212,13 @@ pub fn run(seed: u64, submissions: usize) -> OverloadReport {
 /// the service-level promises (bounded queue, typed rejections,
 /// deterministic replay) must hold regardless of search strategy.
 pub fn run_with_backend(seed: u64, submissions: usize, backend: BackendKind) -> OverloadReport {
+    run_with_spec(seed, submissions, &backend.into())
+}
+
+/// [`run_with_backend`] with explicit hierarchy build knobs (thread
+/// count, overlay compression) — what the CLI's `--threads` and
+/// `--overlay-compress` flags reach.
+pub fn run_with_spec(seed: u64, submissions: usize, backend: &BackendSpec) -> OverloadReport {
     let a = simulate(seed, submissions, backend);
     let b = simulate(seed, submissions, backend);
     let deterministic = a == b;

@@ -611,6 +611,66 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
         Ok(travel)
     }
 
+    /// Like [`Engine::route_travel_fn`], but seeded from `memo`: when
+    /// `nodes` shares a prefix with a route the memo has already
+    /// composed (under the same query and session), composition
+    /// resumes from the stored cumulative function of the longest such
+    /// prefix instead of re-deriving it edge by edge. Because
+    /// [`Engine::route_travel_fn`] is a strict left-to-right fold, the
+    /// resumed fold performs the *identical* operation sequence on the
+    /// identical operands — the result is bit-for-bit the same
+    /// function, only cheaper. Returns the route function and the
+    /// number of edge compositions the memo saved.
+    ///
+    /// Candidate routes of one allFP answer typically share long
+    /// corridors (they diverge on a handful of arcs), which is exactly
+    /// the access pattern the memo exploits; a memo must never be
+    /// reused across queries or sessions.
+    pub fn route_travel_fn_memoized(
+        &self,
+        nodes: &[NodeId],
+        query: &QuerySpec,
+        session: &mut CacheSession<'_>,
+        memo: &mut RouteComposeMemo,
+    ) -> Result<(Arc<Pwl>, u64)> {
+        let n_edges = nodes.len().saturating_sub(1);
+        let (mut travel, done) = match memo.best_prefix(nodes) {
+            Some((prefix_cum, k)) => (Arc::clone(&prefix_cum[k - 1]), k),
+            None => (Arc::new(Pwl::constant(query.interval, 0.0)?), 0),
+        };
+        let mut cum: Vec<Arc<Pwl>> = Vec::with_capacity(n_edges);
+        if done > 0 {
+            // Share the matched prefix's cumulative functions so the
+            // memo's storage stays one Arc per distinct sub-corridor.
+            if let Some((prefix_cum, _)) = memo.best_prefix(nodes) {
+                cum.extend(prefix_cum[..done].iter().map(Arc::clone));
+            }
+        }
+        for w in nodes.windows(2).skip(done) {
+            let edges = self.source.successors(w[0])?;
+            let edge = edges
+                .iter()
+                .find(|e| e.to == w[1])
+                .ok_or(AllFpError::Unreachable {
+                    source: w[0],
+                    target: w[1],
+                })?;
+            let arrivals = pwl::compose::arrival_interval(&travel)?;
+            let profile = self.source.pattern(edge.pattern)?.profile(query.category)?;
+            let (t_edge, _) = session.travel_fn(
+                edge.pattern,
+                query.category,
+                profile,
+                edge.distance,
+                &arrivals,
+            )?;
+            travel = Arc::new(compose_travel_simplified(&travel, &t_edge)?);
+            cum.push(Arc::clone(&travel));
+        }
+        memo.record(nodes.to_vec(), cum);
+        Ok((travel, done as u64))
+    }
+
     /// Answer the **allFP query**: the full partitioning of the query
     /// interval into sub-intervals with their fastest paths.
     pub fn all_fastest_paths(&self, query: &QuerySpec) -> Result<AllFpAnswer> {
@@ -1060,6 +1120,46 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
             stats,
         };
         Ok((all, Some(single)))
+    }
+}
+
+/// Per-query memo of already-composed candidate routes for
+/// [`Engine::route_travel_fn_memoized`]: each recorded route keeps the
+/// cumulative travel function *after every edge*, so a later route
+/// sharing a prefix resumes the fold mid-way with bit-identical
+/// results. Scoped to one (query, session) pair — create it fresh per
+/// answer assembly and drop it with the answer.
+#[derive(Default)]
+pub struct RouteComposeMemo {
+    routes: Vec<(Vec<NodeId>, Vec<Arc<Pwl>>)>,
+}
+
+impl RouteComposeMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The stored route with the longest shared edge prefix against
+    /// `nodes`, as `(cumulative functions, edges matched)`; `None`
+    /// when no stored route shares even the first edge.
+    fn best_prefix(&self, nodes: &[NodeId]) -> Option<(&[Arc<Pwl>], usize)> {
+        let mut best: Option<(&[Arc<Pwl>], usize)> = None;
+        for (stored, cum) in &self.routes {
+            let mut k = 0usize;
+            let max = cum.len().min(nodes.len().saturating_sub(1));
+            while k < max && stored[k + 1] == nodes[k + 1] && stored[k] == nodes[k] {
+                k += 1;
+            }
+            if k > 0 && best.is_none_or(|(_, b)| k > b) {
+                best = Some((&cum[..], k));
+            }
+        }
+        best
+    }
+
+    fn record(&mut self, nodes: Vec<NodeId>, cum: Vec<Arc<Pwl>>) {
+        self.routes.push((nodes, cum));
     }
 }
 

@@ -81,7 +81,7 @@ pub use arrival::{ArrivalAllFpAnswer, ArrivalPlanner, ArrivalQuerySpec, ArrivalS
 pub use backend::PathfindBackend;
 pub use boundary::{BoundaryLb, WeightMode};
 pub use cache::{CacheCounters, CacheSession, TravelFnCache};
-pub use engine::{build_estimator, Engine, EngineConfig};
+pub use engine::{build_estimator, Engine, EngineConfig, RouteComposeMemo};
 pub use estimator::{EstimatorKind, LowerBoundEstimator, MaxEstimator, NaiveLb, ZeroLb};
 pub use query::{
     AllFpAnswer, BatchStats, CancelToken, DegradedAnswer, DegradedReason, FastestPath, QueryBudget,

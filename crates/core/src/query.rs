@@ -263,6 +263,11 @@ pub struct QueryStats {
     /// state is near zero (measured by the bench's counting allocator),
     /// precisely because these bytes land in recycled buffers.
     pub bytes_allocated: u64,
+    /// Edge compositions skipped by prefix memoization when an answer
+    /// assembles several candidate routes sharing corridors (the
+    /// hierarchy backend's allFP re-composition). Zero on the flat
+    /// search path, which never recomputes a route it already built.
+    pub compositions_saved: u64,
 }
 
 /// Roll-up statistics for one [`Engine::run_batch`] invocation:

@@ -25,10 +25,14 @@ fn assert_pwl_identical(a: &Pwl, b: &Pwl, what: &str) {
     assert_eq!(a.linears(), b.linears(), "{what}: linear coefficients");
 }
 
-fn assert_equivalent(net: &RoadNetwork, query: &QuerySpec, what: &str) {
+fn assert_equivalent_with(
+    net: &RoadNetwork,
+    query: &QuerySpec,
+    config: HierarchyConfig,
+    what: &str,
+) {
     let flat = Engine::new(net, EngineConfig::default());
-    let ch = HierarchyEngine::build(net, EngineConfig::default(), HierarchyConfig::default())
-        .expect("hierarchy build");
+    let ch = HierarchyEngine::build(net, EngineConfig::default(), config).expect("hierarchy build");
 
     // singleFP: node sequence, minimum, argmin interval, full function.
     let fs = flat.single_fastest_path(query).expect("flat singleFP");
@@ -78,6 +82,12 @@ fn assert_equivalent(net: &RoadNetwork, query: &QuerySpec, what: &str) {
     }
 }
 
+/// Equivalence under the default config (compressed overlay storage,
+/// one contraction thread).
+fn assert_equivalent(net: &RoadNetwork, query: &QuerySpec, what: &str) {
+    assert_equivalent_with(net, query, HierarchyConfig::default(), what);
+}
+
 #[test]
 fn paper_running_example_equivalent() {
     let (net, ids) = paper_running_example();
@@ -112,6 +122,75 @@ fn metro_medium_golden_equivalence() {
         let query = QuerySpec::new(p.source, p.target, interval, DayCategory::WORKDAY);
         assert_equivalent(&net, &query, &format!("metro-medium pair {i}"));
     }
+}
+
+#[test]
+fn exact_storage_config_equivalent() {
+    // Pin the uncompressed configuration too: `overlay_compress: None`
+    // stores exact shortcut functions and must stay bit-identical.
+    let net = suffolk_like(&MetroConfig::small(0xC0FFEE)).expect("generator");
+    let pairs = sample_pairs(&net, 4, 0.5, 3.0, 0xA11).expect("pairs");
+    let interval = Interval::of(hm(7, 0), hm(10, 0));
+    let config = HierarchyConfig {
+        overlay_compress: None,
+        ..HierarchyConfig::default()
+    };
+    for (i, p) in pairs.iter().enumerate() {
+        let query = QuerySpec::new(p.source, p.target, interval, DayCategory::WORKDAY);
+        assert_equivalent_with(&net, &query, config.clone(), &format!("exact pair {i}"));
+    }
+}
+
+#[test]
+fn parallel_build_equivalent() {
+    // A multi-threaded contraction must yield the same (bit-identical)
+    // answers as everything above; the determinism proptests pin the
+    // overlay bytes, this pins the query surface end to end.
+    let net = suffolk_like(&MetroConfig::small(0xC0FFEE)).expect("generator");
+    let pairs = sample_pairs(&net, 4, 0.5, 3.0, 0xB22).expect("pairs");
+    let interval = Interval::of(hm(7, 0), hm(10, 0));
+    let config = HierarchyConfig {
+        threads: 4,
+        ..HierarchyConfig::default()
+    };
+    for (i, p) in pairs.iter().enumerate() {
+        let query = QuerySpec::new(p.source, p.target, interval, DayCategory::WORKDAY);
+        assert_equivalent_with(&net, &query, config.clone(), &format!("parallel pair {i}"));
+    }
+}
+
+#[test]
+fn compressed_overlay_shrinks_storage() {
+    // The space side of the bargain: bounded-error storage must hold
+    // strictly fewer pieces than exact storage on a metro network (the
+    // 0.5× byte gate runs in the bench smoke suite at metro-full).
+    let net = suffolk_like(&MetroConfig::small(0xC0FFEE)).expect("generator");
+    let exact = HierarchyEngine::build(
+        &net,
+        EngineConfig::default(),
+        HierarchyConfig {
+            overlay_compress: None,
+            ..HierarchyConfig::default()
+        },
+    )
+    .expect("exact build");
+    let compact = HierarchyEngine::build(&net, EngineConfig::default(), HierarchyConfig::default())
+        .expect("compressed build");
+    assert_eq!(
+        exact.report().exact_pieces,
+        compact.report().exact_pieces,
+        "pre-reduction piece counts must agree"
+    );
+    assert!(
+        compact.report().bytes_estimate < exact.report().bytes_estimate,
+        "compressed overlay should be smaller: {} vs {}",
+        compact.report().bytes_estimate,
+        exact.report().bytes_estimate
+    );
+    assert!(
+        compact.report().bytes_estimate < compact.report().exact_bytes_estimate,
+        "report must expose the exact-storage baseline"
+    );
 }
 
 #[test]

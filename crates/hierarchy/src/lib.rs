@@ -5,9 +5,12 @@
 //! query on a metro-scale graph. This crate trades a one-time
 //! preprocessing pass for orders-of-magnitude cheaper queries:
 //!
-//! 1. **Node ordering** — a lazy-updated priority queue over the
-//!    classic edge-difference heuristic plus a travel-minimum term
-//!    (contract residential grid nodes before arterials).
+//! 1. **Node ordering** — round-based: every round selects the
+//!    independent set of remainder nodes that are strict local minima
+//!    of the edge-difference/travel-minimum priority (deterministic
+//!    node-id tie-break) and contracts them together, planning in
+//!    parallel over a scoped worker pool and applying serially — the
+//!    overlay is identical at every thread count by construction.
 //! 2. **Contraction** — removing node `v` inserts shortcut arcs
 //!    `u → w` whose weights are full piecewise-linear travel-time
 //!    functions composed with the same pooled kernels the flat engine
@@ -15,13 +18,19 @@
 //!    (max-weight Dijkstra versus min-of-via) proves most candidate
 //!    shortcuts unnecessary, and parallel arcs are deduplicated by
 //!    pointwise domination.
-//! 3. **Query** — an up–down best-first search over the overlay
+//! 3. **Storage** — stored functions are optionally replaced by
+//!    bounded-error lower approximations ([`pwl::reduce_lower_with`],
+//!    [`HierarchyConfig::overlay_compress`]) with per-arc error and
+//!    banded min/max tables for admissible pruning — typically halving
+//!    overlay bytes without touching any answer.
+//! 4. **Query** — an up–down best-first search over the overlay
 //!    selects the winning routes; shortcuts unpack to original edge
 //!    sequences; every answer function is then **re-composed through
 //!    the flat engine's own pipeline**
 //!    ([`allfp::Engine::route_travel_fn`]), so answers are
 //!    bit-identical to the flat engine's (the golden suite in
-//!    `core/tests/hierarchy_equivalence.rs` pins this).
+//!    `core/tests/hierarchy_equivalence.rs` pins this — compressed or
+//!    not).
 //!
 //! [`HierarchyEngine`] implements [`allfp::PathfindBackend`], so the
 //! admission-controlled `QueryService`, robust batches, deadlines,
@@ -32,12 +41,14 @@
 //! the embedded flat engine — exactness before speed, always.
 //!
 //! DESIGN.md §12 documents the algebra-closure and witness-soundness
-//! arguments in full.
+//! arguments; §13 covers parallel-contraction determinism and the
+//! approximation-admissibility contract.
 
 #![warn(clippy::unwrap_used, clippy::expect_used, clippy::redundant_clone)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod overlay;
+mod pool;
 mod search;
 
 use std::sync::Arc;
@@ -47,15 +58,16 @@ use allfp::baseline::constant_speed_plan;
 use allfp::{
     AllFpAnswer, AllFpError, BatchStats, CacheCounters, CacheSession, CancelToken, DegradedAnswer,
     Engine, EngineConfig, EngineError, FastestPath, PathfindBackend, QueryOutcome, QuerySpec,
-    QueryStats, Result, SingleFpAnswer,
+    QueryStats, Result, RouteComposeMemo, SingleFpAnswer,
 };
 use pwl::time::MINUTES_PER_DAY;
 use pwl::{Envelope, Interval, Pwl};
-use roadnet::overlay::{HierarchySnapshot, OverlaySnapshot, SnapshotArc};
+use roadnet::overlay::{BandTable, HierarchySnapshot, OverlaySnapshot, SnapshotArc};
 use roadnet::{NetworkSource, NodeId};
 use traffic::DayCategory;
 
-use crate::overlay::{build_overlay, extend_periodic, finish_overlay, Overlay, OverlayArc};
+use crate::overlay::{build_overlay, finish_overlay, make_arc, Overlay, OverlayArc, BANDS};
+use crate::pool::WorkerPool;
 
 /// Preprocessing configuration.
 #[derive(Debug, Clone)]
@@ -70,6 +82,22 @@ pub struct HierarchyConfig {
     /// Engine-level expansion valve for the overlay search, mirroring
     /// [`EngineConfig::max_expansions`].
     pub max_expansions: usize,
+    /// Worker threads for contraction planning, overlay compression
+    /// and snapshot restore. `0` means one per available core. The
+    /// produced overlay is **identical at every setting** (pinned by
+    /// the determinism suite).
+    pub threads: usize,
+    /// Error band (minutes) for bounded-error overlay storage:
+    /// `Some(ε)` stores lower approximations within `ε` of the exact
+    /// shortcut functions (answers stay bit-identical — see the crate
+    /// docs); `None` stores exact functions. The default `0.1` is
+    /// where the `--eps-sweep` tuning curve bends: wider bands keep
+    /// shaving pieces, but pruning power falls off a cliff — and the
+    /// cliff moves *left* as the network grows, because longer
+    /// corridors accumulate more band error (on the full metro,
+    /// `0.25` already sends query probes into minutes-long crawls
+    /// that `0.1` answers at a 67x expansion saving).
+    pub overlay_compress: Option<f64>,
 }
 
 impl Default for HierarchyConfig {
@@ -78,13 +106,15 @@ impl Default for HierarchyConfig {
             categories: vec![DayCategory::WORKDAY],
             witness_settle_cap: 64,
             max_expansions: 2_000_000,
+            threads: 1,
+            overlay_compress: Some(0.1),
         }
     }
 }
 
 /// What preprocessing cost and produced — the numbers the benchmark
 /// report prints next to the query-time speedup.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct BuildReport {
     /// Wall-clock time of the whole preprocessing pass (all
     /// categories).
@@ -97,12 +127,28 @@ pub struct BuildReport {
     pub n_shortcuts: usize,
     /// Arcs disabled by parallel-arc domination.
     pub n_disabled: usize,
-    /// Total stored pieces across all overlay travel functions
-    /// (full + periodic extensions).
+    /// Total *stored* pieces across all overlay travel functions —
+    /// one **one-day** function per arc (reduced pieces when
+    /// compression is on); periodic extensions are derived on demand
+    /// and hold no resident pieces.
     pub overlay_pieces: u64,
-    /// Estimated bytes of overlay function storage (24 bytes per
-    /// piece: one breakpoint + one linear).
+    /// Estimated bytes of stored overlay function storage (24 bytes
+    /// per piece: one breakpoint + one linear).
     pub bytes_estimate: u64,
+    /// Pieces the *baseline* layout would carry: exact functions
+    /// before reduction plus the per-arc materialized two-day
+    /// periodic extension earlier revisions stored.
+    pub exact_pieces: u64,
+    /// Byte estimate for the baseline layout — `bytes_estimate /
+    /// exact_bytes_estimate` is the storage ratio the benchmark
+    /// gates on.
+    pub exact_bytes_estimate: u64,
+    /// Contraction rounds, summed over categories (0 for restores).
+    pub rounds: u32,
+    /// Resolved worker-thread count the build ran with.
+    pub threads: usize,
+    /// Error band the overlays were stored with.
+    pub compress_eps: Option<f64>,
 }
 
 /// A preprocessing-based [`PathfindBackend`]: answers singleFP/allFP
@@ -124,56 +170,52 @@ impl<'a, S: NetworkSource> HierarchyEngine<'a, S> {
 
     /// Build the hierarchy around an existing flat engine (its
     /// estimator still serves fallback queries; the overlay search
-    /// itself computes exact scalar lower bounds per query with a
-    /// backward Dijkstra over the overlay's arc minima, which
+    /// itself computes exact scalar lower bounds per query with
+    /// backward Dijkstras over the overlay's banded arc minima, which
     /// dominate any geometric estimate).
     pub fn with_flat(flat: Engine<'a, S>, config: HierarchyConfig) -> Result<Self> {
         let t0 = Instant::now();
+        let pool = WorkerPool::new(config.threads);
         let mut overlays = Vec::with_capacity(config.categories.len());
         for &cat in &config.categories {
             overlays.push(build_overlay(
                 flat.source(),
                 cat,
                 config.witness_settle_cap,
+                &pool,
+                config.overlay_compress,
             )?);
         }
         let mut engine = HierarchyEngine {
             flat,
             overlays,
             config,
-            report: BuildReport {
-                build_wall: Duration::ZERO,
-                n_nodes: 0,
-                n_original_arcs: 0,
-                n_shortcuts: 0,
-                n_disabled: 0,
-                overlay_pieces: 0,
-                bytes_estimate: 0,
-            },
+            report: BuildReport::default(),
         };
-        engine.report = engine.tally_report(t0.elapsed());
+        engine.report = engine.tally_report(t0.elapsed(), pool.threads());
         Ok(engine)
     }
 
-    fn tally_report(&self, build_wall: Duration) -> BuildReport {
+    fn tally_report(&self, build_wall: Duration, threads: usize) -> BuildReport {
         let mut r = BuildReport {
             build_wall,
             n_nodes: self.flat.source().n_nodes(),
-            n_original_arcs: 0,
-            n_shortcuts: 0,
-            n_disabled: 0,
-            overlay_pieces: 0,
-            bytes_estimate: 0,
+            threads,
+            compress_eps: self.overlays.iter().find_map(|o| o.compress_eps),
+            ..BuildReport::default()
         };
         for o in &self.overlays {
             r.n_original_arcs += o.n_base;
             r.n_shortcuts += o.arcs.len() - o.n_base;
             r.n_disabled += o.n_disabled;
+            r.exact_pieces += o.exact_pieces;
+            r.rounds += o.rounds;
             for a in &o.arcs {
-                r.overlay_pieces += (a.full.n_pieces() + a.ext.n_pieces()) as u64;
+                r.overlay_pieces += a.full.n_pieces() as u64;
             }
         }
         r.bytes_estimate = r.overlay_pieces * 24;
+        r.exact_bytes_estimate = r.exact_pieces * 24;
         r
     }
 
@@ -203,23 +245,37 @@ impl<'a, S: NetworkSource> HierarchyEngine<'a, S> {
         self.overlay_for(query.category)
     }
 
-    /// Exact singleFP answer for a selected route: re-composed through
-    /// the flat pipeline, bit-identical to the flat engine's answer
-    /// for the same node sequence.
+    /// Exact singleFP answer: re-compose every candidate route through
+    /// the flat pipeline and keep the one with the smallest exact
+    /// minimum, earlier candidates winning ties. With exact overlay
+    /// storage the search returns a single candidate and this is the
+    /// plain re-composition; with compressed storage the candidate
+    /// set brackets the optimum and the exact re-selection lands on
+    /// the same route a flat search would.
     fn exact_single(
         &self,
-        route: Vec<NodeId>,
+        routes: Vec<Vec<NodeId>>,
         query: &QuerySpec,
         session: &mut CacheSession<'_>,
         stats: QueryStats,
     ) -> Result<SingleFpAnswer> {
-        let travel = Arc::new(self.flat.route_travel_fn(&route, query, session)?);
+        let mut best: Option<(Vec<NodeId>, Arc<Pwl>)> = None;
+        let mut best_min = f64::INFINITY;
+        for route in routes {
+            let travel = Arc::new(self.flat.route_travel_fn(&route, query, session)?);
+            let m = travel.minimum().value;
+            if best.is_none() || m < best_min {
+                best_min = m;
+                best = Some((route, travel));
+            }
+        }
+        let (nodes, travel) = best.ok_or(AllFpError::Unreachable {
+            source: query.source,
+            target: query.target,
+        })?;
         let m = travel.minimum();
         Ok(SingleFpAnswer {
-            path: FastestPath {
-                nodes: route,
-                travel,
-            },
+            path: FastestPath { nodes, travel },
             travel_minutes: m.value,
             best_leaving: m.at,
             stats,
@@ -231,17 +287,26 @@ impl<'a, S: NetworkSource> HierarchyEngine<'a, S> {
     /// the partitioning off it, and compact paths by first appearance
     /// — the same assembly the flat engine performs, over the same
     /// functions, so boundaries and path order agree bit for bit.
-    /// Candidates that win nowhere simply drop out.
+    /// Candidates that win nowhere simply drop out. Candidate routes
+    /// share corridors, so re-composition runs through a per-answer
+    /// prefix memo ([`RouteComposeMemo`]) — identical fold, identical
+    /// bits, fewer compositions (counted in
+    /// [`QueryStats::compositions_saved`]).
     fn exact_all(
         &self,
         routes: &[Vec<NodeId>],
         query: &QuerySpec,
         session: &mut CacheSession<'_>,
-        stats: QueryStats,
+        mut stats: QueryStats,
     ) -> Result<AllFpAnswer> {
+        let mut memo = RouteComposeMemo::new();
         let mut fns: Vec<Arc<Pwl>> = Vec::with_capacity(routes.len());
         for route in routes {
-            fns.push(Arc::new(self.flat.route_travel_fn(route, query, session)?));
+            let (travel, saved) = self
+                .flat
+                .route_travel_fn_memoized(route, query, session, &mut memo)?;
+            stats.compositions_saved += saved;
+            fns.push(travel);
         }
         let mut env: Option<Envelope<usize>> = None;
         for (i, f) in fns.iter().enumerate() {
@@ -333,10 +398,13 @@ impl<'a, S: NetworkSource> HierarchyEngine<'a, S> {
         allfp::backend::run_batch_robust(self, queries, workers, cancel)
     }
 
-    /// Serialize the contracted structure (ranks, arc topology,
-    /// via pairs) — everything that is expensive to recompute. Travel
-    /// functions are *not* stored; [`HierarchyEngine::from_snapshot`]
-    /// rebuilds them by deterministic re-composition.
+    /// Serialize the contracted structure (ranks, arc topology, via
+    /// pairs) plus the v2 storage metadata: the compression band the
+    /// build used (so restores reproduce the stored functions bit for
+    /// bit regardless of their own configuration) and the per-arc
+    /// scalar/band bound tables. Travel functions are *not* stored;
+    /// [`HierarchyEngine::from_snapshot`] rebuilds them by
+    /// deterministic re-composition.
     pub fn snapshot(&self) -> HierarchySnapshot {
         HierarchySnapshot {
             overlays: self
@@ -355,6 +423,16 @@ impl<'a, S: NetworkSource> HierarchyEngine<'a, S> {
                             disabled: a.disabled,
                         })
                         .collect(),
+                    compress_eps: o.compress_eps.map(f64::to_bits),
+                    bands: Some(BandTable {
+                        n_bands: BANDS as u32,
+                        arc_min: o.arcs.iter().map(|a| a.min.to_bits()).collect(),
+                        arc_max: o.arcs.iter().map(|a| a.max.to_bits()).collect(),
+                        arc_err: o.arcs.iter().map(|a| a.err.to_bits()).collect(),
+                        arc_slope_max: o.arcs.iter().map(|a| a.slope_max.to_bits()).collect(),
+                        band_min: o.band_min.iter().map(|v| v.to_bits()).collect(),
+                        band_max: o.band_max.iter().map(|v| v.to_bits()).collect(),
+                    }),
                 })
                 .collect(),
         }
@@ -362,20 +440,26 @@ impl<'a, S: NetworkSource> HierarchyEngine<'a, S> {
 
     /// Restore a hierarchy from a snapshot taken over the *same*
     /// network: skips node ordering and witness searches entirely and
-    /// rebuilds each arc's travel function by re-composing in arc
-    /// order (base arcs from the network, shortcuts from their via
-    /// pairs — deterministic, so functions come back bit-identical to
-    /// the original build's).
+    /// rebuilds each arc's travel function by deterministic
+    /// re-composition — base arcs from the network, shortcuts from
+    /// their via pairs, **level by level in parallel** over the same
+    /// worker pool contraction uses (a shortcut's level is one above
+    /// the deeper of its two via arcs; within a level compositions are
+    /// independent and results apply in arc order, so functions come
+    /// back bit-identical to the original build's at any thread
+    /// count). The snapshot's stored compression band takes precedence
+    /// over [`HierarchyConfig::overlay_compress`], so a restored
+    /// engine equals the engine that wrote the snapshot.
     pub fn from_snapshot(
         flat: Engine<'a, S>,
         config: HierarchyConfig,
         snapshot: &HierarchySnapshot,
     ) -> Result<Self> {
         let t0 = Instant::now();
+        let pool = WorkerPool::new(config.threads);
         let source = flat.source();
         let n = source.n_nodes();
         let mut overlays = Vec::with_capacity(snapshot.overlays.len());
-        let mut scratch = pwl::PwlScratch::new();
         for snap in &snapshot.overlays {
             if snap.ranks.len() != n {
                 return Err(AllFpError::Internal(
@@ -384,7 +468,7 @@ impl<'a, S: NetworkSource> HierarchyEngine<'a, S> {
             }
             let category = DayCategory(snap.category);
             let day = Interval::of(0.0, MINUTES_PER_DAY);
-            let mut arcs: Vec<OverlayArc> = Vec::with_capacity(snap.arcs.len());
+            let mut slots: Vec<Option<OverlayArc>> = Vec::with_capacity(snap.arcs.len());
             let n_base_snap = snap.arcs.iter().take_while(|a| a.via.is_none()).count();
             let mut edges: Vec<roadnet::Edge> = Vec::new();
             let mut expect = 0usize;
@@ -405,7 +489,9 @@ impl<'a, S: NetworkSource> HierarchyEngine<'a, S> {
                     }
                     let profile = source.pattern(e.pattern)?.profile(category)?;
                     let full = traffic::travel::travel_time_fn(profile, e.distance, &day)?;
-                    arcs.push(arc_from_full(full, rec)?);
+                    let mut arc = make_arc(rec.from, rec.to, full, None)?;
+                    arc.disabled = rec.disabled;
+                    slots.push(Some(arc));
                     expect += 1;
                 }
             }
@@ -414,61 +500,89 @@ impl<'a, S: NetworkSource> HierarchyEngine<'a, S> {
                     "overlay snapshot base arc count mismatch",
                 ));
             }
-            for rec in &snap.arcs[expect..] {
+
+            // Stratify shortcuts by composition level so each level's
+            // re-compositions are independent (a via arc is always at
+            // a strictly lower level).
+            let mut level = vec![0u32; snap.arcs.len()];
+            let mut by_level: Vec<Vec<usize>> = Vec::new();
+            for (i, rec) in snap.arcs.iter().enumerate().skip(expect) {
                 let Some((a, b)) = rec.via else {
                     return Err(AllFpError::Internal(
                         "overlay snapshot interleaves base arcs after shortcuts",
                     ));
                 };
-                if a as usize >= arcs.len() || b as usize >= arcs.len() {
+                if a as usize >= i || b as usize >= i {
                     return Err(AllFpError::Internal(
                         "overlay snapshot shortcut references a later arc",
                     ));
                 }
-                let full = crate::overlay::recompose(&mut scratch, &arcs, a, b)?;
-                arcs.push(arc_from_full(full, rec)?);
+                let l = level[a as usize].max(level[b as usize]) + 1;
+                level[i] = l;
+                let slot = l as usize - 1;
+                if by_level.len() <= slot {
+                    by_level.resize(slot + 1, Vec::new());
+                }
+                by_level[slot].push(i);
+                slots.push(None);
             }
+            for ids in &by_level {
+                let rebuilt = pool.map_indexed(
+                    ids.len(),
+                    || (),
+                    |k, _, scratch| -> Result<OverlayArc> {
+                        let i = ids[k];
+                        let rec = &snap.arcs[i];
+                        let (a, b) = rec.via.ok_or(AllFpError::Internal(
+                            "overlay snapshot lost a via pair mid-restore",
+                        ))?;
+                        let (fa, fb) = match (&slots[a as usize], &slots[b as usize]) {
+                            (Some(fa), Some(fb)) => (fa, fb),
+                            _ => {
+                                return Err(AllFpError::Internal(
+                                    "overlay snapshot via pair not yet restored",
+                                ))
+                            }
+                        };
+                        let full = crate::overlay::recompose(scratch, fa, fb)?;
+                        let mut arc = make_arc(rec.from, rec.to, full, rec.via)?;
+                        arc.disabled = rec.disabled;
+                        Ok(arc)
+                    },
+                );
+                for (k, arc) in rebuilt.into_iter().enumerate() {
+                    slots[ids[k]] = Some(arc?);
+                }
+            }
+            let mut arcs: Vec<OverlayArc> = Vec::with_capacity(slots.len());
+            for s in slots {
+                arcs.push(s.ok_or(AllFpError::Internal(
+                    "overlay snapshot restore left an arc slot empty",
+                ))?);
+            }
+            // The stored band the build used wins over the restoring
+            // configuration — bit-identical restores, always.
+            let eps = snap.compress_eps.map(f64::from_bits);
             overlays.push(finish_overlay(
                 category,
                 snap.ranks.clone(),
                 arcs,
                 expect,
                 snap.arcs.iter().filter(|a| a.disabled).count(),
-            ));
+                0,
+                &pool,
+                eps,
+            )?);
         }
         let mut engine = HierarchyEngine {
             flat,
             overlays,
             config,
-            report: BuildReport {
-                build_wall: Duration::ZERO,
-                n_nodes: 0,
-                n_original_arcs: 0,
-                n_shortcuts: 0,
-                n_disabled: 0,
-                overlay_pieces: 0,
-                bytes_estimate: 0,
-            },
+            report: BuildReport::default(),
         };
-        engine.report = engine.tally_report(t0.elapsed());
+        engine.report = engine.tally_report(t0.elapsed(), pool.threads());
         Ok(engine)
     }
-}
-
-/// Materialize a stored arc record around its rebuilt full-period
-/// function.
-fn arc_from_full(full: Pwl, rec: &SnapshotArc) -> Result<OverlayArc> {
-    let ext = extend_periodic(&full, 2)?;
-    Ok(OverlayArc {
-        from: rec.from,
-        to: rec.to,
-        min: full.min_value(),
-        max: full.maximum(),
-        full: Arc::new(full),
-        ext: Arc::new(ext),
-        via: rec.via,
-        disabled: rec.disabled,
-    })
 }
 
 impl<'a, S: NetworkSource> PathfindBackend for HierarchyEngine<'a, S> {
@@ -509,14 +623,7 @@ impl<'a, S: NetworkSource> PathfindBackend for HierarchyEngine<'a, S> {
                         expansions: run.stats.expanded_paths,
                     });
                 }
-                let mut routes = run.routes;
-                if routes.is_empty() {
-                    return Err(AllFpError::Unreachable {
-                        source: query.source,
-                        target: query.target,
-                    });
-                }
-                self.exact_single(routes.swap_remove(0), query, &mut session, run.stats)
+                self.exact_single(run.routes, query, &mut session, run.stats)
             }
         }
     }

@@ -1,7 +1,6 @@
 //! Overlay construction: node ordering and time-dependent contraction.
 //!
-//! Contraction removes nodes one by one (cheapest first by a
-//! lazy-updated edge-difference priority) and patches the remaining
+//! Contraction removes nodes round by round and patches the remaining
 //! graph with **shortcut arcs** whose weights are full piecewise-linear
 //! travel-time functions, so that every fastest path of the original
 //! network survives as an *up-then-down* path over the final arc set
@@ -10,10 +9,25 @@
 //! expansion, so the algebra is closed: a shortcut's function is a real
 //! path's function, bit for bit.
 //!
+//! **Round-based parallel contraction.** Each round selects the
+//! *independent set* of remainder nodes that are strict local minima
+//! of `(priority, node id)` among their uncontracted neighbors — a
+//! deterministic tie-broken rule with at least one member per round
+//! (the global minimum always qualifies) and no two members adjacent.
+//! Planning (witness searches and shortcut composition) runs in
+//! parallel over the pre-round state, read-only, with per-worker
+//! scratch pools; application (domination checks, arc insertion,
+//! ranks) is serial in ascending node order. Because members are
+//! pairwise non-adjacent, no application in a round touches an arc
+//! incident to another member, so the plans stay valid — the overlay
+//! is **identical at every thread count by construction** (pinned by
+//! `tests/contraction_props.rs`).
+//!
 //! A candidate shortcut `u → v → w` is **omitted** only on proof: a
-//! bounded Dijkstra from `u` over the remainder graph (without `v`)
-//! under per-arc *maximum* travel times finds a witness path whose
-//! worst case is no worse than the via pair's best case
+//! bounded Dijkstra from `u` over the remainder graph (without `v` and
+//! without the round's other members, so the proof survives the whole
+//! round) under per-arc *maximum* travel times finds a witness path
+//! whose worst case is no worse than the via pair's best case
 //! (`dist_max(w) ≤ min(T_a) + min(T_b)`). Sum-of-max upper-bounds the
 //! true travel of any path at every leaving instant (FIFO), and
 //! min-of-sums lower-bounds the via travel, so dropped shortcuts can
@@ -21,8 +35,22 @@
 //! endpoints are deduplicated by pointwise domination
 //! ([`Pwl::dominated_by_with`]) — the same ε-tolerant rule the flat
 //! engine's dominance pruning already applies.
+//!
+//! **Space-efficient storage.** Each arc stores only its **one-day**
+//! function: the periodic extension earlier revisions materialized per
+//! arc (two thirds of resident overlay bytes, all of it a bit-exact
+//! derived copy) is now virtual, and [`ext_window`] derives any
+//! restriction of it on demand, bit for bit. On top of that the
+//! stored functions are optionally replaced by bounded-error *lower
+//! approximations* ([`pwl::reduce_lower_with`]) with the measured gap
+//! kept per arc; exact scalar `min`/`max`, the exact function's
+//! maximum slope, and a time-bucketed min/max **band table** (from the
+//! exact function) ride along for admissible pruning. Queries stay
+//! bit-identical: the search only *selects* corridors, every answer
+//! re-composes through the flat engine (see `search.rs` and
+//! DESIGN.md §13).
 
-use std::cmp::{Ordering, Reverse};
+use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
@@ -33,26 +61,47 @@ use pwl::{compose_travel_into, Interval, Pwl, PwlScratch};
 use roadnet::{NetworkSource, NodeId};
 use traffic::DayCategory;
 
+use crate::pool::WorkerPool;
+
+/// Buckets in each arc's min/max band table (over one day period).
+pub(crate) const BANDS: usize = 8;
+
 /// One arc of the overlay graph: an original edge or a shortcut.
 ///
 /// Storage is append-only and arcs are referenced by index, so a
 /// shortcut's `via` pair stays valid even after the arc it supersedes
 /// is disabled by domination (disabled arcs leave the query adjacency
 /// but remain unpackable).
+///
+/// During construction `full` holds the **exact** travel function
+/// (composition and witness scalars need it); after the finalize pass
+/// it holds the stored (possibly reduced) approximation, with `err`
+/// recording the measured gap `max(exact − stored) ≥ 0`. `min`, `max`
+/// and `slope_max` always describe the *exact* function.
+///
+/// Only the **one-day** function is stored. The periodic extension
+/// that earlier revisions materialized per arc (a bit-exact derived
+/// copy holding `EXT_PERIODS·pieces` more knots than the day function)
+/// is now *virtual*: [`ext_window`] derives any restriction of it on
+/// demand with the same `shift_x`/`concat` arithmetic, bit for bit.
 pub(crate) struct OverlayArc {
     /// Tail node.
     pub from: u32,
     /// Head node.
     pub to: u32,
-    /// Travel-time function over one full period `[0, 1440]`.
+    /// Stored travel-time function over one full period `[0, 1440]`.
     pub full: Arc<Pwl>,
-    /// The same function extended periodically (domain `[0, k·1440]`,
-    /// `k ≥ 2`) so it covers arrivals of any same-day departure.
-    pub ext: Arc<Pwl>,
-    /// `full.min_value()` — lower bound at any leaving instant.
+    /// Exact `min_value()` — lower bound at any leaving instant.
     pub min: f64,
-    /// `full.maximum()` — upper bound at any leaving instant.
+    /// Exact `maximum()` — upper bound at any leaving instant.
     pub max: f64,
+    /// Measured approximation gap: `exact(l) − full(l) ∈ [0, err]`.
+    pub err: f64,
+    /// Largest slope of the exact function, clamped to `≥ 0` (its
+    /// Lipschitz factor) — recorded in the snapshot as a diagnostic;
+    /// the search brackets error with composed upper functions instead
+    /// of slope products.
+    pub slope_max: f64,
     /// `Some((a, b))` when this is a shortcut composing arcs `a` then
     /// `b`; `None` for an original edge.
     pub via: Option<(u32, u32)>,
@@ -85,7 +134,63 @@ pub(crate) struct Overlay {
     pub n_base: usize,
     /// Arcs disabled by parallel-arc domination.
     pub n_disabled: usize,
+    /// Per-arc, per-bucket minimum of the exact function
+    /// (`arcs.len() × BANDS`, bucket `k` covers
+    /// `[k·1440/BANDS, (k+1)·1440/BANDS)`).
+    pub band_min: Vec<f64>,
+    /// Per-arc, per-bucket maximum of the exact function.
+    pub band_max: Vec<f64>,
+    /// Error band the stored functions were reduced with (`None` =
+    /// exact storage).
+    pub compress_eps: Option<f64>,
+    /// Pieces the *baseline* layout would hold: the exact functions
+    /// before reduction, **plus** the per-arc materialized
+    /// `EXT_PERIODS`-day extension earlier revisions stored. The
+    /// space report's compression ratio is stored pieces over this.
+    pub exact_pieces: u64,
+    /// Contraction rounds the build took (0 for snapshot restores).
+    pub rounds: u32,
 }
+
+impl Overlay {
+    /// Tightest stored lower bound on arc `aid`'s exact travel over
+    /// leaving instants in `[lo, hi]` (absolute minutes; wraps across
+    /// day periods). Falls back to the global exact minimum when the
+    /// window covers a full period or the band table is empty.
+    pub fn banded_min(&self, aid: u32, lo: f64, hi: f64) -> f64 {
+        let arc = &self.arcs[aid as usize];
+        if self.band_min.is_empty() || !lo.is_finite() || !hi.is_finite() {
+            return arc.min;
+        }
+        let d = arc.full.domain();
+        let day = d.len();
+        if day <= 0.0 || hi - lo >= day {
+            return arc.min;
+        }
+        let w = day / BANDS as f64;
+        let a = ((lo - d.lo()) / w).floor() as i64;
+        let b = ((hi - d.lo()) / w).floor() as i64;
+        if b - a + 1 >= BANDS as i64 {
+            return arc.min;
+        }
+        let base = aid as usize * BANDS;
+        let mut m = f64::INFINITY;
+        for k in a..=b {
+            let idx = (k.rem_euclid(BANDS as i64)) as usize;
+            m = m.min(self.band_min[base + idx]);
+        }
+        if m.is_finite() {
+            m
+        } else {
+            arc.min
+        }
+    }
+}
+
+/// Days of periodic slack the query search assumes every arc covers:
+/// leaving any time on day 0, travel may run into day 1. Arrival
+/// windows escaping this range fall back to the flat engine.
+pub(crate) const EXT_PERIODS: usize = 2;
 
 /// `full` repeated over `periods` consecutive days (periodic
 /// extension: `T(l + 1440) = T(l)`). `concat` tolerates the ~ε seam
@@ -96,6 +201,81 @@ pub(crate) fn extend_periodic(full: &Pwl, periods: usize) -> Result<Pwl> {
         ext = ext.concat(&full.shift_x(k as f64 * MINUTES_PER_DAY))?;
     }
     Ok(ext)
+}
+
+/// Domain the *virtual* [`EXT_PERIODS`]-day periodic extension of
+/// `full` covers — what [`extend_periodic`]`(full, EXT_PERIODS)`
+/// would report, without materializing it.
+pub(crate) fn ext_domain(full: &Pwl) -> Interval {
+    let d = full.domain();
+    Interval::of(
+        d.lo(),
+        d.hi() + (EXT_PERIODS as f64 - 1.0) * MINUTES_PER_DAY,
+    )
+}
+
+/// Restrict the virtual periodic extension of `full` to `to`,
+/// bit-identically to `extend_periodic(full, …).restrict_with(…, to)`
+/// on a materialized extension covering `to`.
+///
+/// The fast paths never build the extension: a window inside day 0
+/// restricts `full` directly, and a window inside a later repetition
+/// restricts one shifted day (`shift_x(k·1440)` is exactly the
+/// arithmetic [`extend_periodic`] applies to that day, and `concat`
+/// only ever *appends* pieces, so the shifted day's knots and linears
+/// are the extension's, bit for bit). Only a window crossing a day
+/// seam concatenates the two days it touches, transiently.
+pub(crate) fn ext_window(scratch: &mut PwlScratch, full: &Pwl, to: &Interval) -> Result<Pwl> {
+    let d = full.domain();
+    if d.covers(to) {
+        return Ok(full.restrict_with(scratch, to)?);
+    }
+    // `floor` of the float ratio can land an ulp off at a seam; the
+    // exact bound checks below decide, and anything ambiguous takes
+    // the concat path (identical to a materialized extension by
+    // construction).
+    let k = ((to.lo() - d.lo()) / MINUTES_PER_DAY).floor();
+    if k >= 1.0
+        && to.lo() >= d.lo() + k * MINUTES_PER_DAY
+        && to.hi() <= d.hi() + k * MINUTES_PER_DAY
+    {
+        let day = full.shift_x(k * MINUTES_PER_DAY);
+        let out = day.restrict_with(scratch, to)?;
+        scratch.recycle(day);
+        return Ok(out);
+    }
+    let periods = ((to.hi() - d.lo()) / MINUTES_PER_DAY).ceil().max(2.0) as usize;
+    let ext = extend_periodic(full, periods)?;
+    let out = ext.restrict_with(scratch, to)?;
+    scratch.recycle(ext);
+    Ok(out)
+}
+
+/// Largest slope of `f`, clamped to `≥ 0` (the Lipschitz factor used
+/// when composing approximation-error bounds).
+fn slope_max_of(f: &Pwl) -> f64 {
+    f.linears().iter().fold(0.0f64, |m, l| m.max(l.a))
+}
+
+/// Materialize an arc record around its **exact** full-period
+/// function (construction-time representation: `err = 0`).
+pub(crate) fn make_arc(
+    from: u32,
+    to: u32,
+    full: Pwl,
+    via: Option<(u32, u32)>,
+) -> Result<OverlayArc> {
+    Ok(OverlayArc {
+        from,
+        to,
+        min: full.min_value(),
+        max: full.maximum(),
+        err: 0.0,
+        slope_max: slope_max_of(&full),
+        full: Arc::new(full),
+        via,
+        disabled: false,
+    })
 }
 
 /// Append an arc built from its full-period function, wiring the
@@ -109,19 +289,9 @@ fn push_arc(
     full: Pwl,
     via: Option<(u32, u32)>,
 ) -> Result<u32> {
-    let ext = extend_periodic(&full, 2)?;
     let id = u32::try_from(arcs.len())
         .map_err(|_| allfp::AllFpError::Internal("overlay arc storage outgrew u32 indices"))?;
-    arcs.push(OverlayArc {
-        from,
-        to,
-        min: full.min_value(),
-        max: full.maximum(),
-        full: Arc::new(full),
-        ext: Arc::new(ext),
-        via,
-        disabled: false,
-    });
+    arcs.push(make_arc(from, to, full, via)?);
     out[from as usize].push(id);
     inn[to as usize].push(id);
     Ok(id)
@@ -155,8 +325,8 @@ impl PartialOrd for WitnessEntry {
 
 /// Epoch-stamped distance array for witness searches: reset is O(1),
 /// tentative values remain valid path-length upper bounds even when the
-/// search stops before settling them.
-struct Witness {
+/// search stops before settling them. One per worker thread.
+pub(crate) struct Witness {
     dist: Vec<f64>,
     stamp: Vec<u32>,
     epoch: u32,
@@ -164,7 +334,7 @@ struct Witness {
 }
 
 impl Witness {
-    fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize) -> Self {
         Witness {
             dist: vec![f64::INFINITY; n],
             stamp: vec![0; n],
@@ -187,10 +357,12 @@ impl Witness {
     }
 
     /// Bounded Dijkstra from `source` over the enabled remainder graph
-    /// excluding `skip`, under per-arc `max` weights. Stops once the
-    /// frontier exceeds `bound` or `settle_cap` nodes were settled;
-    /// distances recorded up to that point are exact or tentative —
-    /// both are valid upper bounds for the witness test.
+    /// excluding `skip` (and, when planning a round, every node of the
+    /// round's independent set via `in_round`), under per-arc `max`
+    /// weights. Stops once the frontier exceeds `bound` or
+    /// `settle_cap` nodes were settled; distances recorded up to that
+    /// point are exact or tentative — both are valid upper bounds for
+    /// the witness test.
     #[allow(clippy::too_many_arguments)]
     fn run(
         &mut self,
@@ -201,6 +373,7 @@ impl Witness {
         arcs: &[OverlayArc],
         out: &[Vec<u32>],
         contracted: &[bool],
+        in_round: Option<&[bool]>,
     ) {
         self.epoch = self.epoch.wrapping_add(1);
         self.heap.clear();
@@ -220,7 +393,11 @@ impl Witness {
             settled += 1;
             for &aid in &out[node as usize] {
                 let arc = &arcs[aid as usize];
-                if arc.disabled || arc.to == skip || contracted[arc.to as usize] {
+                if arc.disabled
+                    || arc.to == skip
+                    || contracted[arc.to as usize]
+                    || in_round.is_some_and(|s| s[arc.to as usize])
+                {
                     continue;
                 }
                 let nd = d + arc.max;
@@ -244,25 +421,35 @@ fn alive(arcs: &[OverlayArc], contracted: &[bool], id: u32) -> bool {
 
 /// The shortcut pairs `(in-arc, out-arc)` that contracting `v` *must*
 /// add — every (a, b) combination minus the witness-proved ones.
+/// Read-only against the shared state, so many nodes can be planned
+/// concurrently; pass the round's independent set as `in_round` so the
+/// witness proofs survive every application of the round.
 #[allow(clippy::too_many_arguments)]
-fn plan_contraction(
+fn needed_pairs(
     v: u32,
     arcs: &[OverlayArc],
-    out: &mut [Vec<u32>],
-    inn: &mut [Vec<u32>],
+    out: &[Vec<u32>],
+    inn: &[Vec<u32>],
     contracted: &[bool],
+    in_round: Option<&[bool]>,
     witness: &mut Witness,
     settle_cap: usize,
     need: &mut Vec<(u32, u32)>,
 ) {
     need.clear();
-    inn[v as usize].retain(|&id| alive(arcs, contracted, id));
-    out[v as usize].retain(|&id| alive(arcs, contracted, id));
-    if inn[v as usize].is_empty() || out[v as usize].is_empty() {
+    let ins: Vec<u32> = inn[v as usize]
+        .iter()
+        .copied()
+        .filter(|&id| alive(arcs, contracted, id))
+        .collect();
+    let outs: Vec<u32> = out[v as usize]
+        .iter()
+        .copied()
+        .filter(|&id| alive(arcs, contracted, id))
+        .collect();
+    if ins.is_empty() || outs.is_empty() {
         return;
     }
-    let ins = inn[v as usize].clone();
-    let outs = out[v as usize].clone();
     for &a in &ins {
         let u = arcs[a as usize].from;
         let mut bound = f64::NEG_INFINITY;
@@ -278,7 +465,7 @@ fn plan_contraction(
         if !any {
             continue;
         }
-        witness.run(u, v, bound, settle_cap, arcs, out, contracted);
+        witness.run(u, v, bound, settle_cap, arcs, out, contracted, in_round);
         for &b in &outs {
             let w = arcs[b as usize].to;
             if w == u {
@@ -293,25 +480,29 @@ fn plan_contraction(
     }
 }
 
-/// Lazy-update contraction priority: weighted edge difference plus the
+/// Contraction priority: weighted edge difference plus the
 /// deleted-neighbors level term, plus a quantized travel-minimum term
 /// that contracts short local arcs (residential grids) before long
 /// arterials — the time-dependent analogue of the classic
-/// distance-based tie-break.
+/// distance-based tie-break. Computed from alive-arc degrees only.
 fn priority(
     v: u32,
     n_need: usize,
     arcs: &[OverlayArc],
     out: &[Vec<u32>],
     inn: &[Vec<u32>],
+    contracted: &[bool],
     deleted: &[u32],
 ) -> i64 {
-    let degree = inn[v as usize].len() + out[v as usize].len();
-    let edge_diff = n_need as i64 - degree as i64;
+    let mut degree = 0usize;
     let mut travel_sum = 0.0;
     for &id in inn[v as usize].iter().chain(out[v as usize].iter()) {
-        travel_sum += arcs[id as usize].min;
+        if alive(arcs, contracted, id) {
+            degree += 1;
+            travel_sum += arcs[id as usize].min;
+        }
     }
+    let edge_diff = n_need as i64 - degree as i64;
     let travel_term = if degree == 0 {
         0
     } else {
@@ -320,29 +511,34 @@ fn priority(
     16 * edge_diff + 4 * i64::from(deleted[v as usize]) + travel_term
 }
 
-/// Compose the shortcut function for the via pair `(a, b)`: the exact
-/// travel function of `a` followed by `b`, over one full period.
-/// Deterministic in its inputs — snapshot restore re-runs exactly this
-/// to rebuild shortcut functions bit-identically.
-pub(crate) fn recompose(
-    scratch: &mut PwlScratch,
-    arcs: &[OverlayArc],
+/// Compose the shortcut function for the via pair `a` then `b`, over
+/// one full period. Deterministic in its inputs — snapshot restore
+/// re-runs exactly this to rebuild shortcut functions bit-identically.
+/// Construction-time only: both arcs must still hold their exact
+/// functions.
+pub(crate) fn recompose(scratch: &mut PwlScratch, a: &OverlayArc, b: &OverlayArc) -> Result<Pwl> {
+    let arrivals = arrival_interval(&a.full)?;
+    // Materialize `b`'s periodic extension transiently — wide enough
+    // to cover the arrivals when one period of slack is not enough
+    // (multi-day travel through the first arc), never losing
+    // exactness.
+    let periods = if ext_domain(&b.full).covers(&arrivals) {
+        EXT_PERIODS
+    } else {
+        (arrivals.hi() / MINUTES_PER_DAY).ceil() as usize + 1
+    };
+    let ext = extend_periodic(&b.full, periods)?;
+    let out = compose_travel_into(scratch, &a.full, &ext)?;
+    scratch.recycle(ext);
+    Ok(out)
+}
+
+/// One planned shortcut: the via pair and its exact composed function,
+/// produced read-only during a round's parallel planning phase.
+struct PlannedShortcut {
     a: u32,
     b: u32,
-) -> Result<Pwl> {
-    let arrivals = arrival_interval(&arcs[a as usize].full)?;
-    if arcs[b as usize].ext.domain().covers(&arrivals) {
-        return Ok(compose_travel_into(
-            scratch,
-            &arcs[a as usize].full,
-            &arcs[b as usize].ext,
-        )?);
-    }
-    // Slow leg: one period of slack was not enough (multi-day travel
-    // through the first arc). Extend further, never losing exactness.
-    let periods = (arrivals.hi() / MINUTES_PER_DAY).ceil() as usize + 1;
-    let ext = extend_periodic(&arcs[b as usize].full, periods)?;
-    Ok(compose_travel_into(scratch, &arcs[a as usize].full, &ext)?)
+    full: Pwl,
 }
 
 /// Build the contracted overlay for one day category.
@@ -350,6 +546,8 @@ pub(crate) fn build_overlay<S: NetworkSource>(
     source: &S,
     category: DayCategory,
     witness_settle_cap: usize,
+    pool: &WorkerPool,
+    compress_eps: Option<f64>,
 ) -> Result<Overlay> {
     let n = source.n_nodes();
     let mut arcs: Vec<OverlayArc> = Vec::new();
@@ -383,125 +581,264 @@ pub(crate) fn build_overlay<S: NetworkSource>(
     let mut contracted = vec![false; n];
     let mut rank = vec![0u32; n];
     let mut deleted = vec![0u32; n];
-    let mut scratch = PwlScratch::new();
-    let mut witness = Witness::new(n);
-    let mut need: Vec<(u32, u32)> = Vec::new();
+    let mut prio = vec![0i64; n];
+    let mut dirty = vec![true; n];
+    let mut in_round = vec![false; n];
     let mut n_disabled = 0usize;
-
-    let mut heap: BinaryHeap<Reverse<(i64, u32)>> = BinaryHeap::with_capacity(n);
-    for v in 0..n as u32 {
-        plan_contraction(
-            v,
-            &arcs,
-            &mut out,
-            &mut inn,
-            &contracted,
-            &mut witness,
-            witness_settle_cap,
-            &mut need,
-        );
-        heap.push(Reverse((
-            priority(v, need.len(), &arcs, &out, &inn, &deleted),
-            v,
-        )));
-    }
+    let mut scratch = PwlScratch::new();
 
     let mut next_rank = 0u32;
-    while let Some(Reverse((p, v))) = heap.pop() {
-        if contracted[v as usize] {
-            continue;
-        }
-        // Lazy update: recompute; if the node is no longer cheapest,
-        // push it back and try the new front-runner.
-        plan_contraction(
-            v,
-            &arcs,
-            &mut out,
-            &mut inn,
-            &contracted,
-            &mut witness,
-            witness_settle_cap,
-            &mut need,
+    let mut remaining = n;
+    let mut rounds = 0u32;
+
+    while remaining > 0 {
+        rounds += 1;
+
+        // Phase 1 — refresh priorities of dirty remainder nodes, in
+        // parallel (read-only planning: witness searches only).
+        let dirty_nodes: Vec<u32> = (0..n as u32)
+            .filter(|&v| !contracted[v as usize] && dirty[v as usize])
+            .collect();
+        let fresh = pool.map_indexed(
+            dirty_nodes.len(),
+            || (Witness::new(n), Vec::new()),
+            |i, (wit, need), _scratch| {
+                let v = dirty_nodes[i];
+                needed_pairs(
+                    v,
+                    &arcs,
+                    &out,
+                    &inn,
+                    &contracted,
+                    None,
+                    wit,
+                    witness_settle_cap,
+                    need,
+                );
+                priority(v, need.len(), &arcs, &out, &inn, &contracted, &deleted)
+            },
         );
-        let cur = priority(v, need.len(), &arcs, &out, &inn, &deleted);
-        if cur > p {
-            if let Some(&Reverse((top, _))) = heap.peek() {
-                if cur > top {
-                    heap.push(Reverse((cur, v)));
-                    continue;
-                }
-            }
+        for (i, &v) in dirty_nodes.iter().enumerate() {
+            prio[v as usize] = fresh[i];
+            dirty[v as usize] = false;
         }
 
-        // Contract: add the needed shortcuts.
-        for &(a, b) in &need {
-            let (u, w) = (arcs[a as usize].from, arcs[b as usize].to);
-            let composed = recompose(&mut scratch, &arcs, a, b)?;
-            // Parallel-arc domination, both directions.
-            let mut dominated = false;
-            let mut to_disable: Vec<u32> = Vec::new();
-            for &cid in &out[u as usize] {
-                if arcs[cid as usize].to != w || !alive(&arcs, &contracted, cid) {
-                    continue;
-                }
-                if composed.dominated_by_with(&mut scratch, &arcs[cid as usize].full) {
-                    dominated = true;
-                    break;
-                }
-                if arcs[cid as usize]
-                    .full
-                    .dominated_by_with(&mut scratch, &composed)
-                {
-                    to_disable.push(cid);
-                }
-            }
-            if dominated {
-                scratch.recycle(composed);
+        // Phase 2 — independent set: strict local minima of
+        // (priority, id) among uncontracted neighbors. Deterministic,
+        // non-adjacent, and never empty (the global minimum wins
+        // against every neighbor).
+        let mut selected: Vec<u32> = Vec::new();
+        'cand: for v in 0..n as u32 {
+            if contracted[v as usize] {
                 continue;
             }
-            for cid in to_disable {
-                arcs[cid as usize].disabled = true;
-                n_disabled += 1;
+            let key = (prio[v as usize], v);
+            for &id in inn[v as usize].iter().chain(out[v as usize].iter()) {
+                if !alive(&arcs, &contracted, id) {
+                    continue;
+                }
+                let a = &arcs[id as usize];
+                let u = if a.from == v { a.to } else { a.from };
+                if u != v && (prio[u as usize], u) < key {
+                    continue 'cand;
+                }
             }
-            push_arc(&mut arcs, &mut out, &mut inn, u, w, composed, Some((a, b)))?;
+            selected.push(v);
+        }
+        for &v in &selected {
+            in_round[v as usize] = true;
         }
 
-        // Retire the node and bump its neighbors' deleted counters.
-        contracted[v as usize] = true;
-        rank[v as usize] = next_rank;
-        next_rank += 1;
-        let mut neighbors: Vec<u32> = Vec::new();
-        for &id in inn[v as usize].iter() {
-            let f = arcs[id as usize].from;
-            if !arcs[id as usize].disabled && !contracted[f as usize] {
-                neighbors.push(f);
+        // Phase 3 — plan the selected nodes in parallel: witness
+        // searches skip the whole independent set (so omission proofs
+        // survive every application of this round), and the needed
+        // shortcut functions are composed read-only from pre-round
+        // arcs with per-worker scratches.
+        let plans: Vec<Result<Vec<PlannedShortcut>>> = pool.map_indexed(
+            selected.len(),
+            || (Witness::new(n), Vec::new()),
+            |i, (wit, need), scratch| {
+                let v = selected[i];
+                needed_pairs(
+                    v,
+                    &arcs,
+                    &out,
+                    &inn,
+                    &contracted,
+                    Some(&in_round),
+                    wit,
+                    witness_settle_cap,
+                    need,
+                );
+                let mut plan = Vec::with_capacity(need.len());
+                for &(a, b) in need.iter() {
+                    let full = recompose(scratch, &arcs[a as usize], &arcs[b as usize])?;
+                    plan.push(PlannedShortcut { a, b, full });
+                }
+                Ok(plan)
+            },
+        );
+
+        // Phase 4 — apply serially in ascending node order. Members
+        // are pairwise non-adjacent, so nothing applied here touches
+        // an arc incident to a later member: every plan stays exactly
+        // as valid as when it was computed.
+        for (&v, plan) in selected.iter().zip(plans) {
+            for planned in plan? {
+                let (a, b) = (planned.a, planned.b);
+                let (u, w) = (arcs[a as usize].from, arcs[b as usize].to);
+                // Parallel-arc domination, both directions.
+                let mut dominated = false;
+                let mut to_disable: Vec<u32> = Vec::new();
+                for &cid in &out[u as usize] {
+                    if arcs[cid as usize].to != w || !alive(&arcs, &contracted, cid) {
+                        continue;
+                    }
+                    if planned
+                        .full
+                        .dominated_by_with(&mut scratch, &arcs[cid as usize].full)
+                    {
+                        dominated = true;
+                        break;
+                    }
+                    if arcs[cid as usize]
+                        .full
+                        .dominated_by_with(&mut scratch, &planned.full)
+                    {
+                        to_disable.push(cid);
+                    }
+                }
+                if dominated {
+                    continue;
+                }
+                for cid in to_disable {
+                    arcs[cid as usize].disabled = true;
+                    n_disabled += 1;
+                }
+                push_arc(
+                    &mut arcs,
+                    &mut out,
+                    &mut inn,
+                    u,
+                    w,
+                    planned.full,
+                    Some((a, b)),
+                )?;
+            }
+
+            // Retire the node and bump its neighbors' deleted
+            // counters; neighbors become dirty for the next round.
+            contracted[v as usize] = true;
+            rank[v as usize] = next_rank;
+            next_rank += 1;
+            remaining -= 1;
+            let mut neighbors: Vec<u32> = Vec::new();
+            for &id in inn[v as usize].iter().chain(out[v as usize].iter()) {
+                let a = &arcs[id as usize];
+                let x = if a.to == v { a.from } else { a.to };
+                if !a.disabled && !contracted[x as usize] {
+                    neighbors.push(x);
+                }
+            }
+            neighbors.sort_unstable();
+            neighbors.dedup();
+            for x in neighbors {
+                deleted[x as usize] += 1;
+                dirty[x as usize] = true;
+                // Lazy adjacency cleanup, amortized over contractions.
+                out[x as usize].retain(|&id| alive(&arcs, &contracted, id));
+                inn[x as usize].retain(|&id| alive(&arcs, &contracted, id));
             }
         }
-        for &id in out[v as usize].iter() {
-            let t = arcs[id as usize].to;
-            if !arcs[id as usize].disabled && !contracted[t as usize] {
-                neighbors.push(t);
-            }
-        }
-        neighbors.sort_unstable();
-        neighbors.dedup();
-        for x in neighbors {
-            deleted[x as usize] += 1;
+        for &v in &selected {
+            in_round[v as usize] = false;
         }
     }
 
-    Ok(finish_overlay(category, rank, arcs, n_base, n_disabled))
+    finish_overlay(
+        category,
+        rank,
+        arcs,
+        n_base,
+        n_disabled,
+        rounds,
+        pool,
+        compress_eps,
+    )
 }
 
-/// Split the final arc set into the query adjacency (up arcs by tail,
-/// down arcs by tail and by head).
+/// Outcome of the per-arc finalize job: band tables from the exact
+/// function, plus the reduced storage when compression is on.
+struct Finalized {
+    bands: [f64; 2 * BANDS],
+    exact_pieces: u64,
+    reduced: Option<(Pwl, f64)>, // (full, measured gap)
+}
+
+/// Band tables + optional bounded-error reduction for every stored
+/// arc, fanned out over the worker pool (read-only against the exact
+/// arcs, results applied in index order — deterministic at any thread
+/// count). Returns the completed overlay.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn finish_overlay(
     category: DayCategory,
     rank: Vec<u32>,
-    arcs: Vec<OverlayArc>,
+    mut arcs: Vec<OverlayArc>,
     n_base: usize,
     n_disabled: usize,
-) -> Overlay {
+    rounds: u32,
+    pool: &WorkerPool,
+    compress_eps: Option<f64>,
+) -> Result<Overlay> {
+    let eps = compress_eps.filter(|&e| e > 0.0);
+    let finalized: Vec<Result<Finalized>> = pool.map_indexed(
+        arcs.len(),
+        || (),
+        |i, _, scratch| {
+            let arc = &arcs[i];
+            let mut bands = [0.0f64; 2 * BANDS];
+            let d = arc.full.domain();
+            let w = d.len() / BANDS as f64;
+            for k in 0..BANDS {
+                let b = Interval::of(d.lo() + k as f64 * w, d.lo() + (k + 1) as f64 * w);
+                bands[k] = arc.full.min_over(&b)?.value;
+                bands[BANDS + k] = arc.full.max_over(&b)?;
+            }
+            // Baseline space accounting: what the pre-derived layout
+            // (exact day function + materialized `EXT_PERIODS`-day
+            // extension per arc) held for this arc. `concat` only
+            // appends, so the extension carried exactly
+            // `EXT_PERIODS · n` pieces.
+            let exact_pieces = (arc.full.n_pieces() * (1 + EXT_PERIODS)) as u64;
+            let reduced = match eps {
+                None => None,
+                Some(e) => {
+                    let (g, gap) = pwl::reduce_lower_with(scratch, &arc.full, e)?;
+                    Some((g, gap))
+                }
+            };
+            Ok(Finalized {
+                bands,
+                exact_pieces,
+                reduced,
+            })
+        },
+    );
+
+    let mut band_min = Vec::with_capacity(arcs.len() * BANDS);
+    let mut band_max = Vec::with_capacity(arcs.len() * BANDS);
+    let mut exact_pieces = 0u64;
+    for (arc, fin) in arcs.iter_mut().zip(finalized) {
+        let fin = fin?;
+        band_min.extend_from_slice(&fin.bands[..BANDS]);
+        band_max.extend_from_slice(&fin.bands[BANDS..]);
+        exact_pieces += fin.exact_pieces;
+        if let Some((g, gap)) = fin.reduced {
+            arc.full = Arc::new(g);
+            arc.err = gap;
+        }
+    }
+
     let n = rank.len();
     let mut up_out: Vec<Vec<u32>> = vec![Vec::new(); n];
     let mut down_out: Vec<Vec<u32>> = vec![Vec::new(); n];
@@ -520,7 +857,7 @@ pub(crate) fn finish_overlay(
             down_into[arc.to as usize].push(id);
         }
     }
-    Overlay {
+    Ok(Overlay {
         category,
         rank,
         arcs,
@@ -530,7 +867,12 @@ pub(crate) fn finish_overlay(
         live_into,
         n_base,
         n_disabled,
-    }
+        band_min,
+        band_max,
+        compress_eps: eps,
+        exact_pieces,
+        rounds,
+    })
 }
 
 /// Expand a popped label's top-level arc chain into the original node

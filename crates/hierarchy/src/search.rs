@@ -10,22 +10,50 @@
 //! query); descending labels stay in the D-set. Rank monotonicity
 //! makes cycles impossible, so labels need no cycle check at all.
 //!
-//! Before the expansion starts, one scalar backward Dijkstra over the
-//! enabled arcs' *minimum* weights computes an exact lower bound from
-//! every node to the target. Those bounds steer the best-first order
-//! and — crucially — gate each relaxation *before* the expensive PWL
-//! composition: shortcut travel functions carry tens of pieces, so
-//! skipping a composition the border already beats is where the
-//! hierarchy's wall-clock win actually comes from. The bounds are
-//! admissible (travel through an arc is never below its minimum), so
-//! only never-winning candidates are pruned and answers are unchanged.
+//! Before the expansion starts, two scalar backward Dijkstras run over
+//! the enabled arcs: one under per-arc *maximum* weights, whose value
+//! at the source is an upper bound `U` on the optimal travel at every
+//! leaving instant; and one under **banded minima** — the tightest
+//! per-arc lower bound stored for the leaving window
+//! `[query.lo, query.hi + U]` that any answer-relevant label can
+//! occupy (elapsed time along a winning route never exceeds `U`).
+//! Those bounds steer the best-first order and gate each relaxation
+//! *before* the expensive PWL composition; `U` additionally prunes
+//! labels that are *strictly* worse than some complete route before
+//! the first target label is even found. Strictness matters: in a
+//! time-independent network every optimal label has `f_min == U`
+//! exactly, so a non-strict cap would prune the answer itself.
+//!
+//! **Approximation-aware admissibility.** Stored overlay functions may
+//! be bounded-error *lower* approximations (see `overlay.rs`). Each
+//! label therefore brackets its true route function with a **pair** of
+//! composed functions: the lower one (composition of the stored arc
+//! functions — a pointwise lower bound by FIFO-monotone arrival
+//! composition) and an upper one, built by composing each stored arc
+//! function at the *upper* arrival and raising the result by that
+//! arc's measured gap. FIFO monotonicity of the true arc arrival
+//! functions makes the raised composition a pointwise upper bound, so
+//! approximation error accumulates through the actual function shapes
+//! rather than a worst-case slope product — which keeps the bracket
+//! tight enough to prune with. Pruning uses only safe sides: candidate
+//! lower bounds against the border cap (the max of the envelope of
+//! merged *upper* functions), and dominance tests a new label's lower
+//! function against the established label's upper function. A label
+//! that has not yet crossed a lossy arc stores no separate upper
+//! function (it would be bit-equal to the lower one), so exact
+//! corridors — and exact storage entirely — pay nothing extra and
+//! degenerate to the plain rules.
 //!
 //! The search only **selects** winning node sequences. Every returned
 //! route is afterwards re-composed edge by edge through the flat
 //! engine's own pipeline ([`allfp::Engine::route_travel_fn`]), so the
 //! answer functions are bit-identical to the flat engine's — the
-//! overlay's label functions (exact too, but built from restricted
-//! periodic extensions) never reach the caller.
+//! overlay's label functions never reach the caller. For singleFP the
+//! search keeps collecting target candidates until no queued label can
+//! beat the best candidate's guaranteed *true* minimum (the minimum of
+//! its upper function); the caller then re-selects exactly among the
+//! candidates, ties resolved by identification order — at zero error
+//! this collapses to "first target pop wins", the exact-storage rule.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -36,13 +64,14 @@ use pwl::compose::arrival_interval;
 use pwl::{compose_travel_into, Envelope, Pwl, PwlRef, PwlScratch};
 use roadnet::{NetworkSource, NodeId};
 
+use crate::overlay;
 use crate::overlay::{unpack_route, Overlay};
 
 /// Poll cadence for deadline/cancellation, matching the flat engine.
 const WATCH_EVERY: u64 = 32;
 
 /// One label of the overlay search: a path `s ⇒ node` over overlay
-/// arcs, with its exact travel function and phase flag.
+/// arcs, with its (approximate) travel function and phase flag.
 struct Label {
     /// Arena index of the label this one extends (`None` for the seed).
     parent: Option<u32>,
@@ -55,8 +84,35 @@ struct Label {
     desc: bool,
     /// Cached `travel.min_value()`.
     travel_min: f64,
-    /// The label's travel function over the query interval.
+    /// The label's travel function over the query interval — a
+    /// pointwise lower bound of the true route function.
     travel: PwlRef,
+    /// Pointwise **upper** bound of the true route function: the
+    /// stored arc functions composed at the upper arrival and raised
+    /// by each arc's measured gap. `None` while the path has not
+    /// crossed a lossy arc — the upper bound is then bit-equal to
+    /// `travel` and is not materialized (exact storage never pays).
+    upper: Option<PwlRef>,
+}
+
+impl Label {
+    /// The safe side for being *beaten*: the upper bracket when the
+    /// path crossed a lossy arc, the (then exact) lower one otherwise.
+    fn upper_fn(&self) -> &Pwl {
+        match &self.upper {
+            Some(u) => u.as_pwl(),
+            None => self.travel.as_pwl(),
+        }
+    }
+
+    /// Minimum of [`upper_fn`](Self::upper_fn) — a guaranteed true
+    /// travel minimum achievable through this label's route.
+    fn upper_min(&self) -> f64 {
+        match &self.upper {
+            Some(u) => u.min_value(),
+            None => self.travel_min,
+        }
+    }
 }
 
 /// Min-heap entry (FIFO on ties, like the flat engine).
@@ -86,7 +142,7 @@ impl PartialOrd for Entry {
     }
 }
 
-/// Min-heap entry of the scalar bound Dijkstra (no ties to break —
+/// Min-heap entry of the scalar bound Dijkstras (no ties to break —
 /// a stale entry is simply skipped).
 struct BoundEntry {
     dist: f64,
@@ -113,15 +169,14 @@ impl PartialOrd for BoundEntry {
     }
 }
 
-/// Exact scalar lower bounds to `target`: one backward Dijkstra over
-/// every enabled overlay arc under its *minimum* travel weight. Any
-/// path the profile search can take is a sequence of enabled overlay
-/// arcs, and travel through an arc is never below `arc.min`, so
-/// `bound[v]` is admissible at every node — and far tighter than a
-/// geometric estimate, because it prices the actual road topology
-/// (including which shortcuts exist). Nodes that cannot reach the
-/// target at all stay at `∞` and are pruned outright.
-fn scalar_bounds(overlay: &Overlay, target: NodeId) -> Vec<f64> {
+/// Backward Dijkstra from `target` over every enabled overlay arc
+/// under the scalar weight `w(arc id)`. With `w = arc.max` the value
+/// at any node upper-bounds the optimal travel from it at *every*
+/// leaving instant (some fixed arc sequence costs at most its
+/// max-sum); with `w =` a valid lower bound per arc it lower-bounds
+/// the travel of any route whose leaving instants stay inside the
+/// band window. Nodes that cannot reach the target stay at `∞`.
+fn scalar_sweep(overlay: &Overlay, target: NodeId, w: impl Fn(u32) -> f64) -> Vec<f64> {
     let n = overlay.rank.len();
     let mut bound = vec![f64::INFINITY; n];
     bound[target.index()] = 0.0;
@@ -136,7 +191,7 @@ fn scalar_bounds(overlay: &Overlay, target: NodeId) -> Vec<f64> {
         }
         for &aid in &overlay.live_into[node as usize] {
             let arc = &overlay.arcs[aid as usize];
-            let next = dist + arc.min;
+            let next = dist + w(aid);
             if next < bound[arc.from as usize] {
                 bound[arc.from as usize] = next;
                 heap.push(BoundEntry {
@@ -152,8 +207,9 @@ fn scalar_bounds(overlay: &Overlay, target: NodeId) -> Vec<f64> {
 /// What the overlay search hands back: winning routes (original node
 /// sequences, identification order) for exact re-composition.
 pub(crate) struct SearchRun {
-    /// Deduplicated target routes in identification order; for
-    /// singleFP the first one is the answer.
+    /// Deduplicated target routes in identification order. For
+    /// singleFP these are the *candidates* — the caller re-selects
+    /// exactly (first has priority on ties).
     pub routes: Vec<Vec<NodeId>>,
     /// `Some` when a budget tripped before the termination rule.
     pub trip: Option<DegradedReason>,
@@ -259,10 +315,14 @@ pub(crate) fn run<S: NetworkSource>(
         }
     }
 
-    // Exact scalar lower bounds to the target (per-query backward
-    // Dijkstra over arc minima). `∞` means the node cannot reach the
-    // target over enabled arcs at all.
-    let bound = scalar_bounds(overlay, target);
+    // Scalar pre-passes (see module docs): `U` caps the optimal travel
+    // at every leaving instant, and the banded sweep prices each arc
+    // by the tightest stored lower bound over the leaving window
+    // answer-relevant labels can occupy.
+    let upper = scalar_sweep(overlay, target, |aid| overlay.arcs[aid as usize].max);
+    let u_cap = upper[query.source.index()];
+    let (w_lo, w_hi) = (query.interval.lo(), query.interval.hi() + u_cap);
+    let bound = scalar_sweep(overlay, target, |aid| overlay.banded_min(aid, w_lo, w_hi));
 
     let mut labels: Vec<Label> = Vec::new();
     let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
@@ -275,8 +335,15 @@ pub(crate) fn run<S: NetworkSource>(
     let mut asc_fns: Vec<Vec<u32>> = vec![Vec::new(); n];
     let mut desc_fns: Vec<Vec<u32>> = vec![Vec::new(); n];
 
+    // Envelope of the merged target labels' **upper** functions; its
+    // max is a cap the true optimum never exceeds anywhere in the
+    // interval. (With exact storage the uppers are the labels' travel
+    // functions themselves — identical to the plain border rule.)
     let mut border: Option<Envelope<usize>> = None;
-    let mut border_max = f64::INFINITY;
+    let mut border_cap = f64::INFINITY;
+    // singleFP stopping rule: the best candidate's guaranteed true
+    // minimum (its upper function's minimum).
+    let mut single_cap = f64::INFINITY;
     let mut routes: Vec<Vec<NodeId>> = Vec::new();
 
     // Seed. An infinite bound (target unreachable) still seeds: the
@@ -293,6 +360,7 @@ pub(crate) fn run<S: NetworkSource>(
             desc: false,
             travel_min,
             travel: travel.into(),
+            upper: None,
         });
         heap.push(Entry {
             f_min: travel_min + est,
@@ -308,7 +376,8 @@ pub(crate) fn run<S: NetworkSource>(
     let mut relax: Vec<(u32, bool)> = Vec::new();
 
     'search: while let Some(entry) = heap.pop() {
-        if border_max.is_finite() && pwl::approx_le(border_max, entry.f_min) {
+        let stop_cap = if single_only { single_cap } else { border_cap };
+        if stop_cap.is_finite() && pwl::approx_le(stop_cap, entry.f_min) {
             break;
         }
         let node = labels[entry.label].node;
@@ -325,18 +394,21 @@ pub(crate) fn run<S: NetworkSource>(
             stats.border_merges += 1;
             match &mut border {
                 None => {
-                    let b = Envelope::new(labels[entry.label].travel.share(), entry.label);
-                    border_max = b.max_value();
+                    let lab = &mut labels[entry.label];
+                    let f = match &mut lab.upper {
+                        Some(u) => u.share(),
+                        None => lab.travel.share(),
+                    };
+                    let b = Envelope::new(f, entry.label);
+                    border_cap = b.max_value();
                     border = Some(b);
                 }
                 Some(b) => {
-                    b.merge_min_with(scratch, &labels[entry.label].travel, entry.label)?;
-                    border_max = b.max_value();
+                    b.merge_min_with(scratch, labels[entry.label].upper_fn(), entry.label)?;
+                    border_cap = b.max_value();
                 }
             }
-            if single_only {
-                break;
-            }
+            single_cap = single_cap.min(labels[entry.label].upper_min());
             continue;
         }
 
@@ -372,6 +444,12 @@ pub(crate) fn run<S: NetworkSource>(
         }
 
         let arrivals = arrival_interval(&labels[entry.label].travel)?;
+        // The upper bracket arrives later; its window must be covered
+        // too before its composition can be formed.
+        let arrivals_up = match &labels[entry.label].upper {
+            Some(u) => arrival_interval(u)?,
+            None => arrivals,
+        };
         for &(aid, to_desc) in &relax {
             let arc = &overlay.arcs[aid as usize];
             let to = arc.to;
@@ -384,13 +462,18 @@ pub(crate) fn run<S: NetworkSource>(
                 continue;
             }
 
-            // Early border bound before the expensive composition.
-            if border_max.is_finite() {
-                let optimistic = labels[entry.label].travel_min + arc.min + est;
-                if pwl::approx_le(border_max, optimistic) {
-                    stats.pruned_by_border += 1;
-                    continue;
-                }
+            // Early bounds before the expensive composition: the
+            // border cap (once a target label exists), and the strict
+            // `U` cap — a label *definitely* above the optimum at
+            // every leaving instant can never appear in an answer.
+            let optimistic = labels[entry.label].travel_min + arc.min + est;
+            if border_cap.is_finite() && pwl::approx_le(border_cap, optimistic) {
+                stats.pruned_by_border += 1;
+                continue;
+            }
+            if u_cap.is_finite() && pwl::definitely_lt(u_cap, optimistic) {
+                stats.pruned_by_border += 1;
+                continue;
             }
 
             if let Some(reason) = watch.poll_compound()? {
@@ -398,14 +481,15 @@ pub(crate) fn run<S: NetworkSource>(
                 break 'search;
             }
 
-            if !arc.ext.domain().covers(&arrivals) {
+            let ext_dom = overlay::ext_domain(&arc.full);
+            if !ext_dom.covers(&arrivals) || !ext_dom.covers(&arrivals_up) {
                 // Arrival window escapes the periodic extension
                 // (multi-day travel): hand the whole query to the flat
                 // engine rather than extend on the hot path.
                 drain(&mut labels, scratch, border);
                 return Ok(None);
             }
-            let t_arc = arc.ext.restrict_with(scratch, &arrivals)?;
+            let t_arc = overlay::ext_window(scratch, &arc.full, &arrivals)?;
             let travel = compose_travel_into(scratch, &labels[entry.label].travel, &t_arc)?;
             scratch.recycle(t_arc);
             let np = travel.n_pieces();
@@ -415,26 +499,56 @@ pub(crate) fn run<S: NetworkSource>(
             let travel_min = travel.min_value();
             let f_min = travel_min + est;
 
-            if border_max.is_finite() && pwl::approx_le(border_max, f_min) {
+            if border_cap.is_finite() && pwl::approx_le(border_cap, f_min) {
+                stats.pruned_by_border += 1;
+                scratch.recycle(travel);
+                continue;
+            }
+            if u_cap.is_finite() && pwl::definitely_lt(u_cap, f_min) {
                 stats.pruned_by_border += 1;
                 scratch.recycle(travel);
                 continue;
             }
 
-            // Phase-aware dominance pruning (see bucket comment above).
-            let mut dominated = asc_fns[to as usize]
-                .iter()
-                .any(|&l| travel.dominated_by_with(scratch, &labels[l as usize].travel));
+            // Phase-aware dominance pruning (see bucket comment above)
+            // on the safe sides of the brackets: the new label's lower
+            // function must clear the old label's *upper* function —
+            // then old-true ≤ old-upper ≤ new-lower ≤ new-true
+            // everywhere. With exact uppers this is plain domination.
+            let mut covers = |l: &u32| {
+                let old = &labels[*l as usize];
+                travel.dominated_by_with(scratch, old.upper_fn())
+            };
+            let mut dominated = asc_fns[to as usize].iter().any(&mut covers);
             if !dominated && to_desc {
-                dominated = desc_fns[to as usize]
-                    .iter()
-                    .any(|&l| travel.dominated_by_with(scratch, &labels[l as usize].travel));
+                dominated = desc_fns[to as usize].iter().any(&mut covers);
             }
             if dominated {
                 stats.pruned_dominated += 1;
                 scratch.recycle(travel);
                 continue;
             }
+
+            // The upper bracket: the stored arc function composed at
+            // the upper arrival, raised by the arc's gap (see module
+            // docs). Only materialized once the path is actually
+            // lossy; until then it is bit-equal to `travel`.
+            let upper = if labels[entry.label].upper.is_some() || arc.err > 0.0 {
+                let t_up = overlay::ext_window(scratch, &arc.full, &arrivals_up)?;
+                let up_prefix = match &labels[entry.label].upper {
+                    Some(u) => u.as_pwl(),
+                    None => labels[entry.label].travel.as_pwl(),
+                };
+                let mut up = compose_travel_into(scratch, up_prefix, &t_up)?;
+                scratch.recycle(t_up);
+                if arc.err > 0.0 {
+                    up.add_scalar_in_place(arc.err);
+                }
+                stats.bytes_allocated += (8 * (up.n_pieces() + 1) + 16 * up.n_pieces()) as u64;
+                Some(PwlRef::from(up))
+            } else {
+                None
+            };
 
             let idx = labels.len();
             let parent = u32::try_from(entry.label)
@@ -446,6 +560,7 @@ pub(crate) fn run<S: NetworkSource>(
                 desc: to_desc,
                 travel_min,
                 travel: travel.into(),
+                upper,
             });
             if to_desc {
                 desc_fns[to as usize].push(idx as u32);
@@ -495,6 +610,9 @@ pub(crate) fn run<S: NetworkSource>(
 fn drain(labels: &mut Vec<Label>, scratch: &mut PwlScratch, border: Option<Envelope<usize>>) {
     for l in labels.drain(..) {
         scratch.recycle_ref(l.travel);
+        if let Some(u) = l.upper {
+            scratch.recycle_ref(u);
+        }
     }
     if let Some(b) = border {
         b.recycle_into(scratch);

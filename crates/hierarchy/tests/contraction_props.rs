@@ -62,7 +62,9 @@ proptest! {
     }
 
     /// Snapshot round-trip: serialize the contracted structure, decode
-    /// it, rebuild the engine, and get identical answers and counts.
+    /// it, rebuild the engine (with a *parallel* restore pool), and
+    /// get identical answers, counts — and an identical re-snapshot,
+    /// which pins every stored scalar/band table bit for bit.
     #[test]
     fn snapshot_roundtrip_preserves_answers(seed in 0u64..200) {
         const N: usize = 16;
@@ -77,13 +79,18 @@ proptest! {
         let snap = roadnet::overlay::HierarchySnapshot::from_bytes(&bytes).unwrap();
         let restored = HierarchyEngine::from_snapshot(
             Engine::new(&net, EngineConfig::default()),
-            HierarchyConfig::default(),
+            HierarchyConfig {
+                threads: 2,
+                ..HierarchyConfig::default()
+            },
             &snap,
         )
         .unwrap();
         prop_assert_eq!(ch.report().n_shortcuts, restored.report().n_shortcuts);
         prop_assert_eq!(ch.report().n_original_arcs, restored.report().n_original_arcs);
         prop_assert_eq!(ch.report().overlay_pieces, restored.report().overlay_pieces);
+        prop_assert_eq!(ch.report().exact_pieces, restored.report().exact_pieces);
+        prop_assert_eq!(restored.snapshot(), snap);
 
         let interval = Interval::of(hm(7, 0), hm(9, 0));
         for (s, t) in [(0u32, N as u32 - 1), (3, 9), (7, 2)] {
@@ -93,6 +100,106 @@ proptest! {
             prop_assert_eq!(&a.path.nodes, &b.path.nodes);
             prop_assert_eq!(a.travel_minutes.to_bits(), b.travel_minutes.to_bits());
             prop_assert_eq!(a.path.travel.breakpoints(), b.path.travel.breakpoints());
+        }
+    }
+}
+
+fn config_with(threads: usize, compress: Option<f64>) -> HierarchyConfig {
+    HierarchyConfig {
+        threads,
+        overlay_compress: compress,
+        ..HierarchyConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 4,
+        ..ProptestConfig::default()
+    })]
+
+    /// **Parallel-contraction determinism**: the overlay produced at
+    /// every thread count is identical to the serial one — same node
+    /// order, same arcs, same via pairs, same stored function scalars
+    /// and band tables (the snapshot carries them as `f64` bit
+    /// patterns, so snapshot equality is bit-level equality).
+    #[test]
+    fn parallel_contraction_is_deterministic(
+        seed in 0u64..300,
+        compressed in 0u32..2,
+    ) {
+        const N: usize = 16;
+        let net = random_geometric(N, 1.5, 3, seed).unwrap();
+        let compress = if compressed == 1 { Some(0.5) } else { None };
+        let serial = HierarchyEngine::build(
+            &net,
+            EngineConfig::default(),
+            config_with(1, compress),
+        )
+        .unwrap();
+        let golden = serial.snapshot();
+        for threads in [2usize, 4, 7] {
+            let par = HierarchyEngine::build(
+                &net,
+                EngineConfig::default(),
+                config_with(threads, compress),
+            )
+            .unwrap();
+            prop_assert!(par.snapshot() == golden, "overlay differs at thread count {}", threads);
+            prop_assert_eq!(par.report().overlay_pieces, serial.report().overlay_pieces);
+            prop_assert_eq!(par.report().exact_pieces, serial.report().exact_pieces);
+            prop_assert_eq!(par.report().rounds, serial.report().rounds);
+        }
+    }
+
+    /// **Approximation exactness**: a compressed overlay (even with an
+    /// aggressive error band) answers bit-identically to an exact
+    /// overlay — the search only selects corridors, answers re-compose
+    /// through the flat pipeline — while storing no more pieces.
+    #[test]
+    fn compressed_overlay_answers_match_exact(
+        seed in 0u64..300,
+        eps in 0.2f64..4.0,
+    ) {
+        const N: usize = 14;
+        let net = random_geometric(N, 1.5, 3, seed).unwrap();
+        let exact = HierarchyEngine::build(
+            &net,
+            EngineConfig::default(),
+            config_with(1, None),
+        )
+        .unwrap();
+        let compact = HierarchyEngine::build(
+            &net,
+            EngineConfig::default(),
+            config_with(1, Some(eps)),
+        )
+        .unwrap();
+        prop_assert!(
+            compact.report().overlay_pieces <= exact.report().overlay_pieces,
+            "compression grew the overlay: {} > {}",
+            compact.report().overlay_pieces,
+            exact.report().overlay_pieces
+        );
+        let interval = Interval::of(hm(6, 30), hm(8, 30));
+        for (s, t) in [(0u32, N as u32 - 1), (1, 8), (5, 2), (9, 4), (3, 12)] {
+            let q = QuerySpec::new(NodeId(s), NodeId(t), interval, DayCategory::WORKDAY);
+            let a = exact.all_fastest_paths(&q).unwrap();
+            let b = compact.all_fastest_paths(&q).unwrap();
+            prop_assert_eq!(a.partition.len(), b.partition.len());
+            for ((ai, ap), (bi, bp)) in a.partition.iter().zip(b.partition.iter()) {
+                prop_assert_eq!(ai.lo().to_bits(), bi.lo().to_bits());
+                prop_assert_eq!(ai.hi().to_bits(), bi.hi().to_bits());
+                prop_assert_eq!(&a.paths[*ap].nodes, &b.paths[*bp].nodes);
+            }
+            for (f, h) in a.paths.iter().zip(b.paths.iter()) {
+                prop_assert_eq!(f.travel.breakpoints(), h.travel.breakpoints());
+                prop_assert_eq!(f.travel.linears(), h.travel.linears());
+            }
+            let sa = exact.single_fastest_path(&q).unwrap();
+            let sb = compact.single_fastest_path(&q).unwrap();
+            prop_assert_eq!(&sa.path.nodes, &sb.path.nodes);
+            prop_assert_eq!(sa.travel_minutes.to_bits(), sb.travel_minutes.to_bits());
         }
     }
 }

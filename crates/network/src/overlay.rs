@@ -10,6 +10,18 @@
 //! rebuilt functions are bit-identical because re-composition runs the
 //! same kernels on the same inputs in the same order.
 //!
+//! **Format v2** additionally records how the overlay *stores* its
+//! functions: the bounded-error band the build reduced them with
+//! ([`OverlaySnapshot::compress_eps`], so a restore reproduces the
+//! stored approximations bit for bit regardless of the restoring
+//! configuration), and the per-arc scalar/band tables
+//! ([`BandTable`]) — exact min/max, approximation gap, max slope and
+//! time-bucketed min/max bands — so external consumers can read
+//! admissible bounds without recomposing a single function. All float
+//! payloads are stored as `u64` bit patterns: exact round-trips, `Eq`
+//! on snapshots stays structural. v1 inputs still decode (no band
+//! data, exact storage).
+//!
 //! The byte format is self-contained (no serde): magic `FPOV`, a
 //! format version, length-prefixed sections, and a trailing FNV-1a
 //! checksum over everything before it. Decoding validates structure
@@ -30,6 +42,28 @@ pub struct SnapshotArc {
     pub disabled: bool,
 }
 
+/// Per-arc scalar and banded bounds (format v2). All values are `f64`
+/// bit patterns; every vector indexed by arc, the band vectors with
+/// stride `n_bands`. Describes the **exact** functions even when the
+/// stored ones are reduced — these are the pruning bounds.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BandTable {
+    /// Buckets per arc over one day period.
+    pub n_bands: u32,
+    /// Exact global minimum per arc.
+    pub arc_min: Vec<u64>,
+    /// Exact global maximum per arc.
+    pub arc_max: Vec<u64>,
+    /// Measured reduction gap per arc (0 with exact storage).
+    pub arc_err: Vec<u64>,
+    /// Max slope of the exact function per arc, clamped to `≥ 0`.
+    pub arc_slope_max: Vec<u64>,
+    /// Per-bucket exact minimum, `arcs × n_bands`.
+    pub band_min: Vec<u64>,
+    /// Per-bucket exact maximum, `arcs × n_bands`.
+    pub band_max: Vec<u64>,
+}
+
 /// The structure of one contracted overlay (one day category).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OverlaySnapshot {
@@ -40,6 +74,12 @@ pub struct OverlaySnapshot {
     /// Arc records in storage order: base arcs first (network edge
     /// iteration order), then shortcuts in creation order.
     pub arcs: Vec<SnapshotArc>,
+    /// Bit pattern of the error band the stored functions were reduced
+    /// with; `None` = exact storage. Restores must honor this over
+    /// their own configuration to reproduce the build bit for bit.
+    pub compress_eps: Option<u64>,
+    /// Scalar/banded pruning bounds (v2; `None` on v1 inputs).
+    pub bands: Option<BandTable>,
 }
 
 /// A full hierarchy snapshot: one overlay per preprocessed category.
@@ -81,7 +121,11 @@ impl std::fmt::Display for OverlayCodecError {
 impl std::error::Error for OverlayCodecError {}
 
 const MAGIC: &[u8; 4] = b"FPOV";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+/// Oldest format this build still decodes.
+const MIN_VERSION: u32 = 1;
+/// Sanity cap on band buckets per arc in decoded input.
+const MAX_BANDS: u32 = 4096;
 
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -117,10 +161,33 @@ impl<'b> Reader<'b> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
+
+    fn u64(&mut self) -> Result<u64, OverlayCodecError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// `n` little-endian `u64`s, capacity-guarded against corrupt
+    /// length fields.
+    fn u64s(&mut self, n: usize) -> Result<Vec<u64>, OverlayCodecError> {
+        let mut v = Vec::with_capacity(n.min(self.buf.len() / 8));
+        for _ in 0..n {
+            v.push(self.u64()?);
+        }
+        Ok(v)
+    }
+}
+
+fn push_u64s(out: &mut Vec<u8>, vals: &[u64]) {
+    for &v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
 }
 
 impl HierarchySnapshot {
-    /// Encode to the versioned, checksummed byte format.
+    /// Encode to the versioned, checksummed byte format (writes v2).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(MAGIC);
@@ -143,14 +210,29 @@ impl HierarchySnapshot {
                     out.extend_from_slice(&y.to_le_bytes());
                 }
             }
+            // v2 storage section: presence flags, then the payloads.
+            let flags = u8::from(o.compress_eps.is_some()) | (u8::from(o.bands.is_some()) << 1);
+            out.push(flags);
+            if let Some(eps) = o.compress_eps {
+                out.extend_from_slice(&eps.to_le_bytes());
+            }
+            if let Some(b) = &o.bands {
+                out.extend_from_slice(&b.n_bands.to_le_bytes());
+                push_u64s(&mut out, &b.arc_min);
+                push_u64s(&mut out, &b.arc_max);
+                push_u64s(&mut out, &b.arc_err);
+                push_u64s(&mut out, &b.arc_slope_max);
+                push_u64s(&mut out, &b.band_min);
+                push_u64s(&mut out, &b.band_max);
+            }
         }
         let sum = fnv1a(&out);
         out.extend_from_slice(&sum.to_le_bytes());
         out
     }
 
-    /// Decode and validate (structure and checksum). Corrupt or
-    /// truncated input yields a typed error, never a panic.
+    /// Decode and validate (structure and checksum). Reads v1 and v2;
+    /// corrupt or truncated input yields a typed error, never a panic.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, OverlayCodecError> {
         if bytes.len() < 8 {
             return Err(OverlayCodecError::Truncated);
@@ -169,7 +251,7 @@ impl HierarchySnapshot {
             return Err(OverlayCodecError::BadMagic);
         }
         let version = r.u32()?;
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(OverlayCodecError::BadVersion(version));
         }
         let n_overlays = r.u32()? as usize;
@@ -213,10 +295,43 @@ impl HierarchySnapshot {
                     disabled: flags & 2 != 0,
                 });
             }
+            let (compress_eps, bands) = if version >= 2 {
+                let flags = r.u8()?;
+                if flags & !0b11 != 0 {
+                    return Err(OverlayCodecError::Malformed("unknown storage flags"));
+                }
+                let eps = if flags & 1 != 0 { Some(r.u64()?) } else { None };
+                let bands = if flags & 2 != 0 {
+                    let n_bands = r.u32()?;
+                    if n_bands == 0 || n_bands > MAX_BANDS {
+                        return Err(OverlayCodecError::Malformed("band bucket count"));
+                    }
+                    let per_arc = arcs.len();
+                    let per_band = per_arc
+                        .checked_mul(n_bands as usize)
+                        .ok_or(OverlayCodecError::Malformed("band table overflow"))?;
+                    Some(BandTable {
+                        n_bands,
+                        arc_min: r.u64s(per_arc)?,
+                        arc_max: r.u64s(per_arc)?,
+                        arc_err: r.u64s(per_arc)?,
+                        arc_slope_max: r.u64s(per_arc)?,
+                        band_min: r.u64s(per_band)?,
+                        band_max: r.u64s(per_band)?,
+                    })
+                } else {
+                    None
+                };
+                (eps, bands)
+            } else {
+                (None, None)
+            };
             overlays.push(OverlaySnapshot {
                 category,
                 ranks,
                 arcs,
+                compress_eps,
+                bands,
             });
         }
         if r.pos != payload.len() {
@@ -230,31 +345,47 @@ impl HierarchySnapshot {
 mod tests {
     use super::*;
 
+    fn sample_arcs() -> Vec<SnapshotArc> {
+        vec![
+            SnapshotArc {
+                from: 0,
+                to: 1,
+                via: None,
+                disabled: false,
+            },
+            SnapshotArc {
+                from: 1,
+                to: 2,
+                via: None,
+                disabled: true,
+            },
+            SnapshotArc {
+                from: 0,
+                to: 2,
+                via: Some((0, 1)),
+                disabled: false,
+            },
+        ]
+    }
+
     fn sample() -> HierarchySnapshot {
+        let arcs = sample_arcs();
+        let n = arcs.len();
         HierarchySnapshot {
             overlays: vec![OverlaySnapshot {
                 category: 0,
                 ranks: vec![2, 0, 1],
-                arcs: vec![
-                    SnapshotArc {
-                        from: 0,
-                        to: 1,
-                        via: None,
-                        disabled: false,
-                    },
-                    SnapshotArc {
-                        from: 1,
-                        to: 2,
-                        via: None,
-                        disabled: true,
-                    },
-                    SnapshotArc {
-                        from: 0,
-                        to: 2,
-                        via: Some((0, 1)),
-                        disabled: false,
-                    },
-                ],
+                arcs,
+                compress_eps: Some(0.5f64.to_bits()),
+                bands: Some(BandTable {
+                    n_bands: 2,
+                    arc_min: vec![1.0f64.to_bits(); n],
+                    arc_max: vec![9.0f64.to_bits(); n],
+                    arc_err: vec![0u64; n],
+                    arc_slope_max: vec![0.25f64.to_bits(); n],
+                    band_min: vec![1.5f64.to_bits(); n * 2],
+                    band_max: vec![8.0f64.to_bits(); n * 2],
+                }),
             }],
         }
     }
@@ -267,10 +398,53 @@ mod tests {
     }
 
     #[test]
+    fn roundtrip_without_storage_section_payloads() {
+        let mut snap = sample();
+        snap.overlays[0].compress_eps = None;
+        snap.overlays[0].bands = None;
+        let bytes = snap.to_bytes();
+        assert_eq!(HierarchySnapshot::from_bytes(&bytes).unwrap(), snap);
+    }
+
+    #[test]
     fn empty_roundtrip() {
         let snap = HierarchySnapshot::default();
         let bytes = snap.to_bytes();
         assert_eq!(HierarchySnapshot::from_bytes(&bytes).unwrap(), snap);
+    }
+
+    #[test]
+    fn v1_inputs_still_decode() {
+        // Hand-built v1 bytes for the sample structure: no storage
+        // section, version 1.
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&1u32.to_le_bytes());
+        out.extend_from_slice(&1u32.to_le_bytes()); // one overlay
+        out.push(0); // category
+        out.extend_from_slice(&3u32.to_le_bytes());
+        for r in [2u32, 0, 1] {
+            out.extend_from_slice(&r.to_le_bytes());
+        }
+        let arcs = sample_arcs();
+        out.extend_from_slice(&(arcs.len() as u32).to_le_bytes());
+        for a in &arcs {
+            out.extend_from_slice(&a.from.to_le_bytes());
+            out.extend_from_slice(&a.to.to_le_bytes());
+            let flags = u8::from(a.via.is_some()) | (u8::from(a.disabled) << 1);
+            out.push(flags);
+            if let Some((x, y)) = a.via {
+                out.extend_from_slice(&x.to_le_bytes());
+                out.extend_from_slice(&y.to_le_bytes());
+            }
+        }
+        let sum = fnv1a(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+
+        let snap = HierarchySnapshot::from_bytes(&out).unwrap();
+        assert_eq!(snap.overlays[0].arcs, arcs);
+        assert_eq!(snap.overlays[0].compress_eps, None);
+        assert_eq!(snap.overlays[0].bands, None);
     }
 
     #[test]

@@ -1,0 +1,252 @@
+//! Bounded-error piece reduction (Imai–Iri style) for travel functions.
+//!
+//! The contraction-hierarchy overlay stores a travel-time function per
+//! shortcut arc. Composed shortcut functions carry tens of pieces, most
+//! of which change the value by far less than a scheduling decision
+//! ever could. [`reduce_lower_with`] replaces such a function with a
+//! piecewise-linear **lower approximation** using (usually far) fewer
+//! pieces, subject to three guarantees the overlay search relies on:
+//!
+//! 1. **One-sided**: `g(x) ≤ f(x)` everywhere — `g` stays an
+//!    *admissible* stand-in wherever `f` was used as a lower bound.
+//! 2. **Bounded error**: `f(x) − g(x) ≤ ε` everywhere; the *actual*
+//!    maximum gap is measured and returned, so callers can rebuild a
+//!    pointwise upper bound as `g + gap` wherever one is needed.
+//! 3. **FIFO-preserving**: every slope of `g` stays strictly above
+//!    `−1 + EPS`, the same bound [`crate::compose::arrival_interval`]
+//!    validates — reduced functions remain composable.
+//!
+//! Both domain endpoints are pinned to the exact values of `f`, so
+//! periodic extension (`concat` at the day seam) of a reduced function
+//! stays continuous exactly where the exact function's extension was.
+//!
+//! The sweep is a greedy anchored slope-window scan: from the current
+//! anchor it keeps the interval of slopes that pass below every
+//! breakpoint of `f` seen so far while staying above `f − ε`, and emits
+//! a new breakpoint (at the previous x, with the steepest feasible
+//! slope — hugging `f` from below) when the window empties. Greedy
+//! slope-window scans are within one piece of the optimal one-sided
+//! approximation and run in a single pass, which is what a
+//! preprocessing loop over hundreds of thousands of shortcuts needs.
+
+use crate::scratch::PwlScratch;
+use crate::{Linear, Pwl, Result, EPS};
+
+/// Smallest slope a reduced piece may take: the strict FIFO bound the
+/// composition kernel validates (`a + 1 > EPS`).
+const FIFO_FLOOR: f64 = EPS - 1.0;
+
+/// Reduce `f` to a one-sided lower approximation with at most `eps`
+/// pointwise error (see the module docs for the three guarantees).
+///
+/// Returns the reduced function together with the **measured** maximum
+/// gap `max(f − g) ∈ [0, eps]`. With `eps ≤ 0`, or when `f` is not
+/// continuous (reduction is only defined for travel functions, which
+/// are), the exact function is returned unchanged with gap `0`.
+///
+/// Output buffers come from `scratch`'s pool, like the other pooled
+/// kernels. The result is deterministic in `(f, eps)` — snapshot
+/// restore re-reduces recomposed functions and must reproduce the
+/// build's functions bit for bit.
+pub fn reduce_lower_with(scratch: &mut PwlScratch, f: &Pwl, eps: f64) -> Result<(Pwl, f64)> {
+    if eps <= 0.0 || f.n_pieces() <= 1 || f.check_continuous().is_err() {
+        return Ok((f.clone(), 0.0));
+    }
+    let pts = f.points();
+
+    // Selected output points; values are computed (band-feasible), the
+    // two endpoints exact.
+    let mut sel: Vec<(f64, f64)> = Vec::with_capacity(8);
+    sel.push(pts[0]);
+
+    let (mut ax, mut ay) = pts[0];
+    // Feasible slope window from the current anchor, clamped to FIFO.
+    let mut lo = FIFO_FLOOR;
+    let mut hi = f64::INFINITY;
+    // Window as of the *previous* point — where we emit on failure.
+    let (mut prev_hi, mut prev_x) = (f64::INFINITY, pts[0].0);
+
+    let mut i = 1;
+    while i < pts.len() {
+        let (x, y) = pts[i];
+        let dx = x - ax;
+        let up = (y - ay) / dx;
+        let dn = ((y - eps) - ay) / dx;
+        let (nlo, nhi) = (lo.max(dn), hi.min(up));
+        let last = i == pts.len() - 1;
+        if nlo > nhi {
+            if prev_x > ax {
+                // Window emptied: emit at the previous point with the
+                // steepest slope that was still feasible there, then
+                // restart the window from that new anchor (point i is
+                // not consumed yet).
+                let ny = ay + prev_hi * (prev_x - ax);
+                sel.push((prev_x, ny));
+                (ax, ay) = (prev_x, ny);
+            } else {
+                // First point after an anchor (a single linear piece
+                // of `f`) can only fail the window when `f` itself
+                // violates the FIFO floor; keep that point exactly.
+                sel.push((x, y));
+                (ax, ay) = (x, y);
+                prev_x = x;
+                i += 1;
+            }
+            lo = FIFO_FLOOR;
+            hi = f64::INFINITY;
+            prev_hi = f64::INFINITY;
+            continue;
+        }
+        if last {
+            // Pin the final endpoint to the exact value. Feasible iff
+            // the exact chord fits the window; otherwise cut at the
+            // second-to-last point first (always feasible from there:
+            // one linear piece of `f` remains).
+            let s_end = (y - ay) / dx;
+            if s_end >= nlo && s_end <= nhi {
+                sel.push((x, y));
+                break;
+            }
+            if prev_x > ax {
+                let ny = ay + prev_hi.min(up) * (prev_x - ax);
+                sel.push((prev_x, ny));
+            }
+            sel.push((x, y));
+            break;
+        }
+        (lo, hi) = (nlo, nhi);
+        (prev_hi, prev_x) = (hi, x);
+        i += 1;
+    }
+
+    if sel.len() >= pts.len() {
+        return Ok((f.clone(), 0.0));
+    }
+
+    // Materialize from pooled buffers.
+    let (mut xs, mut fs) = scratch.take_buffers();
+    xs.reserve(sel.len());
+    fs.reserve(sel.len() - 1);
+    for w in sel.windows(2) {
+        xs.push(w[0].0);
+        fs.push(Linear::through(w[0].0, w[0].1, w[1].0, w[1].1)?);
+    }
+    xs.push(sel[sel.len() - 1].0);
+    let g = Pwl::from_sorted_parts(xs, fs);
+
+    // Measure the actual gap: both functions are linear between
+    // adjacent breakpoints of `f` (g's breakpoints are a subset of the
+    // same x-grid), so the maximum of `f − g` sits on a breakpoint.
+    let mut gap = 0.0f64;
+    let mut cursor = 0usize;
+    let gl = g.linears();
+    let gx = g.breakpoints();
+    for &(x, y) in &pts {
+        while cursor + 1 < gl.len() && gx[cursor + 1] <= x {
+            cursor += 1;
+        }
+        gap = gap.max(y - gl[cursor].eval(x));
+    }
+    Ok((g, gap.max(0.0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_le;
+
+    fn wiggle(n: usize, amp: f64) -> Pwl {
+        let pts: Vec<(f64, f64)> = (0..=n)
+            .map(|i| {
+                let x = i as f64;
+                (x, 10.0 + amp * ((i * 7 % 5) as f64 - 2.0))
+            })
+            .collect();
+        Pwl::from_points(&pts).unwrap()
+    }
+
+    fn check_invariants(f: &Pwl, eps: f64) {
+        let mut s = PwlScratch::new();
+        let (g, gap) = reduce_lower_with(&mut s, f, eps).unwrap();
+        assert_eq!(g.domain(), f.domain());
+        assert!(gap <= eps + 1e-12, "gap {gap} over eps {eps}");
+        // Endpoints exact.
+        assert_eq!(g.eval(f.domain().lo()), f.eval(f.domain().lo()));
+        assert_eq!(g.eval(f.domain().hi()), f.eval(f.domain().hi()));
+        // One-sided within band, on a fine grid.
+        let d = f.domain();
+        for k in 0..=400 {
+            let x = d.lo() + (d.hi() - d.lo()) * k as f64 / 400.0;
+            let (fv, gv) = (f.eval(x), g.eval(x));
+            assert!(approx_le(gv, fv), "g above f at {x}: {gv} > {fv}");
+            assert!(
+                approx_le(fv - gv, gap),
+                "gap claim violated at {x}: {} > {gap}",
+                fv - gv
+            );
+        }
+        // FIFO preserved — guaranteed only when the input satisfies it.
+        if f.linears().iter().all(|l| l.a + 1.0 > EPS) {
+            for l in g.linears() {
+                assert!(l.a + 1.0 > EPS, "slope {} breaks FIFO", l.a);
+            }
+        }
+    }
+
+    #[test]
+    fn reduces_small_wiggles() {
+        let f = wiggle(40, 0.01);
+        let mut s = PwlScratch::new();
+        let (g, _) = reduce_lower_with(&mut s, &f, 0.5).unwrap();
+        assert!(g.n_pieces() < f.n_pieces() / 2);
+        check_invariants(&f, 0.5);
+    }
+
+    #[test]
+    fn large_wiggles_survive() {
+        check_invariants(&wiggle(40, 2.0), 0.5);
+        check_invariants(&wiggle(7, 5.0), 0.25);
+    }
+
+    #[test]
+    fn zero_eps_is_identity() {
+        let f = wiggle(10, 1.0);
+        let mut s = PwlScratch::new();
+        let (g, gap) = reduce_lower_with(&mut s, &f, 0.0).unwrap();
+        assert_eq!(g, f);
+        assert_eq!(gap, 0.0);
+    }
+
+    #[test]
+    fn single_piece_untouched() {
+        let f = Pwl::from_points(&[(0.0, 1.0), (10.0, 4.0)]).unwrap();
+        let mut s = PwlScratch::new();
+        let (g, gap) = reduce_lower_with(&mut s, &f, 1.0).unwrap();
+        assert_eq!(g, f);
+        assert_eq!(gap, 0.0);
+    }
+
+    #[test]
+    fn steep_descents_keep_fifo() {
+        // Slopes near the FIFO floor: descent at -0.95.
+        let f = Pwl::from_points(&[
+            (0.0, 20.0),
+            (10.0, 10.5),
+            (11.0, 10.6),
+            (21.0, 1.1),
+            (30.0, 5.0),
+        ])
+        .unwrap();
+        check_invariants(&f, 0.3);
+    }
+
+    #[test]
+    fn deterministic() {
+        let f = wiggle(60, 0.7);
+        let mut s = PwlScratch::new();
+        let (g1, e1) = reduce_lower_with(&mut s, &f, 0.4).unwrap();
+        let (g2, e2) = reduce_lower_with(&mut s, &f, 0.4).unwrap();
+        assert_eq!(g1, g2);
+        assert_eq!(e1.to_bits(), e2.to_bits());
+    }
+}

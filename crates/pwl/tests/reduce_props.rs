@@ -1,0 +1,122 @@
+//! Property-based tests for the bounded-error piece reduction.
+//!
+//! The overlay search's admissibility rests on three invariants of
+//! [`pwl::reduce_lower_with`] (see the satellite checklist of PR 7):
+//! the reduced function never rises above the true function, the
+//! measured gap bounds the true gap everywhere (and stays within the
+//! declared `ε`), and every reduced slope respects the FIFO floor so
+//! reduced functions remain composable. Random FIFO-safe travel
+//! functions exercise all three on dense sample grids.
+
+use proptest::prelude::*;
+use pwl::{approx_le, reduce_lower_with, Interval, Pwl, PwlScratch, EPS};
+
+/// A FIFO-safe travel-time function: strictly increasing arrival
+/// function minus the identity (same construction as the composition
+/// property tests).
+fn arb_travel() -> impl Strategy<Value = Pwl> {
+    (
+        0.0f64..50.0,
+        prop::collection::vec((0.5f64..10.0, 0.05f64..3.0), 1..24),
+    )
+        .prop_map(|(x0, steps)| {
+            let mut pts = vec![(x0, x0 + 5.0)];
+            let (mut x, mut y) = pts[0];
+            for (dx, slope) in steps {
+                x += dx;
+                y += dx * slope;
+                pts.push((x, y));
+            }
+            Pwl::from_points(&pts)
+                .expect("valid arrival")
+                .sub_identity()
+        })
+}
+
+fn sample_grid(domain: &Interval, n: usize) -> Vec<f64> {
+    (0..=n)
+        .map(|k| domain.lo() + domain.len() * (k as f64) / (n as f64))
+        .collect()
+}
+
+proptest! {
+    /// Admissibility: the reduction is one-sided (`g ≤ f` everywhere)
+    /// and the *measured* gap both covers the true gap and respects
+    /// the declared error band.
+    #[test]
+    fn reduction_is_one_sided_and_within_band(
+        f in arb_travel(),
+        eps in 0.0f64..2.0,
+    ) {
+        let mut scratch = PwlScratch::new();
+        let (g, gap) = reduce_lower_with(&mut scratch, &f, eps).unwrap();
+        prop_assert!(gap >= 0.0);
+        prop_assert!(gap <= eps + 1e-9, "measured gap {gap} exceeds eps {eps}");
+        prop_assert_eq!(g.domain(), f.domain());
+        for x in sample_grid(&f.domain(), 256) {
+            let (fv, gv) = (f.eval(x), g.eval(x));
+            prop_assert!(approx_le(gv, fv), "reduced above true at {x}: {gv} > {fv}");
+            prop_assert!(
+                approx_le(fv - gv, gap),
+                "true gap at {x} ({}) exceeds measured {gap}", fv - gv
+            );
+        }
+    }
+
+    /// Domain endpoints are pinned to the exact values (up to one
+    /// coefficient-representation rounding), so periodic extension of
+    /// a reduced function seams where the exact one did: identical
+    /// breakpoint coordinates, values within far less than `EPS`.
+    #[test]
+    fn reduction_pins_endpoints(f in arb_travel(), eps in 0.0f64..2.0) {
+        let mut scratch = PwlScratch::new();
+        let (g, _) = reduce_lower_with(&mut scratch, &f, eps).unwrap();
+        let d = f.domain();
+        prop_assert_eq!(g.domain().lo().to_bits(), d.lo().to_bits());
+        prop_assert_eq!(g.domain().hi().to_bits(), d.hi().to_bits());
+        for x in [d.lo(), d.hi()] {
+            let (fv, gv) = (f.eval(x), g.eval(x));
+            prop_assert!(
+                (fv - gv).abs() <= 1e-9 * (1.0 + fv.abs()),
+                "endpoint drift at {x}: {fv} vs {gv}"
+            );
+        }
+    }
+
+    /// FIFO preservation: reduced slopes clear the composition
+    /// kernel's floor, so reduced functions stay composable.
+    #[test]
+    fn reduction_preserves_fifo(f in arb_travel(), eps in 0.0f64..4.0) {
+        let mut scratch = PwlScratch::new();
+        let (g, _) = reduce_lower_with(&mut scratch, &f, eps).unwrap();
+        for l in g.linears() {
+            prop_assert!(l.a + 1.0 > EPS, "slope {} breaks the FIFO floor", l.a);
+        }
+        // ... which is exactly what arrival_interval validates.
+        prop_assert!(pwl::compose::arrival_interval(&g).is_ok());
+    }
+
+    /// Determinism: same input, same output, bit for bit — snapshot
+    /// restore re-reduces recomposed functions and must agree with the
+    /// original build.
+    #[test]
+    fn reduction_is_deterministic(f in arb_travel(), eps in 0.0f64..2.0) {
+        let mut s1 = PwlScratch::new();
+        let mut s2 = PwlScratch::new();
+        let (g1, e1) = reduce_lower_with(&mut s1, &f, eps).unwrap();
+        let (g2, e2) = reduce_lower_with(&mut s2, &f, eps).unwrap();
+        prop_assert_eq!(&g1, &g2);
+        prop_assert_eq!(e1.to_bits(), e2.to_bits());
+        prop_assert_eq!(g1.breakpoints().len(), g2.breakpoints().len());
+    }
+
+    /// Monotone piece budget: a wider band never produces a *worse*
+    /// function than the exact one (piece count is bounded by the
+    /// input's).
+    #[test]
+    fn reduction_never_grows(f in arb_travel(), eps in 0.0f64..2.0) {
+        let mut scratch = PwlScratch::new();
+        let (g, _) = reduce_lower_with(&mut scratch, &f, eps).unwrap();
+        prop_assert!(g.n_pieces() <= f.n_pieces());
+    }
+}

@@ -37,19 +37,31 @@ env -u RUST_TEST_THREADS cargo test -q -p fp-allfp --test overload
 
 # Hierarchy exactness: the golden equivalence suite pins the
 # contraction hierarchy's answers bit-for-bit to the flat engine's
-# (routes, partitions, travel functions), and the contraction property
-# tests fuzz overlay soundness on random networks.
-echo "==> hierarchy equivalence (golden suite + contraction proptests)"
+# (routes, partitions, travel functions) under compressed, exact and
+# parallel-build configurations, and the contraction property tests
+# fuzz overlay soundness, parallel-vs-serial determinism across
+# thread counts, and compressed-vs-exact answer identity on random
+# networks.
+echo "==> hierarchy equivalence (golden suite + contraction/determinism proptests)"
 cargo test -q -p fp-allfp --release --test hierarchy_equivalence
 cargo test -q -p fp-hierarchy --release --test contraction_props
+
+# Piece-reduction admissibility: the bounded-error overlay storage is
+# only sound if reduced functions stay one-sided lower bounds within
+# the measured gap, pin both endpoints, keep FIFO, and reduce
+# deterministically — fuzzed here.
+echo "==> piece-reduction admissibility proptests"
+cargo test -q -p fp-pwl --release --test reduce_props
 
 # Allocation gates ride along with the batch smoke: the pooled PWL
 # kernel loop must allocate exactly zero in steady state, and the
 # whole engine must stay under the allocs-per-expansion budget (both
 # measured by a counting global allocator inside fp-bench). The smoke
-# also races the hierarchy against the flat engine and gates the
-# >=10x singleFP expansion speedup (wall-clock twin on multi-core
-# hosts only).
+# also races the hierarchy against the flat engine, gating the >=10x
+# singleFP expansion speedup (wall-clock twin on multi-core hosts
+# only), the <=0.5x overlay byte footprint against the old
+# materialized layout, and the
+# >=1.5x 4-thread contraction speedup (multi-core hosts only).
 echo "==> batch-driver smoke (answers + scaling + checksum + allocation + overload + hierarchy gates)"
 cargo bench -p fp-bench --bench engine_hotpath -- --smoke
 
