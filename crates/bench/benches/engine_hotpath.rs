@@ -462,6 +462,7 @@ fn to_json(
     alloc: &AllocProfile,
     kernel_allocs: u64,
     overload: &fpbench::overload::OverloadReport,
+    live: &fpbench::live_update::LiveUpdateReport,
     hierarchy: &HierarchyReport,
     contraction: &[ContractionPoint],
 ) -> String {
@@ -530,6 +531,25 @@ fn to_json(
         overload.goodput_ratio,
         overload.reconciled,
         overload.deterministic,
+    ));
+    out.push_str(&format!(
+        "  \"live_update\": {{\"seed\": {}, \"scale\": \"{}\", \"n_edges\": {},          \"delta_edges\": {}, \"shortcuts_total\": {}, \"shortcuts_rebuilt\": {},          \"invalidation_fraction\": {:.4}, \"refresh_wall_seconds\": {:.4},          \"build_wall_seconds\": {:.3}, \"submissions\": {}, \"updates_applied\": {},          \"epochs_published\": {}, \"epochs_retired\": {}, \"goodput_ratio\": {:.4},          \"reconciled\": {}, \"deterministic\": {},          \"note\": \"seeded ~1%-of-edges delta on the exact-storage metro-medium          hierarchy (scoped invalidation: rebuilt fraction gated < 0.20) plus a          virtual-time 2x-overload storm with concurrent epoch swaps (goodput gated          >= 0.5)\"}},\n",
+        live.seed,
+        live.scale,
+        live.n_edges,
+        live.delta_edges,
+        live.shortcuts_total,
+        live.shortcuts_rebuilt,
+        live.invalidation_fraction,
+        live.refresh_wall_seconds,
+        live.build_wall_seconds,
+        live.submissions,
+        live.updates_applied,
+        live.epochs_published,
+        live.epochs_retired,
+        live.goodput_ratio,
+        live.reconciled,
+        live.deterministic,
     ));
     out.push_str(&format!(
         "  \"alloc\": {{\"allocs_per_expansion\": {:.2}, \"bytes_per_query\": {:.0}, \
@@ -644,6 +664,7 @@ fn emit_report() {
     let alloc = measure_allocs(&cached, &queries);
     let kernel_allocs = kernel_steady_state_allocs();
     let overload = fpbench::overload::run(0x5EED, 100);
+    let live = fpbench::live_update::run(0x5EED, 100, 8);
     // The paper-magnitude network ("metro-large"): this is where the
     // ≥10x preprocessing claim is measured and recorded.
     let hierarchy = measure_hierarchy(Scale::Full, "full", 24, &HierarchyConfig::default());
@@ -659,6 +680,7 @@ fn emit_report() {
         &alloc,
         kernel_allocs,
         &overload,
+        &live,
         &hierarchy,
         &contraction,
     );
@@ -889,6 +911,47 @@ fn smoke() -> i32 {
         eprintln!(
             "SMOKE FAIL: overload goodput {:.2} under {MIN_GOODPUT}",
             ov.goodput_ratio
+        );
+        failures += 1;
+    }
+
+    // Live-update gates: the update storm must replay deterministically
+    // and keep goodput >= 0.5 while epochs swap under it, and a
+    // ~1%-of-edges delta must invalidate < 20% of the metro-medium
+    // shortcut arcs (the scoped-invalidation promise).
+    const MIN_LIVE_GOODPUT: f64 = 0.5;
+    const MAX_INVALIDATION: f64 = 0.20;
+    let lu = fpbench::live_update::run(0x5EED, 100, 8);
+    println!(
+        "smoke: live update {} deltas, {}/{} shortcuts rebuilt ({:.1}%), refresh {:.3}s          (full build {:.3}s), goodput {:.2}",
+        lu.updates_applied,
+        lu.shortcuts_rebuilt,
+        lu.shortcuts_total,
+        lu.invalidation_fraction * 100.0,
+        lu.refresh_wall_seconds,
+        lu.build_wall_seconds,
+        lu.goodput_ratio
+    );
+    if !lu.reconciled {
+        eprintln!("SMOKE FAIL: live-update stats do not reconcile: {lu:?}");
+        failures += 1;
+    }
+    if !lu.deterministic {
+        eprintln!("SMOKE FAIL: update storm did not replay identically");
+        failures += 1;
+    }
+    if lu.invalidation_fraction >= MAX_INVALIDATION {
+        eprintln!(
+            "SMOKE FAIL: 1% delta invalidated {:.1}% of shortcuts (gate {:.0}%)",
+            lu.invalidation_fraction * 100.0,
+            MAX_INVALIDATION * 100.0
+        );
+        failures += 1;
+    }
+    if lu.goodput_ratio < MIN_LIVE_GOODPUT {
+        eprintln!(
+            "SMOKE FAIL: goodput under the update storm {:.2} under {MIN_LIVE_GOODPUT}",
+            lu.goodput_ratio
         );
         failures += 1;
     }

@@ -3,7 +3,7 @@
 //! ```text
 //! experiments <subcommand> [--scale small|medium|full|large] [--seed N]
 //!             [--queries N] [--csv DIR] [--backend flat|ch]
-//!             [--threads N] [--overlay-compress EPS|off]
+//!             [--threads N] [--overlay-compress EPS|off] [--deltas N]
 //!
 //! subcommands:
 //!   table1            the CapeCod pattern schema (Table 1)
@@ -11,6 +11,9 @@
 //!   fig10             Discrete Time vs CapeCod ratios
 //!   const-speed       the constant-speed (speed-limit) comparison
 //!   overload          the seeded virtual-time overload twin
+//!   update-storm      seeded live-update storm: scoped-invalidation
+//!                     refresh on metro-medium + goodput under a 2x
+//!                     overload with concurrent epoch swaps
 //!   ablation-grid     bdLB grid granularity sweep (A-1)
 //!   ablation-pruning  basic vs dominance-pruned expansion (A-2)
 //!   ablation-ccam     CCAM placement vs buffer size (A-3)
@@ -28,12 +31,14 @@
 //! width) and `--overlay-compress EPS` stores shortcut functions as
 //! bounded-error approximations within EPS minutes (`off` stores
 //! exact functions); both knobs only matter with `--backend ch`.
+//! `--deltas N` sets how many seeded traffic deltas the update storm
+//! applies mid-run (default 8); `--seed`/`--queries` also steer it.
 
 use std::process::ExitCode;
 
 use fpbench::{
-    ablations, const_speed, fig10, fig9, overload, table1, BackendKind, BackendSpec, Scale,
-    Scenario, Table,
+    ablations, const_speed, fig10, fig9, live_update, overload, table1, BackendKind, BackendSpec,
+    Scale, Scenario, Table,
 };
 use hierarchy::HierarchyConfig;
 
@@ -45,6 +50,7 @@ struct Options {
     backend: BackendKind,
     threads: usize,
     overlay_compress: Option<f64>,
+    deltas: usize,
 }
 
 impl Options {
@@ -65,7 +71,7 @@ impl Options {
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(cmd) = args.next() else {
-        eprintln!("usage: experiments <table1|fig9|fig10|const-speed|overload|ablation-grid|ablation-pruning|ablation-ccam|all> [--scale small|medium|full|large] [--seed N] [--queries N] [--csv DIR] [--backend flat|ch] [--threads N] [--overlay-compress EPS|off]");
+        eprintln!("usage: experiments <table1|fig9|fig10|const-speed|overload|update-storm|ablation-grid|ablation-pruning|ablation-ccam|all> [--scale small|medium|full|large] [--seed N] [--queries N] [--csv DIR] [--backend flat|ch] [--threads N] [--overlay-compress EPS|off] [--deltas N]");
         return ExitCode::FAILURE;
     };
     let mut opts = Options {
@@ -76,6 +82,7 @@ fn main() -> ExitCode {
         backend: BackendKind::Flat,
         threads: HierarchyConfig::default().threads,
         overlay_compress: HierarchyConfig::default().overlay_compress,
+        deltas: 8,
     };
     let rest: Vec<String> = args.collect();
     let mut i = 0;
@@ -121,6 +128,14 @@ fn main() -> ExitCode {
                         return ExitCode::FAILURE;
                     }
                 }
+                i += 2;
+            }
+            "--deltas" => {
+                let Some(v) = value().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--deltas needs an update count");
+                    return ExitCode::FAILURE;
+                };
+                opts.deltas = v;
                 i += 2;
             }
             "--threads" => {
@@ -176,6 +191,15 @@ fn main() -> ExitCode {
         matched = true;
         let r = overload::run_with_spec(opts.seed, opts.queries.max(80), &opts.backend_spec());
         emit(&opts, "overload", overload::render(&r));
+    }
+
+    // The update storm builds its own substrates: the metro-medium
+    // refresh network and a small service grid (virtual-time
+    // calibration, like the overload twin).
+    if wants("update-storm") {
+        matched = true;
+        let r = live_update::run(opts.seed, opts.queries.max(80), opts.deltas.max(1));
+        emit(&opts, "update_storm", live_update::render(&r));
     }
 
     if [

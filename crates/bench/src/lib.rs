@@ -21,6 +21,7 @@ pub mod alloc;
 pub mod const_speed;
 pub mod fig10;
 pub mod fig9;
+pub mod live_update;
 pub mod overload;
 pub mod report;
 pub mod scenario;

@@ -78,7 +78,7 @@ struct SimOutcome {
     elapsed: u64,
 }
 
-fn sample_specs(net: &RoadNetwork, n: usize, seed: u64) -> Vec<QuerySpec> {
+pub(crate) fn sample_specs(net: &RoadNetwork, n: usize, seed: u64) -> Vec<QuerySpec> {
     let nodes = net.n_nodes() as u64;
     let mut x = seed ^ 0x0EE2_10AD;
     let mut lcg = move || {

@@ -42,6 +42,11 @@ pub enum WeightMode {
 }
 
 /// The precomputed boundary-node estimator.
+///
+/// `PartialEq` compares every table bit-for-bit — the live-update
+/// property tests use it to prove that an estimator reused across a
+/// traffic delta equals one rebuilt from scratch.
+#[derive(Debug, Clone, PartialEq)]
 pub struct BoundaryLb {
     grid: usize,
     mode: WeightMode,
@@ -198,6 +203,26 @@ impl BoundaryLb {
     /// Cells per axis.
     pub fn grid(&self) -> usize {
         self.grid
+    }
+
+    /// This estimator with its tables kept verbatim and only the
+    /// `v_max` divisor replaced.
+    ///
+    /// Sound exactly when the tables themselves are still valid:
+    /// [`WeightMode::Distance`] tables depend only on edge lengths, so
+    /// a speed-pattern delta leaves them exact and only the network's
+    /// (monotonically growing, because the pattern table is
+    /// append-only) maximum speed needs refreshing. The epoch layer
+    /// uses this to republish the estimator without re-running any
+    /// Dijkstras. Not valid for [`WeightMode::BestTime`] tables when an
+    /// edge's best-case speed changed — the epoch layer rebuilds in
+    /// that case.
+    pub fn with_v_max(&self, v_max: f64) -> BoundaryLb {
+        assert!(v_max > 0.0, "maximum speed must be positive");
+        BoundaryLb {
+            v_max,
+            ..self.clone()
+        }
     }
 
     /// The weight mode the tables were computed under.

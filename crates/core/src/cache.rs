@@ -192,6 +192,8 @@ pub struct TravelFnCache {
     shards: Vec<RwLock<KeyMap<Arc<Pwl>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    inserted: AtomicU64,
+    retired_entries: AtomicU64,
     /// Warm state of closed sessions, revived by [`Self::session`] so
     /// the one-shot query APIs (which open a session per call) keep
     /// their L1 and scratch pool warm across queries.
@@ -221,6 +223,39 @@ pub struct CacheCounters {
     pub hits: u64,
     /// Requests that had to build the full-period function first.
     pub misses: u64,
+    /// Entries actually inserted into the shared store (≤ `misses`:
+    /// racing builders both count a miss but only the first inserts,
+    /// and a disabled cache never inserts).
+    pub inserted: u64,
+    /// Entries flushed by [`TravelFnCache::retire_patterns`] when the
+    /// epoch layer proved their pattern id unreferenced by every live
+    /// network version. The reconciliation identity
+    /// `resident == inserted − retired` holds at every quiescent
+    /// point, across any number of epoch swaps.
+    pub retired: u64,
+}
+
+impl CacheCounters {
+    /// Entries the identity says must be resident right now.
+    pub fn expected_resident(&self) -> u64 {
+        self.inserted - self.retired
+    }
+}
+
+impl std::ops::Sub for CacheCounters {
+    type Output = CacheCounters;
+
+    /// Per-epoch counter delta: `end − start` of two snapshots of the
+    /// same monotone counters (the per-epoch reconciliation the epoch
+    /// tests pin). Saturating, so a misordered pair cannot panic.
+    fn sub(self, rhs: CacheCounters) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.saturating_sub(rhs.hits),
+            misses: self.misses.saturating_sub(rhs.misses),
+            inserted: self.inserted.saturating_sub(rhs.inserted),
+            retired: self.retired.saturating_sub(rhs.retired),
+        }
+    }
 }
 
 impl TravelFnCache {
@@ -233,6 +268,8 @@ impl TravelFnCache {
                 .collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            inserted: AtomicU64::new(0),
+            retired_entries: AtomicU64::new(0),
             retired: Mutex::new(Vec::new()),
         }
     }
@@ -260,7 +297,35 @@ impl TravelFnCache {
         CacheCounters {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            inserted: self.inserted.load(Ordering::Relaxed),
+            retired: self.retired_entries.load(Ordering::Relaxed),
         }
+    }
+
+    /// Flush every stored entry whose pattern id `retire` selects —
+    /// the epoch layer calls this with the set of pattern ids no live
+    /// network version references any more (the append-only pattern
+    /// table means entries can never be *stale*, only *unreachable*;
+    /// this reclaims their memory and keeps the resident-entry
+    /// identity `len == inserted − retired` exact across epochs).
+    /// Parked session L1s are purged too; live sessions may briefly
+    /// hold `Arc`s to retired functions, which is harmless — their
+    /// keys can never be requested again.
+    ///
+    /// Returns the number of shared-store entries flushed.
+    pub fn retire_patterns(&self, retire: impl Fn(PatternId) -> bool) -> u64 {
+        let mut flushed = 0u64;
+        for shard in &self.shards {
+            let mut map = write_lock(shard);
+            let before = map.len();
+            map.retain(|k, _| !retire(k.pattern));
+            flushed += (before - map.len()) as u64;
+        }
+        self.retired_entries.fetch_add(flushed, Ordering::Relaxed);
+        for state in lock_retired(&self.retired).iter_mut() {
+            state.l1.retain(|k, _| !retire(k.pattern));
+        }
+        flushed
     }
 
     /// Total entries across all shards (diagnostics / tests).
@@ -312,7 +377,10 @@ impl TravelFnCache {
                 // are identical by construction).
                 let built = Arc::new(full_period_fn(profile, distance)?);
                 let mut map = write_lock(shard);
-                let entry = map.entry(key).or_insert_with(|| Arc::clone(&built));
+                let entry = map.entry(key).or_insert_with(|| {
+                    self.inserted.fetch_add(1, Ordering::Relaxed);
+                    Arc::clone(&built)
+                });
                 Ok((Arc::clone(entry), false))
             }
         }
@@ -608,7 +676,15 @@ mod tests {
             .travel_fn(PatternId(1), DayCategory::WORKDAY, &profile, 3.0, &iv)
             .unwrap();
         assert!(hit1, "second request must hit");
-        assert_eq!(cache.counters(), CacheCounters { hits: 1, misses: 1 });
+        assert_eq!(
+            cache.counters(),
+            CacheCounters {
+                hits: 1,
+                misses: 1,
+                inserted: 1,
+                retired: 0
+            }
+        );
     }
 
     #[test]
@@ -650,12 +726,28 @@ mod tests {
         cache
             .travel_fn(PatternId(4), DayCategory::WORKDAY, &profile, 1.0, &iv)
             .unwrap();
-        assert_eq!(cache.counters(), CacheCounters { hits: 0, misses: 4 });
+        assert_eq!(
+            cache.counters(),
+            CacheCounters {
+                hits: 0,
+                misses: 4,
+                inserted: 4,
+                retired: 0
+            }
+        );
         assert_eq!(cache.len(), 4);
         cache
             .travel_fn(p, DayCategory::WORKDAY, &profile, 1.0, &iv)
             .unwrap();
-        assert_eq!(cache.counters(), CacheCounters { hits: 1, misses: 4 });
+        assert_eq!(
+            cache.counters(),
+            CacheCounters {
+                hits: 1,
+                misses: 4,
+                inserted: 4,
+                retired: 0
+            }
+        );
     }
 
     #[test]
@@ -674,7 +766,15 @@ mod tests {
                 assert!(approx_eq(f.eval(l), want.eval(l)));
             }
         }
-        assert_eq!(cache.counters(), CacheCounters { hits: 0, misses: 3 });
+        assert_eq!(
+            cache.counters(),
+            CacheCounters {
+                hits: 0,
+                misses: 3,
+                inserted: 0,
+                retired: 0
+            }
+        );
         assert!(cache.is_empty());
     }
 
@@ -747,11 +847,26 @@ mod tests {
                 assert!(approx_eq(a.eval(l), b.eval(l)));
             }
             assert_eq!(session.tallies(), (1, 1));
-            // not yet flushed
-            assert_eq!(cache.counters(), CacheCounters::default());
+            // hit/miss tallies not yet flushed (inserts are counted at
+            // insert time, not session close)
+            assert_eq!(
+                cache.counters(),
+                CacheCounters {
+                    inserted: 1,
+                    ..CacheCounters::default()
+                }
+            );
         }
         // flushed on drop
-        assert_eq!(cache.counters(), CacheCounters { hits: 1, misses: 1 });
+        assert_eq!(
+            cache.counters(),
+            CacheCounters {
+                hits: 1,
+                misses: 1,
+                inserted: 1,
+                retired: 0
+            }
+        );
         // a fresh session hits the shared store, not its (empty) L1
         {
             let mut session = cache.session();
@@ -760,7 +875,15 @@ mod tests {
                 .unwrap();
             assert!(hit);
         }
-        assert_eq!(cache.counters(), CacheCounters { hits: 2, misses: 1 });
+        assert_eq!(
+            cache.counters(),
+            CacheCounters {
+                hits: 2,
+                misses: 1,
+                inserted: 1,
+                retired: 0
+            }
+        );
     }
 
     #[test]
@@ -799,7 +922,46 @@ mod tests {
                 assert!(!hit);
             }
         }
-        assert_eq!(cache.counters(), CacheCounters { hits: 0, misses: 3 });
+        assert_eq!(
+            cache.counters(),
+            CacheCounters {
+                hits: 0,
+                misses: 3,
+                inserted: 0,
+                retired: 0
+            }
+        );
+    }
+
+    #[test]
+    fn retire_patterns_flushes_only_selected_ids() {
+        let cache = TravelFnCache::new();
+        let profile = rush_profile();
+        let iv = Interval::of(hm(7, 0), hm(8, 0));
+        for p in 0..4u16 {
+            cache
+                .travel_fn(PatternId(p), DayCategory::WORKDAY, &profile, 1.0, &iv)
+                .unwrap();
+        }
+        assert_eq!(cache.len(), 4);
+        let flushed = cache.retire_patterns(|p| p.0 >= 2);
+        assert_eq!(flushed, 2);
+        assert_eq!(cache.len(), 2);
+        let c = cache.counters();
+        assert_eq!(c.retired, 2);
+        assert_eq!(c.expected_resident(), cache.len() as u64);
+        // surviving ids still hit; retired ids rebuild (fresh insert)
+        let (_, hit) = cache
+            .travel_fn(PatternId(0), DayCategory::WORKDAY, &profile, 1.0, &iv)
+            .unwrap();
+        assert!(hit);
+        let (_, hit) = cache
+            .travel_fn(PatternId(3), DayCategory::WORKDAY, &profile, 1.0, &iv)
+            .unwrap();
+        assert!(!hit);
+        let c = cache.counters();
+        assert_eq!(c.inserted, 5);
+        assert_eq!(c.expected_resident(), cache.len() as u64);
     }
 
     #[test]

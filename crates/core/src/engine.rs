@@ -331,7 +331,7 @@ pub struct Engine<'a, S: NetworkSource> {
     source: &'a S,
     estimator: Box<dyn LowerBoundEstimator + 'a>,
     config: EngineConfig,
-    cache: TravelFnCache,
+    cache: std::sync::Arc<TravelFnCache>,
 }
 
 impl<'a, S: NetworkSource> Engine<'a, S> {
@@ -367,6 +367,32 @@ impl<'a, S: NetworkSource> Engine<'a, S> {
             config,
             cache,
         }
+    }
+
+    /// Build an engine that **shares** a travel-function cache and an
+    /// estimator with other engines — the per-epoch engine shape of
+    /// the live-update path ([`crate::epoch`]): every epoch gets its
+    /// own network version but all epochs share one cache (exact
+    /// across versions because pattern ids are append-only) and, when
+    /// the apply rules allow, one estimator.
+    pub fn with_shared(
+        source: &'a S,
+        estimator: std::sync::Arc<dyn LowerBoundEstimator>,
+        cache: std::sync::Arc<TravelFnCache>,
+        config: EngineConfig,
+    ) -> Self {
+        Engine {
+            source,
+            estimator: Box::new(estimator),
+            config,
+            cache,
+        }
+    }
+
+    /// The engine's travel-function cache, for callers that share it
+    /// across engines (the epoch layer).
+    pub fn shared_cache(&self) -> &std::sync::Arc<TravelFnCache> {
+        &self.cache
     }
 
     /// Name of the active estimator.
@@ -1321,12 +1347,12 @@ fn steal_into(queues: &[Mutex<VecDeque<usize>>], w: usize, steals: &AtomicU64) -
 }
 
 /// The travel-function cache matching a config's `use_travel_cache`.
-fn cache_for(config: &EngineConfig) -> TravelFnCache {
-    if config.use_travel_cache {
+fn cache_for(config: &EngineConfig) -> std::sync::Arc<TravelFnCache> {
+    std::sync::Arc::new(if config.use_travel_cache {
         TravelFnCache::new()
     } else {
         TravelFnCache::disabled()
-    }
+    })
 }
 
 /// Build the configured estimator for a network (boundary variants

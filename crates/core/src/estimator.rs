@@ -30,6 +30,19 @@ impl<T: LowerBoundEstimator + ?Sized> LowerBoundEstimator for &T {
     }
 }
 
+/// Shared estimators: the epoch layer hands the same estimator to many
+/// per-epoch engines behind an `Arc` (boundary tables are expensive and
+/// reusable across deltas that leave edge distances unchanged).
+impl<T: LowerBoundEstimator + ?Sized> LowerBoundEstimator for std::sync::Arc<T> {
+    fn travel_lower_bound(&self, from: NodeId, from_loc: Point, to: NodeId, to_loc: Point) -> f64 {
+        (**self).travel_lower_bound(from, from_loc, to, to_loc)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
 /// Which estimator an [`crate::EngineConfig`] selects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EstimatorKind {
@@ -50,7 +63,7 @@ pub enum EstimatorKind {
 }
 
 /// The naive estimator: `d_euc(n, e) / v_max` (§4.2 step 1).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NaiveLb {
     v_max: f64,
 }

@@ -75,6 +75,7 @@ mod query;
 pub mod arrival;
 pub mod backend;
 pub mod baseline;
+pub mod epoch;
 pub mod service;
 
 pub use arrival::{ArrivalAllFpAnswer, ArrivalPlanner, ArrivalQuerySpec, ArrivalSingleFpAnswer};
@@ -82,6 +83,7 @@ pub use backend::PathfindBackend;
 pub use boundary::{BoundaryLb, WeightMode};
 pub use cache::{CacheCounters, CacheSession, TravelFnCache};
 pub use engine::{build_estimator, Engine, EngineConfig, RouteComposeMemo};
+pub use epoch::{ApplyReport, Epoch, EpochId, EpochManager, EpochStats, LiveBackend, SweepReport};
 pub use estimator::{EstimatorKind, LowerBoundEstimator, MaxEstimator, NaiveLb, ZeroLb};
 pub use query::{
     AllFpAnswer, BatchStats, CancelToken, DegradedAnswer, DegradedReason, FastestPath, QueryBudget,
@@ -105,6 +107,14 @@ pub enum AllFpError {
     },
     /// The search was cancelled through a [`CancelToken`].
     Cancelled,
+    /// The query was pinned to a network epoch that has already been
+    /// retired (its last pin dropped before this query ran). Failing
+    /// is mandatory: answering from a different epoch would silently
+    /// violate the pin-at-admission consistency contract.
+    EpochRetired {
+        /// The unavailable epoch's id.
+        epoch: u64,
+    },
     /// A worker observed a panic (its own query's, or a teammate's
     /// that took the whole worker thread down) and converted it to an
     /// error instead of propagating it.
@@ -131,6 +141,9 @@ impl std::fmt::Display for AllFpError {
                 write!(f, "expansion budget exhausted after {expansions} paths")
             }
             AllFpError::Cancelled => write!(f, "query cancelled"),
+            AllFpError::EpochRetired { epoch } => {
+                write!(f, "pinned network epoch {epoch} already retired")
+            }
             AllFpError::Panicked(msg) => write!(f, "query panicked: {msg}"),
             AllFpError::Internal(what) => write!(f, "internal invariant violated: {what}"),
             AllFpError::Network(e) => write!(f, "network error: {e}"),

@@ -25,6 +25,13 @@ pub struct QuerySpec {
     ///
     /// [`EngineConfig::max_expansions`]: crate::EngineConfig::max_expansions
     pub budget: Option<QueryBudget>,
+    /// The network epoch this query is pinned to (live-update
+    /// deployments only — see [`crate::epoch`]). `None` means "the
+    /// current epoch"; the [`crate::service::QueryService`] stamps
+    /// the current epoch id here at admission, so an answer computed
+    /// later (after more deltas were published) is still computed
+    /// against exactly the network version the caller submitted under.
+    pub epoch: Option<crate::epoch::EpochId>,
 }
 
 impl QuerySpec {
@@ -36,12 +43,19 @@ impl QuerySpec {
             interval,
             category,
             budget: None,
+            epoch: None,
         }
     }
 
     /// This query with a per-query budget attached.
     pub fn with_budget(mut self, budget: QueryBudget) -> Self {
         self.budget = Some(budget);
+        self
+    }
+
+    /// This query pinned to a specific network epoch.
+    pub fn with_epoch(mut self, epoch: crate::epoch::EpochId) -> Self {
+        self.epoch = Some(epoch);
         self
     }
 }

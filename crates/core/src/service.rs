@@ -54,6 +54,7 @@ use std::time::Instant;
 use crate::backend::PathfindBackend;
 use crate::cache::CacheSession;
 use crate::engine::Engine;
+use crate::epoch::{Epoch, EpochManager};
 use crate::query::{
     CancelToken, DegradedAnswer, DegradedReason, QueryBudget, QueryOutcome, QuerySpec, QueryStats,
 };
@@ -547,17 +548,40 @@ pub struct ServiceStats {
     /// [`Priority::Batch`] = 1. Records answered and degraded
     /// completions only.
     pub latency: [LatencyHistogram; 2],
+    /// Network epochs ever published by the attached
+    /// [`EpochManager`] (0 when the service runs without live
+    /// updates; includes the seed epoch).
+    pub epochs_published: u64,
+    /// Traffic deltas applied by the attached manager.
+    pub updates_applied: u64,
+    /// Superseded epochs retired (last pin dropped and swept).
+    pub epochs_retired: u64,
+    /// Superseded epochs still pinned at the snapshot — how far
+    /// retirement lags behind publication.
+    pub epoch_retire_lag: u64,
+    /// Hierarchy shortcut arcs recomposed across all live refreshes.
+    pub shortcuts_rebuilt: u64,
 }
 
 impl ServiceStats {
     /// The exact accounting identities every snapshot satisfies:
     /// `submitted = admitted + rejected`,
-    /// `admitted = answered + degraded + failed + cancelled`, and
-    /// `shed ⊆ cancelled`.
+    /// `admitted = answered + degraded + failed + cancelled`,
+    /// `shed ⊆ cancelled`, and — when an [`EpochManager`] is attached —
+    /// `epochs_published = updates_applied + 1` with
+    /// `epochs_retired + epoch_retire_lag = updates_applied` (every
+    /// superseded epoch is either retired or still pinned).
     pub fn reconciles(&self) -> bool {
+        let epochs_ok = if self.epochs_published == 0 {
+            self.updates_applied == 0 && self.epochs_retired == 0 && self.epoch_retire_lag == 0
+        } else {
+            self.epochs_published == self.updates_applied + 1
+                && self.epochs_retired + self.epoch_retire_lag == self.updates_applied
+        };
         self.submitted == self.admitted + self.rejected
             && self.admitted == self.answered + self.degraded + self.failed + self.cancelled
             && self.shed <= self.cancelled
+            && epochs_ok
     }
 }
 
@@ -623,6 +647,15 @@ struct Ticket {
     deadline: Option<u64>,
     cost: u64,
     submitted_at: u64,
+    /// Pin on the epoch this submission was admitted under: holding
+    /// the `Arc` keeps the epoch (network, estimator) alive until this
+    /// ticket reaches its terminal outcome, however long it queues.
+    /// `None` when the service runs without live updates.
+    /// Strong pin on the admission-time epoch: held (never read — the
+    /// engine re-resolves through the manager by id) purely so the
+    /// epoch cannot retire while this query is in flight. Dropped with
+    /// the ticket at its terminal outcome.
+    _pin: Option<std::sync::Arc<Epoch>>,
 }
 
 /// A popped ticket plus its dispatch decision.
@@ -686,6 +719,9 @@ impl ServiceState {
 pub struct QueryService<'e, B: PathfindBackend + ?Sized> {
     primary: &'e B,
     fallback: Option<&'e Engine<'e, roadnet::RoadNetwork>>,
+    /// Live-update epoch manager; when attached, every admission
+    /// stamps the submission with the current epoch and pins it.
+    epochs: Option<&'e EpochManager>,
     clock: &'e dyn ServiceClock,
     config: ServiceConfig,
     /// Service-wide cancellation, fired by [`DrainMode::Cancel`] and
@@ -706,6 +742,7 @@ impl<'e, B: PathfindBackend + ?Sized> QueryService<'e, B> {
         QueryService {
             primary,
             fallback: None,
+            epochs: None,
             clock,
             config,
             cancel: CancelToken::new(),
@@ -728,6 +765,16 @@ impl<'e, B: PathfindBackend + ?Sized> QueryService<'e, B> {
     /// queries.
     pub fn with_fallback(mut self, fallback: &'e Engine<'e, roadnet::RoadNetwork>) -> Self {
         self.fallback = Some(fallback);
+        self
+    }
+
+    /// Attach a live-update [`EpochManager`]: every admitted
+    /// submission is stamped with the epoch current *at admission* and
+    /// holds a pin on it until its terminal outcome, so concurrent
+    /// [`EpochManager::apply_delta`] publishes can never change the
+    /// network version a queued query will be answered against.
+    pub fn with_epochs(mut self, epochs: &'e EpochManager) -> Self {
+        self.epochs = Some(epochs);
         self
     }
 
@@ -788,13 +835,27 @@ impl<'e, B: PathfindBackend + ?Sized> QueryService<'e, B> {
         st.stats.admitted += 1;
         let cost = sub.cost_hint.unwrap_or(self.config.default_cost).max(1);
         st.queued_cost += cost;
+        let mut spec = sub.spec;
+        // Pin-at-admission: resolve the epoch now and hold it in the
+        // ticket. An already-stamped spec keeps its stamp (its pin may
+        // fail to resolve if that epoch retired — the query will then
+        // fail with `EpochRetired` rather than silently run on a
+        // different network version).
+        let pin = self.epochs.and_then(|mgr| {
+            let pin = mgr.pin(spec.epoch);
+            if let Some(p) = &pin {
+                spec.epoch = Some(p.id());
+            }
+            pin
+        });
         st.queues[sub.class.index()].push_back(Ticket {
             id,
-            spec: sub.spec,
+            spec,
             class: sub.class,
             deadline: sub.deadline,
             cost,
             submitted_at: now,
+            _pin: pin,
         });
         let depth = st.depth();
         st.stats.queue_depth_high_water = st.stats.queue_depth_high_water.max(depth);
@@ -1045,12 +1106,23 @@ impl<'e, B: PathfindBackend + ?Sized> QueryService<'e, B> {
         self.work.notify_all();
     }
 
-    /// Snapshot the roll-up (counters, breaker log, histograms).
+    /// Snapshot the roll-up (counters, breaker log, histograms,
+    /// live-update counters when an [`EpochManager`] is attached).
     pub fn stats(&self) -> ServiceStats {
+        // Read the epoch counters before taking the service lock (the
+        // manager sweep takes its own lock; never nest the two).
+        let epochs = self.epochs.map(|mgr| mgr.stats());
         let st = lock(&self.state);
         let mut stats = st.stats.clone();
         stats.breaker_state = st.breaker.state;
         stats.breaker_transitions = st.breaker.transitions.clone();
+        if let Some(e) = epochs {
+            stats.epochs_published = e.epochs_published;
+            stats.updates_applied = e.updates_applied;
+            stats.epochs_retired = e.epochs_retired;
+            stats.epoch_retire_lag = e.epoch_retire_lag;
+            stats.shortcuts_rebuilt = e.shortcuts_rebuilt;
+        }
         stats
     }
 

@@ -1,0 +1,517 @@
+//! The update-storm chaos harness: the `QueryService` serving through
+//! an epoch-pinned `LiveBackend` while a seeded **delta stream**
+//! repoints speed patterns mid-flight, composed with the PR 5 2×
+//! overload replay and a PR 3-style fault window (per-query budget
+//! storms that trip the robust degradation path), all driven in
+//! virtual time so every run replays bit-identically.
+//!
+//! The scenario (`run_storm_sim`): a grid network published through an
+//! `EpochManager`; a seeded open-loop arrival schedule offers ~2× the
+//! service capacity; eight seeded `TrafficDelta`s land at fixed
+//! virtual times, each atomically swapping in a new epoch while
+//! admitted queries stay pinned to the epoch they were stamped with;
+//! over the middle fifth of the window every submission carries a
+//! tiny expansion budget, so the degradation machinery fires under
+//! the storm exactly as storage faults do in the PR 5 harness.
+//!
+//! Invariants asserted (the ISSUE's acceptance criteria):
+//!
+//! * every **answered** query is bit-identical to a from-scratch
+//!   engine built over its pinned epoch's network — no torn reads,
+//!   no answer computed from a mix of epochs;
+//! * no epoch is freed while referenced: after every delta, every
+//!   in-flight ticket's stamped epoch still resolves through the
+//!   manager;
+//! * superseded epochs *do* retire once their last pin drains
+//!   (`epochs_retired == updates_applied`, `epoch_retire_lag == 0`
+//!   after the drain);
+//! * `ServiceStats` reconciles exactly, including the live-update
+//!   identities (`epochs_published == updates_applied + 1`);
+//! * the shared travel-function cache's counters reconcile
+//!   (`resident == inserted − retired` never goes negative);
+//! * the whole run — outcomes, stats, answers, apply reports —
+//!   replays bit-exact from the seed.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use allfp::service::{
+    ArrivalSchedule, DrainMode, ManualClock, Priority, QueryService, ServiceClock, ServiceConfig,
+    ServiceOutcome, ServiceStats, Submission,
+};
+use allfp::{
+    AllFpAnswer, CacheCounters, DegradedReason, Engine, EngineConfig, EpochId, EpochManager,
+    LiveBackend, QueryBudget, QuerySpec,
+};
+use pwl::time::hm;
+use pwl::Interval;
+use roadnet::generators::grid;
+use roadnet::{NodeId, RoadNetwork};
+use traffic::{DayCategory, RoadClass};
+
+/// Deterministic 64-bit LCG (same constants as `MMIX`).
+fn lcg(x: &mut u64) -> u64 {
+    *x = x
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *x
+}
+
+fn sample_specs(net: &RoadNetwork, n: usize, seed: u64) -> Vec<QuerySpec> {
+    let nodes = net.n_nodes() as u64;
+    let mut x = seed ^ 0x0EE2_10AD;
+    (0..n)
+        .map(|_| {
+            let s = NodeId((lcg(&mut x) % nodes) as u32);
+            let e = loop {
+                let c = NodeId((lcg(&mut x) % nodes) as u32);
+                if c != s {
+                    break c;
+                }
+            };
+            let lo = hm(6, 30) + (lcg(&mut x) % 90) as f64;
+            QuerySpec::new(s, e, Interval::of(lo, lo + 20.0), DayCategory::WORKDAY)
+        })
+        .collect()
+}
+
+/// A bit-exact signature of an answer: partition bounds (as raw f64
+/// bits) plus the node sequence of each sub-interval's fastest path.
+type AnswerSig = Vec<(u64, u64, Vec<usize>)>;
+
+fn answer_sig(a: &AllFpAnswer) -> AnswerSig {
+    a.partition
+        .iter()
+        .map(|(iv, pi)| {
+            (
+                iv.lo().to_bits(),
+                iv.hi().to_bits(),
+                a.paths[*pi].nodes.iter().map(|n| n.index()).collect(),
+            )
+        })
+        .collect()
+}
+
+/// Everything one storm run produced, in a `PartialEq` shape so two
+/// runs can be compared wholesale.
+#[derive(Debug, PartialEq)]
+struct StormResult {
+    /// `(ticket, kind[:reason])` in completion order.
+    terminal: Vec<(u64, String)>,
+    /// `(submission index, rejection reason)` in submission order.
+    rejected: Vec<(usize, String)>,
+    /// `(ticket, spec index, pinned epoch, bit-exact signature)` for
+    /// every `Answered` outcome.
+    answered: Vec<(u64, usize, u64, AnswerSig)>,
+    /// One debug line per applied delta (epoch ids, delta report,
+    /// sweep counters) — pins the apply path into the replay check.
+    apply_log: Vec<String>,
+    stats: ServiceStats,
+    cache: CacheCounters,
+    executed_units: u64,
+    elapsed: u64,
+    n_submissions: usize,
+    n_deltas: usize,
+    queue_capacity: usize,
+}
+
+const STORM_SUBMISSIONS: usize = 120;
+const STORM_DELTAS: usize = 8;
+
+/// One full update-storm scenario in virtual time. Pure function of
+/// `seed`. Also checks the mid-run pin-safety invariant (every
+/// in-flight ticket's epoch survives every swap) inline, since it
+/// cannot be reconstructed from the final result.
+fn run_storm_sim(seed: u64) -> StormResult {
+    let net = grid(8, 8, 0.3, RoadClass::LocalBoston).unwrap();
+    let specs = sample_specs(&net, 12, seed);
+
+    // Calibrate per-spec costs (work units = expansions) on a plain
+    // engine over the seed epoch; identical data ⇒ identical costs
+    // through the live backend.
+    let costs: Vec<u64> = {
+        let calib = Engine::new(&net, EngineConfig::default());
+        specs
+            .iter()
+            .map(|q| {
+                calib
+                    .all_fastest_paths(q)
+                    .unwrap()
+                    .stats
+                    .expanded_paths
+                    .max(1) as u64
+            })
+            .collect()
+    };
+    let mean_cost = (costs.iter().sum::<u64>() / costs.len() as u64).max(1);
+
+    let mgr = EpochManager::new(net, EngineConfig::default()).unwrap();
+    let live = LiveBackend::new(&mgr);
+    let clock = ManualClock::new();
+    let queue_capacity = 12;
+    let config = ServiceConfig {
+        queue_capacity,
+        shed_expired: true,
+        default_cost: mean_cost,
+        initial_units_per_cost: 1.0,
+        ..ServiceConfig::default()
+    };
+    let svc = QueryService::new(&live, &clock, config).with_epochs(&mgr);
+
+    // 2× overload, exactly as the PR 5 harness runs it.
+    let schedule = ArrivalSchedule::open_loop(
+        seed ^ 0xA11F_0AD5,
+        STORM_SUBMISSIONS,
+        (mean_cost / 2).max(1),
+    );
+    let horizon = *schedule.times().last().unwrap();
+    // Budget-fault storm over the middle fifth of the arrival window.
+    let storm = (horizon * 2 / 5, horizon * 3 / 5);
+    // Delta stream: eight updates spread evenly across the window.
+    let delta_times: Vec<u64> = (1..=STORM_DELTAS as u64)
+        .map(|k| k * horizon / (STORM_DELTAS as u64 + 1))
+        .collect();
+
+    // Retain each epoch's network for the from-scratch oracle. (An
+    // `Arc<RoadNetwork>` clone does *not* pin the epoch itself — the
+    // retire machinery still runs.)
+    let mut epoch_nets: HashMap<u64, Arc<RoadNetwork>> = HashMap::new();
+    epoch_nets.insert(mgr.current_id().0, Arc::clone(mgr.current().network()));
+
+    let mut apply_log = Vec::new();
+    let mut ticket_spec: HashMap<u64, (usize, u64)> = HashMap::new();
+    let mut in_flight: HashMap<u64, u64> = HashMap::new();
+    let mut outcomes: Vec<(u64, ServiceOutcome)> = Vec::new();
+    let mut rejected = Vec::new();
+    let mut executed_units = 0u64;
+    let mut next = 0usize;
+    let mut next_delta = 0usize;
+
+    let drain = |acc: &mut Vec<(u64, ServiceOutcome)>, in_flight: &mut HashMap<u64, u64>| {
+        for (id, out) in svc.take_outcomes() {
+            in_flight.remove(&id);
+            acc.push((id, out));
+        }
+    };
+
+    loop {
+        let now = clock.now();
+        if next_delta < delta_times.len() && delta_times[next_delta] <= now {
+            let delta = mgr
+                .current()
+                .network()
+                .seeded_delta(seed ^ (next_delta as u64), 6, next_delta as u64 + 1)
+                .unwrap();
+            let rep = mgr.apply_delta(&delta).unwrap();
+            epoch_nets.insert(rep.epoch.0, Arc::clone(mgr.current().network()));
+            apply_log.push(format!("{rep:?}"));
+            next_delta += 1;
+            // Pin safety: the swap must not have freed any epoch a
+            // queued or running ticket is still pinned to.
+            drain(&mut outcomes, &mut in_flight);
+            for (&ticket, &ep) in &in_flight {
+                assert!(
+                    mgr.pin(Some(EpochId(ep))).is_some(),
+                    "epoch {ep} freed while ticket {ticket} was still pinned to it"
+                );
+            }
+            continue;
+        }
+        if next < schedule.len() && schedule.times()[next] <= now {
+            let idx = next % specs.len();
+            let mut spec = specs[idx].clone();
+            if (storm.0..storm.1).contains(&now) {
+                // Fault window: a near-zero budget forces the robust
+                // degradation path, like the PR 5 storage storm does.
+                spec = spec.with_budget(QueryBudget::unlimited().with_max_expansions(3));
+            }
+            let sub = Submission::new(spec)
+                .with_class(if next % 4 == 3 {
+                    Priority::Batch
+                } else {
+                    Priority::Interactive
+                })
+                .with_deadline(now + 6 * mean_cost)
+                .with_cost_hint(costs[idx]);
+            let stamped = mgr.current_id().0;
+            match svc.submit(sub) {
+                Ok(id) => {
+                    ticket_spec.insert(id, (idx, stamped));
+                    in_flight.insert(id, stamped);
+                }
+                Err(o) => rejected.push((next, format!("{:?}", o.reason))),
+            }
+            next += 1;
+            continue;
+        }
+        match svc.step() {
+            Some(rep) => {
+                executed_units += rep.cost;
+                clock.advance(rep.cost);
+                drain(&mut outcomes, &mut in_flight);
+            }
+            None => {
+                if next >= schedule.len() && next_delta >= delta_times.len() {
+                    break;
+                }
+                // Idle: jump to the next event (arrival or delta).
+                let mut jump = u64::MAX;
+                if next < schedule.len() {
+                    jump = jump.min(schedule.times()[next]);
+                }
+                if next_delta < delta_times.len() {
+                    jump = jump.min(delta_times[next_delta]);
+                }
+                clock.set(jump);
+            }
+        }
+    }
+    svc.begin_drain(DrainMode::Finish);
+    while let Some(rep) = svc.step() {
+        executed_units += rep.cost;
+        clock.advance(rep.cost);
+    }
+    drain(&mut outcomes, &mut in_flight);
+    assert!(in_flight.is_empty(), "tickets without terminal outcomes");
+
+    let stats = svc.stats();
+    let mut terminal = Vec::with_capacity(outcomes.len());
+    let mut answered = Vec::new();
+    for (id, out) in &outcomes {
+        let label = match out {
+            ServiceOutcome::Degraded(d) => format!("degraded:{:?}", d.reason),
+            ServiceOutcome::Cancelled(r) => format!("cancelled:{r:?}"),
+            other => other.kind().to_string(),
+        };
+        terminal.push((*id, label));
+        if let ServiceOutcome::Answered(a) = out {
+            let (idx, epoch) = ticket_spec[id];
+            answered.push((*id, idx, epoch, answer_sig(a)));
+        }
+    }
+
+    // From-scratch oracle: every answered ticket, re-answered by a
+    // fresh engine (fresh cache, fresh estimator) built over exactly
+    // the network its pinned epoch published. Bit-identical or bust.
+    for (id, idx, epoch, sig) in &answered {
+        let net = &epoch_nets[epoch];
+        let fresh = Engine::new(net.as_ref(), EngineConfig::default());
+        let want = answer_sig(&fresh.all_fastest_paths(&specs[*idx]).unwrap());
+        assert_eq!(
+            sig, &want,
+            "ticket {id} diverged from a from-scratch build of its pinned epoch {epoch}"
+        );
+    }
+
+    StormResult {
+        terminal,
+        rejected,
+        answered,
+        apply_log,
+        stats,
+        cache: mgr.cache().counters(),
+        executed_units,
+        elapsed: clock.now(),
+        n_submissions: STORM_SUBMISSIONS,
+        n_deltas: STORM_DELTAS,
+        queue_capacity,
+    }
+}
+
+/// The main acceptance-criteria test: one seeded update-storm
+/// scenario, all invariants, plus full-run determinism (the sim runs
+/// twice).
+#[test]
+fn update_storm_invariants_hold_and_replay_exactly() {
+    let run = run_storm_sim(42);
+
+    // Every submission got exactly one terminal outcome.
+    assert_eq!(
+        run.rejected.len() + run.terminal.len(),
+        run.n_submissions,
+        "submissions leaked or double-resolved"
+    );
+    let mut ids: Vec<u64> = run.terminal.iter().map(|(id, _)| *id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), run.terminal.len(), "a ticket resolved twice");
+
+    // Counters reconcile exactly — including the live-update
+    // identities now part of `ServiceStats::reconciles`.
+    let s = &run.stats;
+    assert!(s.reconciles(), "stats do not reconcile: {s:?}");
+    assert_eq!(s.failed, 0, "no outcome may be a hard failure: {s:?}");
+    assert_eq!(s.admitted, s.answered + s.degraded + s.cancelled);
+    assert_eq!(s.submitted, s.admitted + s.rejected);
+    assert_eq!(s.submitted, run.n_submissions as u64);
+
+    // The delta stream actually ran, every update published an epoch,
+    // and — after the drain dropped the last pins — every superseded
+    // epoch was retired. Nothing lingers.
+    assert_eq!(s.updates_applied, run.n_deltas as u64);
+    assert_eq!(s.epochs_published, run.n_deltas as u64 + 1);
+    assert_eq!(s.epochs_retired, run.n_deltas as u64, "{s:?}");
+    assert_eq!(s.epoch_retire_lag, 0, "epochs still pinned after drain");
+
+    // The shared cache's books balance: what was inserted and not yet
+    // retired is exactly what is resident (never negative).
+    assert_eq!(
+        run.cache.inserted - run.cache.retired,
+        run.cache.expected_resident(),
+        "cache counters do not reconcile: {:?}",
+        run.cache
+    );
+    assert!(run.cache.inserted >= run.cache.retired);
+
+    // Overload bit (typed rejections, deadline sheds) and the fault
+    // window bit (budget-tripped degradations) both fired.
+    assert!(
+        s.queue_depth_high_water <= run.queue_capacity,
+        "queue depth {} exceeded bound {}",
+        s.queue_depth_high_water,
+        run.queue_capacity
+    );
+    assert!(s.rejected > 0, "2× overload never rejected anything");
+    assert!(s.shed > 0, "no queued entry ever exceeded its deadline");
+    assert!(
+        run.terminal
+            .iter()
+            .any(|(_, l)| l == &format!("degraded:{:?}", DegradedReason::ExpansionsExhausted)),
+        "the budget-fault storm never degraded a query"
+    );
+
+    // Queries were answered on both sides of at least one swap: some
+    // tickets pinned to the seed epoch, some to later ones.
+    assert!(!run.answered.is_empty());
+    let pinned: std::collections::BTreeSet<u64> =
+        run.answered.iter().map(|(_, _, e, _)| *e).collect();
+    assert!(
+        pinned.len() > 1,
+        "every answer was pinned to a single epoch — the storm never interleaved: {pinned:?}"
+    );
+
+    // Goodput under the storm: useful work for at least half of
+    // virtual time (the ISSUE's ≥ 0.5 gate).
+    let goodput = run.executed_units as f64 / run.elapsed as f64;
+    assert!(
+        (0.5..=1.0).contains(&goodput),
+        "goodput ratio {goodput} out of range (executed {} over {})",
+        run.executed_units,
+        run.elapsed
+    );
+
+    // Full-run determinism: same seed ⇒ same outcomes, same stats,
+    // same answers, same apply reports — byte for byte.
+    let replay = run_storm_sim(42);
+    assert_eq!(run, replay, "update storm did not replay identically");
+
+    // And a different seed actually changes the run.
+    let other = run_storm_sim(43);
+    assert_ne!(
+        run.terminal, other.terminal,
+        "seed does not influence the scenario"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Focused epoch-pinning tests (virtual time, step driver)
+// ---------------------------------------------------------------------------
+
+/// The admission race, service-level: a query admitted (and stamped)
+/// under epoch N whose execution happens only *after* a delta swaps in
+/// epoch N+1 must answer from N — bit-identical to a flat engine over
+/// N's network, observing zero bytes of N+1.
+#[test]
+fn query_admitted_before_swap_answers_from_its_pinned_epoch() {
+    let net = grid(6, 6, 0.3, RoadClass::LocalBoston).unwrap();
+    let mgr = EpochManager::new(net, EngineConfig::default()).unwrap();
+    let live = LiveBackend::new(&mgr);
+    let clock = ManualClock::new();
+    let svc = QueryService::new(&live, &clock, ServiceConfig::default()).with_epochs(&mgr);
+
+    let spec = QuerySpec::new(
+        NodeId(0),
+        NodeId(35),
+        Interval::of(hm(7, 0), hm(8, 0)),
+        DayCategory::WORKDAY,
+    );
+    let old_net = Arc::clone(mgr.current().network());
+    let want = answer_sig(
+        &Engine::new(old_net.as_ref(), EngineConfig::default())
+            .all_fastest_paths(&spec)
+            .unwrap(),
+    );
+
+    // Admit (stamps epoch 0, pins it), then swap in epoch 1 *before*
+    // the service executes anything.
+    let ticket = svc.submit(Submission::new(spec.clone())).unwrap();
+    let delta = old_net.seeded_delta(7, 20, 1).unwrap();
+    mgr.apply_delta(&delta).unwrap();
+    assert_eq!(mgr.current_id().0, 1);
+    // The swapped-in epoch publishes a *different* network object; the
+    // pinned query must not touch it.
+    assert!(!Arc::ptr_eq(mgr.current().network(), &old_net));
+
+    while svc.step().is_some() {}
+    let outcomes = svc.take_outcomes();
+    let (_, out) = outcomes.iter().find(|(id, _)| *id == ticket).unwrap();
+    match out {
+        ServiceOutcome::Answered(a) => assert_eq!(
+            answer_sig(a),
+            want,
+            "pinned query leaked bytes from the post-swap epoch"
+        ),
+        other => panic!("expected an answer, got {other:?}"),
+    }
+
+    // The new epoch answers for itself — and (with a 20-edge delta on
+    // a 6×6 grid) differently, which is what makes the check above
+    // meaningful rather than vacuous.
+    let new_ans = answer_sig(
+        &Engine::new(mgr.current().network().as_ref(), EngineConfig::default())
+            .all_fastest_paths(&spec)
+            .unwrap(),
+    );
+    assert_ne!(new_ans, want, "delta did not perturb the probe query");
+}
+
+/// A submission pre-stamped to an epoch that has since retired must
+/// fail with the typed `EpochRetired` error — never silently answer
+/// from a different epoch.
+#[test]
+fn stale_pre_stamped_submission_fails_typed() {
+    let net = grid(5, 5, 0.3, RoadClass::LocalOutside).unwrap();
+    let mgr = EpochManager::new(net, EngineConfig::default()).unwrap();
+    let live = LiveBackend::new(&mgr);
+    let clock = ManualClock::new();
+    let svc = QueryService::new(&live, &clock, ServiceConfig::default()).with_epochs(&mgr);
+
+    let stale = mgr.current_id();
+    let delta = mgr.current().network().seeded_delta(3, 4, 1).unwrap();
+    mgr.apply_delta(&delta).unwrap(); // epoch 0 now unpinned → retired
+
+    let spec = QuerySpec::new(
+        NodeId(0),
+        NodeId(24),
+        Interval::of(hm(7, 0), hm(7, 30)),
+        DayCategory::WORKDAY,
+    )
+    .with_epoch(stale);
+    let ticket = svc.submit(Submission::new(spec)).unwrap();
+    while svc.step().is_some() {}
+
+    let outcomes = svc.take_outcomes();
+    let (_, out) = outcomes.iter().find(|(id, _)| *id == ticket).unwrap();
+    match out {
+        ServiceOutcome::Failed(e) => {
+            assert!(
+                e.to_string().contains("already retired"),
+                "wrong failure: {e}"
+            );
+        }
+        other => panic!("stale pin must fail typed, got {other:?}"),
+    }
+    let s = svc.stats();
+    assert!(s.reconciles(), "{s:?}");
+    assert_eq!(s.failed, 1);
+}

@@ -66,7 +66,9 @@ use roadnet::overlay::{BandTable, HierarchySnapshot, OverlaySnapshot, SnapshotAr
 use roadnet::{NetworkSource, NodeId};
 use traffic::DayCategory;
 
-use crate::overlay::{build_overlay, finish_overlay, make_arc, Overlay, OverlayArc, BANDS};
+use crate::overlay::{
+    build_overlay, finish_overlay, make_arc, reuse_arc, Overlay, OverlayArc, BANDS,
+};
 use crate::pool::WorkerPool;
 
 /// Preprocessing configuration.
@@ -98,6 +100,18 @@ pub struct HierarchyConfig {
     /// `0.25` already sends query probes into minutes-long crawls
     /// that `0.1` answers at a 67x expansion saving).
     pub overlay_compress: Option<f64>,
+    /// Build a **metric-independent** ("live") topology: witness
+    /// pruning and parallel-arc domination are disabled, so every
+    /// candidate shortcut of every contraction is inserted and no arc
+    /// is disabled by metric comparisons. The structure then stays
+    /// exact for *any* speed-pattern assignment on this topology,
+    /// which is what [`HierarchyEngine::refreshed`] relies on to swap
+    /// travel functions under a traffic delta without re-running
+    /// witness proofs. Implies exact overlay storage
+    /// (`overlay_compress` is ignored): an incremental refresh
+    /// re-composes dirty shortcuts from their vias' *stored*
+    /// functions, which must be exact.
+    pub live_topology: bool,
 }
 
 impl Default for HierarchyConfig {
@@ -108,6 +122,7 @@ impl Default for HierarchyConfig {
             max_expansions: 2_000_000,
             threads: 1,
             overlay_compress: Some(0.1),
+            live_topology: false,
         }
     }
 }
@@ -151,6 +166,39 @@ pub struct BuildReport {
     pub compress_eps: Option<f64>,
 }
 
+/// What an incremental refresh ([`HierarchyEngine::refreshed`])
+/// rebuilt versus reused — the scoped-invalidation numbers the live
+/// benchmark gates on.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RefreshReport {
+    /// Wall-clock time of the whole refresh pass (all categories).
+    pub refresh_wall: Duration,
+    /// Base (non-shortcut) arcs across all refreshed overlays.
+    pub base_total: usize,
+    /// Base arcs whose travel function was rebuilt from the new
+    /// network (their edge's pattern changed).
+    pub base_rebuilt: usize,
+    /// Shortcut arcs across all refreshed overlays.
+    pub shortcuts_total: usize,
+    /// Shortcut arcs re-composed because their composition cone
+    /// touches a changed edge; the rest reuse stored functions
+    /// verbatim.
+    pub shortcuts_rebuilt: usize,
+}
+
+impl RefreshReport {
+    /// Fraction of shortcut arcs the refresh had to re-compose —
+    /// the scoped-invalidation metric (`0.0` when there are no
+    /// shortcuts).
+    pub fn invalidation_fraction(&self) -> f64 {
+        if self.shortcuts_total == 0 {
+            0.0
+        } else {
+            self.shortcuts_rebuilt as f64 / self.shortcuts_total as f64
+        }
+    }
+}
+
 /// A preprocessing-based [`PathfindBackend`]: answers singleFP/allFP
 /// bit-identically to the flat [`Engine`] it embeds, via an up–down
 /// search over the contracted overlay. See the crate docs.
@@ -176,6 +224,11 @@ impl<'a, S: NetworkSource> HierarchyEngine<'a, S> {
     pub fn with_flat(flat: Engine<'a, S>, config: HierarchyConfig) -> Result<Self> {
         let t0 = Instant::now();
         let pool = WorkerPool::new(config.threads);
+        let compress = if config.live_topology {
+            None
+        } else {
+            config.overlay_compress
+        };
         let mut overlays = Vec::with_capacity(config.categories.len());
         for &cat in &config.categories {
             overlays.push(build_overlay(
@@ -183,7 +236,8 @@ impl<'a, S: NetworkSource> HierarchyEngine<'a, S> {
                 cat,
                 config.witness_settle_cap,
                 &pool,
-                config.overlay_compress,
+                compress,
+                config.live_topology,
             )?);
         }
         let mut engine = HierarchyEngine {
@@ -582,6 +636,186 @@ impl<'a, S: NetworkSource> HierarchyEngine<'a, S> {
         };
         engine.report = engine.tally_report(t0.elapsed(), pool.threads());
         Ok(engine)
+    }
+
+    /// Incrementally refresh this hierarchy for a traffic delta:
+    /// rebuild exactly the arcs whose **composition cone** touches a
+    /// changed edge, reuse every other arc's stored function verbatim
+    /// (`Arc` clone — zero bytes recomputed), and return a new engine
+    /// over the delta-applied network plus a [`RefreshReport`] of what
+    /// was rebuilt.
+    ///
+    /// `flat` must be an engine over the **delta-applied** network —
+    /// same topology (node ids, edge order) as this hierarchy's, with
+    /// only speed patterns repointed — and `changed` the delta's
+    /// `(from, to)` endpoint pairs
+    /// ([`roadnet::DeltaReport::changed`]).
+    ///
+    /// Soundness: a base arc's function depends only on its own edge's
+    /// pattern, and a shortcut's only on its two via arcs, so marking
+    /// changed base arcs dirty and propagating `dirty[i] = dirty[a] ||
+    /// dirty[b]` in one index-order pass (via indices are strictly
+    /// smaller — the storage is append-only) covers every arc whose
+    /// function can differ. Clean arcs re-composed from scratch would
+    /// reproduce the identical bits, so reusing them keeps the result
+    /// equal to a full [`HierarchyEngine::from_snapshot`] restore over
+    /// the new network — pinned bit-for-bit by the refresh suite.
+    ///
+    /// Requires exact overlay storage (the [`HierarchyConfig::
+    /// live_topology`] default): re-composition reads the vias' stored
+    /// functions, and under an `ε`-band those are approximations — the
+    /// rebuilt arcs would silently diverge from a from-scratch build.
+    /// Note the structure itself is refreshed as-is; on a non-live
+    /// topology the witness proofs and domination choices baked into
+    /// it are only valid for the metric they were built over, so
+    /// query-exactness after a delta additionally needs
+    /// `live_topology`.
+    pub fn refreshed(
+        &self,
+        flat: Engine<'a, S>,
+        changed: &[(u32, u32)],
+    ) -> Result<(Self, RefreshReport)> {
+        if self.overlays.iter().any(|o| o.compress_eps.is_some()) {
+            return Err(AllFpError::Internal(
+                "live refresh requires exact overlay storage (overlay_compress = None)",
+            ));
+        }
+        let t0 = Instant::now();
+        let pool = WorkerPool::new(self.config.threads);
+        let source = flat.source();
+        let n = source.n_nodes();
+        let changed_set: std::collections::HashSet<(u32, u32)> = changed.iter().copied().collect();
+        let mut report = RefreshReport::default();
+        let mut overlays = Vec::with_capacity(self.overlays.len());
+        for o in &self.overlays {
+            if o.rank.len() != n {
+                return Err(AllFpError::Internal(
+                    "refresh network does not match overlay size",
+                ));
+            }
+            let day = Interval::of(0.0, MINUTES_PER_DAY);
+            let mut dirty = vec![false; o.arcs.len()];
+            let mut slots: Vec<Option<OverlayArc>> = Vec::with_capacity(o.arcs.len());
+            let mut edges: Vec<roadnet::Edge> = Vec::new();
+            let mut expect = 0usize;
+            for u in 0..n {
+                source.successors_into(NodeId(u as u32), &mut edges)?;
+                for e in edges.drain(..) {
+                    if e.to.index() == u {
+                        continue;
+                    }
+                    let old = o
+                        .arcs
+                        .get(expect)
+                        .ok_or(AllFpError::Internal("refresh network has extra edges"))?;
+                    if old.via.is_some() || old.from != u as u32 || old.to != e.to.index() as u32 {
+                        return Err(AllFpError::Internal(
+                            "refresh network does not match overlay base arcs",
+                        ));
+                    }
+                    if changed_set.contains(&(old.from, old.to)) {
+                        dirty[expect] = true;
+                        let profile = source.pattern(e.pattern)?.profile(o.category)?;
+                        let full = traffic::travel::travel_time_fn(profile, e.distance, &day)?;
+                        let mut arc = make_arc(old.from, old.to, full, None)?;
+                        arc.disabled = old.disabled;
+                        slots.push(Some(arc));
+                        report.base_rebuilt += 1;
+                    } else {
+                        slots.push(Some(reuse_arc(old)));
+                    }
+                    expect += 1;
+                }
+            }
+            if expect != o.n_base {
+                return Err(AllFpError::Internal("refresh base arc count mismatch"));
+            }
+            report.base_total += expect;
+
+            // Dirty-cone propagation + level stratification of the
+            // dirty shortcuts, exactly as in `from_snapshot` but only
+            // for arcs whose cone touches a changed edge.
+            let mut level = vec![0u32; o.arcs.len()];
+            let mut by_level: Vec<Vec<usize>> = Vec::new();
+            for (i, old) in o.arcs.iter().enumerate().skip(expect) {
+                let Some((a, b)) = old.via else {
+                    return Err(AllFpError::Internal(
+                        "overlay interleaves base arcs after shortcuts",
+                    ));
+                };
+                if a as usize >= i || b as usize >= i {
+                    return Err(AllFpError::Internal(
+                        "overlay shortcut references a later arc",
+                    ));
+                }
+                dirty[i] = dirty[a as usize] || dirty[b as usize];
+                if dirty[i] {
+                    let l = level[a as usize].max(level[b as usize]) + 1;
+                    level[i] = l;
+                    let slot = l as usize - 1;
+                    if by_level.len() <= slot {
+                        by_level.resize(slot + 1, Vec::new());
+                    }
+                    by_level[slot].push(i);
+                    slots.push(None);
+                    report.shortcuts_rebuilt += 1;
+                } else {
+                    slots.push(Some(reuse_arc(old)));
+                }
+            }
+            report.shortcuts_total += o.arcs.len() - expect;
+            for ids in &by_level {
+                let rebuilt = pool.map_indexed(
+                    ids.len(),
+                    || (),
+                    |k, _, scratch| -> Result<OverlayArc> {
+                        let i = ids[k];
+                        let old = &o.arcs[i];
+                        let (a, b) = old
+                            .via
+                            .ok_or(AllFpError::Internal("refresh lost a via pair mid-pass"))?;
+                        let (fa, fb) = match (&slots[a as usize], &slots[b as usize]) {
+                            (Some(fa), Some(fb)) => (fa, fb),
+                            _ => {
+                                return Err(AllFpError::Internal(
+                                    "refresh via pair not yet rebuilt",
+                                ))
+                            }
+                        };
+                        let full = crate::overlay::recompose(scratch, fa, fb)?;
+                        let mut arc = make_arc(old.from, old.to, full, old.via)?;
+                        arc.disabled = old.disabled;
+                        Ok(arc)
+                    },
+                );
+                for (k, arc) in rebuilt.into_iter().enumerate() {
+                    slots[ids[k]] = Some(arc?);
+                }
+            }
+            let mut arcs: Vec<OverlayArc> = Vec::with_capacity(slots.len());
+            for s in slots {
+                arcs.push(s.ok_or(AllFpError::Internal("refresh left an arc slot empty"))?);
+            }
+            overlays.push(finish_overlay(
+                o.category,
+                o.rank.clone(),
+                arcs,
+                expect,
+                o.n_disabled,
+                o.rounds,
+                &pool,
+                None,
+            )?);
+        }
+        report.refresh_wall = t0.elapsed();
+        let mut engine = HierarchyEngine {
+            flat,
+            overlays,
+            config: self.config.clone(),
+            report: BuildReport::default(),
+        };
+        engine.report = engine.tally_report(t0.elapsed(), pool.threads());
+        Ok((engine, report))
     }
 }
 

@@ -278,6 +278,25 @@ pub(crate) fn make_arc(
     })
 }
 
+/// A verbatim copy of an arc for incremental refresh: the stored
+/// function is shared (`Arc` clone), every derived scalar is carried
+/// over unchanged. Sound exactly when the arc's composition cone
+/// contains no changed edge — then a from-scratch rebuild would
+/// recompute the identical bits.
+pub(crate) fn reuse_arc(old: &OverlayArc) -> OverlayArc {
+    OverlayArc {
+        from: old.from,
+        to: old.to,
+        full: Arc::clone(&old.full),
+        min: old.min,
+        max: old.max,
+        err: old.err,
+        slope_max: old.slope_max,
+        via: old.via,
+        disabled: old.disabled,
+    }
+}
+
 /// Append an arc built from its full-period function, wiring the
 /// working in/out adjacency used during contraction.
 fn push_arc(
@@ -542,13 +561,23 @@ struct PlannedShortcut {
 }
 
 /// Build the contracted overlay for one day category.
+///
+/// With `live_topology` the structure is made *metric-independent* (in
+/// the CCH sense): witness pruning is disabled (`settle_cap` 0 — every
+/// candidate shortcut of every contraction is inserted) and
+/// parallel-arc domination is skipped, so the up–down search stays
+/// exact for **any** speed-pattern assignment on this network's
+/// topology — which is what lets a live refresh swap travel functions
+/// under a fixed structure without re-running witness proofs.
 pub(crate) fn build_overlay<S: NetworkSource>(
     source: &S,
     category: DayCategory,
     witness_settle_cap: usize,
     pool: &WorkerPool,
     compress_eps: Option<f64>,
+    live_topology: bool,
 ) -> Result<Overlay> {
+    let witness_settle_cap = if live_topology { 0 } else { witness_settle_cap };
     let n = source.n_nodes();
     let mut arcs: Vec<OverlayArc> = Vec::new();
     let mut out: Vec<Vec<u32>> = vec![Vec::new(); n];
@@ -687,10 +716,13 @@ pub(crate) fn build_overlay<S: NetworkSource>(
             for planned in plan? {
                 let (a, b) = (planned.a, planned.b);
                 let (u, w) = (arcs[a as usize].from, arcs[b as usize].to);
-                // Parallel-arc domination, both directions.
+                // Parallel-arc domination, both directions — skipped
+                // in live topologies (domination is metric-dependent:
+                // a dominated arc could become the winner under a
+                // future delta, and disabled arcs cannot serve).
                 let mut dominated = false;
                 let mut to_disable: Vec<u32> = Vec::new();
-                for &cid in &out[u as usize] {
+                for &cid in out[u as usize].iter().filter(|_| !live_topology) {
                     if arcs[cid as usize].to != w || !alive(&arcs, &contracted, cid) {
                         continue;
                     }

@@ -1,7 +1,10 @@
 //! The CapeCod road network: nodes with coordinates, directed edges
 //! with lengths and speed patterns.
 
-use traffic::{CapeCodPattern, DayCategory, PatternSchema, RoadClass, SpeedProfile};
+use traffic::{
+    CapeCodPattern, DayCategory, PatternSchema, PatternUpdate, RoadClass, SpeedProfile,
+    TrafficDelta,
+};
 
 use crate::{NetworkError, Result};
 
@@ -57,6 +60,38 @@ pub struct Edge {
     pub class: RoadClass,
     /// Speed pattern of the segment.
     pub pattern: PatternId,
+}
+
+/// What applying one [`TrafficDelta`] did — the numbers the epoch
+/// layer's scoped invalidation and the service counters key off.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeltaReport {
+    /// Sequence number echoed from the delta.
+    pub seq: u64,
+    /// Directed edges the updates named (including no-op repoints to
+    /// the pattern id the edge already had).
+    pub edges_matched: usize,
+    /// Directed edges whose pattern id actually changed.
+    pub edges_changed: usize,
+    /// Fresh pattern ids appended to the table.
+    pub patterns_added: usize,
+    /// Updates that interned to an already-present identical pattern.
+    pub patterns_interned: usize,
+    /// Distinct `(from, to)` endpoint pairs whose edges changed — the
+    /// dirty set scoped invalidation propagates from.
+    pub changed: Vec<(u32, u32)>,
+    /// Did any changed edge's pattern `max_speed` change? `false`
+    /// means a `BestTime` boundary table is reusable verbatim
+    /// (its per-edge weights `distance / max_speed` are untouched).
+    pub best_time_weights_changed: bool,
+}
+
+/// `patterns[id].max_speed()`, `NaN`-safe for out-of-range ids (which
+/// `apply_delta` has already validated away).
+fn self_pattern_max(patterns: &[CapeCodPattern], id: PatternId) -> f64 {
+    patterns
+        .get(usize::from(id.0))
+        .map_or(f64::NAN, CapeCodPattern::max_speed)
 }
 
 /// A CapeCod road network (Definition 3): a directed spatial graph
@@ -290,6 +325,145 @@ impl RoadNetwork {
         }
     }
 
+    /// Apply a live-traffic delta, producing the **next version** of
+    /// this network; `self` is untouched, so queries pinned to it keep
+    /// a fully consistent view (the epoch layer publishes the result
+    /// atomically — see `allfp::epoch`).
+    ///
+    /// The pattern table is **append-only**: replacement patterns are
+    /// *interned* — an update whose pattern is structurally identical
+    /// to a table entry reuses that entry's id, anything else is
+    /// appended under a fresh id — and existing ids are never mutated
+    /// or reused. A pattern id therefore means the same function in
+    /// every network version that knows it, which is what keeps the
+    /// engine's travel-function cache (keyed by pattern id) exact
+    /// across epochs with no invalidation on the hot path.
+    ///
+    /// An update named `from → to` re-points **every** parallel edge
+    /// between those endpoints; later updates in the batch win over
+    /// earlier ones. Errors ([`NetworkError::NoSuchEdge`], exhausted
+    /// id space) reject the whole batch — the returned network is
+    /// never partially updated.
+    pub fn apply_delta(&self, delta: &TrafficDelta) -> Result<(RoadNetwork, DeltaReport)> {
+        let mut next = self.clone();
+        let mut report = DeltaReport {
+            seq: delta.seq,
+            ..DeltaReport::default()
+        };
+        for update in &delta.updates {
+            let PatternUpdate { from, to, pattern } = update;
+            let id = next.intern_pattern(pattern, &mut report)?;
+            let edges = next
+                .adj
+                .get_mut(*from as usize)
+                .ok_or(NetworkError::UnknownNode(NodeId(*from)))?;
+            let mut matched = false;
+            for e in edges.iter_mut().filter(|e| e.to.0 == *to) {
+                matched = true;
+                report.edges_matched += 1;
+                if e.pattern != id {
+                    let old_max = self_pattern_max(&next.patterns, e.pattern);
+                    let new_max = self_pattern_max(&next.patterns, id);
+                    if old_max != new_max {
+                        report.best_time_weights_changed = true;
+                    }
+                    e.pattern = id;
+                    report.edges_changed += 1;
+                    if !report.changed.contains(&(*from, *to)) {
+                        report.changed.push((*from, *to));
+                    }
+                }
+            }
+            if !matched {
+                return Err(NetworkError::NoSuchEdge {
+                    from: *from,
+                    to: *to,
+                });
+            }
+        }
+        Ok((next, report))
+    }
+
+    /// Find `pattern` in the table or append it, returning its id.
+    fn intern_pattern(
+        &mut self,
+        pattern: &CapeCodPattern,
+        report: &mut DeltaReport,
+    ) -> Result<PatternId> {
+        if let Some(i) = self.patterns.iter().position(|p| p == pattern) {
+            report.patterns_interned += 1;
+            return Ok(PatternId(i as u16));
+        }
+        if self.patterns.len() > usize::from(u16::MAX) {
+            return Err(NetworkError::PatternTableFull);
+        }
+        report.patterns_added += 1;
+        Ok(self.add_pattern(pattern.clone()))
+    }
+
+    /// Which pattern ids are referenced by at least one edge —
+    /// `mask[id]` is `true` iff some edge points at `id`. The epoch
+    /// layer uses this to flush cache entries for ids no live network
+    /// version references any more.
+    pub fn referenced_patterns(&self) -> Vec<bool> {
+        let mut mask = vec![false; self.patterns.len()];
+        for edges in &self.adj {
+            for e in edges {
+                if let Some(slot) = mask.get_mut(usize::from(e.pattern.0)) {
+                    *slot = true;
+                }
+            }
+        }
+        mask
+    }
+
+    /// A deterministic seeded delta touching `n_edges` distinct
+    /// directed edges (fewer if the network is smaller): each chosen
+    /// edge's current pattern is rescaled by a seed-derived factor in
+    /// `[0.5, 1.5] \ {1.0}`, the shape live congestion feeds produce.
+    /// Identical `(network, seed, n_edges, seq)` always yields an
+    /// identical delta — the chaos harness replays on this.
+    pub fn seeded_delta(&self, seed: u64, n_edges: usize, seq: u64) -> Result<TrafficDelta> {
+        let mut flat: Vec<(u32, usize)> = Vec::with_capacity(self.n_edges());
+        for (u, edges) in self.adj.iter().enumerate() {
+            for (k, _) in edges.iter().enumerate() {
+                flat.push((u as u32, k));
+            }
+        }
+        let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+        let mut next = || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        // Partial Fisher–Yates over the flat edge list: the first
+        // `n_edges` slots end up a uniform distinct sample.
+        let take = n_edges.min(flat.len());
+        for i in 0..take {
+            let j = i + (next() as usize) % (flat.len() - i);
+            flat.swap(i, j);
+        }
+        let mut updates = Vec::with_capacity(take);
+        for &(u, k) in &flat[..take] {
+            let e = self.adj[u as usize][k];
+            let r = next() % 11; // 0..=10
+            let factor = if r == 5 {
+                0.45
+            } else {
+                0.5 + f64::from(r as u32) / 10.0
+            };
+            let pattern = self.pattern(e.pattern)?.with_speed_factor(factor)?;
+            updates.push(PatternUpdate {
+                from: u,
+                to: e.to.0,
+                pattern,
+            });
+        }
+        Ok(TrafficDelta::new(seq, updates))
+    }
+
     /// Bounding box of all node locations as
     /// `((min_x, min_y), (max_x, max_y))`; `None` for an empty network.
     pub fn bounding_box(&self) -> Option<(Point, Point)> {
@@ -430,5 +604,111 @@ mod tests {
     fn euclidean_distance() {
         let (net, a, b) = two_node_net();
         assert!((net.euclidean(a, b).unwrap() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_delta_appends_and_repoints() {
+        let (mut net, a, b) = two_node_net();
+        net.add_bidirectional(a, b, 5.5, RoadClass::LocalBoston)
+            .unwrap();
+        let before_patterns = net.patterns().len();
+        let old_id = net.neighbors(a).unwrap()[0].pattern;
+        let slow = net.pattern(old_id).unwrap().with_speed_factor(0.5).unwrap();
+        let delta = TrafficDelta::new(
+            7,
+            vec![PatternUpdate {
+                from: a.0,
+                to: b.0,
+                pattern: slow.clone(),
+            }],
+        );
+        let (next, report) = net.apply_delta(&delta).unwrap();
+        // source untouched
+        assert_eq!(net.neighbors(a).unwrap()[0].pattern, old_id);
+        assert_eq!(net.patterns().len(), before_patterns);
+        // next version repointed, appended one pattern
+        assert_eq!(report.seq, 7);
+        assert_eq!(report.edges_matched, 1);
+        assert_eq!(report.edges_changed, 1);
+        assert_eq!(report.patterns_added, 1);
+        assert_eq!(report.changed, vec![(a.0, b.0)]);
+        assert!(report.best_time_weights_changed);
+        let new_id = next.neighbors(a).unwrap()[0].pattern;
+        assert_ne!(new_id, old_id);
+        assert_eq!(next.pattern(new_id).unwrap(), &slow);
+        assert_eq!(next.patterns().len(), before_patterns + 1);
+        // the reverse edge kept its pattern
+        assert_eq!(next.neighbors(b).unwrap()[0].pattern, old_id);
+        // old id still resolves in the next version (append-only)
+        assert_eq!(next.pattern(old_id).unwrap(), net.pattern(old_id).unwrap());
+
+        // re-applying the same content interns, adds nothing
+        let (next2, report2) = next.apply_delta(&delta).unwrap();
+        assert_eq!(report2.patterns_added, 0);
+        assert_eq!(report2.patterns_interned, 1);
+        assert_eq!(report2.edges_changed, 0);
+        assert!(report2.changed.is_empty());
+        assert_eq!(next2.patterns().len(), next.patterns().len());
+    }
+
+    #[test]
+    fn apply_delta_rejects_missing_edges() {
+        let (net, a, b) = two_node_net();
+        let delta = TrafficDelta::new(
+            1,
+            vec![PatternUpdate {
+                from: a.0,
+                to: b.0,
+                pattern: CapeCodPattern::paper_example(),
+            }],
+        );
+        assert!(matches!(
+            net.apply_delta(&delta),
+            Err(NetworkError::NoSuchEdge { .. })
+        ));
+        let ghost = TrafficDelta::new(
+            1,
+            vec![PatternUpdate {
+                from: 99,
+                to: 0,
+                pattern: CapeCodPattern::paper_example(),
+            }],
+        );
+        assert!(net.apply_delta(&ghost).is_err());
+    }
+
+    #[test]
+    fn referenced_patterns_tracks_edges() {
+        let (mut net, a, b) = two_node_net();
+        net.add_class_edge(a, b, 5.0, RoadClass::LocalOutside)
+            .unwrap();
+        let mask = net.referenced_patterns();
+        assert_eq!(mask.len(), net.patterns().len());
+        assert!(mask[RoadClass::LocalOutside.index()]);
+        assert!(!mask[RoadClass::InboundHighway.index()]);
+    }
+
+    #[test]
+    fn seeded_delta_is_deterministic_and_applies() {
+        let schema = PatternSchema::table1().unwrap();
+        let mut net = RoadNetwork::with_schema(&schema);
+        let mut nodes = Vec::new();
+        for i in 0..4 {
+            nodes.push(net.add_node(f64::from(i), 0.0).unwrap());
+        }
+        for w in nodes.windows(2) {
+            net.add_bidirectional(w[0], w[1], 1.0, RoadClass::LocalOutside)
+                .unwrap();
+        }
+        let d1 = net.seeded_delta(42, 3, 1).unwrap();
+        let d2 = net.seeded_delta(42, 3, 1).unwrap();
+        assert_eq!(d1, d2);
+        assert_eq!(d1.len(), 3);
+        assert_ne!(net.seeded_delta(43, 3, 1).unwrap(), d1);
+        let (next, report) = net.apply_delta(&d1).unwrap();
+        assert_eq!(report.edges_changed, report.edges_matched);
+        assert!(next.patterns().len() > net.patterns().len());
+        // asking for more edges than exist saturates
+        assert_eq!(net.seeded_delta(1, 999, 2).unwrap().len(), net.n_edges());
     }
 }

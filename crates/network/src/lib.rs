@@ -38,7 +38,7 @@ pub mod io;
 pub mod overlay;
 pub mod workload;
 
-pub use graph::{Edge, NodeId, PatternId, Point, RoadNetwork};
+pub use graph::{DeltaReport, Edge, NodeId, PatternId, Point, RoadNetwork};
 pub use source::NetworkSource;
 pub use stats::NetworkStats;
 
@@ -86,6 +86,17 @@ pub enum NetworkError {
         /// What went wrong.
         message: String,
     },
+    /// A [`traffic::TrafficDelta`] update named a directed edge the
+    /// network does not have.
+    NoSuchEdge {
+        /// Tail node index from the update.
+        from: u32,
+        /// Head node index from the update.
+        to: u32,
+    },
+    /// The append-only pattern table is out of [`PatternId`] space
+    /// (u16 ids): the delta cannot be applied without a full rebuild.
+    PatternTableFull,
     /// Propagated traffic-layer error.
     Traffic(traffic::TrafficError),
     /// A storage-layer failure from a disk-backed [`NetworkSource`]
@@ -109,6 +120,12 @@ impl std::fmt::Display for NetworkError {
                 "edge length {length} shorter than euclidean distance {euclidean} (or non-positive)"
             ),
             NetworkError::BadCoordinate(x, y) => write!(f, "bad coordinate ({x}, {y})"),
+            NetworkError::NoSuchEdge { from, to } => {
+                write!(f, "delta update targets missing edge {from} -> {to}")
+            }
+            NetworkError::PatternTableFull => {
+                write!(f, "pattern table exhausted its u16 id space")
+            }
             NetworkError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
             }

@@ -1,0 +1,166 @@
+//! Live-traffic update batches: per-edge speed-pattern replacements.
+//!
+//! A [`TrafficDelta`] is the unit of live-traffic refresh: a batch of
+//! [`PatternUpdate`]s, each replacing the [`CapeCodPattern`] of one
+//! directed road segment (identified by its endpoint node indices).
+//! Deltas are **pure data** — applying one to a network is the network
+//! layer's job (`RoadNetwork::apply_delta`), and publishing the result
+//! to concurrent queries is the engine's (`allfp::epoch`).
+//!
+//! Deltas describe *replacements*, never in-place mutations: the
+//! network's pattern table is append-only, so a pattern id observed by
+//! a pinned query can never change meaning under it. That single
+//! property is what makes the travel-function cache (keyed by pattern
+//! id) exact across epochs without any invalidation protocol on the
+//! hot path — see DESIGN.md §14.
+
+use crate::{CapeCodPattern, Result, TrafficError};
+
+/// One edge's speed-pattern replacement: every directed edge
+/// `from → to` of the target network takes `pattern`.
+///
+/// Endpoints are raw dense node indices (the traffic layer sits below
+/// the network layer and cannot name its `NodeId` type); the network
+/// validates them at apply time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternUpdate {
+    /// Tail node index of the edge.
+    pub from: u32,
+    /// Head node index of the edge.
+    pub to: u32,
+    /// The replacement pattern.
+    pub pattern: CapeCodPattern,
+}
+
+/// A batch of per-edge speed-pattern replacements, applied atomically:
+/// queries observe either none of the batch or all of it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficDelta {
+    /// Monotone batch sequence number (assigned by the producer;
+    /// echoed in apply reports for tracing).
+    pub seq: u64,
+    /// The edge updates. Later entries win when two updates in the
+    /// same batch target the same edge.
+    pub updates: Vec<PatternUpdate>,
+}
+
+impl TrafficDelta {
+    /// A delta carrying `updates` under sequence number `seq`.
+    pub fn new(seq: u64, updates: Vec<PatternUpdate>) -> Self {
+        TrafficDelta { seq, updates }
+    }
+
+    /// Number of edge updates in the batch.
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// Is the batch empty? (Applying an empty delta still publishes a
+    /// fresh epoch — useful as a barrier.)
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// The single delta equivalent to applying `deltas` in order:
+    /// last write wins per directed edge, entries ordered by first
+    /// appearance of the edge. The merged delta carries the last
+    /// input's `seq` (0 if empty).
+    pub fn merged(deltas: &[TrafficDelta]) -> TrafficDelta {
+        let mut updates: Vec<PatternUpdate> = Vec::new();
+        for d in deltas {
+            for u in &d.updates {
+                match updates
+                    .iter_mut()
+                    .find(|p| p.from == u.from && p.to == u.to)
+                {
+                    Some(p) => p.pattern = u.pattern.clone(),
+                    None => updates.push(u.clone()),
+                }
+            }
+        }
+        TrafficDelta {
+            seq: deltas.last().map_or(0, |d| d.seq),
+            updates,
+        }
+    }
+}
+
+impl CapeCodPattern {
+    /// This pattern with every speed multiplied by `factor` — the shape
+    /// live-traffic feeds produce (congestion and relief scale the
+    /// whole profile). `factor` must be finite and strictly positive;
+    /// the scaled profiles re-validate through the normal constructor,
+    /// so an overflow to a non-positive speed is impossible.
+    pub fn with_speed_factor(&self, factor: f64) -> Result<CapeCodPattern> {
+        if !factor.is_finite() || factor <= 0.0 {
+            return Err(TrafficError::BadSpeed(factor));
+        }
+        let mut profiles = Vec::new();
+        for c in 0..self.n_categories() {
+            let p = self.profile(crate::DayCategory(c as u8))?;
+            let pieces = p
+                .pieces()
+                .iter()
+                .map(|piece| crate::ProfilePiece {
+                    start: piece.start,
+                    speed: piece.speed * factor,
+                })
+                .collect();
+            profiles.push(crate::SpeedProfile::new(pieces)?);
+        }
+        CapeCodPattern::new(profiles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DayCategory;
+
+    #[test]
+    fn merged_is_last_write_wins() {
+        let a = CapeCodPattern::paper_example();
+        let b = a.with_speed_factor(0.5).unwrap();
+        let d1 = TrafficDelta::new(
+            1,
+            vec![
+                PatternUpdate {
+                    from: 0,
+                    to: 1,
+                    pattern: a.clone(),
+                },
+                PatternUpdate {
+                    from: 1,
+                    to: 2,
+                    pattern: a.clone(),
+                },
+            ],
+        );
+        let d2 = TrafficDelta::new(
+            2,
+            vec![PatternUpdate {
+                from: 0,
+                to: 1,
+                pattern: b.clone(),
+            }],
+        );
+        let m = TrafficDelta::merged(&[d1, d2]);
+        assert_eq!(m.seq, 2);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.updates[0].pattern, b);
+        assert_eq!(m.updates[1].pattern, a);
+        assert!(TrafficDelta::merged(&[]).is_empty());
+    }
+
+    #[test]
+    fn speed_factor_scales_every_profile() {
+        let p = CapeCodPattern::paper_example();
+        let s = p.with_speed_factor(0.5).unwrap();
+        let wd = s.profile(DayCategory::WORKDAY).unwrap();
+        assert_eq!(wd.speed_at(pwl::time::hm(8, 0)), 0.25);
+        assert_eq!(wd.speed_at(pwl::time::hm(12, 0)), 0.5);
+        assert_eq!(s.max_speed(), 0.5);
+        assert!(p.with_speed_factor(0.0).is_err());
+        assert!(p.with_speed_factor(f64::NAN).is_err());
+    }
+}

@@ -28,6 +28,7 @@
 //! construction, which is what lets the query engine invert them.
 
 mod category;
+mod delta;
 mod pattern;
 mod profile;
 mod schema;
@@ -35,6 +36,7 @@ mod schema;
 pub mod travel;
 
 pub use category::{CategorySet, DayCategory};
+pub use delta::{PatternUpdate, TrafficDelta};
 pub use pattern::CapeCodPattern;
 pub use profile::{ProfilePiece, SpeedProfile};
 pub use schema::{PatternSchema, RoadClass};

@@ -35,6 +35,18 @@ env -u RUST_TEST_THREADS cargo test -q -p fp-allfp --test faults
 echo "==> overload-chaos stress (RUST_TEST_THREADS unpinned)"
 env -u RUST_TEST_THREADS cargo test -q -p fp-allfp --test overload
 
+# Live updates: the seeded update-storm chaos scenario (2x overload +
+# budget-fault window + concurrent delta stream, every answer checked
+# bit-for-bit against a from-scratch build of its pinned epoch), the
+# delta/epoch property suite, and the hierarchy refresh suite
+# (incremental refresh == from-scratch rebuild, live topologies stay
+# exact under deltas). The bench smoke below additionally gates
+# goodput-under-storm >= 0.5 and scoped invalidation < 20%.
+echo "==> update-storm chaos + live-update proptests (RUST_TEST_THREADS unpinned)"
+env -u RUST_TEST_THREADS cargo test -q -p fp-allfp --test update_storm
+cargo test -q -p fp-allfp --release --test live_props
+cargo test -q -p fp-hierarchy --release --test live_refresh
+
 # Hierarchy exactness: the golden equivalence suite pins the
 # contraction hierarchy's answers bit-for-bit to the flat engine's
 # (routes, partitions, travel functions) under compressed, exact and
@@ -62,7 +74,7 @@ cargo test -q -p fp-pwl --release --test reduce_props
 # only), the <=0.5x overlay byte footprint against the old
 # materialized layout, and the
 # >=1.5x 4-thread contraction speedup (multi-core hosts only).
-echo "==> batch-driver smoke (answers + scaling + checksum + allocation + overload + hierarchy gates)"
+echo "==> batch-driver smoke (answers + scaling + checksum + allocation + overload + live-update + hierarchy gates)"
 cargo bench -p fp-bench --bench engine_hotpath -- --smoke
 
 echo "All checks passed."
