@@ -21,9 +21,13 @@
 //! engine must stay under a per-expansion allocation budget — or an
 //! overload regression — the seeded 2× virtual-time overload scenario
 //! (`fpbench::overload`) must replay deterministically, keep its queue
-//! bounded, reconcile its stats, and hold goodput while shedding — all
-//! without touching the JSON report. `scripts/check.sh` runs it on
-//! every check.
+//! bounded, reconcile its stats, and hold goodput while shedding — or
+//! a continental-scale regression — the metro-huge smoke tier
+//! (`fpbench::metro_huge`) must bulk-build byte-identically at every
+//! thread count with transient scratch bounded under the graph bytes,
+//! and serve its workload through the mmap store — all without
+//! touching the JSON report. `scripts/check.sh` runs it on every
+//! check.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -37,6 +41,7 @@ use fpbench::alloc::snapshot;
 use hierarchy::{HierarchyConfig, HierarchyEngine};
 use pwl::time::hm;
 use pwl::{compose_travel_into, Envelope, Interval, Pwl, PwlScratch};
+use roadnet::generators::ContinentalConfig;
 use roadnet::workload::sample_pairs;
 use roadnet::RoadNetwork;
 use traffic::DayCategory;
@@ -465,6 +470,7 @@ fn to_json(
     live: &fpbench::live_update::LiveUpdateReport,
     hierarchy: &HierarchyReport,
     contraction: &[ContractionPoint],
+    huge: &fpbench::metro_huge::MetroHugeReport,
 ) -> String {
     let mut out = String::from("{\n  \"benchmark\": \"engine_hotpath\",\n");
     out.push_str("  \"workload\": \"fig9 morning rush, metro-medium, allFP\",\n");
@@ -601,7 +607,54 @@ fn to_json(
             if i + 1 < contraction.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n");
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"metro_huge\": {{\"tier\": \"{}\", \"n_nodes\": {}, \"data_pages\": {}, \
+         \"total_pages\": {}, \"graph_bytes\": {}, \"transient_build_bytes\": {}, \
+         \"peak_rss_bytes\": {}, \"deterministic\": {}, \"store\": \"{}\", \
+         \"pool_frames\": {}, \"estimator\": {{\"kind\": \"bdLB-part\", \"groups\": {}, \
+         \"wall_seconds\": {:.3}}}, \"queries\": {}, \"query_failures\": {}, \
+         \"query_wall_seconds\": {:.4}, \"queries_per_sec\": {:.2}, \"expanded_paths\": {}, \
+         \"io\": {{\"reads\": {}, \"bytes_read\": {}, \"bytes_written\": {}, \
+         \"mmap_faults\": {}}}, \"build_sweep\": [{}], \
+         \"note\": \"continental tier bulk-built straight from the lazy generator \
+         (builder transient bytes are the analytic peak of its scratch, gated well \
+         under the graph bytes; peak_rss is the whole process high water), served \
+         through the mmap store with pool frames << graph pages\"}}\n",
+        huge.tier,
+        huge.n_nodes,
+        huge.data_pages,
+        huge.total_pages,
+        huge.graph_bytes,
+        huge.transient_build_bytes,
+        huge.peak_rss_bytes,
+        huge.deterministic,
+        huge.store_kind,
+        huge.pool_frames,
+        huge.estimator_groups,
+        huge.estimator_wall_seconds,
+        huge.queries,
+        huge.query_failures,
+        huge.query_wall_seconds,
+        huge.queries_per_sec,
+        huge.expanded_paths,
+        huge.io_reads,
+        huge.io_bytes_read,
+        huge.io_bytes_written,
+        huge.mmap_faults,
+        huge.build_sweep
+            .iter()
+            .map(|p| format!(
+                "{{\"threads\": {}, \"wall_seconds\": {:.3}, \"speedup_vs_serial\": {:.2}, \
+                 \"annotation\": \"{}\"}}",
+                p.threads,
+                p.wall_seconds,
+                p.speedup_vs_serial,
+                sweep_annotation(p.threads),
+            ))
+            .collect::<Vec<_>>()
+            .join(", "),
+    ));
     out.push_str("}\n");
     out
 }
@@ -672,6 +725,16 @@ fn emit_report() {
     // per width — cheap enough for the report, and scaling behaviour
     // is width-, not scale-, dependent.
     let contraction = measure_contraction_sweep(Scale::Medium);
+    // The million-node continental tier: bulk-built straight from the
+    // lazy generator (never materialized), parallel-build sweep with a
+    // byte-identity check, then the fig9 workload served through the
+    // mmap store under a partitioned-boundary estimator.
+    let huge = fpbench::metro_huge::run(
+        &ContinentalConfig::metro_huge(0x5EED),
+        "metro-huge",
+        24,
+        128,
+    );
     let json = to_json(
         &rows,
         &sweep,
@@ -683,6 +746,7 @@ fn emit_report() {
         &live,
         &hierarchy,
         &contraction,
+        &huge,
     );
 
     // CARGO_MANIFEST_DIR = crates/bench; the report lives at the root.
@@ -1054,6 +1118,62 @@ fn smoke() -> i32 {
             "smoke: note: contraction speedup not gated on a {}-core host (scheduler_noise)",
             host_cpus()
         );
+    }
+
+    // Metro-huge gates on the smoke continental tier (16 384 nodes):
+    // the parallel bulk builder must be byte-deterministic across
+    // {1,2,4} threads, its transient scratch must stay well under the
+    // graph bytes (the bounded-memory promise, gated on the analytic
+    // counter so a 1-core host can't flake it), and the mmap-served
+    // fig9 workload must answer every query while actually faulting
+    // pages in (unless the store fell back to FileStore, which the
+    // equivalence suite pins to the same bytes anyway).
+    let hu = fpbench::metro_huge::run(&ContinentalConfig::smoke(0x5EED), "smoke", 8, 32);
+    println!(
+        "smoke: metro-huge smoke tier {} nodes, {} pages, build x{:?} deterministic={}, \
+         transient {} KiB vs graph {} KiB, {} via {} ({} frames), {}/{} queries ok, \
+         {} faults, {} reads",
+        hu.n_nodes,
+        hu.total_pages,
+        fpbench::metro_huge::BUILD_SWEEP,
+        hu.deterministic,
+        hu.transient_build_bytes / 1024,
+        hu.graph_bytes / 1024,
+        hu.tier,
+        hu.store_kind,
+        hu.pool_frames,
+        hu.queries - hu.query_failures,
+        hu.queries,
+        hu.mmap_faults,
+        hu.io_reads,
+    );
+    if !hu.deterministic {
+        eprintln!(
+            "SMOKE FAIL: bulk build diverged across thread counts {:?}",
+            { fpbench::metro_huge::BUILD_SWEEP }
+        );
+        failures += 1;
+    }
+    if hu.transient_build_bytes as u64 >= hu.graph_bytes {
+        eprintln!(
+            "SMOKE FAIL: bulk builder scratch peaked at {} bytes, not bounded under the \
+             {}-byte graph",
+            hu.transient_build_bytes, hu.graph_bytes
+        );
+        failures += 1;
+    }
+    if hu.query_failures > 0 || hu.expanded_paths == 0 {
+        eprintln!(
+            "SMOKE FAIL: disk-served tier answered {}/{} queries ({} expansions)",
+            hu.queries - hu.query_failures,
+            hu.queries,
+            hu.expanded_paths
+        );
+        failures += 1;
+    }
+    if hu.store_kind == "mmap" && hu.mmap_faults == 0 {
+        eprintln!("SMOKE FAIL: mmap store served the workload without counting a single fault");
+        failures += 1;
     }
 
     if failures == 0 {

@@ -22,6 +22,7 @@ pub mod const_speed;
 pub mod fig10;
 pub mod fig9;
 pub mod live_update;
+pub mod metro_huge;
 pub mod overload;
 pub mod report;
 pub mod scenario;

@@ -1,0 +1,355 @@
+//! The `metro-huge` tier: continental-scale (≥10⁶ node) builds and
+//! queries over the streaming CCAM substrate.
+//!
+//! The runner exercises the full continental pipeline end to end:
+//!
+//! 1. bulk-build the lazily generated [`ContinentalNet`] straight to a
+//!    [`FileStore`] at each swept thread count, verifying the builds
+//!    are **byte-identical** (streamed file comparison, never the
+//!    whole file in memory);
+//! 2. serve the fig9 morning-rush workload through
+//!    [`MmapStore::open_preferred`] — zero-copy OS-paged reads with a
+//!    buffer pool far smaller than the graph — behind the partitioned
+//!    boundary estimator (`bdLB-part`), which is precomputed from the
+//!    lazy generator without materializing the graph;
+//! 3. record the build walls, the analytic transient footprint of the
+//!    builder (gated ≪ graph bytes), the process RSS high water, and
+//!    the physical I/O counters (`bytes_read` / `bytes_written` /
+//!    `mmap_faults`).
+//!
+//! `scripts/check.sh` runs the smoke tier (16 384 nodes) through the
+//! engine-hotpath `--smoke` gate; the JSON report records the
+//! million-node tier.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+use allfp::{BoundaryLb, Engine, EngineConfig, MaxEstimator, NaiveLb, QuerySpec, WeightMode};
+use ccam::{
+    build_bulk, BlockStore, BulkBuildConfig, CcamStore, FileStore, MmapStore, DEFAULT_PAGE_SIZE,
+};
+use pwl::time::hm;
+use pwl::Interval;
+use roadnet::generators::{ContinentalConfig, ContinentalNet};
+use roadnet::{NetworkSource, NodeId};
+use traffic::DayCategory;
+
+/// Thread counts swept by the parallel-build curve.
+pub const BUILD_SWEEP: [usize; 3] = [1, 2, 4];
+
+/// One point on the parallel-build curve.
+#[derive(Debug, Clone)]
+pub struct BuildPoint {
+    /// Builder threads.
+    pub threads: usize,
+    /// Build wall time, seconds.
+    pub wall_seconds: f64,
+    /// Wall speedup versus the 1-thread build.
+    pub speedup_vs_serial: f64,
+}
+
+/// Everything the metro-huge runner measures.
+#[derive(Debug, Clone)]
+pub struct MetroHugeReport {
+    /// Tier label (`"metro-huge"` or `"smoke"`).
+    pub tier: &'static str,
+    /// Nodes in the tier.
+    pub n_nodes: usize,
+    /// Slotted data pages in the built store.
+    pub data_pages: u64,
+    /// All pages (superblock + patterns + data + index).
+    pub total_pages: u64,
+    /// On-disk bytes of the built store file.
+    pub graph_bytes: u64,
+    /// Analytic peak of the builder's transient allocations (points,
+    /// degrees, Hilbert keys, sorted runs) — the bounded-memory
+    /// claim's machine-checkable half.
+    pub transient_build_bytes: usize,
+    /// `VmHWM` from `/proc/self/status` after the run (process-wide
+    /// high water; 0 where the file is unavailable).
+    pub peak_rss_bytes: u64,
+    /// Parallel-build sweep.
+    pub build_sweep: Vec<BuildPoint>,
+    /// Whether every swept build produced byte-identical files.
+    pub deterministic: bool,
+    /// `"mmap"` or `"file-fallback"` (platforms without mmap).
+    pub store_kind: &'static str,
+    /// Buffer-pool frames the query stack was limited to.
+    pub pool_frames: usize,
+    /// Partitioned-estimator precompute wall, seconds.
+    pub estimator_wall_seconds: f64,
+    /// Realized partition count of the estimator.
+    pub estimator_groups: usize,
+    /// Queries served.
+    pub queries: usize,
+    /// Failed queries (must be 0).
+    pub query_failures: usize,
+    /// Serving wall, seconds.
+    pub query_wall_seconds: f64,
+    /// Queries per second through the mmap stack.
+    pub queries_per_sec: f64,
+    /// Paths expanded across the workload.
+    pub expanded_paths: usize,
+    /// Physical page reads the serving stack issued.
+    pub io_reads: u64,
+    /// Bytes physically read while serving.
+    pub io_bytes_read: u64,
+    /// Bytes physically written while building (final build).
+    pub io_bytes_written: u64,
+    /// First-touch page faults counted by the mmap store.
+    pub mmap_faults: u64,
+}
+
+/// `VmHWM` (peak resident set) in bytes, from `/proc/self/status`;
+/// 0 when unavailable (non-Linux).
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+/// Splitmix64 finalizer — the workload sampler's hash.
+fn mix(seed: u64, v: u64) -> u64 {
+    let mut h = seed
+        .wrapping_add(v.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// Distance-banded source–target pairs off the lazy generator (the
+/// tier is too big for `roadnet::workload::sample_pairs`, which wants
+/// a materialized network).
+fn sample_pairs_lazy(
+    net: &ContinentalNet,
+    count: usize,
+    min_miles: f64,
+    max_miles: f64,
+    seed: u64,
+) -> Vec<(NodeId, NodeId)> {
+    let n = net.n_nodes() as u64;
+    let mut out = Vec::with_capacity(count);
+    let mut attempt = 0u64;
+    while out.len() < count && attempt < 100_000 {
+        let a = NodeId((mix(seed, attempt * 2) % n) as u32);
+        let b = NodeId((mix(seed, attempt * 2 + 1) % n) as u32);
+        attempt += 1;
+        if a == b {
+            continue;
+        }
+        let (Ok(pa), Ok(pb)) = (net.find_node(a), net.find_node(b)) else {
+            continue;
+        };
+        let d = pa.distance(&pb);
+        if d >= min_miles && d <= max_miles {
+            out.push((a, b));
+        }
+    }
+    out
+}
+
+/// Streamed byte comparison of two files (1 MiB windows).
+fn files_identical(a: &Path, b: &Path) -> std::io::Result<bool> {
+    use std::io::Read;
+    let (mut fa, mut fb) = (std::fs::File::open(a)?, std::fs::File::open(b)?);
+    if fa.metadata()?.len() != fb.metadata()?.len() {
+        return Ok(false);
+    }
+    let mut wa = vec![0u8; 1 << 20];
+    let mut wb = vec![0u8; 1 << 20];
+    loop {
+        let na = fa.read(&mut wa)?;
+        let nb = fb.read(&mut wb)?;
+        if na != nb || wa[..na] != wb[..nb] {
+            return Ok(false);
+        }
+        if na == 0 {
+            return Ok(true);
+        }
+    }
+}
+
+/// Build the tier at each swept thread count, then serve `n_queries`
+/// fig9 queries through the mmap stack with the partitioned boundary
+/// estimator. `estimator_groups` is the target partition count.
+pub fn run(
+    cfg: &ContinentalConfig,
+    tier: &'static str,
+    n_queries: usize,
+    estimator_groups: usize,
+) -> MetroHugeReport {
+    let lazy = ContinentalNet::new(cfg.clone()).expect("tier config is valid");
+    let dir = std::env::temp_dir().join(format!("fp-metro-huge-{}-{tier}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    // --- parallel-build sweep, byte-identity checked ------------------
+    let mut sweep = Vec::new();
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut transient = 0usize;
+    let mut data_pages = 0u64;
+    let mut total_pages = 0u64;
+    let mut bytes_written = 0u64;
+    for threads in BUILD_SWEEP {
+        let path = dir.join(format!("tier-t{threads}.ccam"));
+        let store = Arc::new(FileStore::create(&path, DEFAULT_PAGE_SIZE).expect("file store"));
+        let bulk_cfg = BulkBuildConfig {
+            threads,
+            pool_frames: 256,
+        };
+        let start = Instant::now();
+        let (built, stats) = build_bulk(&lazy, lazy.patterns(), Arc::clone(&store) as _, &bulk_cfg)
+            .expect("bulk build succeeds");
+        let wall = start.elapsed().as_secs_f64();
+        drop(built);
+        transient = transient.max(stats.transient_bytes);
+        data_pages = stats.data_pages;
+        total_pages = stats.total_pages;
+        bytes_written = store.io_stats().bytes_written();
+        sweep.push(BuildPoint {
+            threads,
+            wall_seconds: wall,
+            speedup_vs_serial: 0.0, // filled below
+        });
+        paths.push(path);
+    }
+    let serial_wall = sweep[0].wall_seconds;
+    for p in &mut sweep {
+        p.speedup_vs_serial = serial_wall / p.wall_seconds.max(1e-12);
+    }
+    let mut deterministic = true;
+    for p in &paths[1..] {
+        deterministic &= files_identical(&paths[0], p).unwrap_or(false);
+    }
+    // Keep one file for serving, drop the rest.
+    for p in &paths[1..] {
+        std::fs::remove_file(p).ok();
+    }
+    let tier_path = &paths[0];
+    let graph_bytes = std::fs::metadata(tier_path).map_or(0, |m| m.len());
+
+    // --- partitioned estimator off the lazy generator -----------------
+    let start = Instant::now();
+    let bd = BoundaryLb::build_partitioned_auto(&lazy, estimator_groups, WeightMode::Distance)
+        .expect("partitioned estimator builds");
+    let estimator_wall = start.elapsed().as_secs_f64();
+    let estimator_groups = bd.n_groups();
+
+    // --- serve fig9 through the mmap stack ----------------------------
+    let (store, store_kind): (Arc<dyn BlockStore>, &'static str) =
+        match MmapStore::open(tier_path, DEFAULT_PAGE_SIZE) {
+            Ok(m) => (Arc::new(m), "mmap"),
+            Err(_) => (
+                Arc::new(FileStore::open(tier_path, DEFAULT_PAGE_SIZE).expect("file reopens")),
+                "file-fallback",
+            ),
+        };
+    let store_stats = Arc::clone(&store);
+    // Frames ≪ graph pages: the pool is a working set, not a copy.
+    let pool_frames = ((total_pages / 8).clamp(128, 4096)) as usize;
+    let disk = CcamStore::open(store, pool_frames).expect("ccam opens");
+
+    let naive = NaiveLb::new(lazy.max_speed());
+    let engine = Engine::with_estimator(
+        &disk,
+        Box::new(MaxEstimator::new(naive, bd, "bdLB-part")),
+        EngineConfig::default(),
+    );
+    let interval = Interval::of(hm(7, 0), hm(10, 0));
+    let queries: Vec<QuerySpec> = sample_pairs_lazy(&lazy, n_queries, 1.0, 3.0, 0xF19)
+        .into_iter()
+        .map(|(s, t)| QuerySpec::new(s, t, interval, DayCategory::WORKDAY))
+        .collect();
+    let mut expanded = 0usize;
+    let mut failures = 0usize;
+    let start = Instant::now();
+    for q in &queries {
+        match engine.all_fastest_paths(q) {
+            Ok(a) => expanded += a.stats.expanded_paths,
+            Err(_) => failures += 1,
+        }
+    }
+    let query_wall = start.elapsed().as_secs_f64();
+
+    let io = store_stats.io_stats();
+    let report = MetroHugeReport {
+        tier,
+        n_nodes: lazy.n_nodes(),
+        data_pages,
+        total_pages,
+        graph_bytes,
+        transient_build_bytes: transient,
+        peak_rss_bytes: peak_rss_bytes(),
+        build_sweep: sweep,
+        deterministic,
+        store_kind,
+        pool_frames,
+        estimator_wall_seconds: estimator_wall,
+        estimator_groups,
+        queries: queries.len(),
+        query_failures: failures,
+        query_wall_seconds: query_wall,
+        queries_per_sec: queries.len() as f64 / query_wall.max(1e-12),
+        expanded_paths: expanded,
+        io_reads: io.reads(),
+        io_bytes_read: io.bytes_read(),
+        io_bytes_written: bytes_written,
+        mmap_faults: io.mmap_faults(),
+    };
+    drop(engine);
+    drop(disk);
+    std::fs::remove_dir_all(&dir).ok();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_tier_builds_and_serves() {
+        let mut cfg = ContinentalConfig::smoke(0x5EED);
+        // Debug-build test: shrink below the bench smoke tier.
+        cfg.cells_x = 2;
+        cfg.cells_y = 2;
+        cfg.cell_w = 16;
+        cfg.cell_h = 16;
+        let r = run(&cfg, "unit", 3, 8);
+        assert_eq!(r.n_nodes, 1024);
+        assert!(r.deterministic, "swept builds diverged");
+        assert_eq!(r.query_failures, 0);
+        assert!(r.expanded_paths > 0);
+        assert!(r.transient_build_bytes > 0);
+        assert!((r.graph_bytes as usize) > r.transient_build_bytes / 8);
+        if r.store_kind == "mmap" {
+            assert!(r.mmap_faults > 0, "mmap store served without faulting");
+        }
+    }
+
+    #[test]
+    fn lazy_sampler_respects_band() {
+        let net = ContinentalNet::new(ContinentalConfig::smoke(7)).unwrap();
+        let pairs = sample_pairs_lazy(&net, 10, 0.5, 1.5, 42);
+        assert_eq!(pairs.len(), 10);
+        for (a, b) in pairs {
+            let d = net
+                .find_node(a)
+                .unwrap()
+                .distance(&net.find_node(b).unwrap());
+            assert!((0.5..=1.5).contains(&d), "pair {a}->{b} at {d} miles");
+        }
+    }
+}

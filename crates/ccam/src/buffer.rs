@@ -6,11 +6,22 @@
 //!
 //! # Safety
 //!
-//! This module (like the whole crate) is 100% safe code — the
-//! workspace denies `unsafe_code`, so the claim is compiler-enforced,
-//! not an audit note. The only `unsafe` in the workspace is
-//! `fp-bench`'s `GlobalAlloc` wrapper, which carries per-site
-//! `SAFETY:` justifications under `#[deny(unsafe_op_in_unsafe_fn)]`.
+//! This module is 100% safe code — the workspace denies
+//! `unsafe_code`, so the claim is compiler-enforced, not an audit
+//! note. The only `unsafe` in the workspace lives in two audited
+//! leaf modules, each under `#[deny(unsafe_op_in_unsafe_fn)]` with
+//! per-site `SAFETY:` justifications: `fp-bench`'s `GlobalAlloc`
+//! wrapper and this crate's [`mmap`](crate::MmapStore) syscall shim.
+//!
+//! # Zero-copy serving
+//!
+//! A store that can serve borrowed pages
+//! ([`BlockStore::page_ref`] — the mmap store) short-circuits the
+//! framing machinery: [`BufferPool::with_page`] runs the reader
+//! directly over the mapped bytes, holding no frame at all, counted in
+//! [`BufferStats::mapped`] (neither a hit nor a miss — the OS page
+//! cache is the buffer there). Cached frames still win first, so a
+//! page written through the pool is always read back coherently.
 //!
 //! # Concurrency
 //!
@@ -99,6 +110,7 @@ pub struct BufferStats {
     misses: AtomicU64,
     evictions: AtomicU64,
     readaheads: AtomicU64,
+    mapped: AtomicU64,
 }
 
 impl BufferStats {
@@ -123,7 +135,19 @@ impl BufferStats {
         self.readaheads.load(Ordering::Relaxed)
     }
 
-    /// Total logical reads.
+    /// Logical reads served zero-copy from a mapped store
+    /// ([`crate::BlockStore::page_ref`]), occupying no frame. Counted
+    /// separately from hits and misses: `hits + misses` remains the
+    /// frame-cache accounting identity, and mapped serves are where
+    /// the OS page cache — not this pool — is the buffer.
+    pub fn mapped(&self) -> u64 {
+        self.mapped.load(Ordering::Relaxed)
+    }
+
+    /// Total logical reads through frames (excludes [`mapped`]
+    /// zero-copy serves).
+    ///
+    /// [`mapped`]: BufferStats::mapped
     pub fn logical_reads(&self) -> u64 {
         self.hits() + self.misses()
     }
@@ -314,6 +338,16 @@ impl BufferPool {
                 frame.demanded = true;
                 self.stats.hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(f(&frame.data));
+            }
+
+            // Zero-copy path: a mapped store serves the page as a
+            // borrow — no frame, no copy, no readahead (the OS does
+            // its own). Checked only after the frame map so a page
+            // written through the pool is always read back from its
+            // (possibly dirty) frame, never from the mapping.
+            if let Some(bytes) = self.store.page_ref(id)? {
+                self.stats.mapped.fetch_add(1, Ordering::Relaxed);
+                return Ok(f(bytes));
             }
 
             self.stats.misses.fetch_add(1, Ordering::Relaxed);
@@ -783,6 +817,38 @@ mod tests {
         );
         assert_eq!(checked.io_stats().retries(), 0, "corruption must not retry");
         assert_eq!(checked.io_stats().corruptions(), 1);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn mapped_store_serves_zero_copy_without_frames() {
+        use crate::MmapStore;
+        let dir = std::env::temp_dir().join(format!("ccam-pool-mmap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.db");
+        {
+            let s = crate::FileStore::create(&path, 64).unwrap();
+            for i in 0..8 {
+                let id = s.allocate().unwrap();
+                s.write_page(id, &[i as u8; 64]).unwrap();
+            }
+        }
+        let store: Arc<dyn BlockStore> = Arc::new(MmapStore::open(&path, 64).unwrap());
+        let pool = BufferPool::new(Arc::clone(&store), 4);
+        for _ in 0..3 {
+            for id in 0..8u64 {
+                let v = pool.with_page(id, |p| p[0]).unwrap();
+                assert_eq!(v, id as u8);
+            }
+        }
+        // every read was served from the mapping: no frames, no
+        // hits/misses, no evictions — and first touches counted once
+        assert_eq!(pool.stats().mapped(), 24);
+        assert_eq!(pool.stats().hits(), 0);
+        assert_eq!(pool.stats().misses(), 0);
+        assert_eq!(pool.stats().evictions(), 0);
+        assert_eq!(store.io_stats().mmap_faults(), 8);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -304,9 +304,10 @@ fn storage_error(e: CcamError, node: NodeId) -> roadnet::NetworkError {
     let kind = match &e {
         CcamError::NotFound(_) => return NetworkError::UnknownNode(node),
         CcamError::Network(inner) => return inner.clone(),
-        CcamError::Corruption { .. } | CcamError::Corrupt(_) | CcamError::BadPage(_) => {
-            StorageFaultKind::Corruption
-        }
+        CcamError::Corruption { .. }
+        | CcamError::Corrupt(_)
+        | CcamError::BadPage(_)
+        | CcamError::PageSizeMismatch { .. } => StorageFaultKind::Corruption,
         CcamError::TransientIo { .. } => StorageFaultKind::Transient,
         CcamError::Io(_) => StorageFaultKind::Io,
         CcamError::RecordTooLarge { .. } => StorageFaultKind::Other,
@@ -521,8 +522,10 @@ impl CcamStore {
     }
 }
 
-/// Write the superblock to page 0.
-fn write_superblock(
+/// Write the superblock to page 0. Shared with the parallel bulk
+/// builder ([`crate::bulk`]), which must produce a byte-identical
+/// superblock to [`CcamStore::build`].
+pub(crate) fn write_superblock(
     pool: &Arc<BufferPool>,
     n_nodes: u64,
     root: u64,
@@ -546,8 +549,8 @@ fn write_superblock(
     pool.write_page(0, &sb)
 }
 
-/// Serialize the pattern table.
-fn encode_patterns(patterns: &[CapeCodPattern]) -> Result<Vec<u8>> {
+/// Serialize the pattern table. Shared with the bulk builder.
+pub(crate) fn encode_patterns(patterns: &[CapeCodPattern]) -> Result<Vec<u8>> {
     let mut out = Vec::new();
     out.put_u16_le(patterns.len() as u16);
     for pat in patterns {

@@ -61,35 +61,75 @@ pub fn hilbert_d2xy(order: u32, d: u64) -> (u32, u32) {
     (x as u32, y as u32)
 }
 
-/// Sort indices of `points` by the Hilbert value of each point within
-/// the bounding box of all points. Ties (coincident cells) break by
-/// original index, so the order is total and deterministic.
-pub fn hilbert_order(points: &[Point]) -> Vec<usize> {
-    if points.is_empty() {
-        return Vec::new();
-    }
-    let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
-    let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
-    for p in points {
-        min_x = min_x.min(p.x);
-        min_y = min_y.min(p.y);
-        max_x = max_x.max(p.x);
-        max_y = max_y.max(p.y);
-    }
-    let span_x = (max_x - min_x).max(1e-9);
-    let span_y = (max_y - min_y).max(1e-9);
-    let cells = f64::from((1u32 << HILBERT_ORDER) - 1);
+/// The bounding-box normalization that maps points onto the Hilbert
+/// grid: one frame computed over *all* points, then applied per point.
+/// Factored out so the parallel bulk builder can compute keys for
+/// disjoint chunks on different threads and still get bit-identical
+/// keys to the serial [`hilbert_order`] pass (the frame is the only
+/// shared state, and it is immutable once built).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct HilbertFrame {
+    min_x: f64,
+    min_y: f64,
+    span_x: f64,
+    span_y: f64,
+}
 
+impl HilbertFrame {
+    /// Frame over the bounding box of `points` (`None` when empty).
+    pub(crate) fn of(points: &[Point]) -> Option<Self> {
+        if points.is_empty() {
+            return None;
+        }
+        let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+        let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for p in points {
+            min_x = min_x.min(p.x);
+            min_y = min_y.min(p.y);
+            max_x = max_x.max(p.x);
+            max_y = max_y.max(p.y);
+        }
+        Some(HilbertFrame {
+            min_x,
+            min_y,
+            span_x: (max_x - min_x).max(1e-9),
+            span_y: (max_y - min_y).max(1e-9),
+        })
+    }
+
+    /// Hilbert key of `p` on the `2^HILBERT_ORDER` grid of this frame.
+    pub(crate) fn key(&self, p: Point) -> u64 {
+        let cells = f64::from((1u32 << HILBERT_ORDER) - 1);
+        let gx = (((p.x - self.min_x) / self.span_x) * cells).round() as u32;
+        let gy = (((p.y - self.min_y) / self.span_y) * cells).round() as u32;
+        hilbert_xy2d(HILBERT_ORDER, gx, gy)
+    }
+}
+
+/// Sort indices of `points` by the Hilbert value of each point within
+/// the bounding box of all points.
+///
+/// The order is the lexicographic `(key, index)` order — ties
+/// (coincident cells) break by original index — so it is **total and
+/// deterministic**: the same point set yields the same permutation on
+/// every run, every platform, and at every builder thread count
+/// (pinned by the `order_is_deterministic_and_tie_broken_by_index`
+/// property test). Downstream page packing inherits byte-identical
+/// layouts from this invariant.
+pub fn hilbert_order(points: &[Point]) -> Vec<usize> {
+    let Some(frame) = HilbertFrame::of(points) else {
+        return Vec::new();
+    };
     let mut keyed: Vec<(u64, usize)> = points
         .iter()
         .enumerate()
-        .map(|(i, p)| {
-            let gx = (((p.x - min_x) / span_x) * cells).round() as u32;
-            let gy = (((p.y - min_y) / span_y) * cells).round() as u32;
-            (hilbert_xy2d(HILBERT_ORDER, gx, gy), i)
-        })
+        .map(|(i, p)| (frame.key(*p), i))
         .collect();
-    keyed.sort_unstable();
+    // A stable sort on the explicit (key, index) pair: stability plus
+    // the index component each independently guarantee the total
+    // order, belt and braces, so no future change to either silently
+    // reintroduces platform-dependent ties.
+    keyed.sort_by_key(|&(key, index)| (key, index));
     keyed.into_iter().map(|(_, i)| i).collect()
 }
 
@@ -164,5 +204,58 @@ mod tests {
         let same = vec![Point { x: 1.0, y: 1.0 }; 5];
         let order = hilbert_order(&same);
         assert_eq!(order, vec![0, 1, 2, 3, 4]); // tie-break by index
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Random point clouds with deliberate duplicates (every point
+        /// has a coin-flip chance of being a copy of an earlier one),
+        /// so the tie-break path is exercised on most cases.
+        fn arb_points() -> impl Strategy<Value = Vec<Point>> {
+            prop::collection::vec((0.0f64..100.0, 0.0f64..100.0, 0usize..1000), 1..200).prop_map(
+                |raw| {
+                    let mut pts: Vec<Point> = Vec::with_capacity(raw.len());
+                    for (x, y, dup) in raw {
+                        if dup % 2 == 0 && !pts.is_empty() {
+                            pts.push(pts[dup % pts.len()]);
+                        } else {
+                            pts.push(Point { x, y });
+                        }
+                    }
+                    pts
+                },
+            )
+        }
+
+        proptest! {
+            /// The pinned tie-breaking contract: `hilbert_order` is a
+            /// permutation, sorted by `(key, index)` — equal keys keep
+            /// ascending index order — and recomputing it (including
+            /// from a reversed copy mapped back) reproduces the exact
+            /// same permutation.
+            #[test]
+            fn order_is_deterministic_and_tie_broken_by_index(pts in arb_points()) {
+                let order = hilbert_order(&pts);
+                let mut seen = vec![false; pts.len()];
+                for &i in &order {
+                    prop_assert!(!seen[i], "index {i} visited twice");
+                    seen[i] = true;
+                }
+                prop_assert!(seen.iter().all(|&s| s), "not a permutation");
+
+                let frame = HilbertFrame::of(&pts).unwrap();
+                let keys: Vec<u64> = pts.iter().map(|p| frame.key(*p)).collect();
+                for w in order.windows(2) {
+                    prop_assert!(
+                        (keys[w[0]], w[0]) < (keys[w[1]], w[1]),
+                        "(key, index) order violated at {} -> {}", w[0], w[1]
+                    );
+                }
+
+                prop_assert_eq!(&order, &hilbert_order(&pts));
+            }
+        }
     }
 }

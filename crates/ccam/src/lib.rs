@@ -11,6 +11,9 @@
 //!
 //! * [`store`] — the block layer: fixed-size pages over a file or
 //!   memory, with physical I/O counters;
+//! * [`MmapStore`] — a read-only memory-mapped block store serving
+//!   zero-copy page borrows (checksum-verified on first touch), so
+//!   graphs larger than RAM query through the OS page cache;
 //! * [`page`] — slotted 2048-byte data pages;
 //! * [`record`] — binary encoding of node records
 //!   (`bytes`-based, round-trip tested);
@@ -20,7 +23,12 @@
 //!   (CCAM proper), plain Hilbert packing, and random packing (the
 //!   ablation baseline);
 //! * [`btree`] — a disk-resident B+-tree mapping node id → record
-//!   address, bulk-loaded bottom-up and searchable page-by-page;
+//!   address, bulk-loaded bottom-up (one-shot or streamed from
+//!   external sorted runs) and searchable page-by-page;
+//! * [`build_bulk`] — a parallel, bounded-memory bulk builder that
+//!   streams any [`roadnet::NetworkSource`] straight to pages,
+//!   byte-identical to [`CcamStore::build`] at every thread count,
+//!   without ever materializing the full network;
 //! * [`buffer`] — an LRU buffer pool with pin counts and hit/miss
 //!   statistics;
 //! * [`CcamStore`] — the assembled access method implementing
@@ -37,8 +45,10 @@
 
 mod btree;
 mod buffer;
+mod bulk;
 mod ccam;
 mod hilbert;
+mod mmap;
 mod page;
 mod partition;
 mod record;
@@ -49,10 +59,12 @@ pub mod integrity;
 
 pub use btree::BTree;
 pub use buffer::{BufferPool, BufferStats};
+pub use bulk::{build_bulk, BulkBuildConfig, BulkBuildStats};
 pub use ccam::{CcamStore, StoreStats};
 pub use fault::{FaultEvent, FaultInjectingStore, FaultKind, FaultPlan};
 pub use hilbert::{hilbert_d2xy, hilbert_order, hilbert_xy2d};
 pub use integrity::{crc32, ChecksummedStore};
+pub use mmap::MmapStore;
 pub use page::SlottedPage;
 pub use partition::{partition_nodes, Partitioning, PlacementPolicy};
 pub use record::{EdgeRecord, NodeRecord};
@@ -80,6 +92,15 @@ pub enum CcamError {
     },
     /// Key not found in the index.
     NotFound(u64),
+    /// A store file's header records a different page size than the
+    /// caller asked to open it with. Typed (rather than a generic
+    /// header failure) so callers can retry with the recorded size.
+    PageSizeMismatch {
+        /// Page size recorded in the file header.
+        stored: u32,
+        /// Page size the caller asked for.
+        requested: usize,
+    },
     /// Propagated network-layer error.
     Network(roadnet::NetworkError),
     /// A page failed its CRC32 integrity check on read. The stored
@@ -136,6 +157,12 @@ impl std::fmt::Display for CcamError {
                 write!(f, "record of {need} bytes exceeds page capacity {page}")
             }
             CcamError::NotFound(k) => write!(f, "key {k} not found"),
+            CcamError::PageSizeMismatch { stored, requested } => {
+                write!(
+                    f,
+                    "store was built with page size {stored}, not {requested}"
+                )
+            }
             CcamError::Network(e) => write!(f, "network error: {e}"),
             CcamError::Corruption {
                 page,

@@ -1,0 +1,539 @@
+//! A read-only, memory-mapped [`BlockStore`]: the OS page cache *is*
+//! the buffer, so graphs far larger than RAM serve queries without the
+//! store copying a byte.
+//!
+//! [`MmapStore`] opens the same on-disk format [`FileStore`] writes
+//! (validated by the shared header check, including the typed
+//! [`CcamError::PageSizeMismatch`]) and exposes every page as a
+//! borrowed slice of the mapping via [`BlockStore::page_ref`] — the
+//! zero-copy path the buffer pool serves reads through, straight into
+//! the [`crate::SlottedPage`] readers. Mutation (`allocate`,
+//! `write_page`) is refused: a mapped store is a serving artifact, not
+//! a build target.
+//!
+//! # Checksums on first touch
+//!
+//! [`MmapStore::open_checksummed`] reads files whose pages carry the
+//! [`crate::integrity`] header (written through a
+//! [`crate::ChecksummedStore`] over a [`FileStore`]). Each page's
+//! CRC32 is verified the *first* time the page is touched — tracked in
+//! an atomic bitset, so a hot page costs one verification per process,
+//! not one per access — and the borrowed slice skips the header, so
+//! readers see exactly the payload bytes the builder wrote. First
+//! touches are tallied in [`IoStats::mmap_faults`] (the store-level
+//! proxy for the OS page faults the mapping incurs).
+//!
+//! # Fallback
+//!
+//! [`MmapStore::open_preferred`] degrades gracefully: where mmap is
+//! unavailable (unsupported platform, exotic filesystem), it falls
+//! back to the copying [`FileStore`] stack with identical validation
+//! and identical served bytes — only the counters and the copies
+//! differ.
+//!
+//! # Safety
+//!
+//! This module is the only unsafe code in `fp-ccam` (the crate
+//! otherwise inherits the workspace `unsafe_code = "deny"`): the raw
+//! `mmap`/`munmap` calls and the lifetime argument for borrowing the
+//! mapping are isolated in [`sys`], with per-site SAFETY comments
+//! under `#[deny(unsafe_op_in_unsafe_fn)]` — the same discipline as
+//! `fp-bench`'s `GlobalAlloc` wrapper.
+
+// The lint override is scoped to this module; every unsafe operation
+// below still needs its own block + SAFETY justification.
+#![allow(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::fs::File;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::integrity::{self, PAGE_HEADER};
+use crate::store::{validate_file_header, BlockStore, FileStore, IoStats, FILE_HEADER};
+use crate::{CcamError, ChecksummedStore, Result};
+
+#[cfg(unix)]
+mod sys {
+    //! The raw mapping: all `unsafe` in the crate lives here.
+
+    use std::fs::File;
+    use std::io;
+    use std::os::raw::{c_int, c_void};
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: c_int = 1;
+    const MAP_SHARED: c_int = 0x01;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            length: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, length: usize) -> c_int;
+    }
+
+    /// A read-only shared mapping of a whole file, unmapped on drop.
+    pub struct Mapping {
+        ptr: *const u8,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is PROT_READ and never written through; the
+    // pointer is only dereferenced via `as_slice`, which shares
+    // immutable bytes — safe to send to and reference from any thread.
+    unsafe impl Send for Mapping {}
+    // SAFETY: as above — concurrent readers of immutable bytes.
+    unsafe impl Sync for Mapping {}
+
+    impl Mapping {
+        /// Map `len` bytes of `file` read-only and shared (the OS page
+        /// cache backs the bytes; nothing is read up front).
+        pub fn map_readonly(file: &File, len: usize) -> io::Result<Mapping> {
+            if len == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "cannot map an empty file",
+                ));
+            }
+            // SAFETY: a fresh anonymous-address PROT_READ|MAP_SHARED
+            // mapping of a file descriptor we own, with an in-range
+            // length — the portable mmap contract. The result is
+            // checked against MAP_FAILED before use.
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_SHARED,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as usize == usize::MAX {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Mapping {
+                ptr: ptr.cast_const().cast::<u8>(),
+                len,
+            })
+        }
+
+        /// The mapped bytes. Lifetime is tied to the mapping (unmapped
+        /// only in `Drop`), and the memory is never written after
+        /// `map_readonly`, so the usual slice aliasing rules hold —
+        /// with the standard mmap caveat that truncating the backing
+        /// file *while mapped* is undefined (the same external-actor
+        /// trust `FileStore` places in its file).
+        pub fn as_slice(&self) -> &[u8] {
+            // SAFETY: `ptr` is a live PROT_READ mapping of exactly
+            // `len` bytes (established in `map_readonly`, released
+            // only in `drop`), properly aligned for `u8`.
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+
+    impl Drop for Mapping {
+        fn drop(&mut self) {
+            // SAFETY: unmapping exactly the region `map_readonly`
+            // mapped, once, with no outstanding borrows (`&mut self`
+            // proves exclusive access at drop time).
+            unsafe {
+                munmap(self.ptr.cast_mut().cast(), self.len);
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    //! Stub for platforms without mmap: every open fails with
+    //! `Unsupported`, which [`super::MmapStore::open_preferred`] turns
+    //! into the `FileStore` fallback.
+
+    use std::fs::File;
+    use std::io;
+
+    /// Unsupported-platform placeholder (never constructed).
+    pub struct Mapping {}
+
+    impl Mapping {
+        pub fn map_readonly(_file: &File, _len: usize) -> io::Result<Mapping> {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "mmap is not available on this platform",
+            ))
+        }
+
+        pub fn as_slice(&self) -> &[u8] {
+            &[]
+        }
+    }
+}
+
+/// A read-only [`BlockStore`] over a memory-mapped [`FileStore`] file
+/// (see the module docs). Serves zero-copy page borrows through
+/// [`BlockStore::page_ref`]; refuses mutation.
+pub struct MmapStore {
+    map: sys::Mapping,
+    /// Caller-visible page size ([`BlockStore::page_size`]).
+    page_size: usize,
+    /// On-disk page stride (`page_size`, plus the checksum header in
+    /// checksummed mode).
+    raw_page: usize,
+    /// Whether pages carry the [`crate::integrity`] header, verified
+    /// on first touch.
+    checksummed: bool,
+    n_pages: u64,
+    /// One bit per page: set once the page has been touched (and, in
+    /// checksummed mode, verified). Relaxed atomics — the worst race
+    /// is two threads verifying the same immutable page once each.
+    touched: Vec<AtomicU64>,
+    stats: IoStats,
+}
+
+impl MmapStore {
+    /// Map the store at `path` read-only, validating the file header
+    /// exactly as [`FileStore::open`] does — including the typed
+    /// [`CcamError::PageSizeMismatch`] when `page_size` disagrees with
+    /// what the file was built with.
+    pub fn open(path: &Path, page_size: usize) -> Result<Self> {
+        Self::open_inner(path, page_size, false)
+    }
+
+    /// Map a store whose pages were written through a
+    /// [`ChecksummedStore`] over a [`FileStore`] created with
+    /// `raw_page_size` (so the visible page size is `raw_page_size -`
+    /// [`PAGE_HEADER`]). Every page's CRC32 is verified on its first
+    /// touch; corrupt pages surface as [`CcamError::Corruption`] and
+    /// are never served.
+    pub fn open_checksummed(path: &Path, raw_page_size: usize) -> Result<Self> {
+        Self::open_inner(path, raw_page_size, true)
+    }
+
+    fn open_inner(path: &Path, raw_page_size: usize, checksummed: bool) -> Result<Self> {
+        if checksummed && raw_page_size <= PAGE_HEADER {
+            return Err(CcamError::Corrupt(format!(
+                "page size {raw_page_size} cannot hold a checksum header"
+            )));
+        }
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        if len < FILE_HEADER {
+            return Err(CcamError::Corrupt(format!(
+                "file too short ({len} bytes) to hold a store header"
+            )));
+        }
+        let map = sys::Mapping::map_readonly(&file, len as usize)?;
+        let mut header = [0u8; FILE_HEADER as usize];
+        header.copy_from_slice(&map.as_slice()[..FILE_HEADER as usize]);
+        let n_pages = validate_file_header(&header, len, raw_page_size)?;
+        let words = (n_pages as usize).div_ceil(64);
+        Ok(MmapStore {
+            map,
+            page_size: if checksummed {
+                raw_page_size - PAGE_HEADER
+            } else {
+                raw_page_size
+            },
+            raw_page: raw_page_size,
+            checksummed,
+            n_pages,
+            touched: (0..words).map(|_| AtomicU64::new(0)).collect(),
+            stats: IoStats::default(),
+        })
+    }
+
+    /// Open `path` as an [`MmapStore`] if the platform supports it,
+    /// else fall back to the copying [`FileStore`] stack (wrapped in a
+    /// [`ChecksummedStore`] when `checksummed`) — same validation,
+    /// same served bytes, different counters.
+    pub fn open_preferred(
+        path: &Path,
+        raw_page_size: usize,
+        checksummed: bool,
+    ) -> Result<Arc<dyn BlockStore>> {
+        let mmap_err = match Self::open_inner(path, raw_page_size, checksummed) {
+            Ok(store) => return Ok(Arc::new(store)),
+            Err(e) => e,
+        };
+        // Only environmental failures fall back: a malformed header
+        // would fail identically through FileStore, so surface it.
+        if !matches!(mmap_err, CcamError::Io(_)) {
+            return Err(mmap_err);
+        }
+        let file = Arc::new(FileStore::open(path, raw_page_size)?);
+        if checksummed {
+            Ok(Arc::new(ChecksummedStore::new(file)))
+        } else {
+            Ok(file)
+        }
+    }
+
+    /// Whether this store verifies per-page checksums on first touch.
+    pub fn is_checksummed(&self) -> bool {
+        self.checksummed
+    }
+
+    /// The raw on-disk bytes of page `id` (header included in
+    /// checksummed mode).
+    fn raw_page_bytes(&self, id: u64) -> Result<&[u8]> {
+        if id >= self.n_pages {
+            return Err(CcamError::BadPage(id));
+        }
+        let start = FILE_HEADER as usize + id as usize * self.raw_page;
+        Ok(&self.map.as_slice()[start..start + self.raw_page])
+    }
+
+    /// First-touch bookkeeping: verify the page (checksummed mode) and
+    /// count the touch, exactly once per page. Returns the payload.
+    fn touch<'a>(&'a self, id: u64, raw: &'a [u8]) -> Result<&'a [u8]> {
+        let (word, bit) = (id as usize / 64, 1u64 << (id % 64));
+        if self.touched[word].load(Ordering::Relaxed) & bit == 0 {
+            if self.checksummed {
+                verify_page(id, raw, &self.stats)?;
+            }
+            // Two racing first-touchers both verify (harmless: the
+            // bytes are immutable) but only one counts the fault.
+            if self.touched[word].fetch_or(bit, Ordering::Relaxed) & bit == 0 {
+                self.stats.bump_mmap_fault();
+            }
+        }
+        Ok(if self.checksummed {
+            &raw[PAGE_HEADER..]
+        } else {
+            raw
+        })
+    }
+}
+
+/// Verify one checksummed page ([`crate::integrity`] format), bumping
+/// the corruption counter on failure.
+fn verify_page(id: u64, raw: &[u8], stats: &IoStats) -> Result<()> {
+    let magic = u16::from_be_bytes([raw[0], raw[1]]);
+    let version = u16::from_be_bytes([raw[2], raw[3]]);
+    if magic != u16::from_be_bytes(*b"CP") || version != 1 {
+        stats.bump_corruption();
+        return Err(CcamError::Corrupt(format!(
+            "page {id}: bad checksum header (magic {magic:#06x}, version {version})"
+        )));
+    }
+    let stored = u32::from_be_bytes([raw[4], raw[5], raw[6], raw[7]]);
+    let computed = integrity::crc32(&raw[PAGE_HEADER..]);
+    if stored != computed {
+        stats.bump_corruption();
+        return Err(CcamError::Corruption {
+            page: id,
+            stored,
+            computed,
+        });
+    }
+    Ok(())
+}
+
+impl BlockStore for MmapStore {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn n_pages(&self) -> u64 {
+        self.n_pages
+    }
+
+    fn allocate(&self) -> Result<u64> {
+        Err(CcamError::Io(std::io::Error::new(
+            std::io::ErrorKind::PermissionDenied,
+            "mmap store is read-only: allocate refused",
+        )))
+    }
+
+    fn read_page(&self, id: u64, buf: &mut [u8]) -> Result<()> {
+        let raw = self.raw_page_bytes(id)?;
+        let payload = self.touch(id, raw)?;
+        buf.copy_from_slice(payload);
+        self.stats.bump_read(buf.len());
+        Ok(())
+    }
+
+    fn write_page(&self, id: u64, _buf: &[u8]) -> Result<()> {
+        let _ = id;
+        Err(CcamError::Io(std::io::Error::new(
+            std::io::ErrorKind::PermissionDenied,
+            "mmap store is read-only: write refused",
+        )))
+    }
+
+    fn page_ref(&self, id: u64) -> Result<Option<&[u8]>> {
+        let raw = self.raw_page_bytes(id)?;
+        Ok(Some(self.touch(id, raw)?))
+    }
+
+    fn io_stats(&self) -> &IoStats {
+        &self.stats
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ccam-mmap-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Write `n` plain pages (page `i` filled with byte `i`) through a
+    /// FileStore and return the path.
+    fn plain_fixture(dir: &Path, page_size: usize, n: usize) -> std::path::PathBuf {
+        let path = dir.join("plain.db");
+        let s = FileStore::create(&path, page_size).unwrap();
+        for i in 0..n {
+            let id = s.allocate().unwrap();
+            s.write_page(id, &vec![i as u8; page_size]).unwrap();
+        }
+        path
+    }
+
+    #[test]
+    fn serves_filestore_bytes_verbatim() {
+        let dir = tmp_dir("plain");
+        let path = plain_fixture(&dir, 256, 5);
+        let m = MmapStore::open(&path, 256).unwrap();
+        assert_eq!(m.page_size(), 256);
+        assert_eq!(m.n_pages(), 5);
+        let mut buf = vec![0u8; 256];
+        for id in 0..5u64 {
+            m.read_page(id, &mut buf).unwrap();
+            assert!(buf.iter().all(|&b| b == id as u8));
+            let slice = m.page_ref(id).unwrap().unwrap();
+            assert_eq!(slice, &buf[..]);
+        }
+        assert!(matches!(
+            m.read_page(5, &mut buf),
+            Err(CcamError::BadPage(5))
+        ));
+        // read-only: no mutation
+        assert!(m.allocate().is_err());
+        assert!(m.write_page(0, &buf).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn first_touch_is_counted_once_per_page() {
+        let dir = tmp_dir("touch");
+        let path = plain_fixture(&dir, 128, 3);
+        let m = MmapStore::open(&path, 128).unwrap();
+        for _ in 0..4 {
+            for id in 0..3u64 {
+                m.page_ref(id).unwrap().unwrap();
+            }
+        }
+        assert_eq!(m.io_stats().mmap_faults(), 3);
+        // borrows are zero-copy: no read/byte counters move
+        assert_eq!(m.io_stats().reads(), 0);
+        assert_eq!(m.io_stats().bytes_read(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_validates_header_with_typed_page_size_error() {
+        let dir = tmp_dir("hdr");
+        let path = plain_fixture(&dir, 512, 1);
+        assert!(MmapStore::open(&path, 512).is_ok());
+        assert!(matches!(
+            MmapStore::open(&path, 1024),
+            Err(CcamError::PageSizeMismatch {
+                stored: 512,
+                requested: 1024,
+            })
+        ));
+        let junk = dir.join("junk.db");
+        std::fs::write(&junk, [7u8; 100]).unwrap();
+        assert!(matches!(
+            MmapStore::open(&junk, 512),
+            Err(CcamError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checksummed_pages_verify_on_first_touch() {
+        let dir = tmp_dir("crc");
+        let path = dir.join("summed.db");
+        let visible = 256 - PAGE_HEADER;
+        {
+            let file = Arc::new(FileStore::create(&path, 256).unwrap());
+            let summed = ChecksummedStore::new(Arc::clone(&file) as Arc<dyn BlockStore>);
+            for i in 0..4 {
+                let id = summed.allocate().unwrap();
+                summed.write_page(id, &vec![i as u8 + 1; visible]).unwrap();
+            }
+        }
+        let m = MmapStore::open_checksummed(&path, 256).unwrap();
+        assert_eq!(m.page_size(), visible);
+        let mut buf = vec![0u8; visible];
+        for id in 0..4u64 {
+            // payload excludes the checksum header, bit for bit
+            m.read_page(id, &mut buf).unwrap();
+            assert!(buf.iter().all(|&b| b == id as u8 + 1));
+        }
+        assert_eq!(m.io_stats().mmap_faults(), 4);
+        assert_eq!(m.io_stats().corruptions(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checksummed_corruption_is_detected_not_served() {
+        let dir = tmp_dir("corrupt");
+        let path = dir.join("summed.db");
+        let visible = 128 - PAGE_HEADER;
+        {
+            let file = Arc::new(FileStore::create(&path, 128).unwrap());
+            let summed = ChecksummedStore::new(Arc::clone(&file) as Arc<dyn BlockStore>);
+            let id = summed.allocate().unwrap();
+            summed.write_page(id, &vec![0xA5; visible]).unwrap();
+        }
+        // flip a payload bit behind the checksum
+        {
+            use std::io::{Seek, SeekFrom, Write};
+            let mut f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+            f.seek(SeekFrom::Start(FILE_HEADER + PAGE_HEADER as u64 + 9))
+                .unwrap();
+            f.write_all(&[0xA4]).unwrap();
+        }
+        let m = MmapStore::open_checksummed(&path, 128).unwrap();
+        let err = m.page_ref(0).unwrap_err();
+        assert!(
+            matches!(err, CcamError::Corruption { page: 0, .. }),
+            "{err:?}"
+        );
+        assert_eq!(m.io_stats().corruptions(), 1);
+        // a corrupt page is never marked verified, so every touch fails
+        assert!(m.page_ref(0).is_err());
+        assert_eq!(m.io_stats().mmap_faults(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_preferred_serves_the_same_bytes() {
+        let dir = tmp_dir("pref");
+        let path = plain_fixture(&dir, 128, 2);
+        let store = MmapStore::open_preferred(&path, 128, false).unwrap();
+        let mut got = vec![0u8; 128];
+        store.read_page(1, &mut got).unwrap();
+        let mem = MemStore::new(128);
+        mem.allocate().unwrap();
+        mem.write_page(0, &[1u8; 128]).unwrap();
+        let mut want = vec![0u8; 128];
+        mem.read_page(0, &mut want).unwrap();
+        assert_eq!(got, want);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

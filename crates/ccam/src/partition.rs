@@ -15,10 +15,10 @@
 
 use std::collections::VecDeque;
 
-use roadnet::{NodeId, RoadNetwork};
+use roadnet::{Edge, NetworkSource, NodeId, RoadNetwork};
 
 use crate::hilbert::hilbert_order;
-use crate::record::{EdgeRecord, NodeRecord};
+use crate::record::NodeRecord;
 use crate::Result;
 
 /// How node records are assigned to data pages.
@@ -75,29 +75,36 @@ impl Partitioning {
     }
 }
 
-/// Encoded record size of `node` (header + slot-directory entry).
-fn record_cost(net: &RoadNetwork, node: NodeId) -> Result<usize> {
-    let rec = NodeRecord {
-        id: node,
-        loc: *net.point(node)?,
-        edges: net.neighbors(node)?.iter().map(EdgeRecord::from).collect(),
-    };
-    Ok(rec.encoded_len() + 4) // slot entry
+/// Encoded record size of `node` (header + slot-directory entry);
+/// `edges` is a reused scratch buffer.
+fn record_cost<S: NetworkSource + ?Sized>(
+    net: &S,
+    node: NodeId,
+    edges: &mut Vec<Edge>,
+) -> Result<usize> {
+    net.successors_into(node, edges)?;
+    Ok(NodeRecord::encoded_len_for(edges.len()) + 4) // slot entry
 }
 
 /// Partition all nodes of `net` into pages of `page_size` bytes under
 /// `policy`.
-pub fn partition_nodes(
-    net: &RoadNetwork,
+///
+/// Generic over [`NetworkSource`] so a lazily generated network (the
+/// continental tier) or a disk-resident one can be partitioned without
+/// materializing a [`RoadNetwork`]; node ids are `0..n_nodes()` by the
+/// source contract.
+pub fn partition_nodes<S: NetworkSource + ?Sized>(
+    net: &S,
     policy: PlacementPolicy,
     page_size: usize,
 ) -> Result<Partitioning> {
     let budget = page_size.saturating_sub(4); // page header
+    let mut scratch: Vec<Edge> = Vec::new();
     let order: Vec<usize> = match policy {
         PlacementPolicy::ConnectivityClustered | PlacementPolicy::HilbertPacked => {
             let mut pts = Vec::with_capacity(net.n_nodes());
-            for n in net.node_ids() {
-                pts.push(*net.point(n)?);
+            for i in 0..net.n_nodes() {
+                pts.push(net.find_node(NodeId(i as u32))?);
             }
             hilbert_order(&pts)
         }
@@ -122,7 +129,7 @@ pub fn partition_nodes(
         let mut used = 0usize;
         for &i in &order {
             let n = NodeId(i as u32);
-            let cost = record_cost(net, n)?;
+            let cost = record_cost(net, n, &mut scratch)?;
             if used + cost > budget && !page.is_empty() {
                 pages.push(std::mem::take(&mut page));
                 used = 0;
@@ -160,7 +167,7 @@ pub fn partition_nodes(
             if assigned[cand.index()] {
                 continue;
             }
-            let cost = record_cost(net, cand)?;
+            let cost = record_cost(net, cand, &mut scratch)?;
             if used + cost > budget {
                 if page.is_empty() {
                     // a single record larger than a page: give it its own
@@ -175,7 +182,9 @@ pub fn partition_nodes(
             assigned[cand.index()] = true;
             used += cost;
             page.push(cand);
-            for e in net.neighbors(cand)? {
+            // `scratch` still holds `cand`'s successors from the cost
+            // computation above.
+            for e in &scratch {
                 if !assigned[e.to.index()] {
                     queue.push_back(e.to);
                 }
@@ -225,8 +234,12 @@ mod tests {
         let net = grid(10, 10, 0.2, RoadClass::LocalOutside).unwrap();
         let page_size = 512;
         let p = partition_nodes(&net, PlacementPolicy::ConnectivityClustered, page_size).unwrap();
+        let mut scratch = Vec::new();
         for page in &p.pages {
-            let used: usize = page.iter().map(|&n| record_cost(&net, n).unwrap()).sum();
+            let used: usize = page
+                .iter()
+                .map(|&n| record_cost(&net, n, &mut scratch).unwrap())
+                .sum();
             assert!(used <= page_size - 4, "page overflows: {used}");
         }
     }

@@ -62,9 +62,16 @@ pub struct NodeRecord {
 }
 
 impl NodeRecord {
+    /// Encoded size in bytes of a record with `n_edges` adjacency
+    /// entries — computable without materializing the record, which is
+    /// how the partitioner and the bulk builder budget pages.
+    pub fn encoded_len_for(n_edges: usize) -> usize {
+        4 + 8 + 8 + 2 + n_edges * (4 + 8 + 1 + 2)
+    }
+
     /// Encoded size in bytes.
     pub fn encoded_len(&self) -> usize {
-        4 + 8 + 8 + 2 + self.edges.len() * (4 + 8 + 1 + 2)
+        Self::encoded_len_for(self.edges.len())
     }
 
     /// Append the binary encoding to `out`.

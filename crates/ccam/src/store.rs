@@ -23,6 +23,9 @@ use crate::{CcamError, Result};
 pub struct IoStats {
     reads: AtomicU64,
     writes: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    mmap_faults: AtomicU64,
     retries: AtomicU64,
     corruptions: AtomicU64,
     exhausted: AtomicU64,
@@ -37,6 +40,27 @@ impl IoStats {
     /// Pages physically written so far.
     pub fn writes(&self) -> u64 {
         self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Bytes physically read so far (page-size multiples of
+    /// [`IoStats::reads`] for the block stores here; mmap-backed
+    /// stores count only copying reads, not zero-copy borrows).
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+
+    /// Bytes physically written so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Pages of an mmap-backed store touched for the first time (a
+    /// proxy for major/minor OS page faults the mapping can incur:
+    /// each first touch is where the kernel may have to fault the
+    /// backing file in). Zero for copying stores. Same relaxed
+    /// contract as every other counter here.
+    pub fn mmap_faults(&self) -> u64 {
+        self.mmap_faults.load(Ordering::Relaxed)
     }
 
     /// Transient-fault retries issued by the buffer pool so far.
@@ -63,12 +87,19 @@ impl IoStats {
         (self.reads(), self.writes())
     }
 
-    fn bump_read(&self) {
+    pub(crate) fn bump_read(&self, bytes: usize) {
         self.reads.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
-    fn bump_write(&self) {
+    pub(crate) fn bump_write(&self, bytes: usize) {
         self.writes.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_mmap_fault(&self) {
+        self.mmap_faults.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn bump_retry(&self) {
@@ -100,6 +131,20 @@ pub trait BlockStore: Send + Sync {
 
     /// Write `buf` to page `id`.
     fn write_page(&self, id: u64, buf: &[u8]) -> Result<()>;
+
+    /// Borrow page `id` zero-copy, if this store can serve borrows.
+    ///
+    /// `Ok(None)` (the default) means the store only supports copying
+    /// reads — callers fall back to [`BlockStore::read_page`].
+    /// `Ok(Some(bytes))` is the page's current contents, valid for the
+    /// life of the borrow; stores that return it (the mmap store)
+    /// guarantee the bytes never change while the store lives, so the
+    /// buffer pool can run readers directly over them without taking a
+    /// frame. Errors surface exactly as `read_page`'s would (bad page
+    /// id, first-touch checksum failure).
+    fn page_ref(&self, _id: u64) -> Result<Option<&[u8]>> {
+        Ok(None)
+    }
 
     /// Physical I/O counters.
     fn io_stats(&self) -> &IoStats;
@@ -143,7 +188,7 @@ impl BlockStore for MemStore {
         let pages = self.pages.lock();
         let page = pages.get(id as usize).ok_or(CcamError::BadPage(id))?;
         buf.copy_from_slice(page);
-        self.stats.bump_read();
+        self.stats.bump_read(buf.len());
         Ok(())
     }
 
@@ -151,7 +196,7 @@ impl BlockStore for MemStore {
         let mut pages = self.pages.lock();
         let page = pages.get_mut(id as usize).ok_or(CcamError::BadPage(id))?;
         page.copy_from_slice(buf);
-        self.stats.bump_write();
+        self.stats.bump_write(buf.len());
         Ok(())
     }
 
@@ -164,8 +209,9 @@ impl BlockStore for MemStore {
 ///
 /// The file starts with a 16-byte header — magic, format version, and
 /// page size — written by [`FileStore::create`] and validated by
-/// [`FileStore::open`], so opening a non-store file or one built with
-/// a different page size fails with [`CcamError::Corrupt`] instead of
+/// [`FileStore::open`], so opening a non-store file fails with
+/// [`CcamError::Corrupt`] (or, for a store built with a different page
+/// size, the typed [`CcamError::PageSizeMismatch`]) instead of
 /// silently reading garbage. Pages follow the header back-to-back.
 pub struct FileStore {
     page_size: usize,
@@ -180,7 +226,7 @@ const FILE_MAGIC: u32 = u32::from_be_bytes(*b"CCFS");
 /// (v1 files — bare page arrays — are no longer readable).
 const FILE_VERSION: u16 = 2;
 /// File header size in bytes; pages start at this offset.
-const FILE_HEADER: u64 = 16;
+pub(crate) const FILE_HEADER: u64 = 16;
 
 fn encode_file_header(page_size: usize) -> [u8; FILE_HEADER as usize] {
     let mut h = [0u8; FILE_HEADER as usize];
@@ -190,6 +236,45 @@ fn encode_file_header(page_size: usize) -> [u8; FILE_HEADER as usize] {
     h[8..12].copy_from_slice(&(page_size as u32).to_be_bytes());
     // h[12..16] reserved
     h
+}
+
+/// Validate a store file header (magic, version, page size) and the
+/// page area (`len` = whole file length) against what the caller
+/// expects, returning the page count. Shared by [`FileStore::open`]
+/// and [`crate::MmapStore::open`] so both report identical typed
+/// errors — including [`CcamError::PageSizeMismatch`] when the header
+/// disagrees with the requested page size.
+pub(crate) fn validate_file_header(
+    header: &[u8; FILE_HEADER as usize],
+    len: u64,
+    page_size: usize,
+) -> Result<u64> {
+    let magic = u32::from_be_bytes([header[0], header[1], header[2], header[3]]);
+    if magic != FILE_MAGIC {
+        return Err(CcamError::Corrupt(format!(
+            "bad file magic {magic:#010x}: not a ccam block store"
+        )));
+    }
+    let version = u16::from_be_bytes([header[4], header[5]]);
+    if version != FILE_VERSION {
+        return Err(CcamError::Corrupt(format!(
+            "unsupported store format version {version} (expected {FILE_VERSION})"
+        )));
+    }
+    let stored_page_size = u32::from_be_bytes([header[8], header[9], header[10], header[11]]);
+    if stored_page_size as usize != page_size {
+        return Err(CcamError::PageSizeMismatch {
+            stored: stored_page_size,
+            requested: page_size,
+        });
+    }
+    if !(len - FILE_HEADER).is_multiple_of(page_size as u64) {
+        return Err(CcamError::Corrupt(format!(
+            "page area of {} bytes not a multiple of page size {page_size}",
+            len - FILE_HEADER
+        )));
+    }
+    Ok((len - FILE_HEADER) / page_size as u64)
 }
 
 impl FileStore {
@@ -223,34 +308,11 @@ impl FileStore {
         }
         let mut header = [0u8; FILE_HEADER as usize];
         file.read_exact(&mut header)?;
-        let magic = u32::from_be_bytes([header[0], header[1], header[2], header[3]]);
-        if magic != FILE_MAGIC {
-            return Err(CcamError::Corrupt(format!(
-                "bad file magic {magic:#010x}: not a ccam block store"
-            )));
-        }
-        let version = u16::from_be_bytes([header[4], header[5]]);
-        if version != FILE_VERSION {
-            return Err(CcamError::Corrupt(format!(
-                "unsupported store format version {version} (expected {FILE_VERSION})"
-            )));
-        }
-        let stored_page_size = u32::from_be_bytes([header[8], header[9], header[10], header[11]]);
-        if stored_page_size as usize != page_size {
-            return Err(CcamError::Corrupt(format!(
-                "store was built with page size {stored_page_size}, not {page_size}"
-            )));
-        }
-        if !(len - FILE_HEADER).is_multiple_of(page_size as u64) {
-            return Err(CcamError::Corrupt(format!(
-                "page area of {} bytes not a multiple of page size {page_size}",
-                len - FILE_HEADER
-            )));
-        }
+        let n_pages = validate_file_header(&header, len, page_size)?;
         Ok(FileStore {
             page_size,
             file: Mutex::new(file),
-            n_pages: AtomicU64::new((len - FILE_HEADER) / page_size as u64),
+            n_pages: AtomicU64::new(n_pages),
             stats: IoStats::default(),
         })
     }
@@ -284,7 +346,7 @@ impl BlockStore for FileStore {
         let mut file = self.file.lock();
         file.seek(SeekFrom::Start(self.offset(id)))?;
         file.read_exact(buf)?;
-        self.stats.bump_read();
+        self.stats.bump_read(buf.len());
         Ok(())
     }
 
@@ -295,7 +357,7 @@ impl BlockStore for FileStore {
         let mut file = self.file.lock();
         file.seek(SeekFrom::Start(self.offset(id)))?;
         file.write_all(buf)?;
-        self.stats.bump_write();
+        self.stats.bump_write(buf.len());
         Ok(())
     }
 
@@ -337,6 +399,10 @@ mod tests {
 
         let (r, w) = store.io_stats().snapshot();
         assert_eq!((r, w), (2, 1));
+        let page = store.page_size() as u64;
+        assert_eq!(store.io_stats().bytes_read(), 2 * page);
+        assert_eq!(store.io_stats().bytes_written(), page);
+        assert_eq!(store.io_stats().mmap_faults(), 0);
     }
 
     #[test]
@@ -422,10 +488,14 @@ mod tests {
         }
         // opening with the page size the file was built with works ...
         assert!(FileStore::open(&path, 512).is_ok());
-        // ... but any other page size is refused up front
+        // ... but any other page size is refused up front with the
+        // typed mismatch error carrying both sizes
         assert!(matches!(
             FileStore::open(&path, 1024),
-            Err(CcamError::Corrupt(_))
+            Err(CcamError::PageSizeMismatch {
+                stored: 512,
+                requested: 1024,
+            })
         ));
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -1374,6 +1374,10 @@ pub fn build_estimator(
             let bd = BoundaryLb::build(net, grid, WeightMode::BestTime)?;
             Box::new(crate::estimator::MaxEstimator::new(naive, bd, "bdLB-time"))
         }
+        EstimatorKind::BoundaryPartitioned { groups } => {
+            let bd = BoundaryLb::build_partitioned_auto(net, groups, WeightMode::Distance)?;
+            Box::new(crate::estimator::MaxEstimator::new(naive, bd, "bdLB-part"))
+        }
     })
 }
 

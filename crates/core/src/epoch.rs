@@ -306,6 +306,17 @@ impl EpochManager {
                     true,
                 )
             }
+            // Partitioned distance tables likewise depend only on edge
+            // lengths and node locations, neither of which a traffic
+            // delta can change.
+            (EstimatorKind::BoundaryPartitioned { .. }, Some(bd)) => {
+                let bd = Arc::new(bd.with_v_max(net.max_speed()));
+                (
+                    Arc::new(MaxEstimator::new(naive, Arc::clone(&bd), "bdLB-part")),
+                    Some(bd),
+                    true,
+                )
+            }
             // BestTime tables depend on per-edge best-case speeds:
             // reuse only when the delta left every max speed intact.
             (EstimatorKind::BoundaryTime { .. }, Some(bd)) if !report.best_time_weights_changed => {
@@ -436,6 +447,17 @@ fn build_parts(net: &RoadNetwork, config: &EngineConfig) -> Result<EstimatorPart
             let bd = Arc::new(BoundaryLb::build(net, grid, WeightMode::BestTime)?);
             (
                 Arc::new(MaxEstimator::new(naive, Arc::clone(&bd), "bdLB-time")),
+                Some(bd),
+            )
+        }
+        EstimatorKind::BoundaryPartitioned { groups } => {
+            let bd = Arc::new(BoundaryLb::build_partitioned_auto(
+                net,
+                groups,
+                WeightMode::Distance,
+            )?);
+            (
+                Arc::new(MaxEstimator::new(naive, Arc::clone(&bd), "bdLB-part")),
                 Some(bd),
             )
         }

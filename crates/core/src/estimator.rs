@@ -60,6 +60,16 @@ pub enum EstimatorKind {
         /// Cells per axis of the space partitioning.
         grid: usize,
     },
+    /// Boundary-node estimator over distances, partitioned by CCAM's
+    /// connectivity clustering instead of a geometric grid and
+    /// precomputed per partition (restricted-subgraph Dijkstras plus a
+    /// boundary interface graph), so the precompute stays tractable on
+    /// million-node networks ("bdLB-part").
+    BoundaryPartitioned {
+        /// Target number of partitions (the realized count may differ
+        /// slightly; the boundary table is `groups²`).
+        groups: usize,
+    },
 }
 
 /// The naive estimator: `d_euc(n, e) / v_max` (§4.2 step 1).

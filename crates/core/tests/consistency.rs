@@ -141,6 +141,37 @@ fn boundary_estimator_preserves_answers_and_prunes() {
 }
 
 #[test]
+fn partitioned_estimator_preserves_answers() {
+    let net = suffolk_like(&MetroConfig::small(5)).unwrap();
+    let pairs = roadnet::workload::sample_pairs(&net, 3, 1.5, 2.5, 4).unwrap();
+    assert!(!pairs.is_empty());
+    let naive = Engine::for_network(&net, EngineConfig::default()).unwrap();
+    let part = Engine::for_network(
+        &net,
+        EngineConfig {
+            estimator: EstimatorKind::BoundaryPartitioned { groups: 24 },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    for p in &pairs {
+        let q = QuerySpec::new(
+            p.source,
+            p.target,
+            Interval::of(hm(7, 0), hm(8, 30)),
+            DayCategory::WORKDAY,
+        );
+        let a = naive.all_fastest_paths(&q).unwrap();
+        let b = part.all_fastest_paths(&q).unwrap();
+        assert_eq!(a.partition.len(), b.partition.len());
+        for (x, y) in a.partition.iter().zip(b.partition.iter()) {
+            assert!(x.0.approx_eq(&y.0));
+            assert_eq!(a.paths[x.1].nodes, b.paths[y.1].nodes);
+        }
+    }
+}
+
+#[test]
 fn ccam_store_gives_identical_answers() {
     let net = suffolk_like(&MetroConfig::small(11)).unwrap();
     let store = Arc::new(MemStore::new(DEFAULT_PAGE_SIZE));

@@ -1,0 +1,145 @@
+//! Golden store-equivalence suite for the continental pipeline:
+//!
+//! * the parallel bulk builder must produce **byte-identical** stores
+//!   at every thread count (1, 2, 4);
+//! * query answers served through `MemStore`, `FileStore`, and
+//!   `MmapStore` must be **bit-identical** to each other and to the
+//!   in-memory network (fingerprinted through `Debug`, which prints
+//!   shortest-roundtrip floats — equal strings means equal bits).
+//!
+//! A scaled-down continental tier keeps the suite fast; the metro-huge
+//! bench (`fpbench::metro_huge`) re-runs the same checks at the smoke
+//! tier and measures the million-node tier.
+
+use std::sync::Arc;
+
+use allfp::{Engine, EngineConfig, QuerySpec};
+use ccam::{
+    build_bulk, BlockStore, BulkBuildConfig, CcamStore, FileStore, MemStore, MmapStore,
+    DEFAULT_PAGE_SIZE,
+};
+use pwl::time::hm;
+use pwl::Interval;
+use roadnet::generators::{continental, ContinentalConfig, ContinentalNet};
+use roadnet::RoadNetwork;
+use traffic::DayCategory;
+
+/// A 900-node continental tier: big enough to need many pages and an
+/// index of height > 1, small enough for a debug-build test.
+fn tiny_config() -> ContinentalConfig {
+    ContinentalConfig {
+        cells_x: 3,
+        cells_y: 3,
+        cell_w: 10,
+        cell_h: 10,
+        ..ContinentalConfig::smoke(0xC0FFEE)
+    }
+}
+
+/// The fig9-style workload on the materialized twin of the tier.
+fn workload(net: &RoadNetwork) -> Vec<QuerySpec> {
+    let interval = Interval::of(hm(7, 0), hm(10, 0));
+    roadnet::workload::sample_pairs(net, 6, 0.3, 1.0, 0xF19)
+        .expect("sampling succeeds")
+        .iter()
+        .map(|p| QuerySpec::new(p.source, p.target, interval, DayCategory::WORKDAY))
+        .collect()
+}
+
+/// Bit-level fingerprint of an answer: interval partition plus every
+/// path (nodes and travel-time function), via shortest-roundtrip
+/// float formatting.
+fn fingerprint(a: &allfp::AllFpAnswer) -> String {
+    format!("{:?}|{:?}", a.partition, a.paths)
+}
+
+/// Every page of the store, read through the public interface.
+fn page_images(store: &dyn BlockStore) -> Vec<Vec<u8>> {
+    let mut buf = vec![0u8; store.page_size()];
+    (0..store.n_pages())
+        .map(|id| {
+            store.read_page(id, &mut buf).expect("page reads");
+            buf.clone()
+        })
+        .collect()
+}
+
+#[test]
+fn bulk_build_is_byte_identical_across_thread_counts() {
+    let lazy = ContinentalNet::new(tiny_config()).expect("config is valid");
+    let mut images: Vec<Vec<Vec<u8>>> = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let store = Arc::new(MemStore::new(DEFAULT_PAGE_SIZE));
+        let cfg = BulkBuildConfig {
+            threads,
+            ..BulkBuildConfig::default()
+        };
+        let (_, stats) =
+            build_bulk(&lazy, lazy.patterns(), Arc::clone(&store) as _, &cfg).expect("bulk builds");
+        assert_eq!(stats.n_nodes, tiny_config().n_nodes());
+        images.push(page_images(store.as_ref()));
+    }
+    assert_eq!(images[0], images[1], "2-thread build diverged from serial");
+    assert_eq!(images[0], images[2], "4-thread build diverged from serial");
+}
+
+#[test]
+fn answers_bit_identical_across_mem_file_and_mmap_stores() {
+    let cfg = tiny_config();
+    let lazy = ContinentalNet::new(cfg.clone()).expect("config is valid");
+    let net = continental(&cfg).expect("materializes");
+    let queries = workload(&net);
+    assert!(!queries.is_empty());
+
+    // Reference: the in-memory network.
+    let mem_engine = Engine::new(&net, EngineConfig::default());
+    let reference: Vec<String> = queries
+        .iter()
+        .map(|q| fingerprint(&mem_engine.all_fastest_paths(q).expect("query succeeds")))
+        .collect();
+
+    let dir = std::env::temp_dir().join(format!("fp-store-equiv-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("tier.ccam");
+
+    // Build once through the bulk pipeline into a FileStore...
+    let file = Arc::new(FileStore::create(&path, DEFAULT_PAGE_SIZE).expect("file store"));
+    let bulk_cfg = BulkBuildConfig::default();
+    let (_, _) = build_bulk(&lazy, lazy.patterns(), file as _, &bulk_cfg).expect("bulk builds");
+
+    // ...and once into a MemStore (the builder is deterministic, so
+    // the three stores below all serve the same bytes).
+    let mem_store = Arc::new(MemStore::new(DEFAULT_PAGE_SIZE));
+    let (mem_ccam, _) =
+        build_bulk(&lazy, lazy.patterns(), mem_store as _, &bulk_cfg).expect("bulk builds");
+
+    let file_ro = Arc::new(FileStore::open(&path, DEFAULT_PAGE_SIZE).expect("file reopens"));
+    let file_ccam = CcamStore::open(file_ro, 64).expect("ccam over file");
+
+    let mmap = Arc::new(MmapStore::open(&path, DEFAULT_PAGE_SIZE).expect("mmap opens"));
+    let mmap_stats = Arc::clone(&mmap);
+    // 64 frames over hundreds of pages: eviction and refaulting are
+    // exercised, not just the first touch.
+    let mmap_ccam = CcamStore::open(mmap, 64).expect("ccam over mmap");
+
+    for (label, disk) in [
+        ("MemStore", &mem_ccam),
+        ("FileStore", &file_ccam),
+        ("MmapStore", &mmap_ccam),
+    ] {
+        let engine = Engine::new(disk, EngineConfig::default());
+        for (q, want) in queries.iter().zip(reference.iter()) {
+            let got = fingerprint(&engine.all_fastest_paths(q).expect("query succeeds"));
+            assert_eq!(&got, want, "{label} answer diverged from in-memory network");
+        }
+    }
+
+    // The mmap path actually served the workload: first-touch faults
+    // were counted, and the store refuses writes by construction.
+    assert!(
+        mmap_stats.io_stats().mmap_faults() > 0,
+        "no mmap faults counted — the mmap store was never exercised"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -5,10 +5,12 @@
 //! in for the paper's TIGER/Line Suffolk County extract; [`grid`] and
 //! [`random_geometric`] back unit and property tests.
 
+mod continental;
 mod grid;
 mod metro;
 mod random_geo;
 
+pub use continental::{continental, ContinentalConfig, ContinentalNet};
 pub use grid::grid;
 pub use metro::{suffolk_like, MetroConfig};
 pub use random_geo::random_geometric;

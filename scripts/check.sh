@@ -74,7 +74,14 @@ cargo test -q -p fp-pwl --release --test reduce_props
 # only), the <=0.5x overlay byte footprint against the old
 # materialized layout, and the
 # >=1.5x 4-thread contraction speedup (multi-core hosts only).
-echo "==> batch-driver smoke (answers + scaling + checksum + allocation + overload + live-update + hierarchy gates)"
+# Continental-scale gates ride the same smoke: the metro-huge smoke
+# tier (16 384 nodes) must bulk-build byte-identically at 1/2/4
+# threads, keep the builder's transient scratch bounded under the
+# graph bytes, and serve its fig9 workload through the mmap-backed
+# store (store-equivalence across Mem/File/Mmap is pinned separately
+# by the fp-allfp store_equivalence golden suite in tier 1). Runtime
+# stays bounded: the million-node tier runs only under --report.
+echo "==> batch-driver smoke (answers + scaling + checksum + allocation + overload + live-update + hierarchy + metro-huge gates)"
 cargo bench -p fp-bench --bench engine_hotpath -- --smoke
 
 echo "All checks passed."
