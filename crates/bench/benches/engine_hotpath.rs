@@ -468,6 +468,7 @@ fn to_json(
     kernel_allocs: u64,
     overload: &fpbench::overload::OverloadReport,
     live: &fpbench::live_update::LiveUpdateReport,
+    cluster: &[fpbench::cluster::ClusterReport],
     hierarchy: &HierarchyReport,
     contraction: &[ContractionPoint],
     huge: &fpbench::metro_huge::MetroHugeReport,
@@ -557,6 +558,54 @@ fn to_json(
         live.reconciled,
         live.deterministic,
     ));
+    out.push_str("  \"cluster\": [\n");
+    for (i, c) in cluster.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"seed\": {}, \"sim_nodes\": {}, \"shards\": {}, \
+             \"submissions\": {}, \"admitted\": {}, \"rejected\": {}, \"answered\": {}, \
+             \"degraded\": {}, \"failed\": {}, \"cancelled\": {}, \"unroutable\": {}, \
+             \"crashes\": {}, \"restarts\": {}, \"rpc_attempts\": {}, \"rpc_retries\": {}, \
+             \"rpc_timeouts\": {}, \"rpc_peer_down\": {}, \"breaker_skips\": {}, \
+             \"replica_failovers\": {}, \"routed_failovers\": {}, \
+             \"failover_latency_mean\": {:.1}, \"failover_latency_max\": {}, \
+             \"goodput\": {:.4}, \"reconciled\": {}, \"deterministic\": {}}}{}\n",
+            c.scenario,
+            c.seed,
+            c.sim_nodes,
+            c.shards,
+            c.submissions,
+            c.admitted,
+            c.rejected,
+            c.answered,
+            c.degraded,
+            c.failed,
+            c.cancelled,
+            c.unroutable,
+            c.crashes,
+            c.restarts,
+            c.rpc.attempts,
+            c.rpc.retries,
+            c.rpc.timeouts,
+            c.rpc.peer_down,
+            c.rpc.breaker_skips,
+            c.rpc.failovers,
+            c.routed_failovers,
+            c.failover_latency_mean,
+            c.failover_latency_max,
+            c.goodput,
+            c.reconciled,
+            c.deterministic,
+            if i + 1 < cluster.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(
+        "  \"cluster_note\": \"partition-sharded fleet in deterministic simulation: the \
+         chaos twin composes 2x overload with a crash/restart, a partition storm, RPC \
+         latency spikes and live deltas; node-loss holds one shard owner down (goodput \
+         gated >= 0.5); surviving answers are pinned bit-identical to a single-node \
+         oracle by the fp-cluster test suites\",\n",
+    );
     out.push_str(&format!(
         "  \"alloc\": {{\"allocs_per_expansion\": {:.2}, \"bytes_per_query\": {:.0}, \
          \"kernel_steady_state_allocs\": {kernel_allocs}, \
@@ -718,6 +767,10 @@ fn emit_report() {
     let kernel_allocs = kernel_steady_state_allocs();
     let overload = fpbench::overload::run(0x5EED, 100);
     let live = fpbench::live_update::run(0x5EED, 100, 8);
+    let cluster = [
+        fpbench::cluster::run_chaos(11),
+        fpbench::cluster::run_node_loss(5),
+    ];
     // The paper-magnitude network ("metro-large"): this is where the
     // ≥10x preprocessing claim is measured and recorded.
     let hierarchy = measure_hierarchy(Scale::Full, "full", 24, &HierarchyConfig::default());
@@ -744,6 +797,7 @@ fn emit_report() {
         kernel_allocs,
         &overload,
         &live,
+        &cluster,
         &hierarchy,
         &contraction,
         &huge,
@@ -1016,6 +1070,55 @@ fn smoke() -> i32 {
         eprintln!(
             "SMOKE FAIL: goodput under the update storm {:.2} under {MIN_LIVE_GOODPUT}",
             lu.goodput_ratio
+        );
+        failures += 1;
+    }
+
+    // Cluster gates: the sharded-fleet twins must replay bit-exactly,
+    // reconcile their books, actually fire their robustness machinery
+    // (retries, replica failovers), and hold goodput >= 0.5 with one
+    // shard owner down — the promises `fp-cluster` exists for.
+    const MIN_CLUSTER_GOODPUT: f64 = 0.5;
+    let cc = fpbench::cluster::run_chaos(11);
+    println!(
+        "smoke: cluster chaos {}/{} admitted over {} nodes/{} shards, {} answered, \
+         {} rpc attempts ({} retries, {} failovers), goodput {:.2}",
+        cc.admitted,
+        cc.submissions,
+        cc.sim_nodes,
+        cc.shards,
+        cc.answered,
+        cc.rpc.attempts,
+        cc.rpc.retries,
+        cc.rpc.failovers,
+        cc.goodput,
+    );
+    if !cc.reconciled {
+        eprintln!("SMOKE FAIL: cluster chaos stats do not reconcile: {cc:?}");
+        failures += 1;
+    }
+    if !cc.deterministic {
+        eprintln!("SMOKE FAIL: cluster chaos scenario did not replay identically");
+        failures += 1;
+    }
+    if cc.rpc.retries == 0 || cc.rpc.failovers == 0 {
+        eprintln!("SMOKE FAIL: cluster chaos never retried/failed over — the storm lost its teeth");
+        failures += 1;
+    }
+    let cl = fpbench::cluster::run_node_loss(5);
+    println!(
+        "smoke: cluster node-loss {} crash / {} restarts, {} answered, {} unroutable, \
+         goodput {:.2} (floor {MIN_CLUSTER_GOODPUT})",
+        cl.crashes, cl.restarts, cl.answered, cl.unroutable, cl.goodput,
+    );
+    if !cl.reconciled || !cl.deterministic {
+        eprintln!("SMOKE FAIL: cluster node-loss run not reconciled/deterministic: {cl:?}");
+        failures += 1;
+    }
+    if cl.goodput < MIN_CLUSTER_GOODPUT {
+        eprintln!(
+            "SMOKE FAIL: cluster goodput {:.2} under {MIN_CLUSTER_GOODPUT} with one node down",
+            cl.goodput
         );
         failures += 1;
     }

@@ -14,6 +14,10 @@
 //!   update-storm      seeded live-update storm: scoped-invalidation
 //!                     refresh on metro-medium + goodput under a 2x
 //!                     overload with concurrent epoch swaps
+//!   cluster           the partition-sharded cluster twins: full chaos
+//!                     composition (overload + crash/restart +
+//!                     partition storm + deltas) and sustained
+//!                     node-loss, both replayed twice for bit-exactness
 //!   ablation-grid     bdLB grid granularity sweep (A-1)
 //!   ablation-pruning  basic vs dominance-pruned expansion (A-2)
 //!   ablation-ccam     CCAM placement vs buffer size (A-3)
@@ -37,8 +41,8 @@
 use std::process::ExitCode;
 
 use fpbench::{
-    ablations, const_speed, fig10, fig9, live_update, overload, table1, BackendKind, BackendSpec,
-    Scale, Scenario, Table,
+    ablations, cluster, const_speed, fig10, fig9, live_update, overload, table1, BackendKind,
+    BackendSpec, Scale, Scenario, Table,
 };
 use hierarchy::HierarchyConfig;
 
@@ -71,7 +75,7 @@ impl Options {
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(cmd) = args.next() else {
-        eprintln!("usage: experiments <table1|fig9|fig10|const-speed|overload|update-storm|ablation-grid|ablation-pruning|ablation-ccam|all> [--scale small|medium|full|large] [--seed N] [--queries N] [--csv DIR] [--backend flat|ch] [--threads N] [--overlay-compress EPS|off] [--deltas N]");
+        eprintln!("usage: experiments <table1|fig9|fig10|const-speed|overload|update-storm|cluster|ablation-grid|ablation-pruning|ablation-ccam|all> [--scale small|medium|full|large] [--seed N] [--queries N] [--csv DIR] [--backend flat|ch] [--threads N] [--overlay-compress EPS|off] [--deltas N]");
         return ExitCode::FAILURE;
     };
     let mut opts = Options {
@@ -200,6 +204,16 @@ fn main() -> ExitCode {
         matched = true;
         let r = live_update::run(opts.seed, opts.queries.max(80), opts.deltas.max(1));
         emit(&opts, "update_storm", live_update::render(&r));
+    }
+
+    // The cluster twins build their own sharded substrates; the seed
+    // steers the whole run (arrivals, faults, RPC fates).
+    if wants("cluster") {
+        matched = true;
+        let chaos = cluster::run_chaos(opts.seed);
+        emit(&opts, "cluster_chaos", cluster::render(&chaos));
+        let loss = cluster::run_node_loss(opts.seed);
+        emit(&opts, "cluster_node_loss", cluster::render(&loss));
     }
 
     if [

@@ -66,7 +66,7 @@ pub use hilbert::{hilbert_d2xy, hilbert_order, hilbert_xy2d};
 pub use integrity::{crc32, ChecksummedStore};
 pub use mmap::MmapStore;
 pub use page::SlottedPage;
-pub use partition::{partition_nodes, Partitioning, PlacementPolicy};
+pub use partition::{partition_assignment, partition_nodes, Partitioning, PlacementPolicy};
 pub use record::{EdgeRecord, NodeRecord};
 pub use store::{BlockStore, FileStore, IoStats, MemStore};
 

@@ -258,9 +258,40 @@ impl MmapStore {
         raw_page_size: usize,
         checksummed: bool,
     ) -> Result<Arc<dyn BlockStore>> {
-        let mmap_err = match Self::open_inner(path, raw_page_size, checksummed) {
-            Ok(store) => return Ok(Arc::new(store)),
-            Err(e) => e,
+        Self::open_preferred_inner(path, raw_page_size, checksummed, false)
+    }
+
+    /// Test seam: [`MmapStore::open_preferred`] with the platform
+    /// mapping forced to fail, exercising the `FileStore` fallback on
+    /// platforms where mmap would otherwise succeed. The fallback must
+    /// serve bit-identical bytes with `mmap_faults == 0`.
+    #[doc(hidden)]
+    pub fn open_preferred_forced_fallback(
+        path: &Path,
+        raw_page_size: usize,
+        checksummed: bool,
+    ) -> Result<Arc<dyn BlockStore>> {
+        Self::open_preferred_inner(path, raw_page_size, checksummed, true)
+    }
+
+    fn open_preferred_inner(
+        path: &Path,
+        raw_page_size: usize,
+        checksummed: bool,
+        force_map_fail: bool,
+    ) -> Result<Arc<dyn BlockStore>> {
+        let mmap_err = if force_map_fail {
+            // Simulate the environmental failure the fallback exists
+            // for (unsupported platform, exotic filesystem).
+            CcamError::Io(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "mapping failure injected by open_preferred_forced_fallback",
+            ))
+        } else {
+            match Self::open_inner(path, raw_page_size, checksummed) {
+                Ok(store) => return Ok(Arc::new(store)),
+                Err(e) => e,
+            }
         };
         // Only environmental failures fall back: a malformed header
         // would fail identically through FileStore, so surface it.
@@ -518,6 +549,68 @@ mod tests {
         // a corrupt page is never marked verified, so every touch fails
         assert!(m.page_ref(0).is_err());
         assert_eq!(m.io_stats().mmap_faults(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn forced_fallback_is_bit_identical_with_zero_mmap_faults() {
+        let dir = tmp_dir("forced");
+        // Plain store: every page served by the fallback must match
+        // the mapped store byte for byte, via both read paths.
+        let path = plain_fixture(&dir, 128, 4);
+        let mapped = MmapStore::open_preferred(&path, 128, false).unwrap();
+        let fallback = MmapStore::open_preferred_forced_fallback(&path, 128, false).unwrap();
+        assert_eq!(fallback.page_size(), mapped.page_size());
+        assert_eq!(fallback.n_pages(), mapped.n_pages());
+        let (mut a, mut b) = (vec![0u8; 128], vec![0u8; 128]);
+        for id in 0..4u64 {
+            mapped.read_page(id, &mut a).unwrap();
+            fallback.read_page(id, &mut b).unwrap();
+            assert_eq!(a, b, "page {id} diverged between mmap and fallback");
+            // The fallback has no mapping to borrow from; `page_ref`
+            // declines and the caller copies instead.
+            assert_eq!(mapped.page_ref(id).unwrap().unwrap(), &b[..]);
+            assert!(fallback.page_ref(id).unwrap().is_none());
+        }
+        assert!(mapped.io_stats().mmap_faults() > 0);
+        assert_eq!(
+            fallback.io_stats().mmap_faults(),
+            0,
+            "a FileStore fallback must never report mmap faults"
+        );
+
+        // Checksummed store: same bit-identity through the
+        // ChecksummedStore wrapper, with verification intact.
+        let summed_path = dir.join("summed.db");
+        let visible = 128 - PAGE_HEADER;
+        {
+            let file = Arc::new(FileStore::create(&summed_path, 128).unwrap());
+            let summed = ChecksummedStore::new(Arc::clone(&file) as Arc<dyn BlockStore>);
+            for i in 0..3 {
+                let id = summed.allocate().unwrap();
+                summed.write_page(id, &vec![i as u8 + 9; visible]).unwrap();
+            }
+        }
+        let mapped = MmapStore::open_preferred(&summed_path, 128, true).unwrap();
+        let fallback = MmapStore::open_preferred_forced_fallback(&summed_path, 128, true).unwrap();
+        let (mut a, mut b) = (vec![0u8; visible], vec![0u8; visible]);
+        for id in 0..3u64 {
+            mapped.read_page(id, &mut a).unwrap();
+            fallback.read_page(id, &mut b).unwrap();
+            assert_eq!(a, b, "checksummed page {id} diverged");
+        }
+        assert!(mapped.io_stats().mmap_faults() > 0);
+        assert_eq!(fallback.io_stats().mmap_faults(), 0);
+
+        // The fallback validates like the mapped path: a page-size
+        // mismatch is the same typed error, not a silent open.
+        assert!(matches!(
+            MmapStore::open_preferred_forced_fallback(&path, 256, false),
+            Err(CcamError::PageSizeMismatch {
+                stored: 128,
+                requested: 256,
+            })
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,264 @@
+//! The virtual message bus: seeded, integer-time RPC delivery with an
+//! injected fault plan.
+//!
+//! Nothing here touches wall clocks or OS networking. An RPC's fate —
+//! delivered (with what latency), timed out, refused because the peer
+//! is crashed, or dropped by a network partition — is a pure function
+//! of `(bus seed, call index, virtual send time, fault plan)`, so an
+//! entire cluster run replays bit-identically from its scenario seed.
+
+use std::cell::{Cell, RefCell};
+
+/// SplitMix64 — the same finalizer the service layer uses for its
+/// seeded jitter, reproduced here so the bus stays self-contained.
+pub(crate) fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One injected node outage: `node` is unreachable (and not serving)
+/// for virtual times `from..until`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashWindow {
+    /// The simulated node that crashes.
+    pub node: usize,
+    /// Crash instant (inclusive).
+    pub from: u64,
+    /// Restart instant (exclusive) — the node is back at `until`.
+    pub until: u64,
+}
+
+/// One injected network partition: during `from..until`, nodes inside
+/// `island` cannot exchange RPCs with nodes outside it (island-local
+/// and mainland-local traffic still flows).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionWindow {
+    /// Partition start (inclusive).
+    pub from: u64,
+    /// Partition end (exclusive).
+    pub until: u64,
+    /// The minority side of the split.
+    pub island: Vec<usize>,
+}
+
+/// The full injected-fault schedule of one scenario.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClusterFaultPlan {
+    /// Node outages.
+    pub crashes: Vec<CrashWindow>,
+    /// Network partitions.
+    pub partitions: Vec<PartitionWindow>,
+}
+
+impl ClusterFaultPlan {
+    /// Is `node` crashed at virtual time `t`?
+    pub fn is_down(&self, node: usize, t: u64) -> bool {
+        self.crashes
+            .iter()
+            .any(|c| c.node == node && (c.from..c.until).contains(&t))
+    }
+
+    /// Are `a` and `b` on opposite sides of an active partition at
+    /// virtual time `t`?
+    pub fn partitioned(&self, a: usize, b: usize, t: u64) -> bool {
+        self.partitions.iter().any(|p| {
+            (p.from..p.until).contains(&t) && (p.island.contains(&a) != p.island.contains(&b))
+        })
+    }
+}
+
+/// Bus latency and timeout tuning, in virtual clock units.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BusConfig {
+    /// Minimum one-way RPC latency.
+    pub base_latency: u64,
+    /// Maximum seeded jitter added on top of `base_latency`.
+    pub jitter: u64,
+    /// Every `spike_every`-th draw (seeded, on average) suffers a
+    /// congestion spike of `spike_latency` extra units; `0` disables
+    /// spikes.
+    pub spike_every: u64,
+    /// Extra latency of a congestion spike (sized above `timeout` to
+    /// force client-side retries).
+    pub spike_latency: u64,
+    /// Client-side RPC timeout: a call whose latency exceeds this is
+    /// reported [`RpcOutcome::TimedOut`] after `timeout` units.
+    pub timeout: u64,
+}
+
+impl Default for BusConfig {
+    fn default() -> Self {
+        BusConfig {
+            base_latency: 2,
+            jitter: 4,
+            spike_every: 0,
+            spike_latency: 0,
+            timeout: 64,
+        }
+    }
+}
+
+/// What happened to one simulated RPC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpcOutcome {
+    /// Delivered and answered after `latency` virtual units.
+    Delivered {
+        /// Round-trip latency in virtual clock units.
+        latency: u64,
+    },
+    /// The reply did not arrive within [`BusConfig::timeout`]; the
+    /// caller burned the full timeout waiting.
+    TimedOut,
+    /// The peer is crashed — fails fast (connection refused).
+    PeerDown,
+    /// An active network partition separates caller and peer; the
+    /// caller cannot distinguish this from a slow peer and burns the
+    /// full timeout.
+    Partitioned,
+}
+
+/// Fleet-wide bus accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BusStats {
+    /// RPCs attempted.
+    pub calls: u64,
+    /// RPCs delivered.
+    pub delivered: u64,
+    /// RPCs lost to latency spikes past the timeout.
+    pub timeouts: u64,
+    /// RPCs refused because the peer was crashed.
+    pub peer_down: u64,
+    /// RPCs dropped by an active partition.
+    pub partitioned: u64,
+}
+
+/// The deterministic virtual bus shared by every simulated node.
+#[derive(Debug)]
+pub struct VirtualBus {
+    seed: u64,
+    cfg: BusConfig,
+    plan: ClusterFaultPlan,
+    calls: Cell<u64>,
+    stats: RefCell<BusStats>,
+}
+
+impl VirtualBus {
+    /// A bus with the given seed, tuning, and injected-fault schedule.
+    pub fn new(seed: u64, cfg: BusConfig, plan: ClusterFaultPlan) -> Self {
+        VirtualBus {
+            seed,
+            cfg,
+            plan,
+            calls: Cell::new(0),
+            stats: RefCell::new(BusStats::default()),
+        }
+    }
+
+    /// The bus tuning.
+    pub fn config(&self) -> &BusConfig {
+        &self.cfg
+    }
+
+    /// The injected-fault schedule.
+    pub fn plan(&self) -> &ClusterFaultPlan {
+        &self.plan
+    }
+
+    /// Snapshot of the bus counters.
+    pub fn stats(&self) -> BusStats {
+        *self.stats.borrow()
+    }
+
+    /// Attempt one RPC from `from` to `to` at virtual time `now`.
+    /// Consumes one seeded draw per call, so outcomes depend only on
+    /// the global call order — which the single-threaded driver makes
+    /// deterministic.
+    pub fn call(&self, from: usize, to: usize, now: u64) -> RpcOutcome {
+        let n = self.calls.get();
+        self.calls.set(n + 1);
+        let mut st = self.stats.borrow_mut();
+        st.calls += 1;
+        if self.plan.is_down(to, now) {
+            st.peer_down += 1;
+            return RpcOutcome::PeerDown;
+        }
+        if self.plan.partitioned(from, to, now) {
+            st.partitioned += 1;
+            return RpcOutcome::Partitioned;
+        }
+        let r = self.draw(n);
+        let mut latency = self.cfg.base_latency + r % (self.cfg.jitter + 1);
+        if self.cfg.spike_every > 0 && splitmix64(r).is_multiple_of(self.cfg.spike_every) {
+            latency += self.cfg.spike_latency;
+        }
+        if latency > self.cfg.timeout {
+            st.timeouts += 1;
+            RpcOutcome::TimedOut
+        } else {
+            st.delivered += 1;
+            RpcOutcome::Delivered { latency }
+        }
+    }
+
+    /// The `n`-th seeded draw.
+    fn draw(&self, n: u64) -> u64 {
+        splitmix64(self.seed ^ n.wrapping_mul(0x9E6C_63D0_876A_3F35))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_plan_windows() {
+        let plan = ClusterFaultPlan {
+            crashes: vec![CrashWindow {
+                node: 1,
+                from: 10,
+                until: 20,
+            }],
+            partitions: vec![PartitionWindow {
+                from: 5,
+                until: 15,
+                island: vec![2],
+            }],
+        };
+        assert!(!plan.is_down(1, 9));
+        assert!(plan.is_down(1, 10));
+        assert!(plan.is_down(1, 19));
+        assert!(!plan.is_down(1, 20));
+        assert!(!plan.is_down(0, 15));
+        // Island node 2 vs mainland node 0: separated only inside the window.
+        assert!(plan.partitioned(0, 2, 5));
+        assert!(plan.partitioned(2, 0, 14));
+        assert!(!plan.partitioned(0, 2, 15));
+        // Mainland-to-mainland traffic flows throughout.
+        assert!(!plan.partitioned(0, 1, 10));
+    }
+
+    #[test]
+    fn bus_is_deterministic_and_seed_sensitive() {
+        let cfg = BusConfig {
+            spike_every: 4,
+            spike_latency: 100,
+            ..BusConfig::default()
+        };
+        let run = |seed: u64| {
+            let bus = VirtualBus::new(seed, cfg.clone(), ClusterFaultPlan::default());
+            (0..64).map(|i| bus.call(0, 1, i)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7), "same seed must replay the same RPC fates");
+        assert_ne!(run(7), run(8), "different seeds should diverge");
+        let outcomes = run(7);
+        assert!(outcomes
+            .iter()
+            .any(|o| matches!(o, RpcOutcome::Delivered { .. })));
+        assert!(
+            outcomes.iter().any(|o| matches!(o, RpcOutcome::TimedOut)),
+            "spikes above the timeout should surface as client timeouts"
+        );
+    }
+}

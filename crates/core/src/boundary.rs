@@ -479,45 +479,26 @@ impl BoundaryLb {
     }
 
     /// [`BoundaryLb::build_partitioned`] over a connectivity-clustered
-    /// partitioning from [`ccam::partition_nodes`], its byte budget
-    /// sized so roughly `target_groups` groups come out.
+    /// partitioning from [`ccam::partition_assignment`], its byte
+    /// budget sized so roughly `target_groups` groups come out.
     ///
     /// This is the continental-scale entry point: partitions follow
     /// the same clustering CCAM packs pages by, so boundary sets stay
     /// small, and nothing network-sized beyond the assignment vector
-    /// is ever resident.
+    /// is ever resident. The cluster sharding layer (`fp-cluster`)
+    /// consumes the same assignment, so the estimator's partition and
+    /// the serving tier's shards are one artifact.
     pub fn build_partitioned_auto<S: NetworkSource + Sync + ?Sized>(
         src: &S,
         target_groups: usize,
         mode: WeightMode,
     ) -> Result<BoundaryLb> {
-        let n = src.n_nodes();
-        let target = target_groups.clamp(1, n.max(1));
-        let mut edges: Vec<Edge> = Vec::new();
-        let (mut total, mut max_cost) = (0usize, 0usize);
-        for u in 0..n {
-            src.successors_into(NodeId(u as u32), &mut edges)?;
-            let cost = ccam::NodeRecord::encoded_len_for(edges.len()) + 4;
-            total += cost;
-            max_cost = max_cost.max(cost);
-        }
-        let budget = total.div_ceil(target).max(max_cost);
-        let parts = ccam::partition_nodes(
-            src,
-            ccam::PlacementPolicy::ConnectivityClustered,
-            budget + 4, // partition_nodes reserves 4 header bytes
-        )
-        .map_err(|e| match e {
-            ccam::CcamError::Network(ne) => crate::AllFpError::Network(ne),
-            _ => crate::AllFpError::Internal("connectivity partitioning failed"),
-        })?;
-        let mut group_of = vec![0u32; n];
-        for (g, nodes) in parts.pages.iter().enumerate() {
-            for node in nodes {
-                group_of[node.index()] = g as u32;
-            }
-        }
-        Self::build_partitioned(src, &group_of, parts.pages.len(), mode)
+        let (group_of, n_groups) =
+            ccam::partition_assignment(src, target_groups).map_err(|e| match e {
+                ccam::CcamError::Network(ne) => crate::AllFpError::Network(ne),
+                _ => crate::AllFpError::Internal("connectivity partitioning failed"),
+            })?;
+        Self::build_partitioned(src, &group_of, n_groups, mode)
     }
 
     /// Cells per axis of a geometric [`BoundaryLb::build`]; 0 for

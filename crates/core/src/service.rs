@@ -336,6 +336,17 @@ pub struct BreakerConfig {
     pub cooldown: u64,
     /// Consecutive successful probes required to close again.
     pub probe_successes: u32,
+    /// Maximum seeded jitter (clock units) added to the cooldown
+    /// before each half-open probe. Many clients watching the same
+    /// recovering peer would otherwise re-probe it in lockstep — the
+    /// same thundering-herd shape the buffer pool's retry backoff
+    /// de-correlates with seeded jitter. `0` disables jitter (exact
+    /// legacy cooldown).
+    pub probe_jitter: u64,
+    /// Seed for the probe jitter. Give each client a distinct seed so
+    /// their probe schedules diverge; the schedule for a given seed is
+    /// fully deterministic.
+    pub probe_seed: u64,
 }
 
 impl Default for BreakerConfig {
@@ -345,13 +356,15 @@ impl Default for BreakerConfig {
             trip_failures: 8,
             cooldown: 10_000,
             probe_successes: 2,
+            probe_jitter: 0,
+            probe_seed: 0,
         }
     }
 }
 
 /// Where the dispatcher sends a popped query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Route {
+pub enum Route {
     /// Breaker closed: the primary engine.
     Primary,
     /// Breaker half-open: the primary engine, as the designated probe.
@@ -361,9 +374,16 @@ enum Route {
     Fallback,
 }
 
-/// The breaker itself (behind the service lock).
+/// The classic three-state circuit breaker over a sliding fault
+/// window.
+///
+/// [`QueryService`] keeps one behind its lock to guard the primary
+/// engine; `fp-cluster` keeps one per RPC peer to stop hammering a
+/// crashed or partitioned node. The machine is driven entirely by the
+/// caller's clock — no wall time — so a given input schedule replays
+/// to the identical transition log.
 #[derive(Debug, Default)]
-struct Breaker {
+pub struct CircuitBreaker {
     state: BreakerState,
     /// Outcomes (true = storage fault) of the last `window` primary
     /// executions while closed.
@@ -372,22 +392,61 @@ struct Breaker {
     opened_at: u64,
     probe_in_flight: bool,
     probe_ok: u32,
+    /// Times the breaker has tripped open; salts the probe jitter so
+    /// consecutive cooldowns of one breaker also de-correlate.
+    trips: u64,
     /// `(clock, new_state)` log of every transition, in order.
     transitions: Vec<(u64, BreakerState)>,
 }
 
-impl Breaker {
+impl CircuitBreaker {
+    /// A fresh breaker in the [`BreakerState::Closed`] state.
+    pub fn new() -> Self {
+        CircuitBreaker::default()
+    }
+
     fn transition(&mut self, now: u64, next: BreakerState) {
+        if next == BreakerState::Open {
+            self.trips += 1;
+        }
         self.state = next;
         self.transitions.push((now, next));
     }
 
+    /// Seeded jitter added to the current cooldown, in
+    /// `0..=cfg.probe_jitter`. A pure function of `(probe_seed,
+    /// trips)`, so replays are exact while distinct seeds (one per
+    /// client) and successive trips de-correlate.
+    fn probe_delay(&self, cfg: &BreakerConfig) -> u64 {
+        if cfg.probe_jitter == 0 {
+            return cfg.cooldown;
+        }
+        let r = splitmix64(cfg.probe_seed ^ self.trips.wrapping_mul(0xA076_1D64_78BD_642F));
+        cfg.cooldown + r % (cfg.probe_jitter + 1)
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// How many times the breaker has transitioned to
+    /// [`BreakerState::Open`].
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// `(clock, new_state)` log of every transition, in order.
+    pub fn transitions(&self) -> &[(u64, BreakerState)] {
+        &self.transitions
+    }
+
     /// Decide the route for the next popped query.
-    fn route(&mut self, now: u64, cfg: &BreakerConfig) -> Route {
+    pub fn route(&mut self, now: u64, cfg: &BreakerConfig) -> Route {
         match self.state {
             BreakerState::Closed => Route::Primary,
             BreakerState::Open => {
-                if now.saturating_sub(self.opened_at) >= cfg.cooldown {
+                if now.saturating_sub(self.opened_at) >= self.probe_delay(cfg) {
                     self.probe_ok = 0;
                     self.probe_in_flight = true;
                     self.transition(now, BreakerState::HalfOpen);
@@ -409,7 +468,7 @@ impl Breaker {
 
     /// Feed a completed closed-state primary execution into the
     /// sliding window.
-    fn on_primary(&mut self, now: u64, storage_fault: bool, cfg: &BreakerConfig) {
+    pub fn on_primary(&mut self, now: u64, storage_fault: bool, cfg: &BreakerConfig) {
         if self.state != BreakerState::Closed {
             // A stale completion from before a trip (possible with
             // concurrent workers): the window restarted, ignore it.
@@ -433,7 +492,7 @@ impl Breaker {
     }
 
     /// Feed a completed half-open probe.
-    fn on_probe(&mut self, now: u64, storage_fault: bool, cfg: &BreakerConfig) {
+    pub fn on_probe(&mut self, now: u64, storage_fault: bool, cfg: &BreakerConfig) {
         self.probe_in_flight = false;
         if self.state != BreakerState::HalfOpen {
             return;
@@ -691,7 +750,7 @@ struct ServiceState {
     next_id: TicketId,
     /// EWMA of observed clock-units-per-work-unit.
     ewma_units_per_cost: f64,
-    breaker: Breaker,
+    breaker: CircuitBreaker,
     stats: ServiceStats,
     outcomes: Vec<(TicketId, ServiceOutcome)>,
 }
@@ -753,7 +812,7 @@ impl<'e, B: PathfindBackend + ?Sized> QueryService<'e, B> {
                 draining: None,
                 next_id: 0,
                 ewma_units_per_cost: 1.0,
-                breaker: Breaker::default(),
+                breaker: CircuitBreaker::default(),
                 stats: ServiceStats::default(),
                 outcomes: Vec::new(),
             }),
@@ -1257,30 +1316,32 @@ mod tests {
             trip_failures: 2,
             cooldown: 100,
             probe_successes: 2,
+            ..BreakerConfig::default()
         };
-        let mut b = Breaker::default();
+        let mut b = CircuitBreaker::default();
         assert_eq!(b.route(0, &cfg), Route::Primary);
         b.on_primary(1, true, &cfg);
-        assert_eq!(b.state, BreakerState::Closed);
+        assert_eq!(b.state(), BreakerState::Closed);
         b.on_primary(2, true, &cfg);
-        assert_eq!(b.state, BreakerState::Open);
+        assert_eq!(b.state(), BreakerState::Open);
         // During cooldown everything falls back.
         assert_eq!(b.route(50, &cfg), Route::Fallback);
         // Cooldown over: exactly one probe at a time.
         assert_eq!(b.route(102, &cfg), Route::Probe);
-        assert_eq!(b.state, BreakerState::HalfOpen);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
         assert_eq!(b.route(103, &cfg), Route::Fallback);
         // Failed probe re-opens.
         b.on_probe(104, true, &cfg);
-        assert_eq!(b.state, BreakerState::Open);
+        assert_eq!(b.state(), BreakerState::Open);
         // Recover: cooldown, then two successful probes.
         assert_eq!(b.route(204, &cfg), Route::Probe);
         b.on_probe(205, false, &cfg);
-        assert_eq!(b.state, BreakerState::HalfOpen);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
         assert_eq!(b.route(206, &cfg), Route::Probe);
         b.on_probe(207, false, &cfg);
-        assert_eq!(b.state, BreakerState::Closed);
-        let states: Vec<BreakerState> = b.transitions.iter().map(|&(_, s)| s).collect();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.trips(), 2);
+        let states: Vec<BreakerState> = b.transitions().iter().map(|&(_, s)| s).collect();
         assert_eq!(
             states,
             vec![
@@ -1300,18 +1361,88 @@ mod tests {
             trip_failures: 3,
             cooldown: 100,
             probe_successes: 1,
+            ..BreakerConfig::default()
         };
-        let mut b = Breaker::default();
+        let mut b = CircuitBreaker::default();
         // Two faults diluted by successes never trip a 3-of-4 window.
         for i in 0..20u64 {
             b.on_primary(i, i % 2 == 0, &cfg);
         }
-        assert_eq!(b.state, BreakerState::Closed);
+        assert_eq!(b.state(), BreakerState::Closed);
         // Three faults back to back do.
         for i in 20..23u64 {
             b.on_primary(i, true, &cfg);
         }
-        assert_eq!(b.state, BreakerState::Open);
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    /// Drive one breaker through `trips` open/probe cycles and return
+    /// the clock at which each half-open probe was admitted.
+    fn probe_times(cfg: &BreakerConfig, trips: usize) -> Vec<u64> {
+        let mut b = CircuitBreaker::new();
+        let mut now = 0u64;
+        let mut times = Vec::new();
+        for _ in 0..trips {
+            // Trip it.
+            while b.state() != BreakerState::Open {
+                now += 1;
+                b.on_primary(now, true, cfg);
+            }
+            // Poll every clock unit until the probe is admitted.
+            loop {
+                now += 1;
+                if b.route(now, cfg) == Route::Probe {
+                    times.push(now);
+                    break;
+                }
+            }
+            // Fail the probe so the next iteration re-trips cleanly.
+            b.on_probe(now, true, cfg);
+        }
+        times
+    }
+
+    #[test]
+    fn probe_jitter_is_seeded_and_deterministic() {
+        let base = BreakerConfig {
+            window: 2,
+            trip_failures: 2,
+            cooldown: 100,
+            probe_successes: 1,
+            probe_jitter: 0,
+            probe_seed: 0,
+        };
+        // jitter 0: exact legacy cooldown, every cycle.
+        let legacy = probe_times(&base, 4);
+        let mut b = CircuitBreaker::new();
+        b.on_primary(1, true, &base);
+        b.on_primary(2, true, &base);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.route(101, &base), Route::Fallback);
+        assert_eq!(b.route(102, &base), Route::Probe);
+
+        // Same seed → identical probe schedule; different seeds →
+        // de-lockstepped schedules within [cooldown, cooldown+jitter].
+        let seeded = |seed| BreakerConfig {
+            probe_jitter: 40,
+            probe_seed: seed,
+            ..base
+        };
+        let a1 = probe_times(&seeded(7), 6);
+        let a2 = probe_times(&seeded(7), 6);
+        assert_eq!(a1, a2, "same seed must replay the probe schedule");
+        let c = probe_times(&seeded(8), 6);
+        assert_ne!(a1, c, "distinct client seeds should de-lockstep probes");
+        // After a failed probe at `t` the breaker re-opens with
+        // `opened_at = t`, so consecutive probe gaps are exactly the
+        // per-trip delay: cooldown for the legacy run, within
+        // [cooldown, cooldown + probe_jitter] when jittered.
+        for gap in legacy.windows(2).map(|w| w[1] - w[0]) {
+            assert_eq!(gap, base.cooldown);
+        }
+        for gap in a1.windows(2).map(|w| w[1] - w[0]) {
+            assert!((base.cooldown..=base.cooldown + 40).contains(&gap));
+        }
     }
 
     #[test]

@@ -47,6 +47,18 @@ env -u RUST_TEST_THREADS cargo test -q -p fp-allfp --test update_storm
 cargo test -q -p fp-allfp --release --test live_props
 cargo test -q -p fp-hierarchy --release --test live_refresh
 
+# Cluster serving: the deterministic sharded-fleet simulator. The
+# chaos suite composes 2x overload with a node crash/restart, a
+# partition storm, RPC latency spikes and live deltas, and asserts
+# exact accounting, bit-exact replay, fired robustness machinery
+# (retries, breakers, replica failovers) and goodput >= 0.5 under
+# sustained node loss; the equivalence suite pins every cluster-served
+# answer bit-identical to the flat single-node pipeline (and answer
+# values to the hierarchy backend) on the same pinned epoch.
+echo "==> cluster chaos + cross-partition equivalence"
+cargo test -q -p fp-cluster --release --test cluster_chaos
+cargo test -q -p fp-cluster --release --test cluster_equivalence
+
 # Hierarchy exactness: the golden equivalence suite pins the
 # contraction hierarchy's answers bit-for-bit to the flat engine's
 # (routes, partitions, travel functions) under compressed, exact and
@@ -81,7 +93,7 @@ cargo test -q -p fp-pwl --release --test reduce_props
 # store (store-equivalence across Mem/File/Mmap is pinned separately
 # by the fp-allfp store_equivalence golden suite in tier 1). Runtime
 # stays bounded: the million-node tier runs only under --report.
-echo "==> batch-driver smoke (answers + scaling + checksum + allocation + overload + live-update + hierarchy + metro-huge gates)"
+echo "==> batch-driver smoke (answers + scaling + checksum + allocation + overload + live-update + cluster + hierarchy + metro-huge gates)"
 cargo bench -p fp-bench --bench engine_hotpath -- --smoke
 
 echo "All checks passed."
